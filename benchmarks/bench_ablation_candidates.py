@@ -1,0 +1,56 @@
+"""Ablation — candidate-set size (paper §4.4).
+
+"The challenge is in deciding how many candidates should be considered at
+an input port to maximize switch bandwidth with minimal impact on switch
+cycle time."  Sweeps C = 1..8 at a fixed high load and reports delay,
+jitter and utilisation, plus the analytic arbiter-delay cost of widening
+the candidate set — the two sides of the paper's trade-off.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.costmodel import arbiter_delay
+from repro.harness.figures import FULL_CYCLES, QUICK_CYCLES
+from repro.harness.report import format_table
+from repro.harness.single_router import ExperimentSpec, run_single_router_experiment
+from repro.harness.sweep import SweepAxis, run_sweep
+
+CANDIDATES = (1, 2, 3, 4, 6, 8)
+LOAD = 0.8
+
+
+def run_candidate_sweep():
+    cycles = FULL_CYCLES if bench_full() else QUICK_CYCLES
+    base = ExperimentSpec(target_load=LOAD, priority="biased", seed=1, **cycles)
+    return run_sweep(base, [SweepAxis("candidates", CANDIDATES)])
+
+
+def test_candidate_sweep(benchmark):
+    sweep = run_once(benchmark, run_candidate_sweep)
+    rows = []
+    for (candidates,), result in sorted(sweep.results.items()):
+        rows.append(
+            [
+                candidates,
+                result.mean_delay_us,
+                result.mean_jitter_cycles,
+                result.utilisation,
+                arbiter_delay(candidates * result.spec.config.num_ports),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["C", "delay_us", "jitter_cyc", "utilisation", "arbiter_gate_delays"],
+            rows,
+        )
+    )
+    by_c = {row[0]: row for row in rows}
+    # Going from 1 to 4 candidates must cut delay dramatically at 80% load
+    # (1 candidate head-of-line blocks the router into saturation).
+    assert by_c[4][1] < by_c[1][1] / 5
+    # Diminishing returns: 8 candidates is within 2x of 4 candidates.
+    assert by_c[8][1] <= by_c[4][1] * 2.0
+    # Utilisation (throughput) recovers the offered load once C >= 4.
+    assert by_c[4][3] >= LOAD * 0.97
+    assert by_c[8][3] >= LOAD * 0.97

@@ -1,0 +1,84 @@
+"""Ablation — crossbar organisation silicon area (paper §3.3).
+
+"[The multiplexed crossbar] reduces silicon area by V and V^2,
+respectively, with respect to a partially multiplexed and a fully
+de-multiplexed crossbar, where V is the number of virtual channels per
+link."  Regenerates that argument quantitatively over the VC-count axis
+and times the analytic model itself.
+"""
+
+from conftest import run_once
+
+from repro.core.costmodel import (
+    CrossbarOrganisation,
+    area_ratio,
+    crossbar_cost,
+    scheduling_rate_ns,
+)
+from repro.harness.report import format_table
+
+NUM_LINKS = 8
+VC_COUNTS = (16, 64, 256, 1024)
+
+
+def compute_area_table():
+    rows = []
+    for vcs in VC_COUNTS:
+        mux = crossbar_cost(CrossbarOrganisation.MULTIPLEXED, NUM_LINKS, vcs)
+        partial = crossbar_cost(
+            CrossbarOrganisation.PARTIALLY_MULTIPLEXED, NUM_LINKS, vcs, group_size=4
+        )
+        full = crossbar_cost(CrossbarOrganisation.FULLY_DEMULTIPLEXED, NUM_LINKS, vcs)
+        rows.append(
+            [
+                vcs,
+                mux.crosspoints,
+                partial.crosspoints,
+                full.crosspoints,
+                full.crosspoints / mux.crosspoints,
+            ]
+        )
+    return rows
+
+
+def test_crossbar_area_argument(benchmark):
+    rows = run_once(benchmark, compute_area_table)
+    print()
+    print(
+        format_table(
+            ["VCs", "multiplexed", "partial(g=4)", "fully_demuxed", "full/mux"],
+            rows,
+        )
+    )
+    for vcs, mux, partial, full, ratio in rows:
+        # The paper's headline factors.
+        assert ratio == vcs**2
+        assert partial / mux == (vcs / 4) ** 2
+        assert mux == NUM_LINKS**2
+    # At the paper's 256 VCs a fully de-multiplexed crossbar needs 65536x
+    # the crosspoints — the "prohibitively expensive in silicon area" claim.
+    ratio_256 = area_ratio(
+        CrossbarOrganisation.MULTIPLEXED,
+        CrossbarOrganisation.FULLY_DEMULTIPLEXED,
+        NUM_LINKS,
+        256,
+    )
+    assert ratio_256 == 65536
+
+
+def test_scheduling_rate_budget(benchmark):
+    """§6: switch settings must be computed every 64-128 ns for 1-2 Gbps
+    links with 128-bit flits."""
+
+    def budgets():
+        return {
+            rate: scheduling_rate_ns(rate, 128)
+            for rate in (1e9, 1.24e9, 2e9)
+        }
+
+    result = run_once(benchmark, budgets)
+    print()
+    print(format_table(["link_bps", "budget_ns"], sorted(result.items())))
+    assert 64.0 <= result[2e9] <= 128.0
+    assert 64.0 <= result[1e9] <= 128.0
+    assert 100.0 < result[1.24e9] < 107.0  # the paper's ~103 ns

@@ -1,0 +1,75 @@
+"""Ablation — round length factor K (paper §4.1).
+
+"The number of flit cycles in a round is an integer multiple K (K > 1) of
+the number of virtual channels per link ... a greater value of K provides
+a higher flexibility for bandwidth allocation.  However, it may increase
+jitter on a connection since rounds take longer to complete.  Therefore,
+the selected value for K is a trade-off between flexibility and jitter."
+
+This sweep runs with round budgets *enforced* (the machinery §4.1/§4.3
+describes) and reports, per K: allocation granularity (the bandwidth
+overshoot of a ceil-ed allocation), mean jitter and mean delay.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.config import RouterConfig
+from repro.harness.figures import FULL_CYCLES, QUICK_CYCLES
+from repro.harness.report import format_table
+from repro.harness.single_router import ExperimentSpec, run_single_router_experiment
+from repro.traffic.rates import PAPER_RATE_SET
+
+ROUND_FACTORS = (1, 2, 4, 8)
+LOAD = 0.6
+
+
+def allocation_overshoot(config: RouterConfig) -> float:
+    """Mean relative bandwidth overshoot of integer cycles/round grants."""
+    overshoots = []
+    for rate in PAPER_RATE_SET:
+        cycles = config.rate_to_cycles_per_round(rate)
+        granted = cycles / config.round_length * config.link_rate_bps
+        overshoots.append(granted / rate - 1.0)
+    return sum(overshoots) / len(overshoots)
+
+
+def run_round_factor_sweep():
+    cycles = FULL_CYCLES if bench_full() else QUICK_CYCLES
+    results = {}
+    for k in ROUND_FACTORS:
+        config = RouterConfig(round_factor=k, enforce_round_budgets=True)
+        spec = ExperimentSpec(
+            target_load=LOAD, priority="biased", config=config, seed=1, **cycles
+        )
+        results[k] = run_single_router_experiment(spec)
+    return results
+
+
+def test_round_factor_tradeoff(benchmark):
+    results = run_once(benchmark, run_round_factor_sweep)
+    rows = []
+    for k, result in sorted(results.items()):
+        config = result.spec.config
+        rows.append(
+            [
+                k,
+                config.round_length,
+                allocation_overshoot(config),
+                result.mean_jitter_cycles,
+                result.mean_delay_us,
+                result.utilisation,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["K", "round_cycles", "alloc_overshoot", "jitter_cyc", "delay_us", "util"],
+            rows,
+        )
+    )
+    # Flexibility: larger K always shrinks the allocation granularity.
+    overshoots = [row[2] for row in rows]
+    assert overshoots == sorted(overshoots, reverse=True)
+    # The budget machinery must not break throughput at this load.
+    for row in rows:
+        assert row[5] >= LOAD * 0.9

@@ -1,0 +1,156 @@
+"""Ablation — connection-oriented service vs best-effort-only (§1, §3.1).
+
+"Traditional router technology developed for high-speed multiprocessor
+networks is optimized for low latency and for best-effort traffic.
+However, these networks are not designed to permit concurrent guarantees
+for communication performance."
+
+The same multimedia stream mix is carried two ways through one router:
+
+* as admitted CBR connections scheduled with biased priorities (the MMR),
+* as plain best-effort packets with no reservation or bias (a traditional
+  best-effort router), while a bursty background load comes and goes.
+
+Under quiet conditions both look fine; when the background burst arrives,
+only the connection-oriented path holds its jitter — the paper's core
+motivation, measured.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.flit import Flit, FlitType
+from repro.core.priority import BiasedPriority
+from repro.core.router import Router
+from repro.core.switch_scheduler import GreedyPriorityScheduler
+from repro.core.virtual_channel import ServiceClass
+from repro.harness.report import format_table
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.cbr import CbrSource
+
+STREAMS = [(0, 2, 55e6), (1, 2, 20e6), (3, 5, 55e6), (4, 5, 20e6)]
+#: Background burst: heavy best-effort packets into the streams' outputs.
+BURST_PORTS = (5, 6, 7)
+
+
+class BestEffortStream:
+    """The same CBR arrival process, carried as best-effort packets."""
+
+    def __init__(self, sim, router, connection_id, input_port, output_port,
+                 rate_bps, config, phase):
+        self.sim = sim
+        self.router = router
+        self.connection_id = connection_id
+        self.input_port = input_port
+        self.output_port = output_port
+        self.interarrival = config.rate_to_interarrival_cycles(rate_bps)
+        self.phase = phase
+        self.sequence = 0
+        self._next = phase
+
+    def start(self):
+        self._next += self.sim.now
+        self.sim.schedule_at(int(self._next), self._arrival)
+
+    def _arrival(self):
+        vc_index = self.router.open_packet_vc(
+            self.input_port, self.output_port, ServiceClass.BEST_EFFORT,
+            self.connection_id,
+        )
+        if vc_index is not None:
+            flit = Flit(
+                FlitType.BEST_EFFORT, connection_id=self.connection_id,
+                created=self.sim.now, sequence=self.sequence, is_tail=True,
+            )
+            self.sequence += 1
+            self.router.inject(self.input_port, vc_index, flit)
+        self._next += self.interarrival
+        self.sim.schedule_at(int(self._next), self._arrival)
+
+
+def run_mode(connection_oriented: bool):
+    config = RouterConfig(enforce_round_budgets=False)
+    sim = Simulator()
+    rng = SeededRng(55, "switching")
+    router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+
+    for i, (in_port, out_port, rate) in enumerate(STREAMS, start=1):
+        phase = rng.uniform(0, 50)
+        if connection_oriented:
+            vc_index = router.open_connection(
+                i, in_port, out_port,
+                BandwidthRequest(config.rate_to_cycles_per_round(rate)),
+                service_class=ServiceClass.CBR,
+                interarrival_cycles=config.rate_to_interarrival_cycles(rate),
+            )
+            CbrSource(
+                sim, router, i, in_port, vc_index, rate, config, phase=phase
+            ).start()
+        else:
+            BestEffortStream(
+                sim, router, i, in_port, out_port, rate, config, phase
+            ).start()
+
+    # Bursty background: every port floods the streams' output links with
+    # best-effort packets during the middle third of the run.
+    cycles = 90_000 if bench_full() else 30_000
+    burst_rng = rng.spawn("burst")
+
+    def burst(port):
+        if cycles / 3 <= sim.now <= 2 * cycles / 3:
+            out = burst_rng.choice((2, 5))
+            vc_index = router.open_packet_vc(
+                port, out, ServiceClass.BEST_EFFORT, -(port + 1)
+            )
+            if vc_index is not None:
+                router.inject(
+                    port, vc_index,
+                    Flit(FlitType.BEST_EFFORT, connection_id=-(port + 1),
+                         created=sim.now, is_tail=True),
+                )
+        sim.schedule(max(1, round(burst_rng.expovariate(0.5))), lambda: burst(port))
+
+    for port in BURST_PORTS:
+        sim.schedule(1, lambda p=port: burst(p))
+
+    sim.run(cycles)
+    delays, jitters = [], []
+    for i in range(1, len(STREAMS) + 1):
+        stats = router.connection_stats.get(i)
+        if stats is None or stats.flits == 0:
+            continue
+        delays.append(stats.delay.mean)
+        jitters.append(stats.jitter.mean if stats.jitter.count else 0.0)
+    return {
+        "delay": sum(delays) / len(delays) if delays else float("inf"),
+        "jitter": sum(jitters) / len(jitters) if jitters else float("inf"),
+        "delay_max": max(delays) if delays else float("inf"),
+    }
+
+
+def test_connections_vs_best_effort(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {
+            "MMR connections": run_mode(True),
+            "best-effort only": run_mode(False),
+        },
+    )
+    rows = [
+        [name, data["delay"], data["delay_max"], data["jitter"]]
+        for name, data in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["service", "delay_cyc", "delay_max_cyc", "jitter_cyc"], rows
+        )
+    )
+    mmr = results["MMR connections"]
+    plain = results["best-effort only"]
+    # Connection-oriented service holds its jitter through the burst;
+    # best-effort-only service degrades by a large factor.
+    assert mmr["jitter"] < plain["jitter"] / 3
+    assert mmr["delay"] < plain["delay"]

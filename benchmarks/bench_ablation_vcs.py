@@ -1,0 +1,112 @@
+"""Ablation — virtual channel count and flit size (paper §3.2).
+
+"The variable parameters that can be adjusted include flit sizes, number
+of memory banks and the virtual channel depth."  Two sweeps:
+
+* VC count: connection capacity vs scheduling cost (mux/arbiter depth,
+  which §3.2 cites as the reason traditional multiplexed-queue VC
+  organisations stop scaling).
+* Flit size: amortising flow-control/scheduling against latency and
+  buffer storage (§3.1) — larger flits lengthen the flit cycle, so the
+  same microsecond delay costs fewer cycles, but each cycle is longer.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.config import RouterConfig
+from repro.core.costmodel import multiplexor_delay
+from repro.harness.figures import FULL_CYCLES, QUICK_CYCLES
+from repro.harness.report import format_table
+from repro.harness.single_router import ExperimentSpec, run_single_router_experiment
+
+LOAD = 0.7
+
+
+def _cycles():
+    return FULL_CYCLES if bench_full() else QUICK_CYCLES
+
+
+def run_vc_sweep():
+    results = {}
+    for vcs in (32, 64, 128, 256):
+        # Hold the round length constant (512 cycles) so bandwidth
+        # granularity does not confound the sweep.
+        config = RouterConfig(
+            vcs_per_port=vcs,
+            round_factor=512 // vcs,
+            enforce_round_budgets=False,
+        )
+        spec = ExperimentSpec(
+            target_load=LOAD, priority="biased", config=config, seed=1, **_cycles()
+        )
+        results[vcs] = run_single_router_experiment(spec)
+    return results
+
+
+def test_vc_count_sweep(benchmark):
+    results = run_once(benchmark, run_vc_sweep)
+    rows = []
+    for vcs, result in sorted(results.items()):
+        rows.append(
+            [
+                vcs,
+                result.connections,
+                result.mean_delay_us,
+                result.mean_jitter_cycles,
+                multiplexor_delay(vcs),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["VCs/port", "connections", "delay_us", "jitter_cyc", "mux_gate_delays"],
+            rows,
+        )
+    )
+    # More VCs admit at least as many concurrent connections...
+    counts = [row[1] for row in rows]
+    assert counts == sorted(counts)
+    # ...while the analytic multiplexor depth grows (the cost §3.2 dodges
+    # with the interleaved-RAM organisation).
+    depths = [row[4] for row in rows]
+    assert depths == sorted(depths)
+    assert depths[-1] > depths[0]
+
+
+def run_flit_size_sweep():
+    results = {}
+    for flit_bits in (64, 128, 256, 512):
+        config = RouterConfig(flit_size_bits=flit_bits, enforce_round_budgets=False)
+        spec = ExperimentSpec(
+            target_load=LOAD, priority="biased", config=config, seed=1, **_cycles()
+        )
+        results[flit_bits] = run_single_router_experiment(spec)
+    return results
+
+
+def test_flit_size_sweep(benchmark):
+    results = run_once(benchmark, run_flit_size_sweep)
+    rows = []
+    for flit_bits, result in sorted(results.items()):
+        config = result.spec.config
+        rows.append(
+            [
+                flit_bits,
+                config.flit_cycle_ns,
+                result.mean_delay_cycles,
+                result.mean_delay_us,
+                result.mean_jitter_cycles,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["flit_bits", "cycle_ns", "delay_cyc", "delay_us", "jitter_cyc"], rows
+        )
+    )
+    # The flit cycle stretches linearly with flit size (scheduling budget,
+    # §6: 128-bit flits on 1-2 Gbps links -> 64-128 ns switch settings).
+    assert rows[-1][1] == rows[0][1] * (rows[-1][0] / rows[0][0])
+    # Microsecond delay grows with flit size at fixed link rate: fewer,
+    # longer cycles (the §3.1 latency cost of large flits).
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,96 @@
+"""Extension study — end-to-end QoS across a multi-router cluster (§6).
+
+The paper evaluates one router and names network-level VBR/best-effort
+support as the project's next step.  This extension bench loads a
+12-switch irregular cluster with EPB-established CBR streams at rising
+link utilisation — with and without best-effort background chatter — and
+reports end-to-end delay/jitter, per-hop scaling, and acceptance ratios.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.harness.network_experiment import (
+    NetworkExperimentSpec,
+    run_network_experiment,
+)
+from repro.harness.report import format_table
+
+LINK_LOADS = (0.2, 0.4, 0.6)
+
+
+def run_load_sweep():
+    cycles = (
+        dict(warmup_cycles=8000, measure_cycles=40000)
+        if bench_full()
+        else dict(warmup_cycles=3000, measure_cycles=12000)
+    )
+    results = {}
+    for load in LINK_LOADS:
+        for be_rate in (0.0, 2.0):
+            spec = NetworkExperimentSpec(
+                target_link_load=load,
+                best_effort_rate=be_rate,
+                seed=2,
+                **cycles,
+            )
+            results[(load, be_rate)] = run_network_experiment(spec)
+    return results
+
+
+def test_multihop_qos(benchmark):
+    results = run_once(benchmark, run_load_sweep)
+    rows = []
+    for (load, be_rate), result in sorted(results.items()):
+        rows.append(
+            [
+                load,
+                be_rate,
+                result.streams,
+                result.acceptance_ratio,
+                result.mean_hops,
+                result.delay_cycles.mean,
+                result.delay_per_hop,
+                result.jitter_cycles.mean,
+                result.best_effort_delivered,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "link_load",
+                "be_rate",
+                "streams",
+                "accept",
+                "hops",
+                "delay_cyc",
+                "delay/hop",
+                "jitter",
+                "be_pkts",
+            ],
+            rows,
+        )
+    )
+    no_be = {load: results[(load, 0.0)] for load in LINK_LOADS}
+    # End-to-end delay grows with network load.
+    assert (
+        no_be[LINK_LOADS[-1]].delay_cycles.mean
+        >= no_be[LINK_LOADS[0]].delay_cycles.mean
+    )
+    # Per-hop delay stays within a small factor of the single-router
+    # result at comparable loads: hops compose roughly additively.
+    # (mean_hops counts routers, i.e. links + 1, so the uncontended
+    # per-hop figure sits just below 1 cycle.)
+    for load in LINK_LOADS:
+        assert 0.5 <= no_be[load].delay_per_hop < 10.0
+    # Best-effort chatter must not break the streams' QoS class: delay
+    # rises by at most a small factor (control/data priority dominates).
+    for load in LINK_LOADS:
+        with_be = results[(load, 2.0)]
+        assert with_be.delay_cycles.mean <= no_be[load].delay_cycles.mean * 3 + 2
+        assert with_be.best_effort_delivered > 0
+    # Acceptance degrades monotonically-ish with load.
+    assert (
+        results[(LINK_LOADS[-1], 0.0)].acceptance_ratio
+        <= results[(LINK_LOADS[0], 0.0)].acceptance_ratio + 0.01
+    )

@@ -1,0 +1,47 @@
+"""Figure 4 — delay vs offered load, fixed vs biased priorities.
+
+Regenerates both panels of the paper's Figure 4: mean switch delay in
+microseconds as a function of offered load, for 1/2 and 4/8 candidates
+under fixed and biased priorities.  The underlying simulation grid is
+shared with the Figure 3 benchmark through the harness result cache.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure4
+
+
+def test_fig4_delay_low_candidates(benchmark, loads, full):
+    """Figure 4, left panel: 1 and 2 candidates (clipped in the paper —
+    these delays blow up near saturation)."""
+    data = run_once(benchmark, figure4, loads=loads, candidates=(1, 2), full=full)
+    print()
+    print(data.table())
+    # 2 candidates dominate 1 candidate for the biased scheme.
+    for i in range(len(loads)):
+        assert data.series["2C biased"][i] <= data.series["1C biased"][i] * 1.1 + 0.1
+
+
+def test_fig4_delay_high_candidates(benchmark, loads, full):
+    """Figure 4, right panel: 4 and 8 candidates."""
+    data = run_once(benchmark, figure4, loads=loads, candidates=(4, 8), full=full)
+    print()
+    print(data.table())
+    moderate = [i for i, load in enumerate(loads) if load <= 0.9]
+    for i in moderate:
+        # Biased stays in the sub-2us band the paper reports (0.4-0.6us
+        # in the paper; our pipeline baseline is shorter, so delays start
+        # lower and stay bounded).
+        assert data.series["8C biased"][i] < 2.0, (
+            f"8C biased delay {data.series['8C biased'][i]:.2f}us "
+            f"at load {loads[i]}"
+        )
+        # Biased beats fixed on delay at matched settings (within noise
+        # at light loads where both sit at the pipeline minimum).
+        assert (
+            data.series["8C biased"][i]
+            <= data.series["8C fixed"][i] * 1.10 + 0.05
+        )
+    # Delay grows with offered load for every curve.
+    for name, series in data.series.items():
+        assert series[-1] >= series[0] * 0.8, f"{name} did not grow with load"

@@ -1,0 +1,36 @@
+"""Figure 5 — biased vs fixed vs DEC (Autonet) vs perfect switch.
+
+Regenerates both panels of the paper's Figure 5: delay (microseconds) and
+jitter (flit cycles) vs offered load for the four scheduling algorithms,
+all with 8-candidate link schedulers.  Asserts the headline orderings:
+the perfect switch lower-bounds everything, the biased scheme tracks it
+closely, and fixed/DEC trail.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import figure5
+
+
+def test_fig5_delay_and_jitter(benchmark, loads, full):
+    delay, jitter = run_once(benchmark, figure5, loads=loads, full=full)
+    print()
+    print(delay.table())
+    print()
+    print(jitter.table())
+
+    for i, load in enumerate(loads):
+        # Perfect switch is the lower bound on both metrics.
+        for name in ("biased", "fixed", "DEC"):
+            assert delay.series["perfect"][i] <= delay.series[name][i] + 1e-9
+            assert jitter.series["perfect"][i] <= jitter.series[name][i] + 1e-9
+        # Biased beats fixed on jitter everywhere.
+        assert jitter.series["biased"][i] <= jitter.series["fixed"][i] * 1.05
+
+    # At high load the biased scheme clearly separates from fixed/DEC on
+    # delay and stays within a small multiple of the perfect switch.
+    high = max(range(len(loads)), key=lambda i: loads[i])
+    if loads[high] >= 0.85:
+        assert delay.series["biased"][high] < delay.series["fixed"][high]
+        assert delay.series["biased"][high] < delay.series["DEC"][high]
+        assert delay.series["biased"][high] <= delay.series["perfect"][high] * 6

@@ -1,0 +1,146 @@
+"""Hybrid traffic — CBR + VBR + best-effort + control (paper §2, §3.4).
+
+"The MMR should handle this hybrid traffic efficiently, satisfying the
+QoS requirements of multimedia traffic, minimizing the average latency of
+best-effort traffic, and maximizing link utilization."
+
+One router carries all four classes at once.  The benchmark reports
+per-class delay/jitter and checks the priority ordering the architecture
+promises: control above data, data classes holding their contracts, and
+best-effort surviving on the reserved leftover bandwidth.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.core.router import Router
+from repro.core.switch_scheduler import GreedyPriorityScheduler
+from repro.core.virtual_channel import ServiceClass
+from repro.harness.report import format_table
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.best_effort import PacketSource
+from repro.traffic.cbr import CbrSource
+from repro.traffic.vbr import MpegProfile, VbrSource
+
+
+def run_hybrid():
+    config = RouterConfig(
+        enforce_round_budgets=True,
+        best_effort_reserved_fraction=0.05,
+    )
+    sim = Simulator()
+    rng = SeededRng(77, "hybrid")
+    router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+    classes = {"cbr": [], "vbr": [], "best_effort": [], "control": []}
+    connection_id = 0
+
+    # 16 CBR connections, two per input port, assorted rates.
+    for i in range(16):
+        connection_id += 1
+        rate = (20e6, 55e6, 5e6, 120e6)[i % 4]
+        vc_index = router.open_connection(
+            connection_id,
+            i % 8,
+            (i * 3 + 1) % 8,
+            BandwidthRequest(config.rate_to_cycles_per_round(rate)),
+            service_class=ServiceClass.CBR,
+            interarrival_cycles=config.rate_to_interarrival_cycles(rate),
+        )
+        assert vc_index is not None
+        source = CbrSource(
+            sim, router, connection_id, i % 8, vc_index, rate, config,
+            phase=rng.uniform(0, 100),
+        )
+        source.start()
+        classes["cbr"].append(connection_id)
+
+    # 8 VBR video streams.
+    profile = MpegProfile(mean_rate_bps=20e6, frame_rate_hz=1500.0, sigma=0.3)
+    request = BandwidthRequest(
+        config.rate_to_cycles_per_round(profile.mean_rate_bps),
+        config.rate_to_cycles_per_round(profile.peak_rate_bps()),
+    )
+    for i in range(8):
+        connection_id += 1
+        vc_index = router.open_connection(
+            connection_id, i, (i * 5 + 3) % 8, request,
+            service_class=ServiceClass.VBR,
+            interarrival_cycles=config.rate_to_interarrival_cycles(
+                profile.mean_rate_bps
+            ),
+            static_priority=rng.random(),
+        )
+        assert vc_index is not None
+        source = VbrSource(
+            sim, router, connection_id, i, vc_index, profile, config,
+            rng.spawn(f"vbr{i}"), phase=rng.uniform(0, 400),
+        )
+        source.start()
+        classes["vbr"].append(connection_id)
+
+    # Best-effort on every port (~10% load each) and one control source.
+    for port in range(8):
+        connection_id += 1
+        source = PacketSource(
+            sim, router, connection_id, port, mean_interarrival_cycles=10.0,
+            rng=rng.spawn(f"be{port}"), config=config,
+        )
+        source.start()
+        classes["best_effort"].append(connection_id)
+    connection_id += 1
+    control = PacketSource(
+        sim, router, connection_id, 3, mean_interarrival_cycles=500.0,
+        rng=rng.spawn("ctl"), config=config,
+        service_class=ServiceClass.CONTROL,
+    )
+    control.start()
+    classes["control"].append(connection_id)
+
+    sim.run(150_000 if bench_full() else 50_000)
+
+    report = {}
+    for name, ids in classes.items():
+        delays, jitters, flits = [], [], 0
+        for cid in ids:
+            stats = router.connection_stats.get(cid)
+            if stats is None or stats.flits == 0:
+                continue
+            flits += stats.flits
+            delays.append(stats.delay.mean)
+            if stats.jitter.count:
+                jitters.append(stats.jitter.mean)
+        report[name] = {
+            "flits": flits,
+            "delay": sum(delays) / len(delays) if delays else 0.0,
+            "jitter": sum(jitters) / len(jitters) if jitters else 0.0,
+        }
+    report["_utilisation"] = router.utilisation()
+    report["_cut_throughs"] = router.stats.get_counter("immediate_cut_throughs")
+    return report
+
+
+def test_hybrid_traffic_classes(benchmark):
+    report = run_once(benchmark, run_hybrid)
+    rows = [
+        [name, data["flits"], data["delay"], data["jitter"]]
+        for name, data in report.items()
+        if not name.startswith("_")
+    ]
+    print()
+    print(format_table(["class", "flits", "delay_cyc", "jitter_cyc"], rows))
+    print(f"utilisation: {report['_utilisation']:.3f}, "
+          f"control cut-throughs: {report['_cut_throughs']:.0f}")
+    # Control rides above everything: near-minimal delay.
+    assert report["control"]["delay"] < 2.0
+    # CBR contracts hold: small bounded delay despite the VBR bursts and
+    # best-effort pressure.
+    assert report["cbr"]["delay"] < 50.0
+    # Best-effort is served (no starvation) but worse than CBR.
+    assert report["best_effort"]["flits"] > 0
+    assert report["best_effort"]["delay"] > report["control"]["delay"]
+    # Every class actually moved traffic.
+    for name in ("cbr", "vbr", "best_effort", "control"):
+        assert report[name]["flits"] > 0, f"{name} starved"

@@ -1,0 +1,181 @@
+"""Network-level PCS establishment — EPB vs greedy single-path (§3.5, §4.2).
+
+Exhaustive profitable backtracking searches *all* minimal paths before
+giving up; a greedy probe that never backtracks (the simplest alternative)
+fails as soon as its first choice is blocked.  This benchmark loads an
+irregular cluster network with connection requests until capacity is
+scarce and compares acceptance ratios and search costs, then measures
+data-plane QoS over the established connections.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.harness.report import format_table
+from repro.network.connection import ConnectionManager
+from repro.network.interface import NetworkInterface
+from repro.network.network import Network
+from repro.network.topology import irregular
+from repro.routing.epb import profitable_ports
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+NUM_NODES = 12
+REQUESTS = 250
+
+
+def greedy_search(topology, source, destination, admissible):
+    """A non-backtracking probe: always takes the first admissible
+    profitable link; fails at the first dead end."""
+    node = source
+    visited = {source}
+    searched = 0
+    while node != destination:
+        advanced = False
+        for port, neighbor in profitable_ports(topology, node, destination):
+            searched += 1
+            if neighbor in visited:
+                continue
+            if admissible(node, port, neighbor):
+                node = neighbor
+                visited.add(neighbor)
+                advanced = True
+                break
+        if not advanced:
+            return False, searched
+    return True, searched
+
+
+def run_comparison():
+    """Paired per-request comparison on one evolving network.
+
+    For each request the greedy probe's feasibility is evaluated first
+    (read-only), then EPB actually establishes.  Since any greedy-feasible
+    path lies inside EPB's search space, EPB dominates per request; the
+    interesting quantities are how many requests only EPB could place
+    (its backtracking wins) and the extra links it searches to do so.
+    """
+    rng = SeededRng(9, "epb-bench")
+    topology = irregular(NUM_NODES, rng.spawn("topo"), mean_degree=3.0)
+    config = RouterConfig(
+        num_ports=topology.num_ports,
+        vcs_per_port=64,
+        round_factor=8,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(topology, config, BiasedPriority(), sim, rng.spawn("net"))
+    manager = ConnectionManager(network)
+    demand_rng = rng.spawn("demand")
+    epb_accepted = 0
+    greedy_feasible = 0
+    epb_only_wins = 0
+    greedy_only_wins = 0
+    greedy_searched = 0
+    attempts = 0
+    for _ in range(REQUESTS):
+        src = demand_rng.randint(0, NUM_NODES - 1)
+        dst = demand_rng.randint(0, NUM_NODES - 1)
+        if src == dst:
+            continue
+        attempts += 1
+        rate = demand_rng.choice((55e6, 120e6, 240e6))
+        request = BandwidthRequest(config.rate_to_cycles_per_round(rate))
+        if manager.feasible_endpoints(src, dst, request):
+            greedy_ok, cost = greedy_search(
+                topology, src, dst, manager._admissible(request)
+            )
+            greedy_searched += cost
+        else:
+            greedy_ok, cost = False, 0
+        connection = manager.establish(src, dst, request)
+        epb_ok = connection is not None
+        epb_accepted += epb_ok
+        greedy_feasible += greedy_ok
+        epb_only_wins += epb_ok and not greedy_ok
+        greedy_only_wins += greedy_ok and not epb_ok
+    stats = manager.stats
+    return {
+        "attempts": attempts,
+        "epb_accepted": epb_accepted,
+        "greedy_feasible": greedy_feasible,
+        "epb_only_wins": epb_only_wins,
+        "greedy_only_wins": greedy_only_wins,
+        "epb_links_searched": stats.links_searched,
+        "greedy_links_searched": greedy_searched,
+        "epb_backtracks": stats.backtracks,
+    }
+
+
+def test_epb_vs_greedy_establishment(benchmark):
+    results = run_once(benchmark, run_comparison)
+    print()
+    print(format_table(["metric", "value"], sorted(results.items())))
+    # Greedy-feasible implies EPB success (greedy's path is in EPB's
+    # search space), so greedy can never beat EPB on a request.
+    assert results["greedy_only_wins"] == 0
+    # Backtracking places requests the greedy probe dead-ends on.
+    assert results["epb_only_wins"] > 0
+    assert results["epb_backtracks"] > 0
+    assert results["epb_accepted"] >= results["greedy_feasible"]
+
+
+def run_loaded_network_qos():
+    """QoS of EPB-established connections under shared-link contention."""
+    rng = SeededRng(10, "netqos")
+    topology = irregular(NUM_NODES, rng.spawn("topo"), mean_degree=3.0)
+    config = RouterConfig(
+        num_ports=topology.num_ports,
+        vcs_per_port=64,
+        round_factor=8,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(topology, config, BiasedPriority(), sim, rng.spawn("net"))
+    manager = ConnectionManager(network)
+    interfaces = [
+        NetworkInterface(network, manager, n, rng=rng.spawn(f"ni{n}"))
+        for n in range(NUM_NODES)
+    ]
+    demand_rng = rng.spawn("demand")
+    streams = []
+    for _ in range(60):
+        src = demand_rng.randint(0, NUM_NODES - 1)
+        dst = demand_rng.randint(0, NUM_NODES - 1)
+        if src == dst:
+            continue
+        stream = interfaces[src].open_cbr(
+            dst, demand_rng.choice((5e6, 20e6, 55e6)),
+        )
+        if stream is not None:
+            streams.append((dst, stream))
+    sim.run(60_000 if bench_full() else 30_000)
+    delays, jitters, flits = [], [], 0
+    for dst, stream in streams:
+        stats = interfaces[dst].end_to_end.get(stream.connection.connection_id)
+        if stats is None or stats.flits == 0:
+            continue
+        flits += stats.flits
+        delays.append(stats.delay.mean)
+        if stats.jitter.count:
+            jitters.append(stats.jitter.mean)
+    return {
+        "streams": len(streams),
+        "flits": flits,
+        "mean_delay": sum(delays) / len(delays) if delays else 0.0,
+        "mean_jitter": sum(jitters) / len(jitters) if jitters else 0.0,
+        "mean_hops": sum(s.connection.hops for _, s in streams) / len(streams),
+    }
+
+
+def test_loaded_network_qos(benchmark):
+    report = run_once(benchmark, run_loaded_network_qos)
+    print()
+    print(format_table(["metric", "value"], sorted(report.items())))
+    assert report["streams"] >= 30
+    assert report["flits"] > 1000
+    # Multi-hop CBR under light-to-moderate load keeps single-digit-cycle
+    # per-hop delays.
+    assert report["mean_delay"] < 10 * report["mean_hops"]

@@ -1,0 +1,76 @@
+"""Saturation loads per scheduler variant (§5.2 "not before 95%").
+
+Bisects the offered-load axis for each variant and tabulates where
+delivered throughput stops tracking offered load.  Also cross-checks the
+C=1 result against head-of-line-blocking theory (Karol et al.): with a
+single candidate per input the MMR degenerates into a FIFO input-queued
+switch.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.harness.figures import FULL_CYCLES, QUICK_CYCLES
+from repro.harness.report import format_table
+from repro.harness.saturation import find_saturation_load
+from repro.harness.single_router import ExperimentSpec
+from repro.qos.queueing import saturation_load_hol_blocking
+
+VARIANTS = (
+    ("biased", 8),
+    ("fixed", 8),
+    ("biased", 4),
+    ("biased", 2),
+    ("biased", 1),
+)
+
+
+def run_saturation_table():
+    cycles = FULL_CYCLES if bench_full() else QUICK_CYCLES
+    rows = {}
+    for priority, candidates in VARIANTS:
+        base = ExperimentSpec(
+            target_load=0.5,
+            priority=priority,
+            candidates=candidates,
+            seed=1,
+            **cycles,
+        )
+        estimate = find_saturation_load(base, low=0.5, high=0.97, tolerance=0.04)
+        rows[(priority, candidates)] = estimate
+    return rows
+
+
+def test_saturation_loads(benchmark):
+    estimates = run_once(benchmark, run_saturation_table)
+    rows = []
+    for (priority, candidates), estimate in estimates.items():
+        rows.append(
+            [
+                priority,
+                candidates,
+                estimate.stable_load,
+                estimate.saturated_load,
+                estimate.estimate,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["priority", "C", "stable_to", "saturated_at", "estimate"], rows
+        )
+    )
+    by_variant = {(p, c): e for (p, c), e in estimates.items()}
+    # §5.2: with 8 candidates and biasing, no saturation before ~95%.
+    assert by_variant[("biased", 8)].stable_load >= 0.90
+    # Candidate count orders the saturation points.
+    assert (
+        by_variant[("biased", 1)].estimate
+        <= by_variant[("biased", 2)].estimate + 0.02
+    )
+    assert (
+        by_variant[("biased", 2)].estimate
+        <= by_variant[("biased", 8)].estimate + 0.02
+    )
+    # C=1 lands near HOL-blocking theory for an 8x8 switch (~0.62).
+    theory = saturation_load_hol_blocking(8)
+    assert abs(by_variant[("biased", 1)].estimate - theory) < 0.15

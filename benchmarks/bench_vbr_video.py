@@ -1,0 +1,129 @@
+"""Extension — MPEG video traffic through the MMR (§2, §4; follow-up work).
+
+The MMR project's follow-up evaluation ("Performance Evaluation of the
+Multimedia Router with MPEG-2 Video Traffic", cited in the paper's
+related-work list) drives the router with MPEG-2 streams.  Lacking those
+traces, this bench synthesises statistically-matched frame traces
+(DESIGN.md substitution), plays them through the router via trace-driven
+VBR sources, and sweeps the number of concurrent streams: delay and the
+frame-level deadline miss rate as utilisation climbs, with the VBR
+admission registers deciding how many streams fit.
+"""
+
+from conftest import bench_full, run_once
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.core.router import Router
+from repro.core.switch_scheduler import GreedyPriorityScheduler
+from repro.core.virtual_channel import ServiceClass
+from repro.harness.report import format_table
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.traces import FrameTrace, TraceVbrSource
+from repro.traffic.vbr import MpegProfile
+
+#: 20 Mbps MPEG-2-class video, high frame rate so frames fit the window.
+PROFILE = MpegProfile(mean_rate_bps=20e6, frame_rate_hz=1500.0, sigma=0.3)
+STREAM_COUNTS = (16, 64, 128, 192)
+
+
+def run_stream_count(num_streams, cycles):
+    config = RouterConfig(
+        enforce_round_budgets=True, vbr_concurrency_factor=2.0
+    )
+    sim = Simulator()
+    rng = SeededRng(21, "video")
+    router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+    permanent = config.rate_to_cycles_per_round(PROFILE.mean_rate_bps)
+    peak = config.rate_to_cycles_per_round(PROFILE.peak_rate_bps())
+    request = BandwidthRequest(permanent, peak)
+    admitted = []
+    for i in range(num_streams):
+        connection_id = i + 1
+        vc_index = router.open_connection(
+            connection_id,
+            i % 8,
+            (i * 3 + 1) % 8,
+            request,
+            service_class=ServiceClass.VBR,
+            interarrival_cycles=config.rate_to_interarrival_cycles(
+                PROFILE.mean_rate_bps
+            ),
+            static_priority=rng.random(),
+        )
+        if vc_index is None:
+            continue
+        trace = FrameTrace.synthesise(PROFILE, 64, rng.spawn(f"trace{i}"))
+        source = TraceVbrSource(
+            sim, router, connection_id, i % 8, vc_index, trace, config,
+            phase=rng.uniform(0, 400),
+        )
+        source.start()
+        admitted.append((connection_id, source))
+    sim.run(cycles)
+    frame_period = 1.0 / PROFILE.frame_rate_hz / config.flit_cycle_seconds
+    delays, jitters, misses, frames = [], [], 0, 0
+    for connection_id, source in admitted:
+        stats = router.connection_stats[connection_id]
+        if stats.flits == 0:
+            continue
+        delays.append(stats.delay.mean)
+        if stats.jitter.count:
+            jitters.append(stats.jitter.mean)
+        # A frame misses its deadline when its flits average more than a
+        # frame period of delay (they arrive after the next frame starts).
+        frames += source.frames_played
+        if stats.delay.mean > frame_period:
+            misses += source.frames_played
+    return {
+        "offered": num_streams,
+        "admitted": len(admitted),
+        "delay": sum(delays) / len(delays) if delays else 0.0,
+        "jitter": sum(jitters) / len(jitters) if jitters else 0.0,
+        "deadline_miss_fraction": misses / frames if frames else 0.0,
+        "utilisation": router.utilisation(),
+    }
+
+
+def run_sweep():
+    cycles = 90_000 if bench_full() else 40_000
+    return [run_stream_count(n, cycles) for n in STREAM_COUNTS]
+
+
+def test_mpeg_video_scaling(benchmark):
+    rows_data = run_once(benchmark, run_sweep)
+    rows = [
+        [
+            r["offered"],
+            r["admitted"],
+            r["utilisation"],
+            r["delay"],
+            r["jitter"],
+            r["deadline_miss_fraction"],
+        ]
+        for r in rows_data
+    ]
+    print()
+    print(
+        format_table(
+            ["offered", "admitted", "util", "delay_cyc", "jitter_cyc", "miss_frac"],
+            rows,
+        )
+    )
+    by_offered = {r["offered"]: r for r in rows_data}
+    # Admission control caps concurrency: not every offered stream fits
+    # once the peak registers fill (192 x ~45 peak cycles/round per link
+    # side exceeds the concurrency budget).
+    assert by_offered[192]["admitted"] < 192
+    # All admitted streams are actually served.
+    for r in rows_data:
+        assert r["utilisation"] > 0
+        assert r["delay"] > 0
+    # Delay grows with concurrency.
+    assert by_offered[128]["delay"] >= by_offered[16]["delay"] * 0.8
+    # Within admission-controlled operation the deadline-miss fraction
+    # stays moderate: the registers refuse what cannot be served.
+    for r in rows_data:
+        assert r["deadline_miss_fraction"] <= 0.5

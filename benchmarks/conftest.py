@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures (or an ablation) and
+prints the series the figure plots.  Simulation runs are deterministic and
+expensive, so timing uses a single round (``benchmark.pedantic``) and the
+figure-level result cache in :mod:`repro.harness.figures` is shared across
+benchmark files within the pytest session — figures 3 and 4 are two views
+of one grid and are only simulated once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` — paper-scale windows (20k warm-up + 100k
+  measured cycles) instead of the quick profile.
+* ``REPRO_BENCH_LOADS=0.3,0.8,...`` — override the offered-load axis.
+"""
+
+import os
+
+import pytest
+
+#: Offered-load axis used by the figure benchmarks (overridable).
+DEFAULT_LOADS = (0.3, 0.6, 0.8, 0.9)
+
+
+def bench_loads():
+    """The load axis for this benchmark session."""
+    raw = os.environ.get("REPRO_BENCH_LOADS")
+    if raw:
+        return tuple(float(x) for x in raw.split(","))
+    return DEFAULT_LOADS
+
+
+def bench_full():
+    """True when paper-scale cycle counts were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+@pytest.fixture
+def loads():
+    return bench_loads()
+
+
+@pytest.fixture
+def full():
+    return bench_full()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one deterministic run of ``fn`` (no repetition)."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

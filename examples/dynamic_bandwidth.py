@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Dynamic bandwidth and priority management over a live connection (§4.3).
+
+"Using control words along a connection we can dynamically vary the
+bandwidth requirements of a connection ... The complex bandwidth control
+functions can be implemented in the network interfaces or source CPUs."
+
+This example opens a video connection across a small mesh at 10 Mbps,
+then — without tearing it down — renegotiates it up to 40 Mbps (a user
+switched to a higher quality tier), shows a renegotiation being *refused*
+when a competing connection holds the capacity, and finally demotes the
+connection's scheduling priority.
+
+Run:  python examples/dynamic_bandwidth.py
+"""
+
+from repro import (
+    BiasedPriority,
+    ConnectionManager,
+    Network,
+    NetworkInterface,
+    RouterConfig,
+    SeededRng,
+    Simulator,
+    mesh,
+)
+
+rng = SeededRng(7, "dynamic")
+topology = mesh(2, 2)
+config = RouterConfig(
+    num_ports=topology.num_ports,
+    vcs_per_port=64,
+    round_factor=8,
+    enforce_round_budgets=False,
+)
+sim = Simulator()
+network = Network(topology, config, BiasedPriority(), sim, rng.spawn("net"))
+manager = ConnectionManager(network)
+interfaces = [
+    NetworkInterface(network, manager, n, rng=rng.spawn(f"ni{n}"))
+    for n in range(4)
+]
+
+
+def measured_rate(stream, window):
+    """Delivered Mbps over the last ``window`` cycles."""
+    stats = interfaces[3].end_to_end.get(stream.connection.connection_id)
+    before = stats.flits if stats else 0
+    sim.run(window)
+    stats = interfaces[3].end_to_end[stream.connection.connection_id]
+    flits = stats.flits - before
+    seconds = window * config.flit_cycle_seconds
+    return flits * config.flit_size_bits / seconds / 1e6
+
+
+print("phase 1: open a 10 Mbps stream 0 -> 3")
+stream = interfaces[0].open_cbr(3, 10e6)
+assert stream is not None
+print(f"  path {stream.connection.path}, allocation "
+      f"{stream.connection.request.permanent_cycles} cycles/round")
+print(f"  delivered: {measured_rate(stream, 60_000):.1f} Mbps")
+
+print()
+print("phase 2: control word SET_BANDWIDTH -> 40 Mbps")
+ok = interfaces[0].renegotiate_bandwidth(stream, 40e6)
+print(f"  renegotiation {'accepted' if ok else 'REFUSED'}; allocation now "
+      f"{stream.connection.request.permanent_cycles} cycles/round")
+print(f"  delivered: {measured_rate(stream, 60_000):.1f} Mbps")
+
+print()
+print("phase 3: a competitor fills the remaining capacity on the path")
+hop = stream.connection.path[0]
+out_port = stream.connection.ports[0]
+free_cycles = (
+    network.routers[hop].admission.outputs[out_port].allocatable_cycles
+    - network.routers[hop].admission.outputs[out_port].allocated_cycles
+)
+competitor_rate = free_cycles / config.round_length * config.link_rate_bps * 0.98
+competitor = interfaces[0].open_cbr(3, competitor_rate)
+print(f"  competitor admitted at {competitor_rate / 1e6:.0f} Mbps"
+      if competitor else "  competitor refused")
+
+wanted = 200e6
+ok = interfaces[0].renegotiate_bandwidth(stream, wanted)
+print(f"  SET_BANDWIDTH -> {wanted / 1e6:.0f} Mbps: "
+      f"{'accepted' if ok else 'REFUSED (capacity held by competitor)'}")
+print(f"  stream still delivers: {measured_rate(stream, 60_000):.1f} Mbps "
+      "(old contract intact)")
+
+print()
+print("phase 4: control word SET_PRIORITY (demote to background quality)")
+interfaces[0].set_priority(stream, -1.0)
+vc = network.routers[stream.connection.path[0]].input_ports[
+    stream.connection.entry_ports[0]
+].vcs[stream.connection.vcs[0]]
+print(f"  per-hop VC priority now {vc.static_priority}")
+
+print()
+print(f"total renegotiations applied by routers: "
+      f"{sum(r.stats.get_counter('renegotiations') for r in network.routers):.0f}")

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Connection-establishment latency under load (§3.5, §4.2).
+
+Uses the cycle-accurate probe protocol: routing probes travel hop by hop,
+reserving resources; backtrack tokens retrace and release on dead ends;
+acks install the connection on the way back.  As the network fills up,
+probes search more links and backtrack more, so establishment latency
+climbs and the acceptance ratio falls — the PCS cost model the MMR trades
+against its jitter guarantees.
+
+Run:  python examples/probe_latency.py
+"""
+
+from repro import (
+    BandwidthRequest,
+    BiasedPriority,
+    Network,
+    ProbeProtocol,
+    RouterConfig,
+    SeededRng,
+    Simulator,
+    irregular,
+)
+from repro.harness.report import format_table
+from repro.sim.stats import RunningStats
+
+rng = SeededRng(99, "probe-latency")
+topology = irregular(16, rng.spawn("topo"), mean_degree=3.0)
+config = RouterConfig(
+    num_ports=topology.num_ports,
+    vcs_per_port=64,
+    round_factor=8,
+    enforce_round_budgets=False,
+)
+sim = Simulator()
+network = Network(topology, config, BiasedPriority(), sim, rng.spawn("net"))
+protocol = ProbeProtocol(network)
+
+print(f"{topology.num_nodes}-switch irregular network, "
+      f"{len(topology.edges())} links")
+print()
+
+demand_rng = rng.spawn("demand")
+BATCHES = 8
+PER_BATCH = 30
+rows = []
+completed = []
+
+
+def on_complete(session, ok):
+    completed.append((session, ok))
+
+
+for batch in range(BATCHES):
+    completed.clear()
+    launched = 0
+    while launched < PER_BATCH:
+        src = demand_rng.randint(0, topology.num_nodes - 1)
+        dst = demand_rng.randint(0, topology.num_nodes - 1)
+        if src == dst:
+            continue
+        rate = demand_rng.choice((20e6, 55e6, 120e6))
+        protocol.establish(
+            src, dst,
+            BandwidthRequest(config.rate_to_cycles_per_round(rate)),
+            on_complete,
+        )
+        launched += 1
+    sim.run(5000)  # let every probe in the batch finish
+
+    setup = RunningStats()
+    searched = RunningStats()
+    backtracks = RunningStats()
+    accepted = 0
+    for session, ok in completed:
+        accepted += ok
+        setup.add(session.setup_cycles)
+        searched.add(session.links_searched)
+        backtracks.add(session.backtracks)
+    occupancy = sum(
+        allocator.utilisation
+        for router in network.routers
+        for allocator in router.admission.outputs[: topology.degree(0)]
+    )
+    mean_util = sum(
+        router.admission.outputs[p].utilisation
+        for router in network.routers
+        for p in range(topology.num_ports)
+    ) / (topology.num_nodes * topology.num_ports)
+    rows.append(
+        [
+            batch + 1,
+            f"{mean_util:.2f}",
+            f"{accepted}/{len(completed)}",
+            setup.mean,
+            setup.maximum,
+            searched.mean,
+            backtracks.mean,
+        ]
+    )
+
+print(
+    format_table(
+        [
+            "batch",
+            "mean_link_util",
+            "accepted",
+            "setup_cycles(mean)",
+            "setup_cycles(max)",
+            "links_searched",
+            "backtracks",
+        ],
+        rows,
+        precision=1,
+    )
+)
+print()
+print("As links fill, probes backtrack more and establishment slows —")
+print("the cost side of pipelined circuit switching's jitter guarantees.")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: one MMR router, a handful of CBR connections.
+
+Builds the paper's 8x8 router (256 virtual channels per port, 1.24 Gbps
+links, 128-bit flits), opens a few constant-bit-rate connections through
+it, runs the cycle-level simulation, and prints the delay and jitter each
+connection experienced at the switch.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BandwidthRequest,
+    BiasedPriority,
+    GreedyPriorityScheduler,
+    Router,
+    RouterConfig,
+    ServiceClass,
+    Simulator,
+)
+from repro.traffic import CbrSource, rate_name
+
+# The paper's evaluation configuration; round budgets off as in §5.1.
+config = RouterConfig(enforce_round_budgets=False)
+sim = Simulator()
+router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+
+print(f"MMR router: {config.num_ports}x{config.num_ports}, "
+      f"{config.vcs_per_port} VCs/port, "
+      f"flit cycle {config.flit_cycle_ns:.0f} ns")
+print()
+
+# (input port, output port, rate) — two connections share output link 2,
+# so their flits will occasionally contend for the switch.
+demands = [
+    (0, 2, 120e6),
+    (1, 2, 55e6),
+    (3, 5, 20e6),
+    (4, 7, 1.54e6),
+]
+
+sources = []
+for connection_id, (input_port, output_port, rate) in enumerate(demands, start=1):
+    request = BandwidthRequest(config.rate_to_cycles_per_round(rate))
+    interarrival = config.rate_to_interarrival_cycles(rate)
+    vc_index = router.open_connection(
+        connection_id,
+        input_port,
+        output_port,
+        request,
+        service_class=ServiceClass.CBR,
+        interarrival_cycles=interarrival,
+    )
+    if vc_index is None:
+        raise SystemExit(f"admission refused connection {connection_id}")
+    source = CbrSource(
+        sim, router, connection_id, input_port, vc_index, rate, config,
+        phase=connection_id * 3.0,
+    )
+    source.start()
+    sources.append((connection_id, rate, source))
+    print(f"connection {connection_id}: port {input_port} -> {output_port}, "
+          f"{rate_name(rate)}, one flit every {interarrival:,.0f} cycles")
+
+print()
+CYCLES = 200_000
+sim.run(CYCLES)
+
+print(f"after {CYCLES:,} flit cycles "
+      f"({config.cycles_to_us(CYCLES) / 1000:.1f} ms simulated):")
+print()
+header = f"{'connection':>10}  {'rate':>10}  {'flits':>7}  {'delay (cyc)':>11}  {'delay (us)':>10}  {'jitter (cyc)':>12}"
+print(header)
+print("-" * len(header))
+for connection_id, rate, source in sources:
+    stats = router.connection_stats[connection_id]
+    print(
+        f"{connection_id:>10}  {rate_name(rate):>10}  {stats.flits:>7}  "
+        f"{stats.delay.mean:>11.2f}  "
+        f"{config.cycles_to_us(stats.delay.mean):>10.3f}  "
+        f"{stats.jitter.mean:>12.3f}"
+    )
+
+print()
+print(f"switch utilisation: {router.utilisation():.1%} "
+      f"(offered: {router.admission.offered_load():.1%})")

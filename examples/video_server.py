@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Video-on-demand server scenario: hybrid multimedia traffic (paper §2).
+
+One MMR router fronts a video server cluster.  Through it flow:
+
+* MPEG-like VBR video streams (the bulk of the bandwidth) — admitted with
+  permanent + peak registers and a concurrency factor,
+* CBR audio channels — admitted against the round budget,
+* best-effort NFS-like request/response packets — no reservation, served
+  from leftover bandwidth, and
+* short control packets riding above everything.
+
+The example shows admission control refusing streams once the peak budget
+is exhausted, and per-class QoS after a multi-millisecond run: video and
+audio keep their contracts while best-effort sees whatever remains.
+
+Run:  python examples/video_server.py
+"""
+
+from repro import (
+    BandwidthRequest,
+    BiasedPriority,
+    GreedyPriorityScheduler,
+    Router,
+    RouterConfig,
+    ServiceClass,
+    SeededRng,
+    Simulator,
+)
+from repro.traffic import CbrSource, MpegProfile, PacketSource, VbrSource
+
+# Full QoS machinery on: round budgets enforced, 10% of each round held
+# back so best-effort traffic cannot starve (§4.2).
+config = RouterConfig(
+    enforce_round_budgets=True,
+    best_effort_reserved_fraction=0.10,
+    vbr_concurrency_factor=1.5,
+)
+sim = Simulator()
+rng = SeededRng(42, "video-server")
+router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+
+print("video server front-end:", config.num_ports, "ports,",
+      f"round = {config.round_length} flit cycles,",
+      f"VBR concurrency factor = {config.vbr_concurrency_factor}")
+print()
+
+# ---- admit video streams until the peak registers refuse -----------------
+video_profile = MpegProfile(mean_rate_bps=20e6, frame_rate_hz=1500.0, sigma=0.3)
+peak_rate = video_profile.peak_rate_bps()
+video_request = BandwidthRequest(
+    config.rate_to_cycles_per_round(video_profile.mean_rate_bps),
+    config.rate_to_cycles_per_round(peak_rate),
+)
+
+videos = []
+connection_id = 0
+refused = 0
+for attempt in range(200):
+    connection_id += 1
+    input_port = attempt % (config.num_ports - 1)
+    output_port = (attempt * 3 + 1) % config.num_ports
+    vc_index = router.open_connection(
+        connection_id,
+        input_port,
+        output_port,
+        video_request,
+        service_class=ServiceClass.VBR,
+        interarrival_cycles=config.rate_to_interarrival_cycles(
+            video_profile.mean_rate_bps
+        ),
+        static_priority=rng.random(),
+    )
+    if vc_index is None:
+        refused += 1
+        continue
+    source = VbrSource(
+        sim, router, connection_id, input_port, vc_index,
+        video_profile, config, rng.spawn(f"video{connection_id}"),
+        phase=rng.uniform(0, 500),
+    )
+    source.abort_backlog_frames = 4.0  # §4.3 frame-abort policy
+    source.start()
+    videos.append((connection_id, source))
+
+print(f"admitted {len(videos)} x 20 Mbps MPEG streams "
+      f"(peak estimate {peak_rate / 1e6:.0f} Mbps each); "
+      f"{refused} refused by the VBR peak registers")
+
+# ---- CBR audio channels ---------------------------------------------------
+audios = []
+for i in range(24):
+    connection_id += 1
+    input_port = i % config.num_ports
+    output_port = (i * 5 + 2) % config.num_ports
+    rate = 128e3
+    request = BandwidthRequest(config.rate_to_cycles_per_round(rate))
+    vc_index = router.open_connection(
+        connection_id, input_port, output_port, request,
+        service_class=ServiceClass.CBR,
+        interarrival_cycles=config.rate_to_interarrival_cycles(rate),
+    )
+    if vc_index is None:
+        continue
+    source = CbrSource(
+        sim, router, connection_id, input_port, vc_index, rate, config,
+        phase=rng.uniform(0, 1000),
+    )
+    source.start()
+    audios.append((connection_id, source))
+print(f"admitted {len(audios)} x 128 Kbps CBR audio channels")
+
+# ---- best-effort and control packets ----------------------------------------
+best_effort_sources = []
+for port in range(config.num_ports):
+    connection_id += 1
+    source = PacketSource(
+        sim, router, connection_id, port,
+        mean_interarrival_cycles=40.0,
+        rng=rng.spawn(f"be{port}"),
+        config=config,
+    )
+    source.start()
+    best_effort_sources.append((connection_id, source))
+
+connection_id += 1
+control = PacketSource(
+    sim, router, connection_id, 0,
+    mean_interarrival_cycles=2000.0,
+    rng=rng.spawn("control"),
+    config=config,
+    service_class=ServiceClass.CONTROL,
+)
+control.start()
+control_id = connection_id
+print(f"{len(best_effort_sources)} best-effort sources "
+      "(Poisson, ~3% load each) + 1 control source")
+print()
+
+CYCLES = 150_000
+sim.run(CYCLES)
+print(f"ran {CYCLES:,} flit cycles ({config.cycles_to_us(CYCLES) / 1000:.1f} ms)")
+print()
+
+
+def class_report(name, ids):
+    delays, jitters, flits = [], [], 0
+    for cid in ids:
+        stats = router.connection_stats.get(cid)
+        if stats is None or stats.flits == 0:
+            continue
+        flits += stats.flits
+        delays.append(stats.delay.mean)
+        jitters.append(stats.jitter.mean if stats.jitter.count else 0.0)
+    mean_delay = sum(delays) / len(delays) if delays else 0.0
+    mean_jitter = sum(jitters) / len(jitters) if jitters else 0.0
+    print(f"{name:>12}: {flits:>8} flits, mean delay "
+          f"{config.cycles_to_us(mean_delay):7.3f} us, mean jitter "
+          f"{mean_jitter:7.3f} cycles")
+
+
+class_report("video (VBR)", [cid for cid, _ in videos])
+class_report("audio (CBR)", [cid for cid, _ in audios])
+class_report("best-effort", [cid for cid, _ in best_effort_sources])
+class_report("control", [control_id])
+
+aborted = sum(source.frames_aborted for _, source in videos)
+generated = sum(source.frames_generated for _, source in videos)
+print()
+print(f"video frames: {generated} generated, {aborted} aborted at the "
+      "interface (back-pressure deadline policy)")
+print(f"switch utilisation: {router.utilisation():.1%}; "
+      f"reserved-for-best-effort fraction: "
+      f"{config.best_effort_reserved_fraction:.0%}")
+print(f"control cut-throughs: "
+      f"{router.stats.get_counter('immediate_cut_throughs'):.0f}")

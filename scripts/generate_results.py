@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the reproduction's result artifacts into ``results/``.
+
+Writes, for every figure in the paper's evaluation:
+
+* ``results/figure{3,4,5a,5b}.json`` — the series, machine-readable;
+* ``results/figure{3,4,5a,5b}.csv`` — the same as CSV;
+* ``results/summary.txt`` — all tables as text.
+
+Quick profile by default; ``--full`` uses paper-scale windows (slow).
+
+Run:  python scripts/generate_results.py [--full] [--out results/]
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.harness.export import write_figure_csv, write_figure_json
+from repro.harness.figures import figure3, figure4, figure5
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--loads", default="0.3,0.6,0.8,0.9",
+        help="comma-separated offered loads",
+    )
+    args = parser.parse_args()
+    loads = tuple(float(x) for x in args.loads.split(","))
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("running figure 3/4 grid...", flush=True)
+    fig3 = figure3(loads=loads, full=args.full)
+    fig4 = figure4(loads=loads, full=args.full)
+    print("running figure 5 grid...", flush=True)
+    fig5a, fig5b = figure5(loads=loads, full=args.full)
+
+    figures = {
+        "figure3": fig3,
+        "figure4": fig4,
+        "figure5a": fig5a,
+        "figure5b": fig5b,
+    }
+    summary_lines = []
+    for name, figure in figures.items():
+        with open(out / f"{name}.json", "w") as stream:
+            write_figure_json(figure, stream)
+        with open(out / f"{name}.csv", "w") as stream:
+            write_figure_csv(figure, stream)
+        summary_lines.append(figure.table())
+        summary_lines.append("")
+        print(f"wrote {out / name}.{{json,csv}}")
+    (out / "summary.txt").write_text("\n".join(summary_lines))
+    print(f"wrote {out / 'summary.txt'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

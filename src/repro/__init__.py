@@ -1,0 +1,136 @@
+"""repro — a reproduction of the MultiMedia Router (MMR), HPCA 1999.
+
+A cycle-level model of Duato, Yalamanchili, Caminero, Love and Quiles'
+single-chip multimedia router: virtual channel memories, a multiplexed
+crossbar, link/switch scheduling with dynamic priority biasing, CBR/VBR
+bandwidth allocation, credit flow control, pipelined-circuit-switched
+connection establishment with exhaustive profitable backtracking, and the
+hybrid best-effort/control VCT path — plus the multi-router network,
+traffic generators, QoS metrics and the harness that regenerates the
+paper's evaluation figures.
+
+Quick start::
+
+    from repro import ExperimentSpec, run_single_router_experiment
+
+    spec = ExperimentSpec(target_load=0.8, priority="biased", candidates=8)
+    result = run_single_router_experiment(spec)
+    print(result.mean_delay_us, result.mean_jitter_cycles)
+"""
+
+from .core import (
+    AdmissionController,
+    BandwidthAllocator,
+    BandwidthRequest,
+    BiasedPriority,
+    BitVector,
+    DecScheduler,
+    FixedPriority,
+    Flit,
+    FlitType,
+    GreedyPriorityScheduler,
+    LinkFlowControl,
+    LinkScheduler,
+    MultiplexedCrossbar,
+    PerfectSwitch,
+    PerfectSwitchScheduler,
+    Router,
+    RouterConfig,
+    ServiceClass,
+    StatusBank,
+    VirtualChannel,
+    VirtualChannelMemory,
+    make_priority_scheme,
+)
+from .harness import (
+    DEFAULT_LOADS,
+    PAPER_CONFIG,
+    ExperimentResult,
+    ExperimentSpec,
+    figure3,
+    figure4,
+    figure5,
+    run_single_router_experiment,
+)
+from .harness.saturation import find_saturation_load
+from .network import (
+    ConnectionManager,
+    Network,
+    NetworkInterface,
+    ProbeProtocol,
+    Topology,
+    hypercube,
+    irregular,
+    mesh,
+    ring,
+    torus,
+)
+from .qos import QosContract, QosSummary, summarise, summarise_weighted, verify_contract
+from .sim import SeededRng, Simulator
+from .traffic import (
+    CbrSource,
+    LoadPlanner,
+    MpegProfile,
+    PacketSource,
+    PAPER_RATE_SET,
+    VbrSource,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "BandwidthAllocator",
+    "BandwidthRequest",
+    "BiasedPriority",
+    "BitVector",
+    "DecScheduler",
+    "FixedPriority",
+    "Flit",
+    "FlitType",
+    "GreedyPriorityScheduler",
+    "LinkFlowControl",
+    "LinkScheduler",
+    "MultiplexedCrossbar",
+    "PerfectSwitch",
+    "PerfectSwitchScheduler",
+    "Router",
+    "RouterConfig",
+    "ServiceClass",
+    "StatusBank",
+    "VirtualChannel",
+    "VirtualChannelMemory",
+    "make_priority_scheme",
+    "DEFAULT_LOADS",
+    "PAPER_CONFIG",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "figure3",
+    "figure4",
+    "figure5",
+    "run_single_router_experiment",
+    "ConnectionManager",
+    "Network",
+    "ProbeProtocol",
+    "find_saturation_load",
+    "NetworkInterface",
+    "Topology",
+    "hypercube",
+    "irregular",
+    "mesh",
+    "ring",
+    "torus",
+    "QosContract",
+    "QosSummary",
+    "summarise",
+    "summarise_weighted",
+    "verify_contract",
+    "SeededRng",
+    "Simulator",
+    "CbrSource",
+    "LoadPlanner",
+    "MpegProfile",
+    "PacketSource",
+    "PAPER_RATE_SET",
+    "VbrSource",
+]

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — one point of the single-router evaluation grid.
+* ``figures`` — regenerate Figure 3/4/5 tables (alias for
+  ``python -m repro.harness.figures``).
+* ``saturation`` — bisect a scheduler variant's saturation load.
+* ``info`` — print the paper configuration's derived quantities.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .core.config import RouterConfig
+from .harness.figures import main as figures_main
+from .harness.network_experiment import (
+    NetworkExperimentSpec,
+    run_network_experiment,
+)
+from .harness.saturation import find_saturation_load
+from .harness.single_router import (
+    PAPER_CONFIG,
+    SCHEDULERS,
+    ExperimentSpec,
+    run_single_router_experiment,
+)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", type=float, default=0.8, help="offered load")
+    parser.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="greedy",
+        help="switch scheduler variant",
+    )
+    parser.add_argument(
+        "--priority", default="biased",
+        help="priority scheme: biased, fixed, age, rate, static, frozen",
+    )
+    parser.add_argument("--candidates", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--warmup", type=int, default=20000, help="warm-up cycles")
+    parser.add_argument("--cycles", type=int, default=100000, help="measured cycles")
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    return ExperimentSpec(
+        target_load=args.load,
+        scheduler=args.scheduler,
+        priority=args.priority,
+        candidates=args.candidates,
+        seed=args.seed,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment point and print (or dump) its metrics."""
+    result = run_single_router_experiment(_spec_from_args(args))
+    payload = {
+        "offered_load": result.offered_load,
+        "connections": result.connections,
+        "utilisation": result.utilisation,
+        "mean_delay_cycles": result.mean_delay_cycles,
+        "mean_delay_us": result.mean_delay_us,
+        "mean_jitter_cycles": result.mean_jitter_cycles,
+        "per_connection_delay_cycles": result.per_connection.mean_delay_cycles,
+        "per_connection_jitter_cycles": result.per_connection.mean_jitter_cycles,
+        "max_interface_backlog": result.max_interface_backlog,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>30}: {value:.4f}" if isinstance(value, float) else
+                  f"{key:>30}: {value}")
+    return 0
+
+
+def cmd_saturation(args: argparse.Namespace) -> int:
+    """Bisect the saturation load of the selected variant."""
+    base = _spec_from_args(args)
+    estimate = find_saturation_load(base, tolerance=args.tolerance)
+    print(f"variant: scheduler={base.scheduler} priority={base.priority} "
+          f"candidates={base.candidates}")
+    for load, saturated in estimate.samples:
+        print(f"  load {load:.3f}: {'SATURATED' if saturated else 'stable'}")
+    print(f"saturation load ~= {estimate.estimate:.3f} "
+          f"(stable up to {estimate.stable_load:.3f})")
+    return 0
+
+
+def cmd_network(args: argparse.Namespace) -> int:
+    """Run the network-level (multi-router) experiment."""
+    spec = NetworkExperimentSpec(
+        target_link_load=args.link_load,
+        num_nodes=args.nodes,
+        best_effort_rate=args.best_effort,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+    )
+    result = run_network_experiment(spec)
+    payload = {
+        "streams": result.streams,
+        "acceptance_ratio": result.acceptance_ratio,
+        "mean_hops": result.mean_hops,
+        "mean_delay_cycles": result.delay_cycles.mean,
+        "delay_per_hop_cycles": result.delay_per_hop,
+        "mean_jitter_cycles": result.jitter_cycles.mean,
+        "best_effort_delivered": result.best_effort_delivered,
+        "links_searched": result.links_searched,
+        "backtracks": result.backtracks,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:>25}: {value:.4f}" if isinstance(value, float) else
+                  f"{key:>25}: {value}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    """Print the paper configuration's derived quantities."""
+    config: RouterConfig = PAPER_CONFIG
+    rows = [
+        ("ports", config.num_ports),
+        ("virtual channels / port", config.vcs_per_port),
+        ("link rate (Gbps)", config.link_rate_bps / 1e9),
+        ("flit size (bits)", config.flit_size_bits),
+        ("flit cycle (ns)", round(config.flit_cycle_ns, 1)),
+        ("phits / flit", config.phits_per_flit),
+        ("round length (flit cycles)", config.round_length),
+        ("aggregate bandwidth (Gbps)", config.aggregate_bandwidth_bps / 1e9),
+    ]
+    for name, value in rows:
+        print(f"{name:>28}: {value}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MMR (HPCA 1999) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment point")
+    _add_spec_arguments(run_parser)
+    run_parser.add_argument("--json", action="store_true", help="JSON output")
+    run_parser.set_defaults(func=cmd_run)
+
+    figures_parser = sub.add_parser("figures", help="regenerate figure tables")
+    figures_parser.add_argument("which", nargs="?", default="all",
+                                choices=("fig3", "fig4", "fig5", "all"))
+    figures_parser.add_argument("--full", action="store_true")
+    figures_parser.set_defaults(
+        func=lambda args: figures_main(
+            [args.which] + (["--full"] if args.full else [])
+        )
+    )
+
+    saturation_parser = sub.add_parser(
+        "saturation", help="bisect a variant's saturation load"
+    )
+    _add_spec_arguments(saturation_parser)
+    saturation_parser.add_argument("--tolerance", type=float, default=0.02)
+    saturation_parser.set_defaults(func=cmd_saturation)
+
+    network_parser = sub.add_parser(
+        "network", help="multi-router cluster experiment"
+    )
+    network_parser.add_argument("--link-load", type=float, default=0.4)
+    network_parser.add_argument("--nodes", type=int, default=12)
+    network_parser.add_argument("--best-effort", type=float, default=0.0,
+                                help="best-effort packets per node per 100 cycles")
+    network_parser.add_argument("--warmup", type=int, default=5000)
+    network_parser.add_argument("--cycles", type=int, default=20000)
+    network_parser.add_argument("--seed", type=int, default=1)
+    network_parser.add_argument("--json", action="store_true")
+    network_parser.set_defaults(func=cmd_network)
+
+    info_parser = sub.add_parser("info", help="paper configuration summary")
+    info_parser.set_defaults(func=cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Router-level admission control (paper §4.2, §5).
+
+A connection request names an input port, an output port and a bandwidth
+demand.  Admission succeeds when
+
+* the output link's bandwidth registers accept the demand,
+* the input link has enough residual bandwidth to carry the stream in
+  (flits physically arrive over that link), and
+* a free virtual channel exists on the input port.
+
+The evaluation relies on admission control to "guarantee that connections
+are established only if bandwidth is available on a link", which keeps the
+CBR experiment interpretable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .bandwidth import BandwidthAllocator, BandwidthRequest
+from .config import RouterConfig
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission attempt, with the refusal reason if any."""
+
+    admitted: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+ACCEPTED = AdmissionDecision(True)
+
+
+class AdmissionController:
+    """Tracks both sides of every link of one router for admission.
+
+    Output-side state lives in per-link :class:`BandwidthAllocator`
+    registers (exactly the paper's hardware).  Input-side occupancy uses an
+    identical allocator per input link, since the same flit-cycles/round
+    arithmetic bounds what a physical input link can deliver.
+    """
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        self.outputs: List[BandwidthAllocator] = [
+            BandwidthAllocator(
+                config.round_length,
+                config.vbr_concurrency_factor,
+                config.best_effort_reserved_fraction,
+            )
+            for _ in range(config.num_ports)
+        ]
+        self.inputs: List[BandwidthAllocator] = [
+            BandwidthAllocator(
+                config.round_length,
+                config.vbr_concurrency_factor,
+                config.best_effort_reserved_fraction,
+            )
+            for _ in range(config.num_ports)
+        ]
+        self.admitted = 0
+        self.refused = 0
+
+    def _check_ports(self, input_port: int, output_port: int) -> None:
+        ports = self.config.num_ports
+        if not 0 <= input_port < ports:
+            raise IndexError(f"input port {input_port} out of range [0, {ports})")
+        if not 0 <= output_port < ports:
+            raise IndexError(f"output port {output_port} out of range [0, {ports})")
+
+    def evaluate(
+        self,
+        input_port: int,
+        output_port: int,
+        request: BandwidthRequest,
+        input_vc_free: bool = True,
+    ) -> AdmissionDecision:
+        """Check a request without committing anything."""
+        self._check_ports(input_port, output_port)
+        if not input_vc_free:
+            return AdmissionDecision(False, "no free virtual channel on input port")
+        if not self.inputs[input_port].can_allocate(request):
+            return AdmissionDecision(
+                False, f"input link {input_port} bandwidth exhausted"
+            )
+        if not self.outputs[output_port].can_allocate(request):
+            return AdmissionDecision(
+                False, f"output link {output_port} bandwidth exhausted"
+            )
+        return ACCEPTED
+
+    def admit(
+        self,
+        input_port: int,
+        output_port: int,
+        request: BandwidthRequest,
+        input_vc_free: bool = True,
+    ) -> AdmissionDecision:
+        """Atomically admit a request (both links) or refuse it."""
+        decision = self.evaluate(input_port, output_port, request, input_vc_free)
+        if not decision:
+            self.refused += 1
+            return decision
+        if not self.inputs[input_port].allocate(request):
+            self.refused += 1
+            return AdmissionDecision(
+                False, f"input link {input_port} bandwidth exhausted"
+            )
+        if not self.outputs[output_port].allocate(request):
+            # Roll back the input-side reservation.
+            self.inputs[input_port].release(request)
+            self.refused += 1
+            return AdmissionDecision(
+                False, f"output link {output_port} bandwidth exhausted"
+            )
+        self.admitted += 1
+        return ACCEPTED
+
+    def release(
+        self, input_port: int, output_port: int, request: BandwidthRequest
+    ) -> None:
+        """Return the bandwidth of a torn-down connection."""
+        self._check_ports(input_port, output_port)
+        self.inputs[input_port].release(request)
+        self.outputs[output_port].release(request)
+
+    def offered_load(self) -> float:
+        """Committed fraction of aggregate switch bandwidth.
+
+        This matches the paper's definition of offered load: the
+        percentage of switch bandwidth demanded by all connections
+        through the router.
+        """
+        total = sum(out.allocated_cycles for out in self.outputs)
+        return total / (self.config.num_ports * self.config.round_length)

@@ -1,0 +1,173 @@
+"""Per-output-link bandwidth allocation registers (paper §4.2).
+
+Bandwidth is allocated in flit cycles per round.  Each output link keeps:
+
+* a register accumulating the flit cycles/round committed to CBR
+  connections plus the *permanent* bandwidth of VBR connections, and
+* a second register accumulating the *peak* bandwidth of VBR connections.
+
+A CBR request is admitted while register 1 stays within the round; a VBR
+request additionally requires register 2 to stay within round x
+concurrency-factor.  The concurrency factor is the paper's knob trading
+QoS strength against connection count and link utilisation.  Optionally a
+fraction of each round is reserved for best-effort traffic to prevent its
+starvation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AllocationError(RuntimeError):
+    """Raised when releasing bandwidth that was never allocated."""
+
+
+@dataclass(frozen=True)
+class BandwidthRequest:
+    """A connection's bandwidth demand, in flit cycles per round.
+
+    CBR connections set ``permanent_cycles`` only (their peak equals their
+    permanent rate); VBR connections set both.
+    """
+
+    permanent_cycles: int
+    peak_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.permanent_cycles <= 0:
+            raise ValueError(
+                f"permanent_cycles must be positive, got {self.permanent_cycles}"
+            )
+        peak = self.peak_cycles or self.permanent_cycles
+        if peak < self.permanent_cycles:
+            raise ValueError(
+                f"peak ({self.peak_cycles}) below permanent "
+                f"({self.permanent_cycles})"
+            )
+
+    @property
+    def effective_peak(self) -> int:
+        """Peak demand; defaults to the permanent demand for CBR."""
+        return self.peak_cycles or self.permanent_cycles
+
+    @property
+    def is_vbr(self) -> bool:
+        """True when the peak exceeds the permanent demand."""
+        return self.effective_peak > self.permanent_cycles
+
+
+class BandwidthAllocator:
+    """The two admission registers of one output link."""
+
+    def __init__(
+        self,
+        round_length: int,
+        concurrency_factor: float = 2.0,
+        best_effort_reserved_fraction: float = 0.0,
+    ) -> None:
+        if round_length <= 0:
+            raise ValueError(f"round_length must be positive, got {round_length}")
+        if concurrency_factor < 1.0:
+            raise ValueError(
+                f"concurrency_factor must be >= 1, got {concurrency_factor}"
+            )
+        if not 0.0 <= best_effort_reserved_fraction < 1.0:
+            raise ValueError(
+                "best_effort_reserved_fraction must be in [0, 1), got "
+                f"{best_effort_reserved_fraction}"
+            )
+        self.round_length = round_length
+        self.concurrency_factor = concurrency_factor
+        self.best_effort_reserved = int(round_length * best_effort_reserved_fraction)
+        # Register 1: CBR allocations + VBR permanent bandwidth.
+        self.allocated_cycles = 0
+        # Register 2: sum of VBR peak bandwidths.
+        self.peak_cycles = 0
+        self.active_connections = 0
+
+    # ----- admission ------------------------------------------------------
+
+    @property
+    def allocatable_cycles(self) -> int:
+        """Flit cycles per round available to connections (round minus the
+        best-effort reservation)."""
+        return self.round_length - self.best_effort_reserved
+
+    @property
+    def peak_budget(self) -> float:
+        """Ceiling for register 2: round length x concurrency factor."""
+        return self.allocatable_cycles * self.concurrency_factor
+
+    def can_allocate(self, request: BandwidthRequest) -> bool:
+        """Would ``request`` be admitted on this link right now?"""
+        if self.allocated_cycles + request.permanent_cycles > self.allocatable_cycles:
+            return False
+        if request.is_vbr:
+            if self.peak_cycles + request.effective_peak > self.peak_budget:
+                return False
+        return True
+
+    def allocate(self, request: BandwidthRequest) -> bool:
+        """Admit ``request`` if possible; returns success."""
+        if not self.can_allocate(request):
+            return False
+        self.allocated_cycles += request.permanent_cycles
+        if request.is_vbr:
+            self.peak_cycles += request.effective_peak
+        self.active_connections += 1
+        return True
+
+    def release(self, request: BandwidthRequest) -> None:
+        """Return the bandwidth of a departing connection."""
+        if self.allocated_cycles < request.permanent_cycles:
+            raise AllocationError(
+                f"releasing {request.permanent_cycles} cycles but only "
+                f"{self.allocated_cycles} allocated"
+            )
+        self.allocated_cycles -= request.permanent_cycles
+        if request.is_vbr:
+            if self.peak_cycles < request.effective_peak:
+                raise AllocationError(
+                    f"releasing peak {request.effective_peak} but only "
+                    f"{self.peak_cycles} accounted"
+                )
+            self.peak_cycles -= request.effective_peak
+        if self.active_connections <= 0:
+            raise AllocationError("releasing a connection on an idle link")
+        self.active_connections -= 1
+
+    def renegotiate(
+        self, old: BandwidthRequest, new: BandwidthRequest
+    ) -> bool:
+        """Atomically swap ``old`` for ``new`` (dynamic bandwidth, §4.3).
+
+        Either both registers are updated or neither.  Returns success.
+        """
+        self.release(old)
+        if self.allocate(new):
+            return True
+        # Roll back: re-admitting the old request cannot fail because we
+        # just freed exactly its footprint.
+        if not self.allocate(old):
+            raise AllocationError("rollback of renegotiation failed")
+        return False
+
+    # ----- reporting --------------------------------------------------------
+
+    @property
+    def utilisation(self) -> float:
+        """Committed fraction of the round (register 1 over round length)."""
+        return self.allocated_cycles / self.round_length
+
+    @property
+    def peak_oversubscription(self) -> float:
+        """Register 2 over the round length: >1 means peaks overlap."""
+        return self.peak_cycles / self.round_length
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthAllocator(allocated={self.allocated_cycles}/"
+            f"{self.allocatable_cycles}, peak={self.peak_cycles}/"
+            f"{self.peak_budget:.0f}, connections={self.active_connections})"
+        )

@@ -1,0 +1,175 @@
+"""Router configuration: the paper's quantitative design parameters.
+
+Section 2 of the paper lists the quantitative parameters a designer must
+fix: network size, link bandwidth, router degree, clock frequency, buffer
+size and number of virtual channels.  :class:`RouterConfig` gathers them in
+one validated, immutable place and derives the timing quantities the
+evaluation section reports in (flit cycles and microseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Static configuration of one MMR router.
+
+    Defaults reproduce the evaluation configuration of the paper: an 8x8
+    router with 256 virtual channels per input port, 1.24 Gbps physical
+    links and 128-bit flits (flit cycle ~103 ns).
+    """
+
+    num_ports: int = 8
+    vcs_per_port: int = 256
+    link_rate_bps: float = 1.24e9
+    flit_size_bits: int = 128
+    phit_size_bits: int = 16
+    # Depth of each virtual channel buffer, in flits.  The paper argues for
+    # small fixed-size buffers per VC.
+    vc_buffer_flits: int = 4
+    # Number of interleaved RAM modules forming the virtual channel memory.
+    memory_modules: int = 8
+    # Round (frame) length factor: a round is ``round_factor * vcs_per_port``
+    # flit cycles (paper: K > 1).
+    round_factor: int = 2
+    # Candidate set size the link scheduler offers the switch scheduler
+    # (paper studies 1, 2, 4 and 8).
+    candidates: int = 8
+    # VBR admission concurrency factor (paper §4.2): the sum of peak
+    # bandwidths may exceed a round by this factor.
+    vbr_concurrency_factor: float = 2.0
+    # Fraction of each round reserved for best-effort traffic to prevent
+    # starvation (paper §4.2, optional).
+    best_effort_reserved_fraction: float = 0.0
+    # Internal data path width in bits (word-level pipelining, §3.1).
+    datapath_width_bits: int = 64
+    # VBR excess-bandwidth service discipline (§4.3).  'priority' is the
+    # paper's choice: "completely servicing the excess bandwidth of one
+    # connection before moving to the next one", highest priority first.
+    # 'shared' is the alternative the paper alludes to ("other service
+    # disciplines are possible"): excess flits compete under the normal
+    # aging priority, interleaving service across connections.
+    vbr_excess_discipline: str = "priority"
+    # Enforce per-round bandwidth budgets in the link scheduler (§4.3).
+    # The paper's preliminary CBR experiments (§5.1) use "a simple link
+    # scheduling algorithm" driven purely by priorities, so the evaluation
+    # harness disables the caps; QoS/VBR scenarios enable them.
+    enforce_round_budgets: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ValueError(f"num_ports must be positive, got {self.num_ports}")
+        if self.vcs_per_port <= 0:
+            raise ValueError(f"vcs_per_port must be positive, got {self.vcs_per_port}")
+        if self.link_rate_bps <= 0:
+            raise ValueError(f"link_rate_bps must be positive, got {self.link_rate_bps}")
+        if self.flit_size_bits <= 0:
+            raise ValueError(f"flit_size_bits must be positive, got {self.flit_size_bits}")
+        if self.phit_size_bits <= 0 or self.phit_size_bits > self.flit_size_bits:
+            raise ValueError(
+                "phit_size_bits must be in (0, flit_size_bits]: "
+                f"{self.phit_size_bits} vs {self.flit_size_bits}"
+            )
+        if self.flit_size_bits % self.phit_size_bits:
+            raise ValueError(
+                "flit size must be a whole number of phits: "
+                f"{self.flit_size_bits} / {self.phit_size_bits}"
+            )
+        if self.vc_buffer_flits <= 0:
+            raise ValueError(f"vc_buffer_flits must be positive, got {self.vc_buffer_flits}")
+        if self.memory_modules <= 0:
+            raise ValueError(f"memory_modules must be positive, got {self.memory_modules}")
+        if self.round_factor < 1:
+            raise ValueError(
+                f"round_factor must be >= 1 (paper uses K > 1), got {self.round_factor}"
+            )
+        if self.candidates <= 0:
+            raise ValueError(f"candidates must be positive, got {self.candidates}")
+        if self.vbr_concurrency_factor < 1.0:
+            raise ValueError(
+                "vbr_concurrency_factor must be >= 1, got "
+                f"{self.vbr_concurrency_factor}"
+            )
+        if not 0.0 <= self.best_effort_reserved_fraction < 1.0:
+            raise ValueError(
+                "best_effort_reserved_fraction must be in [0, 1), got "
+                f"{self.best_effort_reserved_fraction}"
+            )
+        if self.vbr_excess_discipline not in ("priority", "shared"):
+            raise ValueError(
+                "vbr_excess_discipline must be 'priority' or 'shared', got "
+                f"{self.vbr_excess_discipline!r}"
+            )
+
+    # ----- derived timing quantities -------------------------------------
+
+    @property
+    def flit_cycle_seconds(self) -> float:
+        """Duration of one flit cycle: flit size over link rate.
+
+        For the paper's configuration this is 128 / 1.24e9 ~= 103 ns, the
+        time to transmit one flit across the router or a link.
+        """
+        return self.flit_size_bits / self.link_rate_bps
+
+    @property
+    def flit_cycle_ns(self) -> float:
+        """Flit cycle duration in nanoseconds."""
+        return self.flit_cycle_seconds * 1e9
+
+    @property
+    def phits_per_flit(self) -> int:
+        """Number of phits making up one flit."""
+        return self.flit_size_bits // self.phit_size_bits
+
+    @property
+    def round_length(self) -> int:
+        """Flit cycles per round: K * V (paper §4.1)."""
+        return self.round_factor * self.vcs_per_port
+
+    @property
+    def total_vcs(self) -> int:
+        """Virtual channels across all input ports."""
+        return self.num_ports * self.vcs_per_port
+
+    @property
+    def aggregate_bandwidth_bps(self) -> float:
+        """Total switch bandwidth demanded at 100% offered load."""
+        return self.num_ports * self.link_rate_bps
+
+    # ----- conversions -----------------------------------------------------
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert flit cycles to microseconds."""
+        return cycles * self.flit_cycle_seconds * 1e6
+
+    def rate_to_interarrival_cycles(self, rate_bps: float) -> float:
+        """Flit inter-arrival period, in flit cycles, of a ``rate_bps`` stream.
+
+        A connection at the full link rate delivers one flit per cycle;
+        slower connections scale inversely.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        return self.link_rate_bps / rate_bps
+
+    def rate_to_cycles_per_round(self, rate_bps: float) -> int:
+        """Flit cycles per round a ``rate_bps`` connection must be granted.
+
+        Bandwidth is allocated as an integer number of flit cycles per
+        round (paper §4.1), rounded up so the allocation never undershoots
+        the requested rate.
+        """
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        exact = rate_bps / self.link_rate_bps * self.round_length
+        allocation = int(exact)
+        if allocation < exact:
+            allocation += 1
+        return max(allocation, 1)
+
+    def with_(self, **overrides) -> "RouterConfig":
+        """Functional update helper (configs are frozen)."""
+        return replace(self, **overrides)

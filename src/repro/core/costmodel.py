@@ -1,0 +1,174 @@
+"""Analytic silicon-area / delay cost model (paper §3.2–§3.3).
+
+Section 3.3 argues the multiplexed crossbar "reduces silicon area by V and
+V^2, respectively, with respect to a partially multiplexed and a fully
+de-multiplexed crossbar, where V is the number of virtual channels per
+link", and §3.2 cites Chien's router cost model [8] for the observation
+that multiplexor and VC-controller delays grow with the VC count.  This
+module encodes those analytic relations so the design-space benchmarks can
+regenerate the area argument quantitatively.
+
+Units are normalised: one crossbar crosspoint = 1 area unit; delays follow
+Chien's log-depth tree model in gate-delay units.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class CrossbarOrganisation(enum.Enum):
+    """The three organisations §3.3 compares (after Dally [9])."""
+
+    MULTIPLEXED = "multiplexed"  # one port per physical link
+    PARTIALLY_MULTIPLEXED = "partially_multiplexed"  # a port per VC group
+    FULLY_DEMULTIPLEXED = "fully_demultiplexed"  # a port per VC
+
+
+@dataclass(frozen=True)
+class CrossbarCost:
+    """Area and arbitration properties of one organisation."""
+
+    organisation: CrossbarOrganisation
+    ports_per_link: int
+    crosspoints: int
+    needs_output_arbitration: bool
+    needs_input_vc_arbitration: bool
+
+
+def crossbar_cost(
+    organisation: CrossbarOrganisation,
+    num_links: int,
+    vcs_per_link: int,
+    group_size: int = 4,
+) -> CrossbarCost:
+    """Crosspoint area of an ``organisation`` for the given router shape.
+
+    * multiplexed: N x N crosspoints — arbitration on both sides.
+    * partially multiplexed: (N * V/g) squared, g = ``group_size``.
+    * fully de-multiplexed: (N * V) squared — no VC arbitration at all.
+    """
+    if num_links <= 0:
+        raise ValueError(f"num_links must be positive, got {num_links}")
+    if vcs_per_link <= 0:
+        raise ValueError(f"vcs_per_link must be positive, got {vcs_per_link}")
+    if group_size <= 0 or group_size > vcs_per_link:
+        raise ValueError(
+            f"group_size must be in [1, vcs_per_link], got {group_size}"
+        )
+    if organisation is CrossbarOrganisation.MULTIPLEXED:
+        ports_per_link = 1
+    elif organisation is CrossbarOrganisation.PARTIALLY_MULTIPLEXED:
+        ports_per_link = -(-vcs_per_link // group_size)
+    else:
+        ports_per_link = vcs_per_link
+    ports = num_links * ports_per_link
+    return CrossbarCost(
+        organisation=organisation,
+        ports_per_link=ports_per_link,
+        crosspoints=ports * ports,
+        needs_output_arbitration=organisation
+        is not CrossbarOrganisation.FULLY_DEMULTIPLEXED,
+        needs_input_vc_arbitration=organisation
+        is CrossbarOrganisation.MULTIPLEXED,
+    )
+
+
+def area_ratio(
+    baseline: CrossbarOrganisation,
+    other: CrossbarOrganisation,
+    num_links: int,
+    vcs_per_link: int,
+    group_size: int = 4,
+) -> float:
+    """Crosspoint-area ratio other/baseline.
+
+    For the paper's argument: fully de-multiplexed over multiplexed is
+    V^2; partially multiplexed over multiplexed is (V/g)^2 (the paper's
+    "V" factor corresponds to per-side port growth).
+    """
+    base = crossbar_cost(baseline, num_links, vcs_per_link, group_size)
+    alt = crossbar_cost(other, num_links, vcs_per_link, group_size)
+    return alt.crosspoints / base.crosspoints
+
+
+def multiplexor_delay(vcs: int, fanin_per_stage: int = 4) -> float:
+    """Gate delays through a V-to-1 multiplexor tree (Chien's model [8]).
+
+    Depth is logarithmic in the VC count; this is the §3.2 observation
+    that "router delays can increase substantially when a large number of
+    virtual channels are multiplexed onto physical links".
+    """
+    if vcs <= 0:
+        raise ValueError(f"vcs must be positive, got {vcs}")
+    if fanin_per_stage < 2:
+        raise ValueError(f"fanin_per_stage must be >= 2, got {fanin_per_stage}")
+    if vcs == 1:
+        return 0.0
+    return math.ceil(math.log(vcs, fanin_per_stage))
+
+
+def arbiter_delay(requests: int, fanin_per_stage: int = 4) -> float:
+    """Gate delays through a priority-encoding arbiter over ``requests``."""
+    return multiplexor_delay(requests, fanin_per_stage)
+
+
+def vcm_cycle_budget(
+    link_rate_bps: float,
+    phit_size_bits: int,
+    memory_access_ns: float,
+    num_modules: int,
+) -> float:
+    """How many phits arrive during one memory access, per module.
+
+    §3.2: "the number of memory modules and flit size must be selected to
+    balance memory access time, link speed, and crossbar switching delay".
+    A value <= 1.0 means the interleaved memory keeps up with the link;
+    above 1.0 the link outruns the memory and phit buffers overflow.
+    """
+    if link_rate_bps <= 0 or phit_size_bits <= 0:
+        raise ValueError("link rate and phit size must be positive")
+    if memory_access_ns <= 0 or num_modules <= 0:
+        raise ValueError("memory access time and module count must be positive")
+    phit_time_ns = phit_size_bits / link_rate_bps * 1e9
+    # Each module serves one phit per access; the module array serves
+    # num_modules phits per access time.
+    return memory_access_ns / (phit_time_ns * num_modules)
+
+
+def serialization_factor(datapath_width_bits: int, phit_size_bits: int) -> int:
+    """Link cycles to serialise one internal word onto the link (§3.3).
+
+    "Serialization is required if internal data paths are wider than
+    physical links": a W-bit word leaves a P-bit link over ceil(W/P)
+    phit times (1 when the link is at least as wide as the data path).
+    """
+    if datapath_width_bits <= 0 or phit_size_bits <= 0:
+        raise ValueError("widths must be positive")
+    return max(1, -(-datapath_width_bits // phit_size_bits))
+
+
+def flit_pipeline_stages(
+    flit_size_bits: int, datapath_width_bits: int
+) -> int:
+    """Internal transfers to move one flit across the datapath (§3.1).
+
+    Word-level pipelining: a flit crosses the router as
+    ceil(flit/word) back-to-back word transfers.
+    """
+    if flit_size_bits <= 0 or datapath_width_bits <= 0:
+        raise ValueError("widths must be positive")
+    return -(-flit_size_bits // datapath_width_bits)
+
+
+def scheduling_rate_ns(link_rate_bps: float, flit_size_bits: int) -> float:
+    """Time budget to compute one switch setting (paper §6).
+
+    "Targeting 1-2 Gbps links and 128-bit flit sizes, the crossbar must be
+    capable of computing switch settings at a rate of 64 ns-128 ns."
+    """
+    if link_rate_bps <= 0 or flit_size_bits <= 0:
+        raise ValueError("link rate and flit size must be positive")
+    return flit_size_bits / link_rate_bps * 1e9

@@ -1,0 +1,106 @@
+"""Crossbar switch organisations (paper §3.3).
+
+The MMR uses a *multiplexed* crossbar: one switch port per physical link,
+so all virtual channels of a link share its port and arbitration is needed
+whenever the link switches between VCs.  The alternatives — partially
+multiplexed (a port per VC group) and fully de-multiplexed (a port per VC)
+— buy contention-free switching with silicon area growing by factors of V
+and V^2; :mod:`repro.core.costmodel` quantifies that trade.
+
+This module models the *data path*: a crossbar holds a configuration
+(input port -> output port matching) and moves one flit per configured
+pair per flit cycle.  The perfect switch used as the evaluation's lower
+bound accepts any number of flits per output per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class CrossbarError(RuntimeError):
+    """Raised when a configuration violates crossbar constraints."""
+
+
+class MultiplexedCrossbar:
+    """N x N crossbar with one port per physical link.
+
+    A configuration is a partial matching: each input connects to at most
+    one output and vice versa.  Reconfiguration models the paper's
+    one-clock-cycle switch setup (hidden by overlap with transmission at
+    flit-cycle granularity, but counted for reporting).
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports <= 0:
+            raise ValueError(f"num_ports must be positive, got {num_ports}")
+        self.num_ports = num_ports
+        self._input_to_output: Dict[int, int] = {}
+        self.reconfigurations = 0
+        self.flits_switched = 0
+
+    @property
+    def configuration(self) -> Dict[int, int]:
+        """Copy of the current input -> output matching."""
+        return dict(self._input_to_output)
+
+    def configure(self, matching: Dict[int, int]) -> None:
+        """Install a new configuration (validating the matching property)."""
+        outputs_seen = set()
+        for in_port, out_port in matching.items():
+            self._check_port(in_port)
+            self._check_port(out_port)
+            if out_port in outputs_seen:
+                raise CrossbarError(
+                    f"output port {out_port} assigned to multiple inputs"
+                )
+            outputs_seen.add(out_port)
+        if matching != self._input_to_output:
+            self.reconfigurations += 1
+        self._input_to_output = dict(matching)
+
+    def output_for(self, in_port: int) -> Optional[int]:
+        """Output currently connected to ``in_port`` (None when idle)."""
+        self._check_port(in_port)
+        return self._input_to_output.get(in_port)
+
+    def transmit(self, in_port: int) -> int:
+        """Move one flit from ``in_port``; returns the output port used."""
+        out_port = self.output_for(in_port)
+        if out_port is None:
+            raise CrossbarError(f"input port {in_port} is not configured")
+        self.flits_switched += 1
+        return out_port
+
+    def max_flits_per_output(self) -> int:
+        """Output-port concurrency limit: 1 for a real crossbar."""
+        return 1
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise CrossbarError(
+                f"port {port} out of range [0, {self.num_ports})"
+            )
+
+
+class PerfectSwitch(MultiplexedCrossbar):
+    """Idealised switch: internal bandwidth N times the link bandwidth.
+
+    When several inputs request one output they are all served in the same
+    flit cycle, so there are no port conflicts and no switch scheduling
+    overhead (paper §5.1).  Inputs remain limited to one flit per cycle —
+    that is the physical link's constraint, not the switch's.
+    """
+
+    def configure(self, matching: Dict[int, int]) -> None:
+        # No matching property to enforce: outputs accept unlimited flits.
+        for in_port, out_port in matching.items():
+            self._check_port(in_port)
+            self._check_port(out_port)
+        if matching != self._input_to_output:
+            self.reconfigurations += 1
+        self._input_to_output = dict(matching)
+
+    def max_flits_per_output(self) -> int:
+        """Every input may deliver to the same output simultaneously."""
+        return self.num_ports

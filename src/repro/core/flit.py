@@ -1,0 +1,136 @@
+"""Flow-control units: flits, phits, packets and control words.
+
+The MMR organises all data as a sequence of flits (flow control digits).
+Multimedia streams travel as bare data flits over established connections
+(pipelined circuit switching); control and best-effort traffic travel as
+single-flit packets using virtual cut-through — the paper fixes packet size
+equal to flit size so PCS and VCT share one flow-control unit size.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_flit_ids = itertools.count()
+
+
+class FlitType(enum.Enum):
+    """The kinds of flow-control units the router distinguishes."""
+
+    DATA = "data"  # payload flit of an established connection (PCS)
+    PROBE = "probe"  # connection-establishment routing probe
+    BACKTRACK = "backtrack"  # probe returning over a failed branch
+    ACK = "ack"  # connection-establishment acknowledgment
+    TEARDOWN = "teardown"  # connection release
+    CONTROL = "control"  # short control packet (VCT, high priority)
+    BEST_EFFORT = "best_effort"  # best-effort packet (VCT, low priority)
+
+
+# Flit types that are routed immediately by the routing-and-arbitration unit
+# rather than waiting for synchronous flit-cycle scheduling.
+IMMEDIATE_TYPES = frozenset(
+    {FlitType.PROBE, FlitType.BACKTRACK, FlitType.ACK, FlitType.TEARDOWN, FlitType.CONTROL}
+)
+
+
+class ControlCommand(enum.Enum):
+    """Commands carried by control words along a connection (paper §4.3).
+
+    Control words let the source interface dynamically manage an
+    established connection without tearing it down.
+    """
+
+    SET_BANDWIDTH = "set_bandwidth"  # renegotiate flit-cycles/round
+    SET_PRIORITY = "set_priority"  # change the VBR scheduling priority
+    ABORT_FRAME = "abort_frame"  # drop the in-flight (video) frame
+    LIMIT_INJECTION = "limit_injection"  # throttle the source
+
+
+@dataclass
+class Flit:
+    """One flow-control digit.
+
+    ``ready_time`` is stamped when the flit reaches the head of its virtual
+    channel and is eligible for switch traversal; ``depart_time`` when it
+    actually crosses the switch.  Their difference is the paper's *delay*
+    metric.
+    """
+
+    flit_type: FlitType
+    connection_id: int = -1
+    created: int = 0
+    flit_id: int = field(default_factory=lambda: next(_flit_ids))
+    # Set by the router as the flit moves through it.
+    ready_time: Optional[int] = None
+    depart_time: Optional[int] = None
+    # Payload fields for control traffic.
+    command: Optional[ControlCommand] = None
+    argument: int = 0
+    # Sequence number within the connection (for jitter bookkeeping and
+    # in-order checks).
+    sequence: int = 0
+    # Marks the final flit of a VCT packet / of a stream burst.
+    is_tail: bool = True
+
+    @property
+    def is_data(self) -> bool:
+        """True for payload flits of an established connection."""
+        return self.flit_type is FlitType.DATA
+
+    @property
+    def is_immediate(self) -> bool:
+        """True for flits the RAU forwards asynchronously when possible."""
+        return self.flit_type in IMMEDIATE_TYPES
+
+    def switch_delay(self) -> int:
+        """Total delay: from ready (arrival per the connection's schedule)
+        to leaving the switch (paper §5).
+
+        ``created`` is stamped when the source makes the flit available,
+        so the delay includes any time spent queued behind predecessors or
+        held back by flow control — the paper's fixed-priority results
+        (multi-microsecond delays) are only explicable if queueing counts.
+        """
+        if self.depart_time is None:
+            raise ValueError("flit has not traversed the switch yet")
+        return self.depart_time - self.created
+
+    def head_wait(self) -> int:
+        """Cycles spent at the head of a VC (requires both timestamps)."""
+        if self.ready_time is None or self.depart_time is None:
+            raise ValueError("flit has not traversed the switch yet")
+        return self.depart_time - self.ready_time
+
+    def __repr__(self) -> str:
+        return (
+            f"Flit({self.flit_type.value}, conn={self.connection_id}, "
+            f"seq={self.sequence}, id={self.flit_id})"
+        )
+
+
+@dataclass
+class Phit:
+    """A physical transfer digit: the slice of a flit moved per link clock.
+
+    Phits exist only at link level; the VCM reassembles them into flits.
+    ``index`` counts the phit's position within its flit.
+    """
+
+    flit_id: int
+    index: int
+    total: int
+
+    @property
+    def is_last(self) -> bool:
+        """True when this phit completes its flit."""
+        return self.index == self.total - 1
+
+
+def fragment_into_phits(flit: Flit, phits_per_flit: int) -> list:
+    """Split ``flit`` into its constituent phits for link transmission."""
+    if phits_per_flit <= 0:
+        raise ValueError(f"phits_per_flit must be positive, got {phits_per_flit}")
+    return [Phit(flit.flit_id, i, phits_per_flit) for i in range(phits_per_flit)]

@@ -1,0 +1,191 @@
+"""Phit-level link reception path (paper §3.2, §3.4).
+
+Between two routers a flit is physically a *control word* naming the
+virtual channel, followed by the flit's phits.  On the receive side the
+phits land in a small phit buffer while the control word is decoded and
+the VCM write address generated; the phits then stream into the
+interleaved memory.
+
+The performance-path simulator delivers whole flits per flit cycle (the
+two are equivalent at flit-cycle granularity, which this module's tests
+prove); :class:`LinkReceiver` exists to validate the §3.2 sizing rules —
+phit-buffer depth vs decode latency, module count vs link rate — at phit
+granularity, and to model the §3.4 framing: "all the input links with
+ready flits start by transmitting a control word containing the
+identifier of the virtual channel to which the next flit belongs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .flit import Flit, Phit, fragment_into_phits
+from .phit_buffer import PhitBuffer
+from .vcm import VcmGeometry, VirtualChannelMemory
+
+
+@dataclass(frozen=True)
+class ControlWord:
+    """The per-flit framing word: which VC the following phits belong to."""
+
+    vc_index: int
+
+    def __post_init__(self) -> None:
+        if self.vc_index < 0:
+            raise ValueError(f"vc_index must be >= 0, got {self.vc_index}")
+
+
+@dataclass(frozen=True)
+class LinkTimingConfig:
+    """Receive-side timing, in phit times."""
+
+    #: Phit times to decode a control word and generate the VCM address.
+    decode_phit_times: int = 2
+
+    def __post_init__(self) -> None:
+        if self.decode_phit_times < 0:
+            raise ValueError(
+                f"decode_phit_times must be >= 0, got {self.decode_phit_times}"
+            )
+
+
+class LinkTransmitter:
+    """Serialises flits into (control word, phits...) frames."""
+
+    def __init__(self, phits_per_flit: int) -> None:
+        if phits_per_flit <= 0:
+            raise ValueError(
+                f"phits_per_flit must be positive, got {phits_per_flit}"
+            )
+        self.phits_per_flit = phits_per_flit
+        self.flits_sent = 0
+
+    def frame(self, flit: Flit, vc_index: int) -> Tuple[ControlWord, List[Phit]]:
+        """One link frame for ``flit`` bound to ``vc_index``."""
+        self.flits_sent += 1
+        return ControlWord(vc_index), fragment_into_phits(flit, self.phits_per_flit)
+
+
+class LinkReceiver:
+    """Phit-level receive pipeline: phit buffer -> decode -> VCM write.
+
+    Drive it one phit time at a time with :meth:`push_control` /
+    :meth:`push_phit` / :meth:`idle`; completed flits land in the VCM and
+    are reported by :meth:`completed`.
+    """
+
+    def __init__(
+        self,
+        geometry: VcmGeometry,
+        timing: LinkTimingConfig = LinkTimingConfig(),
+        phit_buffer_depth: Optional[int] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing
+        if phit_buffer_depth is None:
+            # The paper's sizing rule: deep enough for a decode period.
+            phit_buffer_depth = PhitBuffer.required_depth(timing.decode_phit_times)
+        self.phit_buffer = PhitBuffer(phit_buffer_depth)
+        self.vcm = VirtualChannelMemory(geometry)
+        self._decoding_until = 0
+        self._current_vc: Optional[int] = None
+        self._current_flit_id: Optional[int] = None
+        self._phits_received = 0
+        self._payload: Optional[Flit] = None
+        self.now = 0
+        self._completed: List[Tuple[int, Flit]] = []
+        self.flits_received = 0
+
+    # ----- per-phit-time inputs ------------------------------------------------
+
+    def push_control(self, word: ControlWord, flit: Flit) -> None:
+        """A control word arrives: decode starts, phits will follow."""
+        if self._current_vc is not None and self._phits_received:
+            raise RuntimeError("control word arrived mid-flit")
+        if not 0 <= word.vc_index < self.geometry.num_vcs:
+            raise ValueError(
+                f"control word names vc {word.vc_index}, have "
+                f"{self.geometry.num_vcs}"
+            )
+        self._current_vc = word.vc_index
+        self._current_flit_id = flit.flit_id
+        self._payload = flit
+        self._phits_received = 0
+        self._decoding_until = self.now + self.timing.decode_phit_times
+        self._advance()
+
+    def push_phit(self, phit: Phit) -> None:
+        """One phit arrives off the wire this phit time."""
+        if self._current_vc is None:
+            raise RuntimeError("phit arrived with no control word decoded")
+        if phit.flit_id != self._current_flit_id:
+            raise RuntimeError(
+                f"phit of flit {phit.flit_id} arrived while receiving "
+                f"{self._current_flit_id}"
+            )
+        self.phit_buffer.push(phit)
+        self._advance()
+
+    def idle(self) -> None:
+        """Nothing on the wire this phit time (drain continues)."""
+        self._advance()
+
+    def _advance(self) -> None:
+        """One phit time passes: drain the buffer into the VCM if decoded."""
+        self.now += 1
+        if self._current_vc is None or self.now <= self._decoding_until:
+            return
+        while not self.phit_buffer.is_empty:
+            phit = self.phit_buffer.pop()
+            self._phits_received += 1
+            if phit.is_last:
+                self.vcm.write_flit(self._current_vc, self._payload)
+                self._completed.append((self._current_vc, self._payload))
+                self.flits_received += 1
+                self._current_vc = None
+                self._current_flit_id = None
+                self._payload = None
+                self._phits_received = 0
+                break
+
+    # ----- outputs ------------------------------------------------------------------
+
+    def completed(self) -> List[Tuple[int, Flit]]:
+        """(vc, flit) pairs fully received since the last call."""
+        out = self._completed
+        self._completed = []
+        return out
+
+    @property
+    def peak_buffer_occupancy(self) -> int:
+        """High-water mark of the phit buffer (validates §3.2 sizing)."""
+        return self.phit_buffer.max_occupancy
+
+
+def transfer_flit(
+    transmitter: LinkTransmitter,
+    receiver: LinkReceiver,
+    flit: Flit,
+    vc_index: int,
+) -> int:
+    """Send one flit end to end at one phit per phit time.
+
+    Returns the number of phit times consumed (control word + phits +
+    any residual drain).
+    """
+    word, phits = transmitter.frame(flit, vc_index)
+    start = receiver.now
+    receiver.push_control(word, flit)
+    for phit in phits:
+        receiver.push_phit(phit)
+    # Drain whatever decode latency still hides buffered phits.
+    guard = 0
+    while receiver.vcm.is_empty(vc_index) or receiver._current_vc is not None:
+        if not receiver.vcm.is_empty(vc_index) and receiver._current_vc is None:
+            break
+        receiver.idle()
+        guard += 1
+        if guard > 10 * len(phits) + 100:
+            raise RuntimeError("flit never completed: receiver wedged")
+    return receiver.now - start

@@ -1,0 +1,238 @@
+"""Link scheduling (paper §4.1, §4.3, §4.4).
+
+One link scheduler serves each physical input link.  Every flit cycle it
+derives the set of schedulable virtual channels from the status bit
+vectors (flits available AND credits available AND round budget not
+exhausted) and offers the switch scheduler a small *candidate set* —
+1 to 8 VCs in the paper's study — ordered by the active priority scheme.
+
+Round-based accounting implements the paper's QoS discipline:
+
+* CBR connections may consume at most their allocated flit cycles per
+  round (``cbr_bandwidth_serviced`` gates them off once satisfied);
+* VBR connections are served up to their permanent bandwidth at data
+  priority, and between permanent and peak in a lower *excess* tier where
+  connections are drained one at a time in priority order ("completely
+  servicing the excess bandwidth of one connection before moving to the
+  next one");
+* control packets ride above all data, best-effort below.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..sim.rng import SeededRng
+from .config import RouterConfig
+from .priority import PriorityScheme
+from .status_vectors import StatusBank
+from .virtual_channel import ServiceClass, VirtualChannel
+
+# Priority offset pushing VBR excess-bandwidth service below every
+# in-contract data stream but far above best-effort traffic (whose class
+# offset is -1e12).
+VBR_EXCESS_OFFSET = -1e9
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One virtual channel offered to the switch scheduler this cycle."""
+
+    priority: float
+    input_port: int
+    vc_index: int
+    output_port: int
+
+    def sort_key(self):
+        """Descending priority, then lowest VC index (deterministic)."""
+        return (-self.priority, self.input_port, self.vc_index)
+
+
+class LinkScheduler:
+    """Candidate selection and round accounting for one input link."""
+
+    def __init__(
+        self,
+        port: int,
+        config: RouterConfig,
+        vcs: Sequence[VirtualChannel],
+        status: StatusBank,
+        scheme: PriorityScheme,
+        credit_check: Callable[[int, int], bool],
+        selection: str = "priority",
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        """``credit_check(output_port, output_vc)`` must report downstream
+        credit.
+
+        ``selection`` picks how the candidate set is drawn from the
+        eligible set (the bit-vector AND of §4.1):
+
+        * ``'rotating'`` — the MMR: a round-robin scan over eligible VCs,
+          as a hardware priority encoder with a rotating start pointer
+          produces.  Candidate choice is fair; the priority *scheme*
+          decides conflicts.  This keeps switch utilisation insensitive to
+          the priority scheme, as §5.2 observes.
+        * ``'priority'`` — take the C highest-priority flits (ablation;
+          with non-aging priorities a stuck flit can mask its whole port).
+        * ``'random'`` — uniformly random C (the Autonet/DEC baseline).
+        * ``'per_output'`` — the highest-priority eligible flit for each
+          requested output link, then the top C of those.  This is the
+          natural reading of the §4.1 bit-vector hardware (one vector
+          per condition, grouped per output) and prevents one stuck flit
+          from masking flits bound for other outputs.
+        """
+        if selection not in ("rotating", "priority", "random", "per_output"):
+            raise ValueError(f"unknown selection mode {selection!r}")
+        if selection == "random" and rng is None:
+            raise ValueError("random selection requires an rng")
+        self.port = port
+        self.config = config
+        self.vcs = vcs
+        self.status = status
+        self.scheme = scheme
+        self.credit_check = credit_check
+        self.selection = selection
+        self.rng = rng
+        self.candidates_offered = 0
+        self.cycles_with_candidates = 0
+        # Rotating-scan start pointer (the hardware round-robin encoder).
+        self._scan_pointer = 0
+
+    # ----- round accounting --------------------------------------------------
+
+    def on_round_boundary(self) -> None:
+        """Reset per-round serviced counters and the serviced bit vectors."""
+        serviced_cbr = self.status.vector("cbr_bandwidth_serviced")
+        serviced_vbr = self.status.vector("vbr_bandwidth_serviced")
+        for vc_index in serviced_cbr.indices():
+            self.vcs[vc_index].serviced_this_round = 0
+        for vc_index in serviced_vbr.indices():
+            self.vcs[vc_index].serviced_this_round = 0
+        serviced_cbr.clear_all()
+        serviced_vbr.clear_all()
+        # VCs partially serviced (bit not set) also reset.
+        for vc_index in self.status.vector("connection_active").indices():
+            self.vcs[vc_index].serviced_this_round = 0
+
+    def on_flit_serviced(self, vc: VirtualChannel) -> None:
+        """Account one transmitted flit against the VC's round budget."""
+        vc.serviced_this_round += 1
+        if vc.service_class is ServiceClass.CBR:
+            if vc.allocated_cycles and vc.serviced_this_round >= vc.allocated_cycles:
+                self.status.vector("cbr_bandwidth_serviced").set(vc.index)
+        elif vc.service_class is ServiceClass.VBR:
+            if vc.peak_cycles and vc.serviced_this_round >= vc.peak_cycles:
+                self.status.vector("vbr_bandwidth_serviced").set(vc.index)
+
+    # ----- candidate selection -----------------------------------------------
+
+    def _round_gate(self, vc: VirtualChannel) -> Optional[float]:
+        """Priority offset for the VC's current round tier, or None when
+        the VC has exhausted its round budget."""
+        if not self.config.enforce_round_budgets:
+            return 0.0
+        if vc.service_class is ServiceClass.CBR:
+            if vc.allocated_cycles and vc.serviced_this_round >= vc.allocated_cycles:
+                return None
+            return 0.0
+        if vc.service_class is ServiceClass.VBR:
+            if vc.serviced_this_round < vc.permanent_cycles:
+                return 0.0
+            if vc.peak_cycles and vc.serviced_this_round >= vc.peak_cycles:
+                return None
+            if self.config.vbr_excess_discipline == "priority":
+                # The paper's discipline: the connection's stored VBR
+                # priority dominates, so one connection's excess is fully
+                # drained before the next one is served.
+                return VBR_EXCESS_OFFSET + vc.static_priority * 1e6
+            # 'shared': excess flits keep competing under the normal
+            # (aging) priority, interleaving service across connections.
+            return VBR_EXCESS_OFFSET
+        # Control and best-effort traffic carry no round budget; the class
+        # offsets in the priority scheme place them.
+        return 0.0
+
+    def eligible_vcs(self) -> List[int]:
+        """Indices of VCs passing the bit-vector schedulability test."""
+        return list(self.status.eligible_for_service().indices())
+
+    def candidates(self, now: int, limit: Optional[int] = None) -> List[Candidate]:
+        """The candidate set offered to the switch scheduler this cycle."""
+        if limit is None:
+            limit = self.config.candidates
+        pool: List[Candidate] = []
+        flits_available = self.status.vector("flits_available")
+        for vc_index in flits_available.indices():
+            vc = self.vcs[vc_index]
+            flit = vc.head()
+            if flit is None:
+                raise RuntimeError(
+                    f"status vector out of sync: vc {self.port}.{vc_index} "
+                    "flagged available but empty"
+                )
+            if vc.output_port < 0:
+                # Not yet routed (a blocked best-effort packet waiting for
+                # a downstream VC, §3.4): not schedulable.
+                continue
+            if not self.credit_check(vc.output_port, vc.output_vc):
+                continue
+            offset = self._round_gate(vc)
+            if offset is None:
+                continue
+            priority = self.scheme.priority(vc, flit, now) + offset
+            pool.append(Candidate(priority, self.port, vc_index, vc.output_port))
+        if not pool:
+            return []
+        if self.selection == "random":
+            chosen = (
+                self.rng.sample(pool, limit) if len(pool) > limit else list(pool)
+            )
+            chosen.sort(key=Candidate.sort_key)
+        elif self.selection == "rotating":
+            chosen = self._rotating_select(pool, limit)
+        elif self.selection == "per_output":
+            chosen = self._per_output_select(pool, limit)
+        elif len(pool) > limit:
+            chosen = heapq.nsmallest(limit, pool, key=Candidate.sort_key)
+        else:
+            chosen = sorted(pool, key=Candidate.sort_key)
+        self.candidates_offered += len(chosen)
+        self.cycles_with_candidates += 1
+        return chosen
+
+    def _per_output_select(self, pool: List[Candidate], limit: int) -> List[Candidate]:
+        """Best flit per requested output, then the top ``limit`` of those."""
+        best_per_output: dict = {}
+        for candidate in pool:
+            incumbent = best_per_output.get(candidate.output_port)
+            if incumbent is None or candidate.sort_key() < incumbent.sort_key():
+                best_per_output[candidate.output_port] = candidate
+        chosen = sorted(best_per_output.values(), key=Candidate.sort_key)
+        return chosen[:limit]
+
+    def _rotating_select(self, pool: List[Candidate], limit: int) -> List[Candidate]:
+        """Round-robin scan from the rotating pointer, then priority order.
+
+        The scan decides *which* VCs become candidates (fairly); the
+        returned list is priority-sorted because downstream consumers
+        (the perfect switch, greedy arbitration) treat earlier entries as
+        preferred.
+        """
+        if len(pool) > limit:
+            # Pool is built in ascending vc_index order; rotate it so the
+            # scan starts at the pointer, then take the first ``limit``.
+            start = 0
+            for i, candidate in enumerate(pool):
+                if candidate.vc_index >= self._scan_pointer:
+                    start = i
+                    break
+            rotated = pool[start:] + pool[:start]
+            chosen = rotated[:limit]
+            self._scan_pointer = (chosen[-1].vc_index + 1) % self.config.vcs_per_port
+        else:
+            chosen = list(pool)
+        chosen.sort(key=Candidate.sort_key)
+        return chosen

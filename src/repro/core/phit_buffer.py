@@ -1,0 +1,77 @@
+"""Phit buffers (paper §3.2).
+
+Small FIFOs sit between each physical link and the virtual channel memory.
+They are deep enough to hold the phits that arrive while the control word
+is decoded and the VCM write address computed, and they give probes,
+acknowledgments and uncontended VCT packets a low-latency path that skips
+the VCM entirely.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .flit import Phit
+
+
+class PhitBuffer:
+    """A small FIFO of phits in front of (or behind) the crossbar."""
+
+    def __init__(self, depth: int) -> None:
+        if depth <= 0:
+            raise ValueError(f"phit buffer depth must be positive, got {depth}")
+        self.depth = depth
+        self._fifo: Deque[Phit] = deque()
+        # High-water mark, to validate sizing against the decode period.
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def is_full(self) -> bool:
+        """True when another phit would overflow the buffer."""
+        return len(self._fifo) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no phits are buffered."""
+        return not self._fifo
+
+    def push(self, phit: Phit) -> None:
+        """Accept one phit from the link."""
+        if self.is_full:
+            raise RuntimeError(
+                "phit buffer overflow: buffer sized smaller than the decode "
+                f"period (depth={self.depth})"
+            )
+        self._fifo.append(phit)
+        if len(self._fifo) > self.max_occupancy:
+            self.max_occupancy = len(self._fifo)
+
+    def pop(self) -> Phit:
+        """Drain the oldest phit toward the VCM (or straight to the switch)."""
+        if not self._fifo:
+            raise RuntimeError("phit buffer underflow")
+        return self._fifo.popleft()
+
+    def peek(self) -> Optional[Phit]:
+        """Oldest phit without removing it, or None when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    @staticmethod
+    def required_depth(decode_cycles: int, phits_per_cycle: int = 1) -> int:
+        """Depth needed to absorb arrivals during a decode period.
+
+        The paper sizes phit buffers "deep enough to store all the phits
+        that arrive during a decoding period"; one extra slot covers the
+        phit in flight when decode starts.
+        """
+        if decode_cycles < 0:
+            raise ValueError(f"decode_cycles must be >= 0, got {decode_cycles}")
+        if phits_per_cycle <= 0:
+            raise ValueError(
+                f"phits_per_cycle must be positive, got {phits_per_cycle}"
+            )
+        return decode_cycles * phits_per_cycle + 1

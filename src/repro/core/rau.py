@@ -1,0 +1,165 @@
+"""Routing and arbitration unit (paper §3.5).
+
+The RAU executes the routing algorithm for probes and best-effort packets
+and keeps the *channel mapping* between input and output virtual channels
+for established connections.  Direct mappings forward data flits; reverse
+mappings carry backtracking probes and acknowledgments toward the source;
+both are used to propagate status information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# A virtual channel is identified by (physical link, VC on that link).
+ChannelId = Tuple[int, int]
+
+
+class MappingError(RuntimeError):
+    """Raised on inconsistent channel-mapping operations."""
+
+
+@dataclass(frozen=True)
+class ChannelMapping:
+    """One established connection's pass through this router."""
+
+    connection_id: int
+    input_channel: ChannelId
+    output_channel: ChannelId
+
+
+class ChannelMappingStore:
+    """Direct and reverse channel mappings (paper §3.5).
+
+    Both directions are kept consistent at all times: every direct entry
+    has exactly one reverse entry and vice versa.
+    """
+
+    def __init__(self) -> None:
+        self._direct: Dict[ChannelId, ChannelMapping] = {}
+        self._reverse: Dict[ChannelId, ChannelMapping] = {}
+
+    def __len__(self) -> int:
+        return len(self._direct)
+
+    def add(
+        self,
+        connection_id: int,
+        input_channel: ChannelId,
+        output_channel: ChannelId,
+    ) -> ChannelMapping:
+        """Record a newly reserved hop of a connection."""
+        if input_channel in self._direct:
+            raise MappingError(
+                f"input channel {input_channel} already mapped to "
+                f"{self._direct[input_channel].output_channel}"
+            )
+        if output_channel in self._reverse:
+            raise MappingError(
+                f"output channel {output_channel} already mapped from "
+                f"{self._reverse[output_channel].input_channel}"
+            )
+        mapping = ChannelMapping(connection_id, input_channel, output_channel)
+        self._direct[input_channel] = mapping
+        self._reverse[output_channel] = mapping
+        return mapping
+
+    def forward(self, input_channel: ChannelId) -> Optional[ChannelMapping]:
+        """Direct lookup: where do data flits on this input channel go?"""
+        return self._direct.get(input_channel)
+
+    def backward(self, output_channel: ChannelId) -> Optional[ChannelMapping]:
+        """Reverse lookup: where did this output channel's stream enter?"""
+        return self._reverse.get(output_channel)
+
+    def remove_by_input(self, input_channel: ChannelId) -> ChannelMapping:
+        """Tear down the hop entered through ``input_channel``."""
+        mapping = self._direct.pop(input_channel, None)
+        if mapping is None:
+            raise MappingError(f"no mapping for input channel {input_channel}")
+        del self._reverse[mapping.output_channel]
+        return mapping
+
+    def remove_by_connection(self, connection_id: int) -> int:
+        """Remove every mapping of ``connection_id``; returns count removed."""
+        doomed = [
+            mapping
+            for mapping in self._direct.values()
+            if mapping.connection_id == connection_id
+        ]
+        for mapping in doomed:
+            del self._direct[mapping.input_channel]
+            del self._reverse[mapping.output_channel]
+        return len(doomed)
+
+    def mappings(self):
+        """Iterate over all direct mappings (stable order by input channel)."""
+        for key in sorted(self._direct):
+            yield self._direct[key]
+
+    def check_consistency(self) -> None:
+        """Invariant: direct and reverse stores are mirror images."""
+        if len(self._direct) != len(self._reverse):
+            raise MappingError(
+                f"store sizes diverged: {len(self._direct)} direct vs "
+                f"{len(self._reverse)} reverse"
+            )
+        for input_channel, mapping in self._direct.items():
+            mirrored = self._reverse.get(mapping.output_channel)
+            if mirrored is not mapping:
+                raise MappingError(
+                    f"reverse store does not mirror {input_channel}"
+                )
+
+
+class RoutingArbitrationUnit:
+    """Per-router RAU: mapping store plus probe/packet bookkeeping.
+
+    Path selection itself is pluggable (see :mod:`repro.routing`); the RAU
+    owns the state that must live inside the router: channel mappings and
+    counters for the control traffic it forwards during reconfiguration
+    gaps (§3.4).
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports <= 0:
+            raise ValueError(f"num_ports must be positive, got {num_ports}")
+        self.num_ports = num_ports
+        self.mappings = ChannelMappingStore()
+        self.probes_processed = 0
+        self.immediate_forwards = 0
+        self.buffered_control = 0
+
+    def register_connection(
+        self,
+        connection_id: int,
+        input_port: int,
+        input_vc: int,
+        output_port: int,
+        output_vc: int,
+    ) -> ChannelMapping:
+        """Install the direct/reverse mappings for one reserved hop."""
+        self._check_port(input_port)
+        self._check_port(output_port)
+        return self.mappings.add(
+            connection_id, (input_port, input_vc), (output_port, output_vc)
+        )
+
+    def release_connection(self, connection_id: int) -> int:
+        """Drop every mapping of a torn-down connection."""
+        return self.mappings.remove_by_connection(connection_id)
+
+    def next_hop(self, input_port: int, input_vc: int) -> Optional[ChannelId]:
+        """Output channel for data flits entering on (port, vc)."""
+        mapping = self.mappings.forward((input_port, input_vc))
+        return mapping.output_channel if mapping else None
+
+    def previous_hop(self, output_port: int, output_vc: int) -> Optional[ChannelId]:
+        """Input channel feeding (port, vc) — the backtrack/ack direction."""
+        mapping = self.mappings.backward((output_port, output_vc))
+        return mapping.input_channel if mapping else None
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.num_ports:
+            raise IndexError(f"port {port} out of range [0, {self.num_ports})")

@@ -1,0 +1,555 @@
+"""The MMR router top level (paper Figure 1).
+
+A :class:`Router` assembles the architecture of Figure 1: per-input-port
+virtual channel memories and link schedulers, a multiplexed crossbar, the
+switch scheduler, the routing-and-arbitration unit, per-output credit
+flow control and bandwidth-allocation registers.
+
+Operation follows §3.4: flit transmission is organised as synchronous flit
+cycles.  During each cycle the link schedulers offer candidate sets, the
+switch scheduler computes the next matching, the crossbar is reconfigured
+and one flit per granted port crosses the switch.  Control packets
+(probes, acks, control words) cut through asynchronously when their output
+link is idle; otherwise they are buffered in a virtual channel and
+scheduled synchronously with data, above data-stream priority.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.stats import ConnectionStats, Histogram, StatsRegistry
+from ..sim.trace import NullTracer
+from .admission import AdmissionController
+from .bandwidth import BandwidthRequest
+from .config import RouterConfig
+from .crossbar import MultiplexedCrossbar, PerfectSwitch
+from .flit import Flit, FlitType
+from .flow_control import LinkFlowControl
+from .link_scheduler import LinkScheduler
+from .priority import PriorityScheme
+from .rau import RoutingArbitrationUnit
+from .status_vectors import StatusBank
+from .switch_scheduler import (
+    Grant,
+    PerfectSwitchScheduler,
+    SwitchScheduler,
+    validate_grants,
+)
+from .virtual_channel import ServiceClass, VirtualChannel
+
+# Handler invoked when a flit leaves through an output port:
+# handler(flit, output_vc).  None means the port drains to a sink.
+OutputHandler = Callable[[Flit, int], None]
+# Handler invoked when an input VC frees a buffer slot (credit return):
+# handler(vc_index).
+CreditReturnHandler = Callable[[int], None]
+
+
+class InputPort:
+    """One physical input link: its virtual channels and status bank."""
+
+    def __init__(self, port: int, config: RouterConfig) -> None:
+        self.port = port
+        self.vcs: List[VirtualChannel] = [
+            VirtualChannel(port, index, config.vc_buffer_flits)
+            for index in range(config.vcs_per_port)
+        ]
+        self.status = StatusBank(config.vcs_per_port)
+        self._free_vcs = set(range(config.vcs_per_port))
+
+    def find_free_vc(self) -> Optional[int]:
+        """Lowest-numbered free virtual channel, or None."""
+        return min(self._free_vcs) if self._free_vcs else None
+
+    def free_vc_count(self) -> int:
+        """How many VCs are unbound."""
+        return len(self._free_vcs)
+
+    def mark_bound(self, vc_index: int) -> None:
+        """Remove a VC from the free pool (it was just bound)."""
+        self._free_vcs.discard(vc_index)
+
+    def mark_free(self, vc_index: int) -> None:
+        """Return a VC to the free pool."""
+        self._free_vcs.add(vc_index)
+
+
+class Router:
+    """A single MMR router instance driven by a shared simulator clock."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        scheme: PriorityScheme,
+        switch_scheduler: SwitchScheduler,
+        sim: Simulator,
+        name: str = "router",
+        selection: str = "priority",
+        rng=None,
+        sink_outputs: bool = True,
+        checked: bool = False,
+        tracer=None,
+        delay_histogram_bins: int = 0,
+    ) -> None:
+        """``sink_outputs=True`` models the single-router evaluation: output
+        links drain into ideal sinks with unlimited downstream credit.  A
+        network embeds the router with ``sink_outputs=False`` and wires
+        output handlers and real credit state per link."""
+        self.config = config
+        self.scheme = scheme
+        self.switch_scheduler = switch_scheduler
+        self.sim = sim
+        self.name = name
+        self.checked = checked
+        self.tracer = tracer if tracer is not None else NullTracer()
+        # Optional per-flit delay histogram (cycles), for tail metrics.
+        self.delay_histogram: Optional[Histogram] = (
+            Histogram(0.0, 4096.0, delay_histogram_bins)
+            if delay_histogram_bins
+            else None
+        )
+
+        self.input_ports = [InputPort(p, config) for p in range(config.num_ports)]
+        self.output_flow = [
+            LinkFlowControl(
+                config.vcs_per_port, config.vc_buffer_flits, infinite=sink_outputs
+            )
+            for _ in range(config.num_ports)
+        ]
+        self.link_schedulers = [
+            LinkScheduler(
+                port,
+                config,
+                self.input_ports[port].vcs,
+                self.input_ports[port].status,
+                scheme,
+                self._credit_check,
+                selection=selection,
+                rng=rng.spawn(f"link{port}") if rng is not None else None,
+            )
+            for port in range(config.num_ports)
+        ]
+        perfect = isinstance(switch_scheduler, PerfectSwitchScheduler)
+        self.crossbar = (
+            PerfectSwitch(config.num_ports)
+            if perfect
+            else MultiplexedCrossbar(config.num_ports)
+        )
+        self.rau = RoutingArbitrationUnit(config.num_ports)
+        self.admission = AdmissionController(config)
+        self.stats = StatsRegistry()
+        self.connection_stats: Dict[int, ConnectionStats] = {}
+        self.output_handlers: List[Optional[OutputHandler]] = [None] * config.num_ports
+        self.credit_return_handlers: List[Optional[CreditReturnHandler]] = (
+            [None] * config.num_ports
+        )
+        # Outputs/inputs consumed by asynchronous VCT cut-through during the
+        # current flit cycle (§3.4): busy for the next arbitration.
+        self._immediate_busy_outputs = set()
+        self.sim.add_ticker(self.tick)
+
+    # ----- wiring ------------------------------------------------------------
+
+    def set_output_handler(self, port: int, handler: OutputHandler) -> None:
+        """Connect output ``port`` to a downstream consumer."""
+        self.output_handlers[port] = handler
+
+    def set_credit_return_handler(self, port: int, handler: CreditReturnHandler) -> None:
+        """Register the upstream credit-return path for input ``port``."""
+        self.credit_return_handlers[port] = handler
+
+    def _credit_check(self, output_port: int, output_vc: int) -> bool:
+        if output_vc < 0:
+            # Sink binding (single-router mode): always room downstream.
+            return True
+        return self.output_flow[output_port].has_credit(output_vc)
+
+    # ----- connection management ------------------------------------------------
+
+    def open_connection(
+        self,
+        connection_id: int,
+        input_port: int,
+        output_port: int,
+        request: BandwidthRequest,
+        service_class: ServiceClass = ServiceClass.CBR,
+        interarrival_cycles: float = 1.0,
+        static_priority: float = 0.0,
+        output_vc: int = -1,
+    ) -> Optional[int]:
+        """Admit and install a connection through this router.
+
+        Returns the reserved input VC index, or None when admission fails
+        (bandwidth exhausted or no free VC).  This is the local slice of
+        PCS establishment; multi-hop establishment drives it per router
+        (see :mod:`repro.network.connection`).
+        """
+        port = self.input_ports[input_port]
+        vc_index = port.find_free_vc()
+        decision = self.admission.admit(
+            input_port, output_port, request, input_vc_free=vc_index is not None
+        )
+        if not decision:
+            self.stats.counter("connections_refused")
+            return None
+        vc = port.vcs[vc_index]
+        vc.bind(connection_id, service_class, output_port, output_vc)
+        vc.interarrival_cycles = interarrival_cycles
+        vc.static_priority = static_priority
+        if service_class is ServiceClass.CBR:
+            vc.allocated_cycles = request.permanent_cycles
+            port.status.vector("cbr_service_requested").set(vc_index)
+        elif service_class is ServiceClass.VBR:
+            vc.permanent_cycles = request.permanent_cycles
+            vc.peak_cycles = request.effective_peak
+            port.status.vector("vbr_service_requested").set(vc_index)
+        port.status.vector("connection_active").set(vc_index)
+        port.mark_bound(vc_index)
+        if output_vc >= 0:
+            # A real downstream VC exists: record the direct/reverse channel
+            # mappings.  Sink outputs (single-router mode) have no channel
+            # identity to map.
+            self.rau.register_connection(
+                connection_id, input_port, vc_index, output_port, output_vc
+            )
+        self.connection_stats[connection_id] = ConnectionStats()
+        self.stats.counter("connections_admitted")
+        self.tracer.record(
+            self.sim.now,
+            "connection",
+            f"open {input_port}.{vc_index} -> {output_port}",
+            connection_id=connection_id,
+        )
+        return vc_index
+
+    def open_packet_vc(
+        self,
+        input_port: int,
+        output_port: int,
+        service_class: ServiceClass,
+        connection_id: int,
+        output_vc: int = -1,
+        interarrival_cycles: float = 1.0,
+    ) -> Optional[int]:
+        """Grab a free VC for a VCT packet (control or best-effort, §3.4).
+
+        Packets reserve no bandwidth — best-effort uses whatever is left
+        over, control rides above data — so this bypasses admission.  The
+        VC is released automatically when the packet's tail flit crosses
+        the switch.  Returns the VC index, or None when the port has no
+        free VC (the packet blocks upstream).
+        """
+        if service_class not in (ServiceClass.CONTROL, ServiceClass.BEST_EFFORT):
+            raise ValueError(
+                f"open_packet_vc is for packet classes, got {service_class}"
+            )
+        port = self.input_ports[input_port]
+        vc_index = port.find_free_vc()
+        if vc_index is None:
+            self.stats.counter("packet_vc_blocked")
+            return None
+        vc = port.vcs[vc_index]
+        vc.bind(connection_id, service_class, output_port, output_vc)
+        vc.interarrival_cycles = interarrival_cycles
+        port.status.vector("connection_active").set(vc_index)
+        port.mark_bound(vc_index)
+        if connection_id not in self.connection_stats:
+            self.connection_stats[connection_id] = ConnectionStats()
+        self.stats.counter("packet_vcs_opened")
+        return vc_index
+
+    def close_connection(
+        self,
+        connection_id: int,
+        input_port: int,
+        vc_index: int,
+        output_port: int,
+        request: BandwidthRequest,
+    ) -> None:
+        """Tear down a connection and return its resources."""
+        port = self.input_ports[input_port]
+        vc = port.vcs[vc_index]
+        if vc.connection_id != connection_id:
+            raise RuntimeError(
+                f"VC {input_port}.{vc_index} bound to {vc.connection_id}, "
+                f"not {connection_id}"
+            )
+        vc.release()
+        port.status.vector("cbr_service_requested").clear(vc_index)
+        port.status.vector("vbr_service_requested").clear(vc_index)
+        port.status.vector("connection_active").clear(vc_index)
+        port.mark_free(vc_index)
+        self.rau.release_connection(connection_id)
+        self.admission.release(input_port, output_port, request)
+        self.stats.counter("connections_closed")
+        self.tracer.record(
+            self.sim.now,
+            "connection",
+            f"close {input_port}.{vc_index}",
+            connection_id=connection_id,
+        )
+
+    def renegotiate_connection(
+        self,
+        input_port: int,
+        vc_index: int,
+        old: BandwidthRequest,
+        new: BandwidthRequest,
+    ) -> bool:
+        """Apply a SET_BANDWIDTH control word to an established connection.
+
+        Atomically swaps the reservation on both links; on success the
+        VC's round budget follows the new contract.
+        """
+        vc = self.input_ports[input_port].vcs[vc_index]
+        if vc.connection_id is None:
+            raise RuntimeError(f"VC {input_port}.{vc_index} has no connection")
+        output_port = vc.output_port
+        if not self.admission.outputs[output_port].renegotiate(old, new):
+            return False
+        if not self.admission.inputs[input_port].renegotiate(old, new):
+            # Roll the output side back to the old contract.
+            if not self.admission.outputs[output_port].renegotiate(new, old):
+                raise RuntimeError("renegotiation rollback failed")
+            return False
+        if vc.service_class is ServiceClass.CBR:
+            vc.allocated_cycles = new.permanent_cycles
+        else:
+            vc.permanent_cycles = new.permanent_cycles
+            vc.peak_cycles = new.effective_peak
+        self.stats.counter("renegotiations")
+        return True
+
+    # ----- flit path ----------------------------------------------------------
+
+    def inject(self, input_port: int, vc_index: int, flit: Flit) -> bool:
+        """Deliver a fully received flit into an input virtual channel.
+
+        Returns False (without enqueuing) when the VC buffer is full —
+        the caller models upstream flow control and must retry after a
+        credit returns.  Control-class flits attempt asynchronous VCT
+        cut-through first (§3.4).
+        """
+        port = self.input_ports[input_port]
+        vc = port.vcs[vc_index]
+        if flit.is_immediate and self._try_immediate_cut_through(input_port, vc, flit):
+            return True
+        if vc.is_full:
+            port.status.vector("input_buffer_full").set(vc_index)
+            self.stats.counter("inject_blocked")
+            return False
+        vc.enqueue(flit, self.sim.now)
+        self.tracer.record(
+            self.sim.now,
+            "inject",
+            f"port {input_port} vc {vc_index}",
+            connection_id=flit.connection_id,
+            flit_id=flit.flit_id,
+        )
+        port.status.vector("flits_available").set(vc_index)
+        if vc.is_full:
+            port.status.vector("input_buffer_full").set(vc_index)
+        return True
+
+    def _try_immediate_cut_through(
+        self, input_port: int, vc: VirtualChannel, flit: Flit
+    ) -> bool:
+        """Forward a control flit now if its output link is idle (§3.4)."""
+        output_port = vc.output_port
+        if output_port < 0:
+            return False
+        if output_port in self._immediate_busy_outputs:
+            return False
+        if self.crossbar.output_for(input_port) is not None:
+            # The input's switch port is mid-transmission this cycle.
+            return False
+        if any(
+            out == output_port for out in self.crossbar.configuration.values()
+        ):
+            return False
+        if vc.buffer:
+            # Flits already queued on this VC must stay ordered.
+            return False
+        if vc.output_vc >= 0 and not self.output_flow[output_port].has_credit(
+            vc.output_vc
+        ):
+            return False
+        flit.ready_time = self.sim.now
+        self._deliver(flit, vc, output_port, depart_time=self.sim.now)
+        self._immediate_busy_outputs.add(output_port)
+        self.rau.immediate_forwards += 1
+        self.stats.counter("immediate_cut_throughs")
+        self.tracer.record(
+            self.sim.now,
+            "cutthrough",
+            f"port {input_port} -> {output_port}",
+            connection_id=flit.connection_id,
+            flit_id=flit.flit_id,
+        )
+        return True
+
+    def tick(self, cycle: int) -> None:
+        """One flit cycle: schedule, reconfigure, transmit, account."""
+        candidate_lists = []
+        for scheduler in self.link_schedulers:
+            candidates = scheduler.candidates(cycle)
+            if self._immediate_busy_outputs:
+                candidates = [
+                    c
+                    for c in candidates
+                    if c.output_port not in self._immediate_busy_outputs
+                ]
+            candidate_lists.append(candidates)
+        grants = self.switch_scheduler.schedule(candidate_lists, cycle)
+        if self.checked:
+            validate_grants(
+                grants,
+                self.config.num_ports,
+                self.switch_scheduler.output_concurrency,
+            )
+        self.crossbar.configure(
+            {grant.input_port: grant.output_port for grant in grants}
+        )
+        for grant in grants:
+            self._transmit(grant, cycle)
+        self.stats.counter("cycles")
+        self.stats.counter("flits_switched", len(grants))
+        self._immediate_busy_outputs.clear()
+        if (cycle + 1) % self.config.round_length == 0:
+            for scheduler in self.link_schedulers:
+                scheduler.on_round_boundary()
+            self.tracer.record(cycle, "round", "round boundary")
+
+    def _transmit(self, grant: Grant, cycle: int) -> None:
+        port = self.input_ports[grant.input_port]
+        vc = port.vcs[grant.vc_index]
+        self.crossbar.transmit(grant.input_port)
+        flit = vc.dequeue(cycle + 1)
+        if not vc.buffer:
+            port.status.vector("flits_available").clear(grant.vc_index)
+        port.status.vector("input_buffer_full").clear(grant.vc_index)
+        self.link_schedulers[grant.input_port].on_flit_serviced(vc)
+        handler = self.credit_return_handlers[grant.input_port]
+        if handler is not None:
+            handler(grant.vc_index)
+        self._deliver(flit, vc, grant.output_port, depart_time=cycle + 1)
+
+    def _deliver(
+        self, flit: Flit, vc: VirtualChannel, output_port: int, depart_time: int
+    ) -> None:
+        flit.depart_time = depart_time
+        delay = flit.switch_delay()
+        self.tracer.record(
+            depart_time,
+            "deliver",
+            f"output {output_port} delay {delay}",
+            connection_id=flit.connection_id,
+            flit_id=flit.flit_id,
+        )
+        stats = self.connection_stats.get(flit.connection_id)
+        if stats is not None:
+            stats.record_flit(delay)
+        self.stats.observe("switch_delay", delay)
+        if self.delay_histogram is not None:
+            self.delay_histogram.add(delay)
+        self.stats.counter(f"output{output_port}_flits")
+        output_vc = vc.output_vc
+        if output_vc >= 0:
+            self.output_flow[output_port].consume(output_vc)
+        handler = self.output_handlers[output_port]
+        if handler is not None:
+            handler(flit, output_vc)
+        # VCT packets release their virtual channel once fully sent (§3.4).
+        if (
+            vc.service_class in (ServiceClass.CONTROL, ServiceClass.BEST_EFFORT)
+            and flit.is_tail
+            and not vc.buffer
+            and vc.connection_id is not None
+        ):
+            self._release_packet_vc(vc)
+
+    def _release_packet_vc(self, vc: VirtualChannel) -> None:
+        port = self.input_ports[vc.port]
+        connection_id = vc.connection_id
+        vc.release()
+        port.status.vector("connection_active").clear(vc.index)
+        port.mark_free(vc.index)
+        if self.rau.mappings.forward((vc.port, vc.index)) is not None:
+            self.rau.mappings.remove_by_input((vc.port, vc.index))
+        self.stats.counter("packet_vcs_released")
+        # Packet connection stats stay: the id may be reused for reporting.
+        del connection_id
+
+    # ----- reporting --------------------------------------------------------
+
+    def reset_statistics(self) -> None:
+        """Discard warm-up statistics; connection bindings are untouched.
+
+        The paper gathers statistics "until steady state was reached";
+        harnesses call this at the end of the warm-up window.
+        """
+        self.stats = StatsRegistry()
+        for connection_id in list(self.connection_stats):
+            self.connection_stats[connection_id] = ConnectionStats()
+        if self.delay_histogram is not None:
+            self.delay_histogram = Histogram(
+                self.delay_histogram.low,
+                self.delay_histogram.high,
+                self.delay_histogram.bins,
+            )
+        self.crossbar.reconfigurations = 0
+        self.crossbar.flits_switched = 0
+        for scheduler in self.link_schedulers:
+            scheduler.candidates_offered = 0
+            scheduler.cycles_with_candidates = 0
+
+    def check_invariants(self) -> None:
+        """Validate cross-structure consistency (tests/checked mode).
+
+        * ``flits_available`` mirrors VC buffer occupancy exactly;
+        * ``input_buffer_full`` is only set on genuinely full VCs;
+        * the free-VC pools mirror connection bindings;
+        * ``connection_active`` matches bound VCs;
+        * the RAU's direct/reverse stores are mirror images.
+
+        Raises ``AssertionError`` on the first violation.
+        """
+        for port in self.input_ports:
+            status = port.status
+            for vc in port.vcs:
+                has_flits = status.vector("flits_available").test(vc.index)
+                assert has_flits == (vc.occupancy > 0), (
+                    f"{self.name}: flits_available desync at "
+                    f"{port.port}.{vc.index}"
+                )
+                if status.vector("input_buffer_full").test(vc.index):
+                    assert vc.is_full, (
+                        f"{self.name}: input_buffer_full set on non-full "
+                        f"{port.port}.{vc.index}"
+                    )
+                bound = vc.connection_id is not None
+                assert status.vector("connection_active").test(vc.index) == bound, (
+                    f"{self.name}: connection_active desync at "
+                    f"{port.port}.{vc.index}"
+                )
+                assert (vc.index in port._free_vcs) == (not bound), (
+                    f"{self.name}: free pool desync at {port.port}.{vc.index}"
+                )
+        self.rau.mappings.check_consistency()
+
+    def utilisation(self) -> float:
+        """Delivered fraction of aggregate switch bandwidth so far."""
+        cycles = self.stats.get_counter("cycles")
+        if not cycles:
+            return 0.0
+        return self.stats.get_counter("flits_switched") / (
+            cycles * self.config.num_ports
+        )
+
+    def buffered_flits(self) -> int:
+        """Flits currently waiting in input VCs (for drain checks)."""
+        return sum(
+            vc.occupancy for port in self.input_ports for vc in port.vcs
+        )

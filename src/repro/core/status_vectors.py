@@ -1,0 +1,186 @@
+"""Status bit vectors (paper §4.1).
+
+The MMR trades silicon for scheduling speed: per-virtual-channel conditions
+(``flits_available``, ``input_buffer_full``, ``cbr_service_requested``, ...)
+are kept as bit vectors so the set of channels satisfying a compound
+condition falls out of wide AND/OR operations in one step.
+
+We model a vector as an arbitrary-precision Python integer bitmask, which
+gives exactly the same bulk-parallel semantics (``&``, ``|``, ``~``) the
+hardware exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+
+class BitVector:
+    """A fixed-width vector of per-virtual-channel status bits."""
+
+    __slots__ = ("width", "_bits", "_mask")
+
+    def __init__(self, width: int, bits: int = 0) -> None:
+        if width <= 0:
+            raise ValueError(f"BitVector width must be positive, got {width}")
+        self.width = width
+        self._mask = (1 << width) - 1
+        if bits & ~self._mask:
+            raise ValueError(f"bits 0x{bits:x} exceed width {width}")
+        self._bits = bits
+
+    # ----- single-bit operations ----------------------------------------
+
+    def set(self, index: int) -> None:
+        """Set bit ``index`` to 1."""
+        self._check(index)
+        self._bits |= 1 << index
+
+    def clear(self, index: int) -> None:
+        """Set bit ``index`` to 0."""
+        self._check(index)
+        self._bits &= ~(1 << index)
+
+    def assign(self, index: int, value: bool) -> None:
+        """Set bit ``index`` to ``value``."""
+        if value:
+            self.set(index)
+        else:
+            self.clear(index)
+
+    def test(self, index: int) -> bool:
+        """Read bit ``index``."""
+        self._check(index)
+        return bool(self._bits >> index & 1)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range [0, {self.width})")
+
+    # ----- bulk operations ------------------------------------------------
+
+    def clear_all(self) -> None:
+        """Reset every bit to 0."""
+        self._bits = 0
+
+    def set_all(self) -> None:
+        """Set every bit to 1."""
+        self._bits = self._mask
+
+    def count(self) -> int:
+        """Population count."""
+        return bin(self._bits).count("1")
+
+    def any(self) -> bool:
+        """True when at least one bit is set."""
+        return self._bits != 0
+
+    def indices(self) -> Iterator[int]:
+        """Yield the set-bit indices in ascending order.
+
+        Walks only the set bits (via two's-complement isolation), so the
+        cost is proportional to the population count, not the width —
+        important when scanning 256-wide vectors every flit cycle.
+        """
+        bits = self._bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    def first_set(self) -> int:
+        """Lowest set-bit index, or -1 when empty (a priority encoder)."""
+        if not self._bits:
+            return -1
+        return (self._bits & -self._bits).bit_length() - 1
+
+    def as_int(self) -> int:
+        """Raw mask value."""
+        return self._bits
+
+    # ----- combinational logic ---------------------------------------------
+
+    def _coerce(self, other: "BitVector") -> int:
+        if self.width != other.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+        return other._bits
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        return BitVector(self.width, self._bits & self._coerce(other))
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        return BitVector(self.width, self._bits | self._coerce(other))
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        return BitVector(self.width, self._bits ^ self._coerce(other))
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(self.width, ~self._bits & self._mask)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.width == other.width and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._bits))
+
+    def __repr__(self) -> str:
+        return f"BitVector(width={self.width}, bits=0x{self._bits:x})"
+
+
+class StatusBank:
+    """The named status vectors associated with one physical link.
+
+    The paper's examples include ``flits_available``, ``input_buffer_full``,
+    ``CBR_service_requested``, ``CBR_bandwidth_serviced`` and
+    ``VBR_bandwidth_serviced``; arbitrary further conditions can be
+    registered.  All vectors in a bank share one width (the VC count).
+    """
+
+    STANDARD_VECTORS = (
+        "flits_available",
+        "credits_available",
+        "input_buffer_full",
+        "cbr_service_requested",
+        "cbr_bandwidth_serviced",
+        "vbr_service_requested",
+        "vbr_bandwidth_serviced",
+        "connection_active",
+    )
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._vectors: Dict[str, BitVector] = {
+            name: BitVector(width) for name in self.STANDARD_VECTORS
+        }
+        # Credits start available: an idle downstream buffer is empty.
+        self._vectors["credits_available"].set_all()
+
+    def vector(self, name: str) -> BitVector:
+        """Fetch (creating on first use) the vector called ``name``."""
+        if name not in self._vectors:
+            self._vectors[name] = BitVector(self.width)
+        return self._vectors[name]
+
+    def names(self) -> List[str]:
+        """All registered vector names."""
+        return sorted(self._vectors)
+
+    def eligible_for_service(self) -> BitVector:
+        """VCs with flits to send and downstream credit — the basic
+        schedulable set, computed as one wide AND (paper §4.1)."""
+        return self._vectors["flits_available"] & self._vectors["credits_available"]
+
+    def cbr_candidates(self) -> BitVector:
+        """The paper's worked example: channels with flits available,
+        credits available, CBR service requested and not yet completely
+        serviced this round."""
+        return (
+            self._vectors["flits_available"]
+            & self._vectors["credits_available"]
+            & self._vectors["cbr_service_requested"]
+            & ~self._vectors["cbr_bandwidth_serviced"]
+        )

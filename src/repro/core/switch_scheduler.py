@@ -1,0 +1,204 @@
+"""Switch scheduling (paper §4.4, §5.1).
+
+The switch scheduler decides, every flit cycle, which input port connects
+to which output port.  The MMR is *input-driven*: each link scheduler
+offers a candidate set, and output conflicts are resolved by priority.
+Three schedulers cover the evaluation:
+
+* :class:`GreedyPriorityScheduler` — the MMR's scheme: all ports scheduled
+  concurrently; conflicts arbitrated by (dynamically biased or fixed)
+  priority, highest first.
+* :class:`DecScheduler` — the Autonet/DEC comparison point [2, 24]:
+  candidates chosen and conflicts arbitrated by random selection through
+  parallel iterative request/grant/accept rounds (PIM).
+* :class:`PerfectSwitchScheduler` — the lower-bound switch with N-times
+  internal bandwidth: every input transmits its best candidate, outputs
+  never conflict.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.rng import SeededRng
+from .link_scheduler import Candidate
+
+
+@dataclass(frozen=True)
+class Grant:
+    """One scheduled transmission: input port, VC and output port."""
+
+    input_port: int
+    vc_index: int
+    output_port: int
+
+
+class SwitchScheduler(abc.ABC):
+    """Turns per-input candidate sets into a set of grants."""
+
+    name: str = "abstract"
+    #: True when the backing switch can accept several flits per output
+    #: per cycle (only the perfect switch).
+    output_concurrency: int = 1
+
+    @abc.abstractmethod
+    def schedule(
+        self, candidate_lists: Sequence[List[Candidate]], now: int
+    ) -> List[Grant]:
+        """Compute the grants for this flit cycle.
+
+        ``candidate_lists[p]`` is input port ``p``'s candidate set, in the
+        link scheduler's preference order.  Every returned grant must use
+        each input port at most once and respect the output concurrency.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class GreedyPriorityScheduler(SwitchScheduler):
+    """The MMR input-driven scheme: global priority-ordered matching.
+
+    All candidates from all ports are considered together, highest
+    priority first; a candidate is granted when both its input port and
+    its output port are still free.  This models concurrent per-output
+    arbiters with priority selection, resolved consistently.
+    """
+
+    name = "greedy"
+
+    def schedule(
+        self, candidate_lists: Sequence[List[Candidate]], now: int
+    ) -> List[Grant]:
+        merged: List[Candidate] = []
+        for candidates in candidate_lists:
+            merged.extend(candidates)
+        merged.sort(key=Candidate.sort_key)
+        grants: List[Grant] = []
+        inputs_used = set()
+        outputs_used = set()
+        for candidate in merged:
+            if candidate.input_port in inputs_used:
+                continue
+            if candidate.output_port in outputs_used:
+                continue
+            inputs_used.add(candidate.input_port)
+            outputs_used.add(candidate.output_port)
+            grants.append(
+                Grant(candidate.input_port, candidate.vc_index, candidate.output_port)
+            )
+        return grants
+
+
+class DecScheduler(SwitchScheduler):
+    """Autonet/DEC-style scheduling: parallel iterative random matching.
+
+    Anderson et al.'s high-speed switch scheduling for the DEC AN2
+    (the Autonet successor) performs repeated request/grant/accept rounds
+    with uniformly random selections.  Priorities are ignored entirely —
+    the scheme optimises matching size, not QoS.
+    """
+
+    name = "dec"
+
+    def __init__(self, rng: SeededRng, iterations: int = 4) -> None:
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        self.rng = rng
+        self.iterations = iterations
+
+    def schedule(
+        self, candidate_lists: Sequence[List[Candidate]], now: int
+    ) -> List[Grant]:
+        # Remaining candidate sets per unmatched input.
+        remaining: Dict[int, List[Candidate]] = {
+            port: list(candidates)
+            for port, candidates in enumerate(candidate_lists)
+            if candidates
+        }
+        grants: List[Grant] = []
+        outputs_used = set()
+        for _ in range(self.iterations):
+            if not remaining:
+                break
+            # Request phase: each input requests every free output it has a
+            # candidate for.
+            requests: Dict[int, List[Candidate]] = {}
+            for candidates in remaining.values():
+                for candidate in candidates:
+                    if candidate.output_port not in outputs_used:
+                        requests.setdefault(candidate.output_port, []).append(
+                            candidate
+                        )
+            if not requests:
+                break
+            # Grant phase: each output grants one random request.
+            granted: Dict[int, List[Candidate]] = {}
+            for output_port, reqs in requests.items():
+                choice = self.rng.choice(reqs)
+                granted.setdefault(choice.input_port, []).append(choice)
+            # Accept phase: each input accepts one random grant.
+            for input_port, offers in granted.items():
+                if input_port not in remaining:
+                    continue
+                accepted = self.rng.choice(offers)
+                grants.append(
+                    Grant(accepted.input_port, accepted.vc_index, accepted.output_port)
+                )
+                outputs_used.add(accepted.output_port)
+                del remaining[input_port]
+        return grants
+
+
+class PerfectSwitchScheduler(SwitchScheduler):
+    """Lower bound: outputs accept any number of flits per cycle.
+
+    Each input simply transmits its highest-preference candidate; only the
+    one-flit-per-input (link bandwidth) constraint remains.
+    """
+
+    name = "perfect"
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports <= 0:
+            raise ValueError(f"num_ports must be positive, got {num_ports}")
+        self.output_concurrency = num_ports
+
+    def schedule(
+        self, candidate_lists: Sequence[List[Candidate]], now: int
+    ) -> List[Grant]:
+        grants: List[Grant] = []
+        for candidates in candidate_lists:
+            if candidates:
+                best = candidates[0]
+                grants.append(Grant(best.input_port, best.vc_index, best.output_port))
+        return grants
+
+
+def validate_grants(
+    grants: Sequence[Grant], num_ports: int, output_concurrency: int = 1
+) -> None:
+    """Assert the structural invariants every scheduler must uphold.
+
+    Used by tests and (cheaply) by the router in checked mode: each input
+    port appears at most once, each output port at most
+    ``output_concurrency`` times, all ports in range.
+    """
+    inputs_seen = set()
+    outputs_count: Dict[int, int] = {}
+    for grant in grants:
+        if not 0 <= grant.input_port < num_ports:
+            raise ValueError(f"grant input port {grant.input_port} out of range")
+        if not 0 <= grant.output_port < num_ports:
+            raise ValueError(f"grant output port {grant.output_port} out of range")
+        if grant.input_port in inputs_seen:
+            raise ValueError(f"input port {grant.input_port} granted twice")
+        inputs_seen.add(grant.input_port)
+        outputs_count[grant.output_port] = outputs_count.get(grant.output_port, 0) + 1
+        if outputs_count[grant.output_port] > output_concurrency:
+            raise ValueError(
+                f"output port {grant.output_port} over-committed "
+                f"({outputs_count[grant.output_port]} > {output_concurrency})"
+            )

@@ -1,0 +1,194 @@
+"""Virtual channel memory: interleaved RAM modules (paper §3.2, Figure 2).
+
+The MMR abandons the traditional queues-plus-multiplexor VC organisation
+(too slow and too large for 256 VCs) in favour of a set of low-order
+interleaved RAM modules.  Each flit is striped phit-by-phit across the
+modules; flits of the same virtual channel occupy adjacent slot groups.
+The link scheduler supplies read addresses, the flow-control circuitry
+supplies write addresses (the VC identifier carried by the control word).
+
+This module is a faithful structural model used to validate the
+addressing, bank-conflict and capacity properties; the performance-path
+router keeps flits in :class:`~repro.core.virtual_channel.VirtualChannel`
+deques, whose FIFO semantics this memory is shown (by tests) to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class VcmGeometry:
+    """Dimensions of one port's virtual channel memory."""
+
+    num_vcs: int
+    flits_per_vc: int
+    phits_per_flit: int
+    num_modules: int
+
+    def __post_init__(self) -> None:
+        if self.num_vcs <= 0:
+            raise ValueError(f"num_vcs must be positive, got {self.num_vcs}")
+        if self.flits_per_vc <= 0:
+            raise ValueError(f"flits_per_vc must be positive, got {self.flits_per_vc}")
+        if self.phits_per_flit <= 0:
+            raise ValueError(
+                f"phits_per_flit must be positive, got {self.phits_per_flit}"
+            )
+        if self.num_modules <= 0:
+            raise ValueError(f"num_modules must be positive, got {self.num_modules}")
+
+    @property
+    def words_per_module(self) -> int:
+        """Capacity of each RAM module, in phit-sized words.
+
+        Total phit capacity divided across modules, rounded up so every
+        (vc, slot, phit) coordinate has a home even when the phit count is
+        not a multiple of the module count.
+        """
+        total_phits = self.num_vcs * self.flits_per_vc * self.phits_per_flit
+        return -(-total_phits // self.num_modules)
+
+    @property
+    def total_flit_capacity(self) -> int:
+        """Total flits the memory can hold."""
+        return self.num_vcs * self.flits_per_vc
+
+
+class AddressGenerator:
+    """Maps (vc, flit slot, phit index) to (module, word address).
+
+    Low-order interleaving: consecutive phits of a flit land in consecutive
+    modules, so a whole flit can be streamed at one phit per module per
+    access cycle.  Flits of one VC occupy adjacent slot groups, matching
+    Figure 2 of the paper.
+    """
+
+    def __init__(self, geometry: VcmGeometry) -> None:
+        self.geometry = geometry
+
+    def linear_index(self, vc: int, slot: int, phit: int) -> int:
+        """Global phit index of coordinate (vc, slot, phit)."""
+        g = self.geometry
+        if not 0 <= vc < g.num_vcs:
+            raise IndexError(f"vc {vc} out of range [0, {g.num_vcs})")
+        if not 0 <= slot < g.flits_per_vc:
+            raise IndexError(f"slot {slot} out of range [0, {g.flits_per_vc})")
+        if not 0 <= phit < g.phits_per_flit:
+            raise IndexError(f"phit {phit} out of range [0, {g.phits_per_flit})")
+        return (vc * g.flits_per_vc + slot) * g.phits_per_flit + phit
+
+    def map(self, vc: int, slot: int, phit: int) -> Tuple[int, int]:
+        """(module, word address) for a phit coordinate (low-order interleave)."""
+        index = self.linear_index(vc, slot, phit)
+        return index % self.geometry.num_modules, index // self.geometry.num_modules
+
+    def modules_for_flit(self, vc: int, slot: int) -> List[int]:
+        """Modules touched when streaming the whole flit at (vc, slot)."""
+        return [
+            self.map(vc, slot, phit)[0]
+            for phit in range(self.geometry.phits_per_flit)
+        ]
+
+
+class VirtualChannelMemory:
+    """One input port's VCM: interleaved modules + per-VC circular slots.
+
+    Stores opaque payloads (the simulator stores flit ids) phit-by-phit.
+    Writes and reads are whole-flit operations, as in the MMR, where the
+    address generator produces the per-module burst.
+    """
+
+    def __init__(self, geometry: VcmGeometry) -> None:
+        self.geometry = geometry
+        self.address_generator = AddressGenerator(geometry)
+        self._modules: List[Dict[int, object]] = [
+            {} for _ in range(geometry.num_modules)
+        ]
+        # Per-VC circular FIFO pointers over the flit slots.
+        self._head = [0] * geometry.num_vcs
+        self._count = [0] * geometry.num_vcs
+        # Bank-conflict accounting: accesses per module.
+        self.module_accesses = [0] * geometry.num_modules
+
+    # ----- occupancy ------------------------------------------------------
+
+    def occupancy(self, vc: int) -> int:
+        """Flits currently stored for ``vc``."""
+        return self._count[vc]
+
+    def is_full(self, vc: int) -> bool:
+        """True when ``vc`` has no free flit slot."""
+        return self._count[vc] >= self.geometry.flits_per_vc
+
+    def is_empty(self, vc: int) -> bool:
+        """True when ``vc`` holds no flits."""
+        return self._count[vc] == 0
+
+    def total_occupancy(self) -> int:
+        """Flits stored across every VC."""
+        return sum(self._count)
+
+    # ----- whole-flit transfers ---------------------------------------------
+
+    def write_flit(self, vc: int, payload: object) -> int:
+        """Store one flit's phits into ``vc``'s next free slot.
+
+        Returns the slot used.  Raises when the VC is full — upstream flow
+        control must prevent that (it is a protocol violation, not an
+        expected runtime condition).
+        """
+        if self.is_full(vc):
+            raise RuntimeError(f"VCM overflow on vc {vc}: flow control failed")
+        slot = (self._head[vc] + self._count[vc]) % self.geometry.flits_per_vc
+        for phit in range(self.geometry.phits_per_flit):
+            module, word = self.address_generator.map(vc, slot, phit)
+            self._modules[module][word] = (payload, phit)
+            self.module_accesses[module] += 1
+        self._count[vc] += 1
+        return slot
+
+    def read_flit(self, vc: int) -> object:
+        """Retrieve (and remove) the oldest flit of ``vc``."""
+        if self.is_empty(vc):
+            raise RuntimeError(f"VCM underflow on vc {vc}")
+        slot = self._head[vc]
+        payload: Optional[object] = None
+        for phit in range(self.geometry.phits_per_flit):
+            module, word = self.address_generator.map(vc, slot, phit)
+            stored, stored_phit = self._modules[module].pop(word)
+            if stored_phit != phit:
+                raise RuntimeError(
+                    f"VCM corruption at vc {vc} slot {slot}: phit {stored_phit} "
+                    f"found where {phit} expected"
+                )
+            payload = stored
+            self.module_accesses[module] += 1
+        self._head[vc] = (slot + 1) % self.geometry.flits_per_vc
+        self._count[vc] -= 1
+        return payload
+
+    def peek_flit(self, vc: int) -> object:
+        """The oldest flit of ``vc`` without removing it."""
+        if self.is_empty(vc):
+            raise RuntimeError(f"VCM underflow on vc {vc}")
+        slot = self._head[vc]
+        module, word = self.address_generator.map(vc, slot, 0)
+        payload, _ = self._modules[module][word]
+        return payload
+
+    # ----- analysis ----------------------------------------------------------
+
+    def access_balance(self) -> float:
+        """Ratio of the busiest to the average module access count.
+
+        1.0 means perfectly balanced interleaving; large values indicate
+        bank hot-spots.  Returns 0.0 before any access.
+        """
+        total = sum(self.module_accesses)
+        if total == 0:
+            return 0.0
+        average = total / len(self.module_accesses)
+        return max(self.module_accesses) / average

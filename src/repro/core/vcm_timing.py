@@ -1,0 +1,152 @@
+"""Pipelined VCM timing model (paper §3.2).
+
+"The number of memory modules and flit size must be selected to balance
+memory access time, link speed, and crossbar switching delay, while
+masking flow control and scheduling delays. ... By designing pipelined
+memory buffer systems we can match increasing external link speeds to
+decreasing intra-router delays."
+
+This model answers the sizing question in time units: given module access
+time, module count and the interleaving, it schedules each phit access on
+its module's timeline and reports whether the memory sustains link rate —
+and if not, where the bank conflicts pile up.  It complements the
+structural :class:`~repro.core.vcm.VirtualChannelMemory` (which proves
+FIFO correctness) and :func:`~repro.core.costmodel.vcm_cycle_budget`
+(which gives the closed-form average); this is the cycle-accurate check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .vcm import AddressGenerator, VcmGeometry
+
+
+@dataclass(frozen=True)
+class VcmTimingConfig:
+    """Timing parameters of the memory system."""
+
+    geometry: VcmGeometry
+    #: One module's access (cycle) time, in phit times on the link.
+    access_phit_times: float
+    #: Pipeline depth: accesses a module can have in flight.  1 models a
+    #: plain SRAM; >1 models the paper's pipelined memory buffers.
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if self.access_phit_times <= 0:
+            raise ValueError(
+                f"access_phit_times must be positive, got {self.access_phit_times}"
+            )
+        if self.pipeline_depth <= 0:
+            raise ValueError(
+                f"pipeline_depth must be positive, got {self.pipeline_depth}"
+            )
+
+    @property
+    def module_throughput(self) -> float:
+        """Phits per phit-time one module sustains."""
+        return self.pipeline_depth / self.access_phit_times
+
+    @property
+    def array_throughput(self) -> float:
+        """Phits per phit-time the whole module array sustains."""
+        return self.module_throughput * self.geometry.num_modules
+
+    @property
+    def sustains_link_rate(self) -> bool:
+        """Can the array absorb one phit per phit time indefinitely?"""
+        return self.array_throughput >= 1.0
+
+
+@dataclass
+class AccessTimeline:
+    """Result of scheduling a phit stream against the module array."""
+
+    #: Completion time (in phit times) of the last access.
+    finish_time: float
+    #: Phits that had to wait on a busy module.
+    conflicts: int
+    #: Largest single wait, in phit times.
+    worst_wait: float
+    #: Phits scheduled.
+    accesses: int
+
+    @property
+    def slowdown(self) -> float:
+        """finish_time over the ideal (1 phit per phit time)."""
+        return self.finish_time / self.accesses if self.accesses else 0.0
+
+
+def schedule_flit_stream(
+    config: VcmTimingConfig,
+    flit_addresses: Sequence[Tuple[int, int]],
+) -> AccessTimeline:
+    """Schedule whole-flit writes arriving back to back at link rate.
+
+    ``flit_addresses`` lists (vc, slot) per flit; phits arrive one per
+    phit time and are dispatched to their interleaved module, queueing
+    when the module's pipeline is full.
+    """
+    generator = AddressGenerator(config.geometry)
+    # Each module's pipeline: completion times of in-flight accesses.
+    in_flight: List[List[float]] = [[] for _ in range(config.geometry.num_modules)]
+    time = 0.0
+    conflicts = 0
+    worst_wait = 0.0
+    accesses = 0
+    for vc, slot in flit_addresses:
+        for phit in range(config.geometry.phits_per_flit):
+            arrival = float(accesses)  # one phit per phit time off the link
+            module, _ = generator.map(vc, slot, phit)
+            pipeline = in_flight[module]
+            # Retire finished accesses.
+            pipeline[:] = [t for t in pipeline if t > arrival]
+            start = arrival
+            if len(pipeline) >= config.pipeline_depth:
+                # Must wait for the oldest in-flight access to retire.
+                start = min(pipeline)
+                conflicts += 1
+                worst_wait = max(worst_wait, start - arrival)
+                pipeline.remove(min(pipeline))
+            finish = start + config.access_phit_times
+            pipeline.append(finish)
+            time = max(time, finish)
+            accesses += 1
+    return AccessTimeline(time, conflicts, worst_wait, accesses)
+
+
+def sequential_flit_addresses(
+    geometry: VcmGeometry, num_flits: int
+) -> List[Tuple[int, int]]:
+    """A round-robin (vc, slot) pattern: the steady-state arrival mix."""
+    if num_flits <= 0:
+        raise ValueError(f"num_flits must be positive, got {num_flits}")
+    out = []
+    for i in range(num_flits):
+        vc = i % geometry.num_vcs
+        slot = (i // geometry.num_vcs) % geometry.flits_per_vc
+        out.append((vc, slot))
+    return out
+
+
+def required_modules(
+    access_phit_times: float, pipeline_depth: int = 1
+) -> int:
+    """Fewest modules that sustain link rate at the given access time.
+
+    The §3.2 sizing rule solved for the module count: the array must
+    complete one access per phit time.
+    """
+    if access_phit_times <= 0:
+        raise ValueError(
+            f"access_phit_times must be positive, got {access_phit_times}"
+        )
+    if pipeline_depth <= 0:
+        raise ValueError(f"pipeline_depth must be positive, got {pipeline_depth}")
+    needed = access_phit_times / pipeline_depth
+    modules = int(needed)
+    if modules < needed:
+        modules += 1
+    return max(1, modules)

@@ -1,0 +1,165 @@
+"""Virtual channel state.
+
+Each input port of the MMR hosts a large set of virtual channels (256 in
+the evaluation).  A virtual channel holds a small fixed-size flit buffer
+plus the per-connection scheduling state the link scheduler consults:
+service class, allocated bandwidth, dynamic priority, and round-serviced
+accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from .flit import Flit
+
+
+class ServiceClass(enum.Enum):
+    """Traffic classes the scheduler distinguishes (paper §2, §3.4)."""
+
+    CBR = "cbr"  # constant bit rate connection (PCS)
+    VBR = "vbr"  # variable bit rate connection (PCS)
+    CONTROL = "control"  # control packets: above data streams
+    BEST_EFFORT = "best_effort"  # below data streams
+
+
+class VirtualChannel:
+    """One virtual channel: a bounded flit FIFO plus scheduling state.
+
+    ``ready_time`` is stamped on a flit when it becomes the channel head:
+    the head flit of a VC is what competes for the switch, so the paper's
+    delay metric starts counting from that moment.
+    """
+
+    __slots__ = (
+        "port",
+        "index",
+        "capacity",
+        "buffer",
+        "connection_id",
+        "service_class",
+        "output_port",
+        "output_vc",
+        "allocated_cycles",
+        "permanent_cycles",
+        "peak_cycles",
+        "static_priority",
+        "interarrival_cycles",
+        "serviced_this_round",
+        "history",
+    )
+
+    def __init__(self, port: int, index: int, capacity: int) -> None:
+        self.port = port
+        self.index = index
+        self.capacity = capacity
+        self.buffer: Deque[Flit] = deque()
+        # Connection binding (None when the VC is free).
+        self.connection_id: Optional[int] = None
+        self.service_class: ServiceClass = ServiceClass.BEST_EFFORT
+        self.output_port: int = -1
+        self.output_vc: int = -1
+        # Bandwidth state (flit cycles per round).
+        self.allocated_cycles: int = 0  # CBR allocation / VBR not used
+        self.permanent_cycles: int = 0  # VBR permanent bandwidth
+        self.peak_cycles: int = 0  # VBR peak bandwidth
+        # Priorities.
+        self.static_priority: float = 0.0
+        # Mean flit inter-arrival period, in cycles (drives biased priority).
+        self.interarrival_cycles: float = 1.0
+        # Flit cycles consumed in the current round.
+        self.serviced_this_round: int = 0
+        # Output links already probed from this VC (EPB history store, §3.5).
+        self.history: set = set()
+
+    # ----- connection binding ---------------------------------------------
+
+    @property
+    def is_free(self) -> bool:
+        """True when no connection is bound and the buffer is empty."""
+        return self.connection_id is None and not self.buffer
+
+    def bind(
+        self,
+        connection_id: int,
+        service_class: ServiceClass,
+        output_port: int,
+        output_vc: int = -1,
+    ) -> None:
+        """Reserve this VC for a connection."""
+        if self.connection_id is not None:
+            raise RuntimeError(
+                f"VC {self.port}.{self.index} already bound to connection "
+                f"{self.connection_id}"
+            )
+        self.connection_id = connection_id
+        self.service_class = service_class
+        self.output_port = output_port
+        self.output_vc = output_vc
+
+    def release(self) -> None:
+        """Free the VC (connection torn down or packet fully sent)."""
+        if self.buffer:
+            raise RuntimeError(
+                f"cannot release VC {self.port}.{self.index}: "
+                f"{len(self.buffer)} flits still buffered"
+            )
+        self.connection_id = None
+        self.service_class = ServiceClass.BEST_EFFORT
+        self.output_port = -1
+        self.output_vc = -1
+        self.allocated_cycles = 0
+        self.permanent_cycles = 0
+        self.peak_cycles = 0
+        self.static_priority = 0.0
+        self.interarrival_cycles = 1.0
+        self.serviced_this_round = 0
+        self.history.clear()
+
+    # ----- buffer operations -----------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        """Flits currently buffered."""
+        return len(self.buffer)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the buffer cannot accept another flit."""
+        return len(self.buffer) >= self.capacity
+
+    def enqueue(self, flit: Flit, now: int) -> None:
+        """Accept an arriving flit; stamps ready_time if it becomes head."""
+        if self.is_full:
+            raise RuntimeError(
+                f"VC {self.port}.{self.index} overflow: flow control failed"
+            )
+        if not self.buffer:
+            flit.ready_time = now
+        self.buffer.append(flit)
+
+    def head(self) -> Optional[Flit]:
+        """The flit competing for the switch, or None."""
+        return self.buffer[0] if self.buffer else None
+
+    def dequeue(self, now: int) -> Flit:
+        """Remove the head flit (it won switch arbitration at ``now``)."""
+        if not self.buffer:
+            raise RuntimeError(f"VC {self.port}.{self.index} empty")
+        flit = self.buffer.popleft()
+        if self.buffer:
+            successor = self.buffer[0]
+            # The next flit becomes head now; it cannot have been ready
+            # before it arrived, nor before its predecessor left.
+            if successor.ready_time is None:
+                successor.ready_time = now
+        return flit
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualChannel(port={self.port}, index={self.index}, "
+            f"conn={self.connection_id}, class={self.service_class.value}, "
+            f"occupancy={self.occupancy}/{self.capacity})"
+        )

@@ -1,0 +1,56 @@
+"""Experiment harnesses: the paper's evaluation and design-space sweeps."""
+
+from .figures import (
+    DEFAULT_LOADS,
+    FigureData,
+    clear_cache,
+    figure3,
+    figure4,
+    figure5,
+    run_point,
+)
+from .report import ascii_plot, format_series, format_table
+from .single_router import (
+    PAPER_CONFIG,
+    ExperimentResult,
+    ExperimentSpec,
+    run_single_router_experiment,
+)
+from .export import (
+    figure_to_dict,
+    result_to_dict,
+    write_figure_csv,
+    write_figure_json,
+    write_result_json,
+)
+from .saturation import SaturationEstimate, find_saturation_load, is_saturated
+from .sweep import SweepAxis, SweepResult, build_spec, run_sweep
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "FigureData",
+    "clear_cache",
+    "figure3",
+    "figure4",
+    "figure5",
+    "run_point",
+    "ascii_plot",
+    "format_series",
+    "format_table",
+    "PAPER_CONFIG",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "run_single_router_experiment",
+    "SweepAxis",
+    "SweepResult",
+    "build_spec",
+    "run_sweep",
+    "figure_to_dict",
+    "result_to_dict",
+    "write_figure_csv",
+    "write_figure_json",
+    "write_result_json",
+    "SaturationEstimate",
+    "find_saturation_load",
+    "is_saturated",
+]

@@ -1,0 +1,106 @@
+"""Result export: JSON and CSV records of experiments and figures.
+
+A reproduction is only useful if its numbers leave the process: this
+module serialises experiment results and figure series so EXPERIMENTS.md
+(and downstream analysis) can be regenerated mechanically.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Dict, Mapping, TextIO
+
+from .figures import FigureData
+from .single_router import ExperimentResult, ExperimentSpec
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
+    """A JSON-safe record of an experiment spec (config flattened)."""
+    record = dataclasses.asdict(spec)
+    record["config"] = dataclasses.asdict(spec.config)
+    return record
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """A JSON-safe record of one experiment outcome."""
+    return {
+        "spec": spec_to_dict(result.spec),
+        "offered_load": result.offered_load,
+        "connections": result.connections,
+        "utilisation": result.utilisation,
+        "max_interface_backlog": result.max_interface_backlog,
+        "flit_weighted": {
+            "mean_delay_cycles": result.summary.mean_delay_cycles,
+            "mean_delay_us": result.mean_delay_us,
+            "mean_jitter_cycles": result.summary.mean_jitter_cycles,
+            "flits_delivered": result.summary.flits_delivered,
+        },
+        "per_connection": {
+            "mean_delay_cycles": result.per_connection.mean_delay_cycles,
+            "mean_jitter_cycles": result.per_connection.mean_jitter_cycles,
+            "connections": result.per_connection.connections,
+        },
+        "per_rate": {
+            str(rate): {
+                "connections": summary.connections,
+                "mean_delay_cycles": summary.mean_delay_cycles,
+                "mean_jitter_cycles": summary.mean_jitter_cycles,
+                "flits": summary.flits_delivered,
+            }
+            for rate, summary in sorted(result.per_rate.items())
+        },
+    }
+
+
+def write_result_json(result: ExperimentResult, stream: TextIO) -> None:
+    """Serialise one experiment result as pretty-printed JSON."""
+    json.dump(result_to_dict(result), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def figure_to_dict(figure: FigureData) -> Dict[str, Any]:
+    """A JSON-safe record of one figure's series."""
+    return {
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "xs": list(figure.xs),
+        "series": {name: list(values) for name, values in figure.series.items()},
+    }
+
+
+def write_figure_json(figure: FigureData, stream: TextIO) -> None:
+    """Serialise one figure as JSON."""
+    json.dump(figure_to_dict(figure), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def write_figure_csv(figure: FigureData, stream: TextIO) -> None:
+    """Serialise one figure as CSV (x column + one column per curve)."""
+    writer = csv.writer(stream)
+    names = list(figure.series)
+    writer.writerow([figure.x_label] + names)
+    for i, x in enumerate(figure.xs):
+        writer.writerow([x] + [figure.series[name][i] for name in names])
+
+
+def figure_from_dict(payload: Mapping[str, Any]) -> FigureData:
+    """Rebuild a :class:`FigureData` from :func:`figure_to_dict` output."""
+    return FigureData(
+        title=str(payload["title"]),
+        x_label=str(payload["x_label"]),
+        xs=[float(x) for x in payload["xs"]],
+        series={
+            str(name): [float(v) for v in values]
+            for name, values in dict(payload["series"]).items()
+        },
+    )
+
+
+def round_trip_figure(figure: FigureData) -> FigureData:
+    """JSON round trip (used by tests to prove losslessness)."""
+    buffer = io.StringIO()
+    write_figure_json(figure, buffer)
+    return figure_from_dict(json.loads(buffer.getvalue()))

@@ -1,0 +1,224 @@
+"""Regeneration of the paper's Figures 3-5 (paper §5.2).
+
+* Figure 3 — jitter vs offered load, fixed vs biased priorities, at 1/2
+  candidates and 4/8 candidates.
+* Figure 4 — delay (microseconds) vs offered load, same grid.
+* Figure 5 — delay and jitter vs offered load for biased, fixed, DEC
+  (Autonet) and the perfect switch, all at 8 candidates.
+
+Figures 3 and 4 are two views of one experiment grid, so results are
+cached per spec and shared.  Every run prints the series as a table (the
+same rows the paper plots); the benchmark suite wraps these functions
+with pytest-benchmark timing.
+
+Run standalone::
+
+    python -m repro.harness.figures fig3 [--full]
+    python -m repro.harness.figures all  --full   # paper-scale cycles
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .report import format_series
+from .single_router import ExperimentResult, ExperimentSpec, run_single_router_experiment
+
+#: Offered-load axis (the paper sweeps roughly 10%..95%).
+DEFAULT_LOADS: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+#: Quick profile: enough cycles for stable sub-saturation statistics.
+QUICK_CYCLES = {"warmup_cycles": 5000, "measure_cycles": 20000}
+#: Full profile: the paper's ~100k-cycle measurement window.
+FULL_CYCLES = {"warmup_cycles": 20000, "measure_cycles": 100000}
+
+_cache: Dict[ExperimentSpec, ExperimentResult] = {}
+
+
+def run_point(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment point, memoised on the full spec."""
+    result = _cache.get(spec)
+    if result is None:
+        result = run_single_router_experiment(spec)
+        _cache[spec] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Drop memoised results (tests use this for isolation)."""
+    _cache.clear()
+
+
+@dataclass
+class FigureData:
+    """One figure's series, ready for tabulation or plotting."""
+
+    title: str
+    x_label: str
+    xs: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def table(self, precision: int = 3) -> str:
+        """The figure as an aligned text table."""
+        return format_series(self.title, self.x_label, self.xs, self.series, precision)
+
+
+def _cycles(full: bool) -> dict:
+    return FULL_CYCLES if full else QUICK_CYCLES
+
+
+def _grid_specs(
+    loads: Sequence[float],
+    combos: Iterable[Tuple[str, str, int]],
+    full: bool,
+    seed: int,
+) -> Dict[Tuple[str, str, int, float], ExperimentSpec]:
+    cycles = _cycles(full)
+    specs = {}
+    for scheduler, priority, candidates in combos:
+        for load in loads:
+            specs[(scheduler, priority, candidates, load)] = ExperimentSpec(
+                target_load=load,
+                scheduler=scheduler,
+                priority=priority,
+                candidates=candidates,
+                seed=seed,
+                **cycles,
+            )
+    return specs
+
+
+def _series_label(priority: str, candidates: int) -> str:
+    return f"{candidates}C {priority}"
+
+
+def _fig34_grid(
+    loads: Sequence[float],
+    candidates: Sequence[int],
+    full: bool,
+    seed: int,
+) -> Dict[Tuple[str, str, int, float], ExperimentResult]:
+    combos = [
+        ("greedy", priority, c) for priority in ("biased", "fixed") for c in candidates
+    ]
+    specs = _grid_specs(loads, combos, full, seed)
+    return {key: run_point(spec) for key, spec in specs.items()}
+
+
+def figure3(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    candidates: Sequence[int] = (1, 2, 4, 8),
+    full: bool = False,
+    seed: int = 1,
+) -> FigureData:
+    """Jitter vs offered load for fixed and biased priorities."""
+    results = _fig34_grid(loads, candidates, full, seed)
+    data = FigureData(
+        title="Figure 3: Jitter vs Offered Load (flit cycles), 1.24 Gb links",
+        x_label="load",
+        xs=list(loads),
+    )
+    for c in candidates:
+        for priority in ("biased", "fixed"):
+            data.series[_series_label(priority, c)] = [
+                results[("greedy", priority, c, load)].mean_jitter_cycles
+                for load in loads
+            ]
+    return data
+
+
+def figure4(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    candidates: Sequence[int] = (1, 2, 4, 8),
+    full: bool = False,
+    seed: int = 1,
+) -> FigureData:
+    """Delay (microseconds) vs offered load for fixed and biased."""
+    results = _fig34_grid(loads, candidates, full, seed)
+    data = FigureData(
+        title="Figure 4: Delay vs Offered Load (microseconds), 1.24 Gb links",
+        x_label="load",
+        xs=list(loads),
+    )
+    for c in candidates:
+        for priority in ("biased", "fixed"):
+            data.series[_series_label(priority, c)] = [
+                results[("greedy", priority, c, load)].mean_delay_us
+                for load in loads
+            ]
+    return data
+
+
+#: The four algorithms Figure 5 compares, all with 8 candidates.
+FIGURE5_VARIANTS: Tuple[Tuple[str, str, str], ...] = (
+    ("biased", "greedy", "biased"),
+    ("fixed", "greedy", "fixed"),
+    ("DEC", "dec", "fixed"),
+    ("perfect", "perfect", "biased"),
+)
+
+
+def figure5(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    full: bool = False,
+    seed: int = 1,
+    candidates: int = 8,
+) -> Tuple[FigureData, FigureData]:
+    """Delay and jitter vs load: biased, fixed, DEC, perfect (8 candidates)."""
+    cycles = _cycles(full)
+    delay = FigureData(
+        title="Figure 5a: Delay vs Offered Load (microseconds), 8 candidates",
+        x_label="load",
+        xs=list(loads),
+    )
+    jitter = FigureData(
+        title="Figure 5b: Jitter vs Offered Load (flit cycles), 8 candidates",
+        x_label="load",
+        xs=list(loads),
+    )
+    for label, scheduler, priority in FIGURE5_VARIANTS:
+        delays, jitters = [], []
+        for load in loads:
+            spec = ExperimentSpec(
+                target_load=load,
+                scheduler=scheduler,
+                priority=priority,
+                candidates=candidates,
+                seed=seed,
+                **cycles,
+            )
+            result = run_point(spec)
+            delays.append(result.mean_delay_us)
+            jitters.append(result.mean_jitter_cycles)
+        delay.series[label] = delays
+        jitter.series[label] = jitters
+    return delay, jitter
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: regenerate one figure (or all) and print its table(s)."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    full = "--full" in args
+    args = [a for a in args if not a.startswith("--")]
+    which = args[0] if args else "all"
+    if which not in ("fig3", "fig4", "fig5", "all"):
+        print(f"unknown figure {which!r}; use fig3|fig4|fig5|all [--full]")
+        return 2
+    if which in ("fig3", "all"):
+        print(figure3(full=full).table())
+        print()
+    if which in ("fig4", "all"):
+        print(figure4(full=full).table())
+        print()
+    if which in ("fig5", "all"):
+        delay, jitter = figure5(full=full)
+        print(delay.table())
+        print()
+        print(jitter.table())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

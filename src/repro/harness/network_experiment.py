@@ -1,0 +1,208 @@
+"""Network-level QoS experiments (paper §6 — the MMR project's next step).
+
+The paper evaluates a single router and closes by turning "to supported
+VBR traffic and best-effort traffic" in networks.  This harness runs the
+natural extension study: CBR connections established by EPB across a
+multi-router cluster, measuring end-to-end delay and jitter as functions
+of network load and hop count, optionally with best-effort background
+traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import RouterConfig
+from ..core.priority import make_priority_scheme
+from ..network.connection import ConnectionManager
+from ..network.interface import NetworkInterface, OpenStream
+from ..network.network import Network
+from ..network.topology import Topology, irregular
+from ..sim.engine import Simulator
+from ..sim.rng import SeededRng
+from ..sim.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class NetworkExperimentSpec:
+    """One network-level experiment point."""
+
+    #: Target mean utilisation of router-to-router links (0..1).
+    target_link_load: float
+    num_nodes: int = 12
+    mean_degree: float = 3.0
+    priority: str = "biased"
+    #: Best-effort packets per node per 100 cycles (0 disables).
+    best_effort_rate: float = 0.0
+    vcs_per_port: int = 64
+    round_factor: int = 8
+    warmup_cycles: int = 5000
+    measure_cycles: int = 20000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_link_load <= 1.0:
+            raise ValueError(
+                f"target_link_load must be in (0, 1], got {self.target_link_load}"
+            )
+        if self.num_nodes < 2:
+            raise ValueError(f"need at least 2 nodes, got {self.num_nodes}")
+        if self.best_effort_rate < 0:
+            raise ValueError(
+                f"best_effort_rate must be >= 0, got {self.best_effort_rate}"
+            )
+
+
+@dataclass
+class NetworkExperimentResult:
+    """Measured outcome of one network experiment."""
+
+    spec: NetworkExperimentSpec
+    streams: int
+    attempts: int
+    mean_hops: float
+    #: End-to-end per-flit statistics across all delivered stream flits.
+    delay_cycles: RunningStats
+    jitter_cycles: RunningStats
+    #: Grouped by path length.
+    by_hops: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    best_effort_delivered: int = 0
+    links_searched: int = 0
+    backtracks: int = 0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Established streams over establishment attempts."""
+        return self.streams / self.attempts if self.attempts else 0.0
+
+    @property
+    def delay_per_hop(self) -> float:
+        """Mean end-to-end delay normalised by mean path length."""
+        return self.delay_cycles.mean / self.mean_hops if self.mean_hops else 0.0
+
+
+def run_network_experiment(
+    spec: NetworkExperimentSpec,
+    topology: Optional[Topology] = None,
+) -> NetworkExperimentResult:
+    """Build the cluster, load it with CBR streams to the target link
+    utilisation, run, and summarise end-to-end QoS."""
+    rng = SeededRng(spec.seed, "network-experiment")
+    if topology is None:
+        topology = irregular(
+            spec.num_nodes, rng.spawn("topology"), mean_degree=spec.mean_degree
+        )
+    config = RouterConfig(
+        num_ports=topology.num_ports,
+        vcs_per_port=spec.vcs_per_port,
+        round_factor=spec.round_factor,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(
+        topology,
+        config,
+        make_priority_scheme(spec.priority),
+        sim,
+        rng.spawn("network"),
+    )
+    manager = ConnectionManager(network)
+    interfaces = [
+        NetworkInterface(network, manager, node, rng=rng.spawn(f"ni{node}"))
+        for node in range(topology.num_nodes)
+    ]
+
+    # Admit streams until the mean router-to-router link utilisation
+    # reaches the target (or admissions stop succeeding).
+    demand_rng = rng.spawn("demand")
+    streams: List[Tuple[int, OpenStream]] = []
+    attempts = 0
+    consecutive_failures = 0
+    while consecutive_failures < 25:
+        if _mean_link_utilisation(network, topology) >= spec.target_link_load:
+            break
+        src = demand_rng.randint(0, topology.num_nodes - 1)
+        dst = demand_rng.randint(0, topology.num_nodes - 1)
+        if src == dst:
+            continue
+        attempts += 1
+        rate = demand_rng.choice((5e6, 20e6, 55e6, 120e6))
+        stream = interfaces[src].open_cbr(dst, rate)
+        if stream is None:
+            consecutive_failures += 1
+            continue
+        consecutive_failures = 0
+        streams.append((dst, stream))
+
+    if spec.best_effort_rate > 0:
+        be_rng = rng.spawn("be")
+        interval = 100.0 / spec.best_effort_rate
+
+        def chatter():
+            src = be_rng.randint(0, topology.num_nodes - 1)
+            dst = be_rng.randint(0, topology.num_nodes - 1)
+            if src != dst:
+                interfaces[src].send_best_effort(dst)
+            sim.schedule(max(1, round(be_rng.expovariate(1.0 / interval))), chatter)
+
+        for node in range(topology.num_nodes):
+            sim.schedule(1 + node, chatter)
+
+    sim.run(spec.warmup_cycles)
+    for ni in interfaces:
+        ni.end_to_end.clear()
+        ni.flits_received = 0
+        ni.packets_received = 0
+    sim.run(spec.measure_cycles)
+
+    delay = RunningStats()
+    jitter = RunningStats()
+    hop_groups: Dict[int, Tuple[RunningStats, RunningStats]] = {}
+    hops_total = 0.0
+    for dst, stream in streams:
+        stats = interfaces[dst].end_to_end.get(stream.connection.connection_id)
+        hops_total += stream.connection.hops
+        if stats is None or stats.flits == 0:
+            continue
+        delay.merge(_clone(stats.delay))
+        jitter.merge(_clone(stats.jitter))
+        hops = stream.connection.hops
+        if hops not in hop_groups:
+            hop_groups[hops] = (RunningStats(), RunningStats())
+        hop_groups[hops][0].merge(_clone(stats.delay))
+        hop_groups[hops][1].merge(_clone(stats.jitter))
+    return NetworkExperimentResult(
+        spec=spec,
+        streams=len(streams),
+        attempts=attempts,
+        mean_hops=hops_total / len(streams) if streams else 0.0,
+        delay_cycles=delay,
+        jitter_cycles=jitter,
+        by_hops={
+            hops: (d.mean, j.mean) for hops, (d, j) in sorted(hop_groups.items())
+        },
+        best_effort_delivered=sum(ni.packets_received for ni in interfaces),
+        links_searched=manager.stats.links_searched,
+        backtracks=manager.stats.backtracks,
+    )
+
+
+def _mean_link_utilisation(network: Network, topology: Topology) -> float:
+    """Mean committed utilisation over router-to-router output links."""
+    total = 0.0
+    count = 0
+    for node in range(topology.num_nodes):
+        router = network.routers[node]
+        for port in range(topology.num_ports):
+            if topology.neighbor_on_port(node, port) is None:
+                continue
+            total += router.admission.outputs[port].utilisation
+            count += 1
+    return total / count if count else 0.0
+
+
+def _clone(stats: RunningStats) -> RunningStats:
+    clone = RunningStats()
+    clone.merge(stats)
+    return clone

@@ -1,0 +1,101 @@
+"""Tabular reporting for experiment sweeps.
+
+Prints the same rows/series the paper's figures plot, as aligned text
+tables — the benchmark harness pipes these to stdout so a reproduction run
+leaves a readable record next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render rows as an aligned text table.
+
+    Floats are fixed to ``precision`` decimals; everything else is
+    ``str()``-ed.  Columns are right-aligned (numeric convention).
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.{precision}f}")
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(line[col]) for line in rendered)
+        for col in range(len(rendered[0]))
+    ]
+    lines = []
+    for i, cells in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(cells, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    precision: int = 3,
+) -> str:
+    """Render one figure's data: an x column plus one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x] + [values[i] for values in series.values()])
+    return f"{title}\n{format_table(headers, rows, precision)}"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """A rough ASCII rendering of curves, for terminal inspection.
+
+    Not a substitute for the tables — a sanity-check visual of curve
+    ordering and knees.
+    """
+    import math
+
+    points = []
+    for values in series.values():
+        points.extend(v for v in values if v is not None)
+    if not points:
+        return "(no data)"
+    transform = (lambda v: math.log10(max(v, 1e-9))) if logy else (lambda v: v)
+    lo = min(transform(v) for v in points)
+    hi = max(transform(v) for v in points)
+    if hi <= lo:
+        hi = lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for idx, (name, values) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        legend.append(f"{mark}={name}")
+        for x, v in zip(xs, values):
+            if v is None:
+                continue
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((transform(v) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = ["".join(row) for row in grid]
+    lines.append(f"x: [{x_lo:g}, {x_hi:g}]  y: [{lo:g}, {hi:g}]{' (log10)' if logy else ''}")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Saturation-point estimation (paper §5.2).
+
+"Saturation does not appear to occur before 95% load."  A scheduler is
+saturated at a given offered load when it cannot deliver that load: the
+measured switch utilisation falls short of the offered traffic and queues
+grow without bound.  This module estimates each variant's saturation load
+by bisection on the offered-load axis, using two symptoms:
+
+* delivered utilisation below offered load (throughput loss), and
+* interface backlog growing past a threshold (unbounded queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from .single_router import ExperimentResult, ExperimentSpec, run_single_router_experiment
+
+
+@dataclass(frozen=True)
+class SaturationCriteria:
+    """What counts as saturated."""
+
+    #: Delivered utilisation may lag offered load by at most this much.
+    utilisation_slack: float = 0.03
+    #: Interface backlog (flits held upstream by flow control) beyond this
+    #: indicates unbounded queue growth over the window.
+    backlog_limit: int = 64
+
+
+def is_saturated(
+    result: ExperimentResult, criteria: SaturationCriteria = SaturationCriteria()
+) -> bool:
+    """Judge one experiment outcome against the criteria."""
+    throughput_loss = result.offered_load - result.utilisation
+    if throughput_loss > criteria.utilisation_slack:
+        return True
+    return result.max_interface_backlog > criteria.backlog_limit
+
+
+@dataclass
+class SaturationEstimate:
+    """Outcome of a bisection run."""
+
+    #: Highest load measured unsaturated.
+    stable_load: float
+    #: Lowest load measured saturated (1.0 when never observed).
+    saturated_load: float
+    #: Every point evaluated, as (offered load, saturated?).
+    samples: List[Tuple[float, bool]]
+
+    @property
+    def estimate(self) -> float:
+        """Midpoint of the bracketing interval."""
+        return (self.stable_load + self.saturated_load) / 2.0
+
+
+def find_saturation_load(
+    base: ExperimentSpec,
+    low: float = 0.4,
+    high: float = 0.98,
+    tolerance: float = 0.02,
+    criteria: SaturationCriteria = SaturationCriteria(),
+) -> SaturationEstimate:
+    """Bisect the offered-load axis for ``base``'s scheduler variant.
+
+    ``base.target_load`` is ignored; all other spec fields (scheduler,
+    priority, candidates, config, cycle counts, seed) are preserved.
+    Monotonicity of saturation in load is assumed — true for this system,
+    where higher admitted load only adds connections.
+    """
+    if not 0.0 < low < high <= 1.0:
+        raise ValueError(f"need 0 < low < high <= 1, got [{low}, {high}]")
+    samples: List[Tuple[float, bool]] = []
+
+    def probe(load: float) -> bool:
+        result = run_single_router_experiment(replace(base, target_load=load))
+        saturated = is_saturated(result, criteria)
+        samples.append((load, saturated))
+        return saturated
+
+    if probe(low):
+        # Saturated even at the bottom of the bracket.
+        return SaturationEstimate(0.0, low, samples)
+    if not probe(high):
+        return SaturationEstimate(high, 1.0, samples)
+    stable, saturated = low, high
+    while saturated - stable > tolerance:
+        mid = (stable + saturated) / 2.0
+        if probe(mid):
+            saturated = mid
+        else:
+            stable = mid
+    return SaturationEstimate(stable, saturated, samples)

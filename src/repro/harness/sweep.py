@@ -1,0 +1,86 @@
+"""Generic parameter sweeps over the single-router experiment.
+
+The figure harness covers the paper's evaluation grid; this module covers
+the *design-space* sweeps DESIGN.md's ablation index calls for — candidate
+counts, round factors, VC counts, flit sizes — by generating spec grids
+from a base spec plus per-axis overrides.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.config import RouterConfig
+from .single_router import ExperimentResult, ExperimentSpec, run_single_router_experiment
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: its name and values.
+
+    ``target`` says where the parameter lives: 'spec' for
+    :class:`ExperimentSpec` fields, 'config' for :class:`RouterConfig`
+    fields (applied with ``config.with_``).
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+    target: str = "spec"
+
+    def __post_init__(self) -> None:
+        if self.target not in ("spec", "config"):
+            raise ValueError(f"unknown axis target {self.target!r}")
+        if not self.values:
+            raise ValueError(f"axis {self.name} has no values")
+
+
+@dataclass
+class SweepResult:
+    """All results of one sweep, keyed by the axis-value tuples."""
+
+    axes: Tuple[SweepAxis, ...]
+    results: Dict[Tuple[Any, ...], ExperimentResult] = field(default_factory=dict)
+
+    def column(self, metric: str) -> Dict[Tuple[Any, ...], float]:
+        """Extract one metric across the grid.
+
+        ``metric`` is an attribute of :class:`ExperimentResult`
+        (``mean_delay_us``, ``mean_jitter_cycles``, ``utilisation``, ...).
+        """
+        return {key: getattr(result, metric) for key, result in self.results.items()}
+
+    def rows(self, metrics: Sequence[str]) -> List[List[Any]]:
+        """Table rows: axis values followed by the requested metrics."""
+        out = []
+        for key in sorted(self.results, key=str):
+            result = self.results[key]
+            out.append(list(key) + [getattr(result, m) for m in metrics])
+        return out
+
+
+def build_spec(base: ExperimentSpec, assignment: Mapping[str, Tuple[str, Any]]) -> ExperimentSpec:
+    """Apply one grid point's axis assignment to the base spec."""
+    spec_overrides = {
+        name: value for name, (target, value) in assignment.items() if target == "spec"
+    }
+    config_overrides = {
+        name: value for name, (target, value) in assignment.items() if target == "config"
+    }
+    spec = replace(base, **spec_overrides) if spec_overrides else base
+    if config_overrides:
+        spec = replace(spec, config=spec.config.with_(**config_overrides))
+    return spec
+
+
+def run_sweep(base: ExperimentSpec, axes: Sequence[SweepAxis]) -> SweepResult:
+    """Run the full cartesian product of the axes over the base spec."""
+    sweep = SweepResult(tuple(axes))
+    for values in itertools.product(*(axis.values for axis in axes)):
+        assignment = {
+            axis.name: (axis.target, value) for axis, value in zip(axes, values)
+        }
+        spec = build_spec(base, assignment)
+        sweep.results[values] = run_single_router_experiment(spec)
+    return sweep

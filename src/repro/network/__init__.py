@@ -1,0 +1,38 @@
+"""Multi-router networks: topologies, wiring, connections, interfaces."""
+
+from .connection import ConnectionManager, EstablishmentStats, NetworkConnection
+from .interface import NetworkInterface, OpenStream
+from .network import Network
+from .policing import PolicerReport, TokenBucket, report
+from .probe_protocol import CONTROL_HOP_CYCLES, ProbeProtocol, ProbeSession
+from .topology import (
+    Topology,
+    TopologyError,
+    hypercube,
+    irregular,
+    mesh,
+    ring,
+    torus,
+)
+
+__all__ = [
+    "ConnectionManager",
+    "EstablishmentStats",
+    "NetworkConnection",
+    "NetworkInterface",
+    "OpenStream",
+    "Network",
+    "PolicerReport",
+    "CONTROL_HOP_CYCLES",
+    "ProbeProtocol",
+    "ProbeSession",
+    "TokenBucket",
+    "report",
+    "Topology",
+    "TopologyError",
+    "hypercube",
+    "irregular",
+    "mesh",
+    "ring",
+    "torus",
+]

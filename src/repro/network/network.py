@@ -1,0 +1,249 @@
+"""Multi-router MMR network (paper §1, §3.5).
+
+Routers are instantiated per topology node and wired link-by-link:
+
+* a flit leaving router ``u`` through port ``p`` arrives, after the link
+  latency, in the matching virtual channel of router ``v``'s input port;
+* credits flow the other way when the downstream VC frees a slot;
+* host ports connect to :class:`~repro.network.interface.NetworkInterface`
+  objects that inject traffic and collect end-to-end statistics.
+
+Best-effort packets are routed hop by hop with the adaptive algorithm
+(minimal adaptive hops with an up*/down* escape), reserving a virtual
+channel at the next router before forwarding, exactly as §3.4 describes
+("If the requested output link has free virtual channels at the next
+router, a virtual channel is reserved ... otherwise the packet is
+blocked").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.config import RouterConfig
+from ..core.flit import Flit, FlitType
+from ..core.priority import PriorityScheme
+from ..core.router import Router
+from ..core.switch_scheduler import GreedyPriorityScheduler, SwitchScheduler
+from ..core.virtual_channel import ServiceClass
+from ..routing.adaptive import AdaptiveRouter
+from ..sim.engine import Simulator
+from ..sim.rng import SeededRng
+from ..sim.stats import StatsRegistry
+from .topology import Topology
+
+# Callback for flits reaching a host port: (node, host_port, flit).
+HostDelivery = Callable[[int, int, Flit], None]
+
+
+class Network:
+    """A cluster of MMR routers over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: RouterConfig,
+        scheme: PriorityScheme,
+        sim: Simulator,
+        rng: SeededRng,
+        scheduler_factory: Optional[Callable[[int], SwitchScheduler]] = None,
+        link_latency: int = 1,
+        selection: str = "per_output",
+    ) -> None:
+        if link_latency < 1:
+            raise ValueError(f"link_latency must be >= 1, got {link_latency}")
+        if config.num_ports < topology.num_ports:
+            raise ValueError(
+                f"router has {config.num_ports} ports but topology needs "
+                f"{topology.num_ports}"
+            )
+        self.topology = topology
+        self.config = config
+        self.sim = sim
+        self.rng = rng
+        self.link_latency = link_latency
+        self.stats = StatsRegistry()
+        self.adaptive = AdaptiveRouter(topology)
+        if scheduler_factory is None:
+            scheduler_factory = lambda node: GreedyPriorityScheduler()  # noqa: E731
+        self.routers: List[Router] = [
+            Router(
+                config,
+                scheme,
+                scheduler_factory(node),
+                sim,
+                name=f"router{node}",
+                selection=selection,
+                rng=rng.spawn(f"router{node}"),
+                sink_outputs=False,
+            )
+            for node in range(topology.num_nodes)
+        ]
+        self._host_delivery: Dict[Tuple[int, int], HostDelivery] = {}
+        # Pending unrouted best-effort packets per router: (port, vc_index).
+        self._unrouted: Dict[int, List[Tuple[int, int]]] = {}
+        self._wire()
+
+    # ----- wiring -----------------------------------------------------------
+
+    def _wire(self) -> None:
+        for node in range(self.topology.num_nodes):
+            router = self.routers[node]
+            for port in range(self.config.num_ports):
+                neighbor = self.topology.neighbor_on_port(node, port)
+                if neighbor is not None:
+                    router.set_output_handler(
+                        port, self._make_link_handler(node, port, neighbor)
+                    )
+                    router.set_credit_return_handler(
+                        port, self._make_credit_handler(node, port)
+                    )
+                else:
+                    router.set_output_handler(
+                        port, self._make_host_handler(node, port)
+                    )
+
+    def _make_link_handler(self, node: int, port: int, neighbor: int):
+        remote_port = self.topology.port_of(neighbor, node)
+        remote = self.routers[neighbor]
+
+        def on_flit(flit: Flit, output_vc: int) -> None:
+            if output_vc < 0:
+                raise RuntimeError(
+                    f"flit left router {node} port {port} without a "
+                    "downstream VC binding"
+                )
+            self.stats.counter("link_flits")
+            self.sim.schedule(
+                self.link_latency,
+                lambda: self._arrive(remote, neighbor, remote_port, output_vc, flit),
+            )
+
+        return on_flit
+
+    def _make_credit_handler(self, node: int, port: int):
+        # Credits for router ``node``'s input port ``port`` return to the
+        # upstream router's output flow control for the reverse direction.
+        neighbor = self.topology.neighbor_on_port(node, port)
+        if neighbor is None:
+            return None
+        upstream = self.routers[neighbor]
+        upstream_port = self.topology.port_of(neighbor, node)
+
+        def on_credit(vc_index: int) -> None:
+            self.sim.schedule(
+                self.link_latency,
+                lambda: upstream.output_flow[upstream_port].replenish(vc_index),
+            )
+
+        return on_credit
+
+    def _make_host_handler(self, node: int, port: int):
+        def on_flit(flit: Flit, output_vc: int) -> None:
+            self.stats.counter("host_deliveries")
+            handler = self._host_delivery.get((node, port))
+            if handler is not None:
+                handler(node, port, flit)
+
+        return on_flit
+
+    def set_host_delivery(self, node: int, port: int, handler: HostDelivery) -> None:
+        """Attach a consumer (network interface) to a host port."""
+        if self.topology.neighbor_on_port(node, port) is not None:
+            raise ValueError(f"port {port} of node {node} is a link port")
+        self._host_delivery[(node, port)] = handler
+
+    # ----- arrivals -----------------------------------------------------------
+
+    def _arrive(
+        self, router: Router, node: int, port: int, vc_index: int, flit: Flit
+    ) -> None:
+        """A flit finished crossing a link into ``router``."""
+        if flit.flit_type is FlitType.BEST_EFFORT:
+            # Route the packet now (§3.4): its VC was reserved by the
+            # upstream router with no output assigned yet.
+            accepted = router.inject(port, vc_index, flit)
+            if not accepted:
+                raise RuntimeError(
+                    f"credited flit refused at router {node} port {port}"
+                )
+            self._route_best_effort(node, port, vc_index)
+            return
+        accepted = router.inject(port, vc_index, flit)
+        if not accepted:
+            raise RuntimeError(
+                f"credited flit refused at router {node} port {port} "
+                f"vc {vc_index}"
+            )
+
+    # ----- best-effort routing -------------------------------------------------
+
+    def inject_best_effort(
+        self, node: int, host_port: int, flit: Flit, destination: int
+    ) -> bool:
+        """Inject a best-effort packet at a host port; returns acceptance.
+
+        The packet takes a free VC on the host input port and is routed
+        immediately.  Returns False when no VC is free (the interface must
+        retry — back-pressure to the host).
+        """
+        router = self.routers[node]
+        vc_index = router.open_packet_vc(
+            host_port, -1, ServiceClass.BEST_EFFORT, flit.connection_id
+        )
+        if vc_index is None:
+            return False
+        flit.argument = destination  # destination rides in the header field
+        accepted = router.inject(host_port, vc_index, flit)
+        if not accepted:
+            raise RuntimeError("freshly opened packet VC refused its flit")
+        self._route_best_effort(node, host_port, vc_index)
+        return True
+
+    def _route_best_effort(self, node: int, port: int, vc_index: int) -> None:
+        """Assign an output (and downstream VC) to an unrouted packet."""
+        router = self.routers[node]
+        vc = router.input_ports[port].vcs[vc_index]
+        flit = vc.head()
+        if flit is None:
+            return  # already forwarded (e.g. cut through) — nothing to do
+        if vc.output_port >= 0:
+            return  # already routed; a stale retry must not re-reserve
+        destination = flit.argument
+        if destination == node:
+            # Deliver locally through the (first) host port.
+            vc.output_port = self.topology.host_port(node)
+            vc.output_vc = -1
+            return
+        arrived_up = None
+        neighbor = self.topology.neighbor_on_port(node, port)
+        if neighbor is not None:
+            arrived_up = self.adaptive.updown.is_up(neighbor, node)
+        for choice in self.adaptive.choices(node, destination, arrived_up):
+            next_router = self.routers[choice.next_node]
+            entry_port = self.topology.port_of(choice.next_node, node)
+            reserved = next_router.open_packet_vc(
+                entry_port, -1, ServiceClass.BEST_EFFORT, flit.connection_id
+            )
+            if reserved is None:
+                continue
+            vc.output_port = choice.output_port
+            vc.output_vc = reserved
+            self.stats.counter("be_hops_routed")
+            return
+        # Blocked: every candidate next router is out of VCs.  Retry next
+        # cycle — the packet stays buffered in its VC (§3.4).
+        self.stats.counter("be_blocked")
+        self.sim.schedule(1, lambda: self._route_best_effort(node, port, vc_index))
+
+    # ----- reporting --------------------------------------------------------------
+
+    def total_buffered(self) -> int:
+        """Flits buffered across every router (drain checks)."""
+        return sum(router.buffered_flits() for router in self.routers)
+
+    def aggregate_utilisation(self) -> float:
+        """Mean switch utilisation across routers."""
+        if not self.routers:
+            return 0.0
+        return sum(r.utilisation() for r in self.routers) / len(self.routers)

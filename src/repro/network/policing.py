@@ -1,0 +1,79 @@
+"""Injection policing at the network interface (paper §4.2).
+
+"During data transmission, a policing protocol operates by limiting the
+injection of new flits into the network in such a way that each connection
+does not use higher link bandwidth than that allocated to it."  The MMR
+itself relies on flow control; policing lives at the interface (or source
+CPU), which is where this token-bucket implementation sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class TokenBucket:
+    """Classic token bucket: rate tokens/cycle, capacity ``burst`` tokens.
+
+    One token admits one flit.  A CBR connection polices with burst 1-2;
+    a VBR connection polices at its *permanent* rate with a burst sized to
+    its contracted peak excursions.
+    """
+
+    def __init__(self, rate_per_cycle: float, burst: float) -> None:
+        if rate_per_cycle <= 0:
+            raise ValueError(f"rate_per_cycle must be positive, got {rate_per_cycle}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1 token, got {burst}")
+        self.rate = rate_per_cycle
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_time = 0
+        self.conforming = 0
+        self.violations = 0
+
+    def _refill(self, now: int) -> None:
+        if now < self._last_time:
+            raise ValueError(f"time went backwards: {now} < {self._last_time}")
+        self._tokens = min(self.burst, self._tokens + (now - self._last_time) * self.rate)
+        self._last_time = now
+
+    def allow(self, now: int) -> bool:
+        """May one flit be injected at cycle ``now``?  Consumes a token."""
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.conforming += 1
+            return True
+        self.violations += 1
+        return False
+
+    def tokens_at(self, now: int) -> float:
+        """Token balance at ``now`` without consuming anything."""
+        self._refill(now)
+        return self._tokens
+
+    def set_rate(self, rate_per_cycle: float) -> None:
+        """Apply a renegotiated rate (dynamic bandwidth management, §4.3)."""
+        if rate_per_cycle <= 0:
+            raise ValueError(f"rate_per_cycle must be positive, got {rate_per_cycle}")
+        self.rate = rate_per_cycle
+
+
+@dataclass
+class PolicerReport:
+    """Counters summarising a policer's history."""
+
+    conforming: int
+    violations: int
+
+    @property
+    def violation_fraction(self) -> float:
+        """Share of injection attempts the policer rejected."""
+        total = self.conforming + self.violations
+        return self.violations / total if total else 0.0
+
+
+def report(bucket: TokenBucket) -> PolicerReport:
+    """Snapshot a bucket's counters."""
+    return PolicerReport(bucket.conforming, bucket.violations)

@@ -1,0 +1,363 @@
+"""Cycle-accurate PCS establishment: probes, backtracks, acks (§3.4-3.5).
+
+:class:`~repro.network.connection.ConnectionManager` establishes
+connections with an instantaneous control-plane walk plus a latency model.
+This module implements the *wire protocol* itself: routing probes travel
+hop by hop as immediate-class flits, reserving a virtual channel and
+bandwidth as they advance; on a dead end a BACKTRACK flit retraces the
+reverse channel mapping, releasing reservations and marking the history
+store; when the probe reaches the destination an ACK returns along the
+reverse mappings and the connection opens.  TEARDOWN flits release a
+connection hop by hop.
+
+Control flits use the router's asynchronous cut-through path when the
+output link is idle (§3.4) and otherwise consume the reconfiguration
+gaps; we model each hop of control traffic as a fixed
+``CONTROL_HOP_CYCLES`` delay on the simulator clock.
+
+The protocol exists alongside the instantaneous manager so experiments
+can choose fidelity: the figure harness needs thousands of established
+connections (instantaneous), while the establishment-latency studies need
+the real token passing (this module).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.bandwidth import BandwidthRequest
+from ..core.virtual_channel import ServiceClass
+from ..routing.epb import profitable_ports
+from ..routing.history import HistoryStore
+from .network import Network
+
+#: Cycles one control flit (probe/backtrack/ack/teardown) spends per hop:
+#: link traversal plus header decode at the next router.
+CONTROL_HOP_CYCLES = 2
+
+# Completion callback: (probe, established?) -> None.
+Completion = Callable[["ProbeSession", bool], None]
+
+
+@dataclass
+class HopReservation:
+    """State the probe holds at one router it has traversed."""
+
+    node: int
+    entry_port: int
+    vc_index: int
+    output_port: int = -1
+
+
+@dataclass
+class ProbeSession:
+    """One in-flight establishment attempt."""
+
+    session_id: int
+    source: int
+    destination: int
+    request: BandwidthRequest
+    service_class: ServiceClass
+    interarrival_cycles: float
+    static_priority: float
+    started_at: int
+    history: HistoryStore = field(default_factory=HistoryStore)
+    reservations: List[HopReservation] = field(default_factory=list)
+    links_searched: int = 0
+    backtracks: int = 0
+    finished_at: Optional[int] = None
+    established: bool = False
+    #: Filled on success: same shape as NetworkConnection's path fields.
+    path: List[int] = field(default_factory=list)
+    ports: List[int] = field(default_factory=list)
+    vcs: List[int] = field(default_factory=list)
+    entry_ports: List[int] = field(default_factory=list)
+
+    @property
+    def setup_cycles(self) -> int:
+        """Wall-clock cycles establishment took (probe + ack)."""
+        if self.finished_at is None:
+            raise RuntimeError("probe still in flight")
+        return self.finished_at - self.started_at
+
+
+class ProbeProtocol:
+    """Drives probe/backtrack/ack/teardown token passing over a network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._ids = itertools.count(1)
+        self.sessions: Dict[int, ProbeSession] = {}
+        self.probes_sent = 0
+        self.acks_sent = 0
+        self.backtracks_sent = 0
+
+    # ----- establishment -------------------------------------------------------
+
+    def establish(
+        self,
+        source: int,
+        destination: int,
+        request: BandwidthRequest,
+        on_complete: Completion,
+        service_class: ServiceClass = ServiceClass.CBR,
+        interarrival_cycles: float = 1.0,
+        static_priority: float = 0.0,
+    ) -> ProbeSession:
+        """Launch a probe; ``on_complete(session, ok)`` fires when the ack
+        (or the final backtrack) reaches the source."""
+        if source == destination:
+            raise ValueError("source and destination routers must differ")
+        session = ProbeSession(
+            session_id=next(self._ids),
+            source=source,
+            destination=destination,
+            request=request,
+            service_class=service_class,
+            interarrival_cycles=interarrival_cycles,
+            static_priority=static_priority,
+            started_at=self.network.sim.now,
+        )
+        self.sessions[session.session_id] = session
+        topology = self.network.topology
+        host_port = topology.host_port(source)
+        source_router = self.network.routers[source]
+        source_vc = source_router.input_ports[host_port].find_free_vc()
+        admitted = source_vc is not None and source_router.admission.inputs[
+            host_port
+        ].can_allocate(request)
+        if not admitted:
+            self._finish(session, False, on_complete, delay=1)
+            return session
+        # The source hop is reserved when the probe leaves the interface;
+        # output port is fixed once the probe picks its first link.
+        session.reservations.append(HopReservation(source, host_port, -1))
+        self.probes_sent += 1
+        self.network.sim.schedule(
+            1, lambda: self._probe_step(session, on_complete)
+        )
+        return session
+
+    # ----- probe movement ----------------------------------------------------------
+
+    def _probe_step(self, session: ProbeSession, on_complete: Completion) -> None:
+        """The probe sits at the tail reservation; try to advance it."""
+        topology = self.network.topology
+        here = session.reservations[-1]
+        node = here.node
+        if node == session.destination:
+            self._send_ack(session, on_complete)
+            return
+        point = (node, here.entry_port)
+        advanced = False
+        for out_port, neighbor in profitable_ports(
+            topology, node, session.destination
+        ):
+            if session.history.was_searched(point, out_port):
+                continue
+            session.history.mark_searched(point, out_port)
+            session.links_searched += 1
+            if any(r.node == neighbor for r in session.reservations):
+                continue
+            if not self._try_reserve_hop(session, node, out_port, neighbor):
+                continue
+            advanced = True
+            break
+        if advanced:
+            self.network.sim.schedule(
+                CONTROL_HOP_CYCLES,
+                lambda: self._probe_step(session, on_complete),
+            )
+        else:
+            self._backtrack(session, on_complete)
+
+    def _try_reserve_hop(
+        self, session: ProbeSession, node: int, out_port: int, neighbor: int
+    ) -> bool:
+        """Reserve bandwidth on (node, out_port) and a VC at ``neighbor``."""
+        topology = self.network.topology
+        router = self.network.routers[node]
+        entry = topology.port_of(neighbor, node)
+        downstream = self.network.routers[neighbor]
+        vc_index = downstream.input_ports[entry].find_free_vc()
+        if vc_index is None:
+            return False
+        if not downstream.admission.inputs[entry].can_allocate(session.request):
+            return False
+        if not router.admission.outputs[out_port].can_allocate(session.request):
+            return False
+        # Commit: output bandwidth here, input bandwidth + VC downstream.
+        if not router.admission.outputs[out_port].allocate(session.request):
+            return False
+        if not downstream.admission.inputs[entry].allocate(session.request):
+            router.admission.outputs[out_port].release(session.request)
+            return False
+        vc = downstream.input_ports[entry].vcs[vc_index]
+        vc.bind(-session.session_id, session.service_class, -1)
+        downstream.input_ports[entry].mark_bound(vc_index)
+        session.reservations[-1].output_port = out_port
+        session.reservations.append(HopReservation(neighbor, entry, vc_index))
+        return True
+
+    def _backtrack(self, session: ProbeSession, on_complete: Completion) -> None:
+        """Release the tail hop and step the probe back (§3.5)."""
+        self.backtracks_sent += 1
+        tail = session.reservations.pop()
+        if session.reservations:
+            session.backtracks += 1
+            previous = session.reservations[-1]
+            self._release_hop(previous, tail, session)
+            self.network.sim.schedule(
+                CONTROL_HOP_CYCLES,
+                lambda: self._probe_step(session, on_complete),
+            )
+        else:
+            # Backtracked out of the source: establishment failed.
+            self._finish(session, False, on_complete, delay=1)
+
+    def _release_hop(
+        self,
+        previous: HopReservation,
+        tail: HopReservation,
+        session: ProbeSession,
+    ) -> None:
+        """Undo what :meth:`_try_reserve_hop` committed for ``tail``."""
+        upstream = self.network.routers[previous.node]
+        upstream.admission.outputs[previous.output_port].release(session.request)
+        previous.output_port = -1
+        downstream = self.network.routers[tail.node]
+        downstream.admission.inputs[tail.entry_port].release(session.request)
+        vc = downstream.input_ports[tail.entry_port].vcs[tail.vc_index]
+        vc.release()
+        downstream.input_ports[tail.entry_port].mark_free(tail.vc_index)
+
+    # ----- acknowledgment ------------------------------------------------------------
+
+    def _send_ack(self, session: ProbeSession, on_complete: Completion) -> None:
+        """Destination reached: return the ack, installing connection state."""
+        self.acks_sent += 1
+        topology = self.network.topology
+        # The destination hop exits through its host port.
+        last = session.reservations[-1]
+        last.output_port = topology.host_port(session.destination)
+        if not self.network.routers[session.destination].admission.outputs[
+            last.output_port
+        ].allocate(session.request):
+            # Destination host egress filled while the probe was in flight.
+            self._backtrack(session, on_complete)
+            return
+        # Reserve the source hop's input VC now that the path is certain.
+        source_router = self.network.routers[session.source]
+        head = session.reservations[0]
+        source_vc = source_router.input_ports[head.entry_port].find_free_vc()
+        if source_vc is None or not source_router.admission.inputs[
+            head.entry_port
+        ].allocate(session.request):
+            self.network.routers[session.destination].admission.outputs[
+                last.output_port
+            ].release(session.request)
+            self._backtrack(session, on_complete)
+            return
+        vc = source_router.input_ports[head.entry_port].vcs[source_vc]
+        vc.bind(-session.session_id, session.service_class, -1)
+        source_router.input_ports[head.entry_port].mark_bound(source_vc)
+        head.vc_index = source_vc
+        # The ack walks back over the reverse mappings, configuring each
+        # hop's VC state; model it as one delayed installation.
+        ack_latency = CONTROL_HOP_CYCLES * (len(session.reservations) - 1) + 1
+        self.network.sim.schedule(
+            ack_latency, lambda: self._install(session, on_complete)
+        )
+
+    def _install(self, session: ProbeSession, on_complete: Completion) -> None:
+        """Ack reached the source: finalise per-hop VC scheduling state."""
+        connection_id = -session.session_id
+        downstream_vc = -1
+        for i in range(len(session.reservations) - 1, -1, -1):
+            hop = session.reservations[i]
+            router = self.network.routers[hop.node]
+            vc = router.input_ports[hop.entry_port].vcs[hop.vc_index]
+            vc.output_port = hop.output_port
+            vc.output_vc = downstream_vc
+            vc.interarrival_cycles = session.interarrival_cycles
+            vc.static_priority = session.static_priority
+            if session.service_class is ServiceClass.CBR:
+                vc.allocated_cycles = session.request.permanent_cycles
+                router.input_ports[hop.entry_port].status.vector(
+                    "cbr_service_requested"
+                ).set(hop.vc_index)
+            elif session.service_class is ServiceClass.VBR:
+                vc.permanent_cycles = session.request.permanent_cycles
+                vc.peak_cycles = session.request.effective_peak
+                router.input_ports[hop.entry_port].status.vector(
+                    "vbr_service_requested"
+                ).set(hop.vc_index)
+            router.input_ports[hop.entry_port].status.vector(
+                "connection_active"
+            ).set(hop.vc_index)
+            if downstream_vc >= 0:
+                router.rau.register_connection(
+                    connection_id,
+                    hop.entry_port,
+                    hop.vc_index,
+                    hop.output_port,
+                    downstream_vc,
+                )
+            downstream_vc = hop.vc_index
+        session.path = [r.node for r in session.reservations]
+        session.ports = [r.output_port for r in session.reservations]
+        session.vcs = [r.vc_index for r in session.reservations]
+        session.entry_ports = [r.entry_port for r in session.reservations]
+        self._finish(session, True, on_complete, delay=0)
+
+    def _finish(
+        self,
+        session: ProbeSession,
+        established: bool,
+        on_complete: Completion,
+        delay: int,
+    ) -> None:
+        def complete():
+            session.finished_at = self.network.sim.now
+            session.established = established
+            on_complete(session, established)
+
+        if delay:
+            self.network.sim.schedule(delay, complete)
+        else:
+            complete()
+
+    # ----- teardown -------------------------------------------------------------------
+
+    def teardown(self, session: ProbeSession, on_complete: Optional[Completion] = None) -> None:
+        """Send a TEARDOWN token hop by hop, releasing the connection."""
+        if not session.established:
+            raise RuntimeError("cannot tear down an unestablished session")
+        self._teardown_step(session, 0, on_complete)
+
+    def _teardown_step(
+        self, session: ProbeSession, index: int, on_complete: Optional[Completion]
+    ) -> None:
+        if index >= len(session.reservations):
+            session.established = False
+            if on_complete is not None:
+                on_complete(session, False)
+            return
+        hop = session.reservations[index]
+        router = self.network.routers[hop.node]
+        port = router.input_ports[hop.entry_port]
+        vc = port.vcs[hop.vc_index]
+        vc.release()
+        port.status.vector("cbr_service_requested").clear(hop.vc_index)
+        port.status.vector("vbr_service_requested").clear(hop.vc_index)
+        port.status.vector("connection_active").clear(hop.vc_index)
+        port.mark_free(hop.vc_index)
+        router.rau.release_connection(-session.session_id)
+        router.admission.inputs[hop.entry_port].release(session.request)
+        router.admission.outputs[hop.output_port].release(session.request)
+        self.network.sim.schedule(
+            CONTROL_HOP_CYCLES,
+            lambda: self._teardown_step(session, index + 1, on_complete),
+        )

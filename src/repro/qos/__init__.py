@@ -1,0 +1,27 @@
+"""QoS metric definitions and contract verification."""
+
+from .guarantees import ContractViolation, QosContract, expected_flits, verify_contract
+from .queueing import (
+    md1_mean_sojourn,
+    md1_mean_wait,
+    nd_d1_mean_wait,
+    nd_d1_worst_case_wait,
+    saturation_load_hol_blocking,
+)
+from .metrics import QosSummary, per_rate_breakdown, summarise, summarise_weighted
+
+__all__ = [
+    "ContractViolation",
+    "QosContract",
+    "expected_flits",
+    "verify_contract",
+    "QosSummary",
+    "per_rate_breakdown",
+    "summarise",
+    "summarise_weighted",
+    "md1_mean_sojourn",
+    "md1_mean_wait",
+    "nd_d1_mean_wait",
+    "nd_d1_worst_case_wait",
+    "saturation_load_hol_blocking",
+]

@@ -1,0 +1,102 @@
+"""QoS contract descriptions and verification.
+
+A :class:`QosContract` states what a connection was promised (rate, and
+optionally jitter/delay bounds); :func:`verify_contract` checks measured
+statistics against it.  The MMR's admission control guarantees rate for
+CBR connections and permanent rate for VBR; delay/jitter bounds are
+empirical targets, not hard guarantees (paper §4.3 explicitly accepts
+that low-priority VBR connections "may not be able to deliver all flits
+on time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.config import RouterConfig
+from ..sim.stats import ConnectionStats
+
+
+@dataclass(frozen=True)
+class QosContract:
+    """The service a connection was admitted with."""
+
+    connection_id: int
+    rate_bps: float
+    peak_rate_bps: Optional[float] = None  # VBR only
+    max_mean_delay_cycles: Optional[float] = None
+    max_mean_jitter_cycles: Optional[float] = None
+
+    @property
+    def is_vbr(self) -> bool:
+        """True when a distinct peak rate was contracted."""
+        return self.peak_rate_bps is not None and self.peak_rate_bps > self.rate_bps
+
+
+@dataclass(frozen=True)
+class ContractViolation:
+    """One observed breach of a contract clause."""
+
+    connection_id: int
+    clause: str
+    expected: float
+    observed: float
+
+    def __str__(self) -> str:
+        return (
+            f"connection {self.connection_id}: {self.clause} "
+            f"expected <= {self.expected:.4g}, observed {self.observed:.4g}"
+        )
+
+
+def expected_flits(
+    contract: QosContract, config: RouterConfig, cycles: int
+) -> float:
+    """Flits the contracted rate should deliver over ``cycles``."""
+    return cycles / config.rate_to_interarrival_cycles(contract.rate_bps)
+
+
+def verify_contract(
+    contract: QosContract,
+    stats: ConnectionStats,
+    config: RouterConfig,
+    cycles: int,
+    throughput_tolerance: float = 0.1,
+) -> List[ContractViolation]:
+    """Check measured per-connection statistics against the contract.
+
+    Returns a list of violations (empty when the contract held).  The
+    throughput clause allows ``throughput_tolerance`` relative slack for
+    edge effects at the measurement-window boundaries.
+    """
+    violations: List[ContractViolation] = []
+    promised = expected_flits(contract, config, cycles)
+    floor = promised * (1.0 - throughput_tolerance) - 1.0
+    if stats.flits < floor:
+        violations.append(
+            ContractViolation(
+                contract.connection_id, "throughput_flits", floor, stats.flits
+            )
+        )
+    if contract.max_mean_delay_cycles is not None:
+        if stats.delay.mean > contract.max_mean_delay_cycles:
+            violations.append(
+                ContractViolation(
+                    contract.connection_id,
+                    "mean_delay_cycles",
+                    contract.max_mean_delay_cycles,
+                    stats.delay.mean,
+                )
+            )
+    if contract.max_mean_jitter_cycles is not None:
+        if stats.jitter.mean > contract.max_mean_jitter_cycles:
+            violations.append(
+                ContractViolation(
+                    contract.connection_id,
+                    "mean_jitter_cycles",
+                    contract.max_mean_jitter_cycles,
+                    stats.jitter.mean,
+                )
+            )
+    return violations

@@ -1,0 +1,122 @@
+"""QoS metric definitions (paper §5).
+
+* **Delay** of a flit: the difference between the time it is ready to be
+  transmitted through the switch and the time it actually leaves the
+  switch, in flit cycles (convertible to microseconds through the router
+  configuration).
+* **Jitter** of a connection: the difference in the delays of successive
+  flits on that connection, folded in as absolute values and reported in
+  flit cycles ("flits emerge from the network at flit cycle boundaries and
+  jitter occurs as an integer number of flit cycles").
+
+Reported figures average these per-connection quantities over all
+connections, which is how the paper's plots are built ("these jitter
+values are averaged over a large range of connection speeds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from ..core.config import RouterConfig
+from ..sim.stats import ConnectionStats, RunningStats
+
+
+@dataclass(frozen=True)
+class QosSummary:
+    """Aggregate delay/jitter over a set of connections."""
+
+    mean_delay_cycles: float
+    mean_jitter_cycles: float
+    max_delay_cycles: float
+    max_jitter_cycles: float
+    flits_delivered: int
+    connections: int
+
+    def mean_delay_us(self, config: RouterConfig) -> float:
+        """Mean delay converted to microseconds for the given link speed."""
+        return config.cycles_to_us(self.mean_delay_cycles)
+
+    def max_delay_us(self, config: RouterConfig) -> float:
+        """Maximum per-connection mean delay in microseconds."""
+        return config.cycles_to_us(self.max_delay_cycles)
+
+
+def summarise(connection_stats: Mapping[int, ConnectionStats]) -> QosSummary:
+    """Aggregate per-connection statistics the way the paper reports them.
+
+    Each connection contributes its *mean* delay and *mean* jitter; the
+    summary averages those per-connection means over connections that
+    delivered at least one flit (two, for jitter), so slow connections are
+    not swamped by fast ones.
+    """
+    delay_means = RunningStats()
+    jitter_means = RunningStats()
+    flits = 0
+    active = 0
+    for stats in connection_stats.values():
+        if stats.flits == 0:
+            continue
+        active += 1
+        flits += stats.flits
+        delay_means.add(stats.delay.mean)
+        if stats.jitter.count:
+            jitter_means.add(stats.jitter.mean)
+    return QosSummary(
+        mean_delay_cycles=delay_means.mean,
+        mean_jitter_cycles=jitter_means.mean,
+        max_delay_cycles=delay_means.maximum if delay_means.count else 0.0,
+        max_jitter_cycles=jitter_means.maximum if jitter_means.count else 0.0,
+        flits_delivered=flits,
+        connections=active,
+    )
+
+
+def summarise_weighted(connection_stats: Mapping[int, ConnectionStats]) -> QosSummary:
+    """Flit-weighted alternative aggregation (each flit counts equally).
+
+    Provided for sensitivity analysis: fast connections dominate, which
+    emphasises the QoS of high-bandwidth video streams.
+    """
+    delay = RunningStats()
+    jitter = RunningStats()
+    flits = 0
+    active = 0
+    for stats in connection_stats.values():
+        if stats.flits == 0:
+            continue
+        active += 1
+        flits += stats.flits
+        delay.merge(_copy(stats.delay))
+        jitter.merge(_copy(stats.jitter))
+    return QosSummary(
+        mean_delay_cycles=delay.mean,
+        mean_jitter_cycles=jitter.mean,
+        max_delay_cycles=delay.maximum if delay.count else 0.0,
+        max_jitter_cycles=jitter.maximum if jitter.count else 0.0,
+        flits_delivered=flits,
+        connections=active,
+    )
+
+
+def _copy(stats: RunningStats) -> RunningStats:
+    clone = RunningStats()
+    clone.merge(stats)
+    return clone
+
+
+def per_rate_breakdown(
+    connection_stats: Mapping[int, ConnectionStats],
+    connection_rates: Mapping[int, float],
+) -> Dict[float, QosSummary]:
+    """Group QoS by connection rate (paper: "Actual jitter values for
+    high-speed connections will be even less and those for low-speed
+    connections will be relatively higher")."""
+    by_rate: Dict[float, Dict[int, ConnectionStats]] = {}
+    for connection_id, stats in connection_stats.items():
+        rate = connection_rates.get(connection_id)
+        if rate is None:
+            continue
+        by_rate.setdefault(rate, {})[connection_id] = stats
+    return {rate: summarise(group) for rate, group in sorted(by_rate.items())}

@@ -1,0 +1,29 @@
+"""Routing algorithms: EPB connection establishment, adaptive best-effort."""
+
+from .adaptive import AdaptiveRouter, RouteChoice
+from .epb import ProbeResult, count_minimal_paths, epb_search, profitable_ports
+from .deadlock import (
+    build_dependency_graph,
+    find_cycle,
+    minimal_adaptive_relation,
+    updown_relation,
+    verify_deadlock_free,
+)
+from .history import HistoryStore
+from .updown import UpDownRouting
+
+__all__ = [
+    "AdaptiveRouter",
+    "RouteChoice",
+    "ProbeResult",
+    "count_minimal_paths",
+    "epb_search",
+    "profitable_ports",
+    "HistoryStore",
+    "build_dependency_graph",
+    "find_cycle",
+    "minimal_adaptive_relation",
+    "updown_relation",
+    "verify_deadlock_free",
+    "UpDownRouting",
+]

@@ -1,0 +1,114 @@
+"""Fully adaptive routing for irregular topologies (paper §3.5, [26, 27]).
+
+Best-effort packets in the MMR use the Silla/Duato adaptive routing for
+irregular networks: a packet may take *any* minimal (profitable) link when
+one is free, and falls back to a legal up*/down* escape hop otherwise.
+The escape layer keeps the scheme deadlock-free (Duato's theory [11]); the
+adaptive layer recovers the path diversity that up*/down* alone forfeits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..network.topology import Topology
+from .updown import UpDownRouting
+
+
+@dataclass(frozen=True)
+class RouteChoice:
+    """One permitted next hop for a packet."""
+
+    output_port: int
+    next_node: int
+    #: True when the hop is in the escape (up*/down*) class and must use
+    #: the escape virtual channel.
+    escape: bool
+    #: True when the hop is minimal (reduces distance to the destination).
+    minimal: bool
+
+
+class AdaptiveRouter:
+    """Routing relation: adaptive minimal hops + up*/down* escape hops."""
+
+    def __init__(self, topology: Topology, root: int = 0) -> None:
+        self.topology = topology
+        self.updown = UpDownRouting(topology, root)
+
+    def choices(
+        self,
+        node: int,
+        destination: int,
+        arrived_up: Optional[bool] = None,
+    ) -> List[RouteChoice]:
+        """All permitted next hops, adaptive (minimal) choices first.
+
+        ``arrived_up`` is the up*/down* direction of the hop that delivered
+        the packet (None at injection); it constrains only the escape
+        choices — the adaptive class is unrestricted because packets can
+        always fall back to the escape layer at the next router (Duato's
+        extension of up*/down* to adaptive routing).
+        """
+        if node == destination:
+            return []
+        here = self.topology.distance(node, destination)
+        adaptive: List[RouteChoice] = []
+        for neighbor in self.topology.neighbors(node):
+            if self.topology.distance(neighbor, destination) < here:
+                adaptive.append(
+                    RouteChoice(
+                        self.topology.port_of(node, neighbor),
+                        neighbor,
+                        escape=False,
+                        minimal=True,
+                    )
+                )
+        escape: List[RouteChoice] = []
+        for port, neighbor, goes_up in self.updown.legal_next_hops(
+            node, destination, arrived_up
+        ):
+            minimal = self.topology.distance(neighbor, destination) < here
+            escape.append(
+                RouteChoice(port, neighbor, escape=True, minimal=minimal)
+            )
+        adaptive.sort(key=lambda c: c.output_port)
+        escape.sort(key=lambda c: (not c.minimal, c.output_port))
+        return adaptive + escape
+
+    def route(
+        self,
+        source: int,
+        destination: int,
+        prefer_adaptive: bool = True,
+        max_hops: Optional[int] = None,
+    ) -> List[int]:
+        """Trace one route under zero contention (for tests and planning).
+
+        With ``prefer_adaptive`` the packet greedily takes the first
+        minimal adaptive hop; otherwise it follows the escape layer only.
+        """
+        if max_hops is None:
+            max_hops = 4 * self.topology.num_nodes
+        path = [source]
+        node = source
+        arrived_up: Optional[bool] = None
+        while node != destination:
+            if len(path) > max_hops:
+                raise RuntimeError(
+                    f"route {source}->{destination} exceeded {max_hops} hops"
+                )
+            choices = self.choices(node, destination, arrived_up)
+            if not choices:
+                raise RuntimeError(f"no route from {node} to {destination}")
+            pick = None
+            if prefer_adaptive:
+                pick = next((c for c in choices if not c.escape), None)
+            if pick is None:
+                pick = next(c for c in choices if c.escape)
+            arrived_up = (
+                self.updown.is_up(node, pick.next_node) if pick.escape else None
+            )
+            node = pick.next_node
+            path.append(node)
+        return path

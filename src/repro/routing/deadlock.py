@@ -1,0 +1,165 @@
+"""Channel-dependency deadlock analysis (paper §3.5, Duato [11]).
+
+The MMR's best-effort routing is deadlock-free because its escape layer —
+up*/down* routing — has an acyclic channel dependency graph, and Duato's
+theory extends that freedom to the fully adaptive layer.  This module
+makes the argument checkable: it builds the channel dependency graph a
+routing relation induces on a topology and searches it for cycles.
+
+A *channel* is a directed link (u, v).  Routing relation R induces a
+dependency (c1 -> c2) when some packet can hold c1 while requesting c2.
+Crucially, only *reachable* (channel, destination) pairs count: a channel
+contributes dependencies toward destination d only if some packet headed
+for d can actually occupy it (found by forward reachability from every
+injection point), otherwise phantom dependencies manufacture cycles no
+traffic can realise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..network.topology import Topology
+from .updown import UpDownRouting
+
+#: A directed channel: (from node, to node).
+Channel = Tuple[int, int]
+
+# relation(channel_in, node, destination) -> permitted next channels out of
+# ``node``; ``channel_in`` is None at injection.
+RoutingRelation = Callable[[Optional[Channel], int, int], Iterable[Channel]]
+
+
+def all_channels(topology: Topology) -> List[Channel]:
+    """Every directed link of the topology."""
+    out = []
+    for a, b in topology.edges():
+        out.append((a, b))
+        out.append((b, a))
+    return sorted(out)
+
+
+def _check_adjacent(node: int, channel: Channel) -> None:
+    if channel[0] != node:
+        raise ValueError(
+            f"relation returned non-adjacent continuation from node "
+            f"{node}: {channel}"
+        )
+
+
+def build_dependency_graph(
+    topology: Topology, relation: RoutingRelation
+) -> Dict[Channel, Set[Channel]]:
+    """Channel dependency graph induced by ``relation``.
+
+    For each destination, forward reachability runs from every possible
+    source's injection: a dependency c1 -> c2 is recorded only when a
+    packet for that destination can hold c1 and legally continue on c2.
+    """
+    graph: Dict[Channel, Set[Channel]] = {c: set() for c in all_channels(topology)}
+    for destination in range(topology.num_nodes):
+        frontier: deque = deque()
+        seen: Set[Channel] = set()
+        for source in range(topology.num_nodes):
+            if source == destination:
+                continue
+            for channel in relation(None, source, destination):
+                _check_adjacent(source, channel)
+                if channel not in seen:
+                    seen.add(channel)
+                    frontier.append(channel)
+        while frontier:
+            channel = frontier.popleft()
+            node = channel[1]
+            if node == destination:
+                continue  # consumed, no onward demand
+            for next_channel in relation(channel, node, destination):
+                _check_adjacent(node, next_channel)
+                graph[channel].add(next_channel)
+                if next_channel not in seen:
+                    seen.add(next_channel)
+                    frontier.append(next_channel)
+    return graph
+
+
+def find_cycle(graph: Dict[Channel, Set[Channel]]) -> Optional[List[Channel]]:
+    """One dependency cycle, or None when the graph is acyclic.
+
+    Iterative DFS with colouring (graphs reach thousands of channels).
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    parent: Dict[Channel, Optional[Channel]] = {}
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[Channel, Iterable[Channel]]] = [
+            (root, iter(sorted(graph[root])))
+        ]
+        colour[root] = GREY
+        parent[root] = None
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if colour[child] == GREY:
+                    # Reconstruct the cycle child -> ... -> node -> child.
+                    cycle = [child]
+                    walk = node
+                    while walk != child:
+                        cycle.append(walk)
+                        walk = parent[walk]
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def updown_relation(topology: Topology, root: int = 0) -> RoutingRelation:
+    """The up*/down* routing relation as a dependency-graph input."""
+    updown = UpDownRouting(topology, root)
+
+    def relation(channel_in: Optional[Channel], node: int, destination: int):
+        arrived_up = None if channel_in is None else updown.is_up(channel_in[0], node)
+        for port, neighbor, goes_up in updown.legal_next_hops(
+            node, destination, arrived_up
+        ):
+            yield (node, neighbor)
+
+    return relation
+
+
+def minimal_adaptive_relation(topology: Topology) -> RoutingRelation:
+    """Unrestricted minimal adaptive routing (no escape layer).
+
+    Provided to demonstrate the hazard: on topologies with cycles this
+    relation's dependency graph is cyclic, which is why the MMR pairs the
+    adaptive class with an up*/down* escape.
+    """
+
+    def relation(channel_in: Optional[Channel], node: int, destination: int):
+        if node == destination:
+            return
+        here = topology.distance(node, destination)
+        for neighbor in topology.neighbors(node):
+            if topology.distance(neighbor, destination) < here:
+                yield (node, neighbor)
+
+    return relation
+
+
+def verify_deadlock_free(
+    topology: Topology, relation: RoutingRelation
+) -> Optional[List[Channel]]:
+    """None when ``relation`` is deadlock-free on ``topology`` (acyclic
+    CDG); otherwise the offending cycle."""
+    return find_cycle(build_dependency_graph(topology, relation))

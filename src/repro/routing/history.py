@@ -1,0 +1,47 @@
+"""History stores for backtracking probes (paper §3.5).
+
+"In order to avoid searching the same links twice, a history store
+associated with each input virtual channel records all the output links
+that have already been searched."  The store is keyed by (router, input
+channel) and holds the set of output links a probe has already tried from
+that point in its search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+# A search position: (router node id, arrival port) — the input channel the
+# probe occupies at that router (-1 for the source injection point).
+SearchPoint = Tuple[int, int]
+
+
+class HistoryStore:
+    """Per-search-point record of output links already probed."""
+
+    def __init__(self) -> None:
+        self._searched: Dict[SearchPoint, Set[int]] = {}
+
+    def mark_searched(self, point: SearchPoint, output_port: int) -> None:
+        """Record that the probe tried ``output_port`` from ``point``."""
+        self._searched.setdefault(point, set()).add(output_port)
+
+    def was_searched(self, point: SearchPoint, output_port: int) -> bool:
+        """Has ``output_port`` already been tried from ``point``?"""
+        return output_port in self._searched.get(point, ())
+
+    def searched_at(self, point: SearchPoint) -> FrozenSet[int]:
+        """All output ports tried from ``point`` so far."""
+        return frozenset(self._searched.get(point, ()))
+
+    def clear_point(self, point: SearchPoint) -> None:
+        """Forget a search point (its VC was released on backtrack)."""
+        self._searched.pop(point, None)
+
+    def clear(self) -> None:
+        """Forget everything (the probe completed or was abandoned)."""
+        self._searched.clear()
+
+    def total_marks(self) -> int:
+        """Total (point, port) pairs recorded — probe search effort."""
+        return sum(len(ports) for ports in self._searched.values())

@@ -1,0 +1,137 @@
+"""Up*/down* routing for irregular topologies (Autonet [24]).
+
+Up*/down* orients every link with respect to a BFS spanning tree: the
+"up" end is the node closer to the root (ties broken by lower node id).
+A legal route traverses zero or more up links followed by zero or more
+down links — never down-then-up — which breaks every cycle in the channel
+dependence graph and so guarantees deadlock freedom.  The MMR uses this as
+the escape layer of the adaptive routing it borrows for best-effort
+traffic in irregular networks [26, 27].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..network.topology import Topology
+
+
+class UpDownRouting:
+    """Precomputed up*/down* orientation and route legality checks."""
+
+    def __init__(self, topology: Topology, root: int = 0) -> None:
+        topology._check(root)
+        if not topology.is_connected():
+            raise ValueError("up*/down* requires a connected topology")
+        self.topology = topology
+        self.root = root
+        self.level: List[int] = self._bfs_levels()
+        # Reachability over legal continuations is computed on demand.
+        self._legal_reach_cache: Dict[Tuple[int, bool], frozenset] = {}
+
+    def _bfs_levels(self) -> List[int]:
+        level = [-1] * self.topology.num_nodes
+        level[self.root] = 0
+        frontier = deque([self.root])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self.topology.neighbors(node):
+                if level[neighbor] < 0:
+                    level[neighbor] = level[node] + 1
+                    frontier.append(neighbor)
+        return level
+
+    def is_up(self, from_node: int, to_node: int) -> bool:
+        """True when traversing from_node -> to_node goes *up* (toward the
+        root: lower BFS level, ties to the lower node id)."""
+        la, lb = self.level[from_node], self.level[to_node]
+        if la != lb:
+            return lb < la
+        return to_node < from_node
+
+    def legal_next_hops(
+        self, node: int, destination: int, arrived_up: Optional[bool]
+    ) -> List[Tuple[int, int, bool]]:
+        """Legal (port, neighbor, goes_up) continuations from ``node``.
+
+        ``arrived_up`` is the direction of the hop that brought the packet
+        here (None at the source).  After a down hop only down hops remain
+        legal.  Only hops from which the destination stays reachable via a
+        legal suffix are returned, so following any returned hop can never
+        dead-end.
+        """
+        out = []
+        for neighbor in self.topology.neighbors(node):
+            up = self.is_up(node, neighbor)
+            if arrived_up is False and up:
+                continue  # down -> up is illegal
+            if destination == neighbor or destination in self._legal_reach(
+                neighbor, up
+            ):
+                out.append((self.topology.port_of(node, neighbor), neighbor, up))
+        return out
+
+    def _legal_reach(self, node: int, arrived_up: bool) -> frozenset:
+        """Nodes reachable from ``node`` given the last hop direction."""
+        key = (node, arrived_up)
+        cached = self._legal_reach_cache.get(key)
+        if cached is not None:
+            return cached
+        seen = {(node, arrived_up)}
+        reach = {node}
+        frontier = deque([(node, arrived_up)])
+        while frontier:
+            here, came_up = frontier.popleft()
+            for neighbor in self.topology.neighbors(here):
+                up = self.is_up(here, neighbor)
+                if came_up is False and up:
+                    continue
+                state = (neighbor, up)
+                if state not in seen:
+                    seen.add(state)
+                    reach.add(neighbor)
+                    frontier.append(state)
+        result = frozenset(reach)
+        self._legal_reach_cache[key] = result
+        return result
+
+    def route(self, source: int, destination: int) -> List[int]:
+        """One legal up*/down* path (shortest legal), as a node list.
+
+        BFS over (node, last-direction) states so the returned path is
+        minimal among legal paths.
+        """
+        if source == destination:
+            return [source]
+        start = (source, None)
+        parents: Dict[Tuple[int, Optional[bool]], Tuple[int, Optional[bool]]] = {}
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            state = frontier.popleft()
+            node, came_up = state
+            for neighbor in self.topology.neighbors(node):
+                up = self.is_up(node, neighbor)
+                if came_up is False and up:
+                    continue
+                next_state = (neighbor, up)
+                if next_state in seen:
+                    continue
+                seen.add(next_state)
+                parents[next_state] = state
+                if neighbor == destination:
+                    path = [neighbor]
+                    back = state
+                    while True:
+                        path.append(back[0])
+                        if back == start:
+                            break
+                        back = parents[back]
+                    path.reverse()
+                    return path
+                frontier.append(next_state)
+        raise RuntimeError(
+            f"no legal up*/down* path {source} -> {destination}: "
+            "topology disconnected?"
+        )

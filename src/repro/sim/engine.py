@@ -1,0 +1,99 @@
+"""Hybrid cycle/event simulation engine.
+
+The MMR is a synchronous machine internally (flit cycles), so the natural
+kernel is cycle-driven: components register a ``tick`` that runs once per
+flit cycle.  Traffic arrivals and timers are sparse, so they are handled by
+an event queue drained at the start of each cycle.  This hybrid keeps the
+per-cycle cost proportional to actual activity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .events import Event, EventQueue
+
+
+class Simulator:
+    """Cycle-driven simulator with an auxiliary event queue.
+
+    Time is measured in integer flit cycles (the paper's "router cycles").
+    Conversion to wall-clock time is the responsibility of
+    :class:`repro.core.config.RouterConfig`, which knows the link rate and
+    flit size.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.events = EventQueue()
+        self._tickers: List[Callable[[int], None]] = []
+        self._stopped = False
+
+    def add_ticker(self, tick: Callable[[int], None]) -> None:
+        """Register a per-cycle callback ``tick(cycle)``.
+
+        Tickers run in registration order every cycle, after same-cycle
+        events have been drained.
+        """
+        self._tickers.append(tick)
+
+    def schedule(
+        self,
+        delay: int,
+        action: Callable[..., None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.events.push(self.now + delay, action, payload, priority)
+
+    def schedule_at(
+        self,
+        time: int,
+        action: Callable[..., None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at absolute cycle ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at {time}, now is {self.now}")
+        return self.events.push(time, action, payload, priority)
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current cycle."""
+        self._stopped = True
+
+    def _drain_events(self) -> None:
+        while self.events:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > self.now:
+                break
+            self.events.pop().fire()
+
+    def step(self) -> None:
+        """Execute one cycle: due events first, then every ticker."""
+        self._drain_events()
+        for tick in self._tickers:
+            tick(self.now)
+        self.now += 1
+
+    def run(self, cycles: int) -> int:
+        """Run ``cycles`` cycles (or until :meth:`stop`); returns cycles run."""
+        if cycles < 0:
+            raise ValueError(f"cannot run a negative number of cycles: {cycles}")
+        self._stopped = False
+        executed = 0
+        for _ in range(cycles):
+            if self._stopped:
+                break
+            self.step()
+            executed += 1
+        return executed
+
+    def run_until(self, time: int) -> int:
+        """Run until ``self.now == time``; returns cycles run."""
+        if time < self.now:
+            raise ValueError(f"cannot run backwards to {time} from {self.now}")
+        return self.run(time - self.now)

@@ -1,0 +1,111 @@
+"""Discrete-event machinery: timestamped events and a stable priority queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, sequence)``; the sequence number
+    makes ordering stable (FIFO among equal-time, equal-priority events),
+    which keeps simulations deterministic.
+    """
+
+    __slots__ = ("time", "priority", "sequence", "action", "payload", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        action: Callable[..., None],
+        payload: Any = None,
+        priority: int = 0,
+        sequence: int = 0,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.action = action
+        self.payload = payload
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue discards it instead of firing it."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (with the payload if one was given)."""
+        if self.payload is None:
+            self.action()
+        else:
+            self.action(self.payload)
+
+    def _key(self):
+        return (self.time, self.priority, self.sequence)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time}, prio={self.priority}{state})"
+
+
+class EventQueue:
+    """Binary-heap event queue with lazy cancellation.
+
+    Cancelled events stay in the heap and are skipped on pop; this keeps
+    cancellation O(1) at the cost of heap slack, which is the right trade
+    for the simulator (cancellations are rare).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[..., None],
+        payload: Any = None,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``action`` at ``time``; returns the event for cancellation."""
+        event = Event(time, action, payload, priority, next(self._counter))
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,135 @@
+"""Event tracing: a structured record of what the router did and when.
+
+A :class:`Tracer` collects typed trace records (flit injected, granted,
+delivered, connection opened, ...) with bounded memory, filterable by
+category and connection.  Tracing costs nothing when disabled — the
+router only calls through a no-op — so it can stay wired into hot paths.
+
+Primarily a debugging and teaching tool: the examples can dump the life
+of a single flit through the pipeline, and tests use traces to assert
+event ordering without poking router internals.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: int
+    category: str
+    message: str
+    connection_id: int = -1
+    flit_id: int = -1
+
+    def __str__(self) -> str:
+        parts = [f"[{self.time:>8}] {self.category:<12} {self.message}"]
+        if self.connection_id >= 0:
+            parts.append(f"conn={self.connection_id}")
+        if self.flit_id >= 0:
+            parts.append(f"flit={self.flit_id}")
+        return " ".join(parts)
+
+
+class Tracer:
+    """Bounded in-memory trace buffer with category filtering."""
+
+    def __init__(
+        self,
+        capacity: int = 10000,
+        categories: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enabled = True
+        self._categories = frozenset(categories) if categories else None
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def record(
+        self,
+        time: int,
+        category: str,
+        message: str,
+        connection_id: int = -1,
+        flit_id: int = -1,
+    ) -> None:
+        """Append a record (honouring the enable flag and category filter)."""
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(
+            TraceRecord(time, category, message, connection_id, flit_id)
+        )
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self,
+        category: Optional[str] = None,
+        connection_id: Optional[int] = None,
+        flit_id: Optional[int] = None,
+    ) -> List[TraceRecord]:
+        """Filtered view of the buffered records, oldest first."""
+        out = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if connection_id is not None and record.connection_id != connection_id:
+                continue
+            if flit_id is not None and record.flit_id != flit_id:
+                continue
+            out.append(record)
+        return out
+
+    def clear(self) -> None:
+        """Drop all buffered records (counters keep accumulating)."""
+        self._records.clear()
+
+    def format(self, **filters) -> str:
+        """The filtered trace as printable text."""
+        return "\n".join(str(record) for record in self.records(**filters))
+
+
+class NullTracer:
+    """A tracer that discards everything at near-zero cost.
+
+    Routers hold one of these by default so tracing calls need no
+    conditional at the call site.
+    """
+
+    enabled = False
+
+    def record(self, *args, **kwargs) -> None:
+        """Discard the record."""
+
+    def records(self, **filters) -> List[TraceRecord]:
+        """Always empty."""
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Categories the router emits (kept here as the single source of truth).
+CATEGORIES = (
+    "inject",  # flit entered an input VC
+    "cutthrough",  # control flit bypassed synchronous scheduling
+    "grant",  # switch scheduler granted a (port, vc)
+    "deliver",  # flit left through an output port
+    "connection",  # open / close / renegotiate
+    "round",  # round boundary
+    "credit",  # credit consumed / returned
+)

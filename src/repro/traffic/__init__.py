@@ -1,0 +1,30 @@
+"""Traffic generation: CBR, VBR (MPEG GOP), best-effort and control."""
+
+from .best_effort import PacketSource, make_control_word
+from .cbr import CbrSource
+from .load import ConnectionPlan, ConnectionSpec, LoadPlanner, offered_load_of
+from .traces import FrameRecord, FrameTrace, TraceVbrSource
+from .rates import KBPS, MBPS, PAPER_RATE_SET, RATE_NAMES, rate_name
+from .vbr import DEFAULT_FRAME_RATIOS, DEFAULT_GOP, MpegProfile, VbrSource
+
+__all__ = [
+    "PacketSource",
+    "make_control_word",
+    "CbrSource",
+    "ConnectionPlan",
+    "ConnectionSpec",
+    "LoadPlanner",
+    "offered_load_of",
+    "KBPS",
+    "MBPS",
+    "PAPER_RATE_SET",
+    "RATE_NAMES",
+    "rate_name",
+    "FrameRecord",
+    "FrameTrace",
+    "TraceVbrSource",
+    "DEFAULT_FRAME_RATIOS",
+    "DEFAULT_GOP",
+    "MpegProfile",
+    "VbrSource",
+]

@@ -1,0 +1,158 @@
+"""Best-effort and control packet sources (paper §2, §3.4).
+
+Best-effort packets use virtual cut-through switching: each packet grabs a
+free virtual channel, is scheduled below all data streams, and releases
+its VC when fully transmitted.  Control packets follow the same VCT path
+but above data-stream priority, and cut through asynchronously when their
+output link is idle.  Packet size equals flit size (§3.4), so every packet
+is a single tail flit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+from ..core.config import RouterConfig
+from ..core.flit import ControlCommand, Flit, FlitType
+from ..core.router import Router
+from ..core.virtual_channel import ServiceClass
+from ..sim.engine import Simulator
+from ..sim.rng import SeededRng
+
+
+class PacketSource:
+    """Poisson packet arrivals from one input port to random outputs.
+
+    Used for best-effort traffic (``ServiceClass.BEST_EFFORT``) and, with
+    a different class and flit type, for short control messages.  Packets
+    that find no free VC wait in the interface queue — the paper's "the
+    packet is blocked and stored in the corresponding buffer" behaviour.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        connection_id: int,
+        input_port: int,
+        mean_interarrival_cycles: float,
+        rng: SeededRng,
+        config: RouterConfig,
+        service_class: ServiceClass = ServiceClass.BEST_EFFORT,
+        output_ports: Optional[Sequence[int]] = None,
+        stop_time: Optional[int] = None,
+    ) -> None:
+        if mean_interarrival_cycles <= 0:
+            raise ValueError(
+                "mean_interarrival_cycles must be positive, got "
+                f"{mean_interarrival_cycles}"
+            )
+        if service_class not in (ServiceClass.BEST_EFFORT, ServiceClass.CONTROL):
+            raise ValueError(f"PacketSource is for packet classes, got {service_class}")
+        self.sim = sim
+        self.router = router
+        self.connection_id = connection_id
+        self.input_port = input_port
+        self.mean_interarrival = mean_interarrival_cycles
+        self.rng = rng
+        self.config = config
+        self.service_class = service_class
+        self.output_ports = (
+            tuple(output_ports)
+            if output_ports is not None
+            else tuple(range(config.num_ports))
+        )
+        self.stop_time = stop_time
+        self.flit_type = (
+            FlitType.BEST_EFFORT
+            if service_class is ServiceClass.BEST_EFFORT
+            else FlitType.CONTROL
+        )
+        self.sequence = 0
+        self.packets_generated = 0
+        self.packets_injected = 0
+        self._pending: Deque[Tuple[Flit, int]] = deque()
+        self._retry_scheduled = False
+        self.max_interface_queue = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self.sim.schedule(
+            max(1, round(self.rng.expovariate(1.0 / self.mean_interarrival))),
+            self._on_arrival,
+        )
+
+    def _on_arrival(self) -> None:
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        output_port = self.rng.choice(self.output_ports)
+        flit = Flit(
+            self.flit_type,
+            connection_id=self.connection_id,
+            created=self.sim.now,
+            sequence=self.sequence,
+            is_tail=True,
+        )
+        self.sequence += 1
+        self.packets_generated += 1
+        self._pending.append((flit, output_port))
+        if len(self._pending) > self.max_interface_queue:
+            self.max_interface_queue = len(self._pending)
+        self._drain()
+        self.sim.schedule(
+            max(1, round(self.rng.expovariate(1.0 / self.mean_interarrival))),
+            self._on_arrival,
+        )
+
+    def _drain(self) -> None:
+        while self._pending:
+            flit, output_port = self._pending[0]
+            vc_index = self.router.open_packet_vc(
+                self.input_port, output_port, self.service_class, self.connection_id
+            )
+            if vc_index is None:
+                self._schedule_retry()
+                return
+            accepted = self.router.inject(self.input_port, vc_index, flit)
+            if not accepted:
+                raise RuntimeError(
+                    "freshly opened packet VC refused its first flit"
+                )
+            self._pending.popleft()
+            self.packets_injected += 1
+
+    def _schedule_retry(self) -> None:
+        if not self._retry_scheduled:
+            self._retry_scheduled = True
+            self.sim.schedule(1, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        self._drain()
+        if self._pending:
+            self._schedule_retry()
+
+    @property
+    def backlog(self) -> int:
+        """Packets blocked at the interface right now."""
+        return len(self._pending)
+
+
+def make_control_word(
+    connection_id: int,
+    command: ControlCommand,
+    argument: int,
+    now: int,
+    sequence: int = 0,
+) -> Flit:
+    """Build a control-word flit for dynamic bandwidth management (§4.3)."""
+    return Flit(
+        FlitType.CONTROL,
+        connection_id=connection_id,
+        created=now,
+        command=command,
+        argument=argument,
+        sequence=sequence,
+        is_tail=True,
+    )

@@ -1,0 +1,105 @@
+"""Constant-bit-rate traffic sources (paper §2, §5).
+
+A CBR connection delivers one flit every fixed inter-arrival period.  The
+source models the network interface feeding the router's input link: when
+the input virtual channel buffer is full (link-level flow control pushed
+back), flits wait in the interface queue and are retried — nothing is
+dropped, matching the MMR's lossless design.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.config import RouterConfig
+from ..core.flit import Flit, FlitType
+from ..core.router import Router
+from ..sim.engine import Simulator
+
+
+class CbrSource:
+    """Generates a deterministic flit stream for one CBR connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        connection_id: int,
+        input_port: int,
+        vc_index: int,
+        rate_bps: float,
+        config: RouterConfig,
+        phase: float = 0.0,
+        stop_time: Optional[int] = None,
+    ) -> None:
+        """``phase`` offsets the first arrival (cycles) so that connections
+        admitted together do not all beat in lockstep."""
+        if phase < 0:
+            raise ValueError(f"phase must be >= 0, got {phase}")
+        self.sim = sim
+        self.router = router
+        self.connection_id = connection_id
+        self.input_port = input_port
+        self.vc_index = vc_index
+        self.rate_bps = rate_bps
+        self.interarrival = config.rate_to_interarrival_cycles(rate_bps)
+        self.phase = phase
+        self.stop_time = stop_time
+        self.sequence = 0
+        self.flits_generated = 0
+        self.flits_injected = 0
+        self._pending: Deque[Flit] = deque()
+        self._retry_scheduled = False
+        self._next_arrival = phase
+        self.max_interface_queue = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival, ``phase`` cycles from now."""
+        self._next_arrival = self.sim.now + self.phase
+        self.sim.schedule_at(int(self._next_arrival), self._on_arrival)
+
+    # ----- event handlers --------------------------------------------------
+
+    def _on_arrival(self) -> None:
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        flit = Flit(
+            FlitType.DATA,
+            connection_id=self.connection_id,
+            created=self.sim.now,
+            sequence=self.sequence,
+        )
+        self.sequence += 1
+        self.flits_generated += 1
+        self._pending.append(flit)
+        if len(self._pending) > self.max_interface_queue:
+            self.max_interface_queue = len(self._pending)
+        self._drain()
+        self._next_arrival += self.interarrival
+        self.sim.schedule_at(int(self._next_arrival), self._on_arrival)
+
+    def _drain(self) -> None:
+        """Push pending flits into the input VC until it refuses one."""
+        while self._pending:
+            if not self.router.inject(self.input_port, self.vc_index, self._pending[0]):
+                self._schedule_retry()
+                return
+            self._pending.popleft()
+            self.flits_injected += 1
+
+    def _schedule_retry(self) -> None:
+        if not self._retry_scheduled:
+            self._retry_scheduled = True
+            self.sim.schedule(1, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        self._drain()
+        if self._pending:
+            self._schedule_retry()
+
+    @property
+    def backlog(self) -> int:
+        """Flits held at the interface by back-pressure right now."""
+        return len(self._pending)

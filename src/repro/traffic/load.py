@@ -1,0 +1,141 @@
+"""Connection-set generation at a target offered load (paper §5).
+
+"Connections were randomly selected from the set (...) and assigned to
+random input and output ports on the router.  The offered load is computed
+as the percentage of switch bandwidth demanded by all connections through
+the router."
+
+The planner does its feasibility bookkeeping in the same units as the
+router's admission registers — integer flit cycles per round — so a
+planned connection is never refused by admission.  Random port pairs are
+tried first (the paper's random assignment); when they are full the
+planner falls back to the least-loaded feasible pair so that 95% aggregate
+load remains reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import RouterConfig
+from ..sim.rng import SeededRng
+from .rates import PAPER_RATE_SET
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """One planned CBR connection, before admission."""
+
+    connection_id: int
+    input_port: int
+    output_port: int
+    rate_bps: float
+
+
+@dataclass
+class ConnectionPlan:
+    """A generated connection set and its achieved offered load."""
+
+    specs: List[ConnectionSpec] = field(default_factory=list)
+    offered_load: float = 0.0
+
+
+def offered_load_of(specs: Sequence[ConnectionSpec], config: RouterConfig) -> float:
+    """Fraction of aggregate switch bandwidth the specs demand."""
+    demand = sum(spec.rate_bps for spec in specs)
+    return demand / config.aggregate_bandwidth_bps
+
+
+class LoadPlanner:
+    """Draws random connections until a target offered load is reached."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        rng: SeededRng,
+        rate_set: Sequence[float] = PAPER_RATE_SET,
+    ) -> None:
+        if not rate_set:
+            raise ValueError("rate_set must not be empty")
+        self.config = config
+        self.rng = rng
+        self.rate_set = tuple(sorted(rate_set))
+
+    def plan(self, target_load: float, max_attempts: int = 100000) -> ConnectionPlan:
+        """Generate connections demanding ~``target_load`` of the switch.
+
+        Stops when within half of the smallest rate of the target, when no
+        remaining rate fits anywhere, or after ``max_attempts`` draws.
+        """
+        if not 0.0 < target_load <= 1.0:
+            raise ValueError(f"target_load must be in (0, 1], got {target_load}")
+        config = self.config
+        ports = config.num_ports
+        cap_cycles = config.round_length
+        in_used = [0] * ports
+        out_used = [0] * ports
+        plan = ConnectionPlan()
+        target_demand = target_load * config.aggregate_bandwidth_bps
+        demand = 0.0
+        next_id = 0
+        attempts = 0
+        smallest = self.rate_set[0]
+        while demand + smallest / 2 < target_demand and attempts < max_attempts:
+            attempts += 1
+            budget = target_demand - demand
+            feasible_rates = [rate for rate in self.rate_set if rate <= budget]
+            if not feasible_rates:
+                break
+            rate = self.rng.choice(feasible_rates)
+            cycles = config.rate_to_cycles_per_round(rate)
+            placement = self._place(cycles, in_used, out_used, cap_cycles)
+            if placement is None:
+                if not any(
+                    self._fits_anywhere(
+                        config.rate_to_cycles_per_round(r), in_used, out_used, cap_cycles
+                    )
+                    for r in feasible_rates
+                ):
+                    break
+                continue
+            input_port, output_port = placement
+            in_used[input_port] += cycles
+            out_used[output_port] += cycles
+            demand += rate
+            plan.specs.append(ConnectionSpec(next_id, input_port, output_port, rate))
+            next_id += 1
+        plan.offered_load = demand / config.aggregate_bandwidth_bps
+        return plan
+
+    @staticmethod
+    def _fits_anywhere(
+        cycles: int, in_used: List[int], out_used: List[int], cap: int
+    ) -> bool:
+        return min(in_used) + cycles <= cap and min(out_used) + cycles <= cap
+
+    def _place(
+        self,
+        cycles: int,
+        in_used: List[int],
+        out_used: List[int],
+        cap: int,
+        random_tries: int = 8,
+    ) -> Optional[Tuple[int, int]]:
+        """Pick (input, output) ports with ``cycles`` flit cycles of room."""
+        ports = self.config.num_ports
+        for _ in range(random_tries):
+            input_port = self.rng.randint(0, ports - 1)
+            output_port = self.rng.randint(0, ports - 1)
+            if (
+                in_used[input_port] + cycles <= cap
+                and out_used[output_port] + cycles <= cap
+            ):
+                return input_port, output_port
+        feasible_in = [p for p in range(ports) if in_used[p] + cycles <= cap]
+        feasible_out = [p for p in range(ports) if out_used[p] + cycles <= cap]
+        if not feasible_in or not feasible_out:
+            return None
+        input_port = min(feasible_in, key=lambda p: in_used[p])
+        output_port = min(feasible_out, key=lambda p: out_used[p])
+        return input_port, output_port

@@ -1,0 +1,49 @@
+"""Connection-rate sets (paper §5).
+
+The evaluation draws connection bandwidths uniformly from a set spanning
+voice (64 Kbps) to high-definition video (120 Mbps).  The OCR of the paper
+drops trailing zeros; the set below restores the standard telecom rates
+(T1 = 1.544 Mbps nominal, written 1.54 in the paper) — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+KBPS = 1e3
+MBPS = 1e6
+
+#: The paper's CBR connection-rate set, in bits per second.
+PAPER_RATE_SET: Tuple[float, ...] = (
+    64 * KBPS,  # voice
+    128 * KBPS,  # ISDN / conferencing audio
+    1.54 * MBPS,  # T1 / MPEG-1 video
+    2 * MBPS,  # E1 / low-rate MPEG-2
+    5 * MBPS,  # SDTV MPEG-2
+    10 * MBPS,  # high-quality MPEG-2
+    20 * MBPS,  # studio video
+    55 * MBPS,  # HDTV contribution
+    120 * MBPS,  # uncompressed-class / HDTV production
+)
+
+#: Human-readable names for reporting.
+RATE_NAMES: Dict[float, str] = {
+    64 * KBPS: "64 Kbps",
+    128 * KBPS: "128 Kbps",
+    1.54 * MBPS: "1.54 Mbps",
+    2 * MBPS: "2 Mbps",
+    5 * MBPS: "5 Mbps",
+    10 * MBPS: "10 Mbps",
+    20 * MBPS: "20 Mbps",
+    55 * MBPS: "55 Mbps",
+    120 * MBPS: "120 Mbps",
+}
+
+
+def rate_name(rate_bps: float) -> str:
+    """Readable label for a rate (falls back to generic formatting)."""
+    if rate_bps in RATE_NAMES:
+        return RATE_NAMES[rate_bps]
+    if rate_bps >= MBPS:
+        return f"{rate_bps / MBPS:g} Mbps"
+    return f"{rate_bps / KBPS:g} Kbps"

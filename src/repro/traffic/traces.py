@@ -1,0 +1,249 @@
+"""Frame-size traces for VBR video (paper §2, §4.2).
+
+The MMR's follow-up evaluations use MPEG-2 traces.  Real traces are
+distributed as plain text, one frame record per line; this module reads
+and writes that format, synthesises statistically-matched traces from an
+:class:`~repro.traffic.vbr.MpegProfile` (our substitution for the
+authors' proprietary traces — see DESIGN.md), and plays a trace through
+an established connection via :class:`TraceVbrSource`.
+
+Trace file format (comment lines start with ``#``)::
+
+    # frame_rate_hz: 30.0
+    I 412672
+    B 81920
+    P 204800
+    ...
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, TextIO, Tuple, Union
+
+from ..core.config import RouterConfig
+from ..core.flit import Flit, FlitType
+from ..core.router import Router
+from ..sim.engine import Simulator
+from ..sim.rng import SeededRng
+from .vbr import MpegProfile
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One video frame: its kind (I/P/B) and size in bits."""
+
+    kind: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not self.kind or not self.kind.isalpha():
+            raise ValueError(f"frame kind must be alphabetic, got {self.kind!r}")
+        if self.bits <= 0:
+            raise ValueError(f"frame bits must be positive, got {self.bits}")
+
+
+@dataclass
+class FrameTrace:
+    """A frame-size trace with its frame rate."""
+
+    frame_rate_hz: float
+    frames: List[FrameRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.frame_rate_hz <= 0:
+            raise ValueError(
+                f"frame_rate_hz must be positive, got {self.frame_rate_hz}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    @property
+    def total_bits(self) -> int:
+        """Sum of all frame sizes."""
+        return sum(frame.bits for frame in self.frames)
+
+    @property
+    def duration_seconds(self) -> float:
+        """Play-out duration at the trace's frame rate."""
+        return len(self.frames) / self.frame_rate_hz
+
+    @property
+    def mean_rate_bps(self) -> float:
+        """Long-run bit rate of the trace."""
+        if not self.frames:
+            return 0.0
+        return self.total_bits / self.duration_seconds
+
+    def peak_rate_bps(self, window_frames: int = 1) -> float:
+        """Worst-case rate over any ``window_frames``-frame window."""
+        if not self.frames:
+            return 0.0
+        if window_frames <= 0:
+            raise ValueError(f"window_frames must be positive, got {window_frames}")
+        window_frames = min(window_frames, len(self.frames))
+        window_bits = sum(f.bits for f in self.frames[:window_frames])
+        worst = window_bits
+        for i in range(window_frames, len(self.frames)):
+            window_bits += self.frames[i].bits - self.frames[i - window_frames].bits
+            worst = max(worst, window_bits)
+        return worst * self.frame_rate_hz / window_frames
+
+    def kinds(self) -> List[str]:
+        """Distinct frame kinds, in order of first appearance."""
+        seen: List[str] = []
+        for frame in self.frames:
+            if frame.kind not in seen:
+                seen.append(frame.kind)
+        return seen
+
+    # ----- persistence ---------------------------------------------------------
+
+    def dump(self, stream: TextIO) -> None:
+        """Write the trace in the text format."""
+        stream.write(f"# frame_rate_hz: {self.frame_rate_hz}\n")
+        for frame in self.frames:
+            stream.write(f"{frame.kind} {frame.bits}\n")
+
+    @classmethod
+    def parse(cls, stream: TextIO) -> "FrameTrace":
+        """Read a trace written by :meth:`dump` (or a compatible file)."""
+        frame_rate = 30.0
+        frames: List[FrameRecord] = []
+        for line_number, raw in enumerate(stream, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("frame_rate_hz:"):
+                    frame_rate = float(body.split(":", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    f"line {line_number}: expected 'KIND BITS', got {line!r}"
+                )
+            frames.append(FrameRecord(parts[0], int(parts[1])))
+        return cls(frame_rate, frames)
+
+    @classmethod
+    def synthesise(
+        cls,
+        profile: MpegProfile,
+        num_frames: int,
+        rng: SeededRng,
+    ) -> "FrameTrace":
+        """Generate a trace statistically matched to ``profile``."""
+        if num_frames <= 0:
+            raise ValueError(f"num_frames must be positive, got {num_frames}")
+        frames = []
+        for i in range(num_frames):
+            kind = profile.gop[i % len(profile.gop)]
+            bits = profile.frame_bits(kind)
+            if profile.sigma > 0:
+                bits *= math.exp(rng.gauss(0.0, profile.sigma))
+            frames.append(FrameRecord(kind, max(1, round(bits))))
+        return cls(profile.frame_rate_hz, frames)
+
+
+class TraceVbrSource:
+    """Plays a :class:`FrameTrace` over an established VBR connection.
+
+    Like :class:`~repro.traffic.vbr.VbrSource` but frame sizes come from
+    the trace instead of a statistical model; the trace loops when it
+    runs out (standard practice when driving long simulations from short
+    traces).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        connection_id: int,
+        input_port: int,
+        vc_index: int,
+        trace: FrameTrace,
+        config: RouterConfig,
+        phase: float = 0.0,
+        stop_time: Optional[int] = None,
+        loop: bool = True,
+    ) -> None:
+        if not trace.frames:
+            raise ValueError("cannot play an empty trace")
+        self.sim = sim
+        self.router = router
+        self.connection_id = connection_id
+        self.input_port = input_port
+        self.vc_index = vc_index
+        self.trace = trace
+        self.config = config
+        self.stop_time = stop_time
+        self.loop = loop
+        self.frame_period = (
+            1.0 / trace.frame_rate_hz / config.flit_cycle_seconds
+        )
+        self._next_frame_time = phase
+        self._frame_index = 0
+        self.sequence = 0
+        self.flits_generated = 0
+        self.flits_injected = 0
+        self.frames_played = 0
+        self._pending: Deque[Flit] = deque()
+        self._retry_scheduled = False
+
+    def start(self) -> None:
+        """Schedule the first frame, ``phase`` cycles from now."""
+        self._next_frame_time += self.sim.now
+        self.sim.schedule_at(int(self._next_frame_time), self._on_frame)
+
+    def _on_frame(self) -> None:
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        if self._frame_index >= len(self.trace.frames):
+            if not self.loop:
+                return
+            self._frame_index = 0
+        frame = self.trace.frames[self._frame_index]
+        self._frame_index += 1
+        self.frames_played += 1
+        count = max(1, -(-frame.bits // self.config.flit_size_bits))
+        for i in range(count):
+            flit = Flit(
+                FlitType.DATA,
+                connection_id=self.connection_id,
+                created=self.sim.now,
+                sequence=self.sequence,
+                is_tail=(i == count - 1),
+            )
+            self.sequence += 1
+            self.flits_generated += 1
+            self._pending.append(flit)
+        self._drain()
+        self._next_frame_time += self.frame_period
+        self.sim.schedule_at(int(self._next_frame_time), self._on_frame)
+
+    def _drain(self) -> None:
+        while self._pending:
+            if not self.router.inject(self.input_port, self.vc_index, self._pending[0]):
+                if not self._retry_scheduled:
+                    self._retry_scheduled = True
+                    self.sim.schedule(1, self._retry)
+                return
+            self._pending.popleft()
+            self.flits_injected += 1
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        self._drain()
+        if self._pending and not self._retry_scheduled:
+            self._retry_scheduled = True
+            self.sim.schedule(1, self._retry)
+
+    @property
+    def backlog(self) -> int:
+        """Flits held at the interface by back-pressure right now."""
+        return len(self._pending)

@@ -1,0 +1,205 @@
+"""Variable-bit-rate traffic: a synthetic MPEG GOP model (paper §2, §4).
+
+The paper motivates VBR support with compressed video, whose bandwidth
+varies frame to frame; the follow-up MMR papers evaluate with MPEG-2
+traces.  Lacking the authors' traces, this module generates a synthetic
+MPEG stream: a repeating group of pictures (GOP) of I, P and B frames with
+characteristic size ratios and lognormal-like per-frame variation, emitted
+at the video frame rate.  Frames are fragmented into flits and injected as
+a burst at each frame boundary, which exercises exactly the VBR admission
+(permanent/peak registers) and link-scheduling (permanent-then-excess)
+code paths.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from ..core.config import RouterConfig
+from ..core.flit import Flit, FlitType
+from ..core.router import Router
+from ..sim.engine import Simulator
+from ..sim.rng import SeededRng
+
+#: A common MPEG GOP structure (N=12, M=3): I B B P B B P B B P B B.
+DEFAULT_GOP: Tuple[str, ...] = (
+    "I", "B", "B", "P", "B", "B", "P", "B", "B", "P", "B", "B",
+)
+
+#: Relative mean frame sizes (I largest, B smallest).
+DEFAULT_FRAME_RATIOS = {"I": 5.0, "P": 2.5, "B": 1.0}
+
+
+@dataclass(frozen=True)
+class MpegProfile:
+    """Statistical description of one synthetic MPEG stream."""
+
+    mean_rate_bps: float
+    frame_rate_hz: float = 30.0
+    gop: Tuple[str, ...] = DEFAULT_GOP
+    frame_ratios: dict = field(default_factory=lambda: dict(DEFAULT_FRAME_RATIOS))
+    # Multiplicative per-frame noise: frame size *= exp(N(0, sigma)).
+    sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_bps <= 0:
+            raise ValueError(f"mean_rate_bps must be positive, got {self.mean_rate_bps}")
+        if self.frame_rate_hz <= 0:
+            raise ValueError(f"frame_rate_hz must be positive, got {self.frame_rate_hz}")
+        if not self.gop:
+            raise ValueError("gop must not be empty")
+        for kind in self.gop:
+            if kind not in self.frame_ratios:
+                raise ValueError(f"frame kind {kind!r} missing from frame_ratios")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    @property
+    def mean_frame_bits(self) -> float:
+        """Average frame size implied by rate and frame rate."""
+        return self.mean_rate_bps / self.frame_rate_hz
+
+    def frame_bits(self, kind: str) -> float:
+        """Mean size of a ``kind`` frame, honouring the GOP ratios."""
+        ratio_sum = sum(self.frame_ratios[k] for k in self.gop)
+        scale = self.mean_frame_bits * len(self.gop) / ratio_sum
+        return self.frame_ratios[kind] * scale
+
+    def peak_rate_bps(self, quantile_sigma: float = 2.0) -> float:
+        """Estimated peak rate: largest frame kind at +``quantile_sigma``.
+
+        This is what a probe carries as the connection's peak bandwidth
+        (the paper allows estimates).
+        """
+        largest = max(self.frame_bits(k) for k in self.frame_ratios)
+        burst = largest * math.exp(quantile_sigma * self.sigma)
+        return burst * self.frame_rate_hz
+
+
+class VbrSource:
+    """Injects a synthetic MPEG stream over an established VBR connection.
+
+    Each frame period the source fragments the frame into flits and queues
+    them at the interface; flits drain into the input VC as fast as flow
+    control allows, so large frames naturally spread over many cycles and
+    contend for the VBR excess bandwidth tier.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        router: Router,
+        connection_id: int,
+        input_port: int,
+        vc_index: int,
+        profile: MpegProfile,
+        config: RouterConfig,
+        rng: SeededRng,
+        phase: float = 0.0,
+        stop_time: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.router = router
+        self.connection_id = connection_id
+        self.input_port = input_port
+        self.vc_index = vc_index
+        self.profile = profile
+        self.config = config
+        self.rng = rng
+        self.stop_time = stop_time
+        # Frame period in flit cycles.
+        self.frame_period = 1.0 / profile.frame_rate_hz / config.flit_cycle_seconds
+        self._next_frame_time = phase
+        self._frame_index = 0
+        self.sequence = 0
+        self.flits_generated = 0
+        self.flits_injected = 0
+        self.frames_generated = 0
+        self.frames_aborted = 0
+        self._pending: Deque[Flit] = deque()
+        self._retry_scheduled = False
+        self.max_interface_queue = 0
+        # When True, the current frame's remaining flits are dropped (the
+        # §4.3 frame-abort mechanism driven by back-pressure).
+        self.abort_backlog_frames: Optional[float] = None
+
+    def start(self) -> None:
+        """Schedule the first frame, ``phase`` cycles from now."""
+        self._next_frame_time += self.sim.now
+        self.sim.schedule_at(int(self._next_frame_time), self._on_frame)
+
+    # ----- frame generation ---------------------------------------------------
+
+    def _frame_flit_count(self, kind: str) -> int:
+        bits = self.profile.frame_bits(kind)
+        if self.profile.sigma > 0:
+            bits *= math.exp(self.rng.gauss(0.0, self.profile.sigma))
+        return max(1, round(bits / self.config.flit_size_bits))
+
+    def _on_frame(self) -> None:
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            return
+        kind = self.profile.gop[self._frame_index % len(self.profile.gop)]
+        self._frame_index += 1
+        self.frames_generated += 1
+        count = self._frame_flit_count(kind)
+        if self._should_abort_frame(count):
+            self.frames_aborted += 1
+        else:
+            for i in range(count):
+                flit = Flit(
+                    FlitType.DATA,
+                    connection_id=self.connection_id,
+                    created=self.sim.now,
+                    sequence=self.sequence,
+                    is_tail=(i == count - 1),
+                )
+                self.sequence += 1
+                self.flits_generated += 1
+                self._pending.append(flit)
+            if len(self._pending) > self.max_interface_queue:
+                self.max_interface_queue = len(self._pending)
+            self._drain()
+        self._next_frame_time += self.frame_period
+        self.sim.schedule_at(int(self._next_frame_time), self._on_frame)
+
+    def _should_abort_frame(self, incoming_flits: int) -> bool:
+        """§4.3: a source may abort a frame that is making no progress.
+
+        When back-pressure has left more than ``abort_backlog_frames``
+        frames' worth of flits at the interface, transmitting another frame
+        only wastes bandwidth on data that will miss its deadline.
+        """
+        if self.abort_backlog_frames is None:
+            return False
+        threshold = self.abort_backlog_frames * max(incoming_flits, 1)
+        return len(self._pending) > threshold
+
+    # ----- injection -------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while self._pending:
+            if not self.router.inject(self.input_port, self.vc_index, self._pending[0]):
+                self._schedule_retry()
+                return
+            self._pending.popleft()
+            self.flits_injected += 1
+
+    def _schedule_retry(self) -> None:
+        if not self._retry_scheduled:
+            self._retry_scheduled = True
+            self.sim.schedule(1, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_scheduled = False
+        self._drain()
+        if self._pending:
+            self._schedule_retry()
+
+    @property
+    def backlog(self) -> int:
+        """Flits held at the interface by back-pressure right now."""
+        return len(self._pending)

@@ -1,0 +1,90 @@
+"""Tests for router-level admission control."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+
+
+def controller(num_ports=4, round_factor=1, vcs=8):
+    config = RouterConfig(
+        num_ports=num_ports, vcs_per_port=vcs, round_factor=round_factor
+    )
+    return AdmissionController(config), config
+
+
+class TestAdmission:
+    def test_admit_charges_both_links(self):
+        ctrl, config = controller()
+        request = BandwidthRequest(4)
+        assert ctrl.admit(0, 2, request)
+        assert ctrl.inputs[0].allocated_cycles == 4
+        assert ctrl.outputs[2].allocated_cycles == 4
+        assert ctrl.inputs[2].allocated_cycles == 0
+        assert ctrl.admitted == 1
+
+    def test_refusal_on_missing_vc(self):
+        ctrl, _ = controller()
+        decision = ctrl.admit(0, 1, BandwidthRequest(1), input_vc_free=False)
+        assert not decision
+        assert "virtual channel" in decision.reason
+        assert ctrl.refused == 1
+        assert ctrl.inputs[0].allocated_cycles == 0
+
+    def test_refusal_on_input_exhaustion(self):
+        ctrl, config = controller()
+        cap = config.round_length
+        assert ctrl.admit(0, 1, BandwidthRequest(cap))
+        decision = ctrl.admit(0, 2, BandwidthRequest(1))
+        assert not decision
+        assert "input link" in decision.reason
+        # Output 2 must not have been charged.
+        assert ctrl.outputs[2].allocated_cycles == 0
+
+    def test_refusal_on_output_exhaustion(self):
+        ctrl, config = controller()
+        cap = config.round_length
+        assert ctrl.admit(0, 3, BandwidthRequest(cap))
+        decision = ctrl.admit(1, 3, BandwidthRequest(1))
+        assert not decision
+        assert "output link" in decision.reason
+        # Input 1 reservation must have been rolled back.
+        assert ctrl.inputs[1].allocated_cycles == 0
+
+    def test_release_restores_both(self):
+        ctrl, _ = controller()
+        request = BandwidthRequest(5)
+        ctrl.admit(1, 2, request)
+        ctrl.release(1, 2, request)
+        assert ctrl.inputs[1].allocated_cycles == 0
+        assert ctrl.outputs[2].allocated_cycles == 0
+
+    def test_evaluate_does_not_commit(self):
+        ctrl, _ = controller()
+        assert ctrl.evaluate(0, 1, BandwidthRequest(3))
+        assert ctrl.inputs[0].allocated_cycles == 0
+        assert ctrl.outputs[1].allocated_cycles == 0
+
+    def test_port_range_checked(self):
+        ctrl, _ = controller()
+        with pytest.raises(IndexError):
+            ctrl.admit(4, 0, BandwidthRequest(1))
+        with pytest.raises(IndexError):
+            ctrl.admit(0, -1, BandwidthRequest(1))
+
+    def test_offered_load(self):
+        ctrl, config = controller()
+        half = config.round_length // 2
+        ctrl.admit(0, 0, BandwidthRequest(half))
+        ctrl.admit(1, 1, BandwidthRequest(half))
+        # Two half-full outputs of four => 25% of switch bandwidth.
+        assert ctrl.offered_load() == pytest.approx(0.25)
+
+    def test_loopback_port_double_charged(self):
+        # A connection entering and leaving on the same physical link
+        # charges that link's input and output registers independently.
+        ctrl, _ = controller()
+        ctrl.admit(2, 2, BandwidthRequest(3))
+        assert ctrl.inputs[2].allocated_cycles == 3
+        assert ctrl.outputs[2].allocated_cycles == 3

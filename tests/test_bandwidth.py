@@ -1,0 +1,168 @@
+"""Tests for the per-output-link bandwidth allocation registers (§4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bandwidth import AllocationError, BandwidthAllocator, BandwidthRequest
+
+
+class TestBandwidthRequest:
+    def test_cbr_defaults_peak_to_permanent(self):
+        r = BandwidthRequest(10)
+        assert r.effective_peak == 10
+        assert not r.is_vbr
+
+    def test_vbr_has_distinct_peak(self):
+        r = BandwidthRequest(10, 25)
+        assert r.effective_peak == 25
+        assert r.is_vbr
+
+    def test_rejects_nonpositive_permanent(self):
+        with pytest.raises(ValueError):
+            BandwidthRequest(0)
+
+    def test_rejects_peak_below_permanent(self):
+        with pytest.raises(ValueError):
+            BandwidthRequest(10, 5)
+
+    def test_peak_equal_permanent_is_cbr_like(self):
+        r = BandwidthRequest(10, 10)
+        assert not r.is_vbr
+
+
+class TestCbrAdmission:
+    def test_admits_until_round_full(self):
+        alloc = BandwidthAllocator(round_length=100)
+        assert alloc.allocate(BandwidthRequest(60))
+        assert alloc.allocate(BandwidthRequest(40))
+        assert not alloc.allocate(BandwidthRequest(1))
+        assert alloc.allocated_cycles == 100
+        assert alloc.active_connections == 2
+
+    def test_exact_fill_allowed(self):
+        alloc = BandwidthAllocator(round_length=100)
+        assert alloc.allocate(BandwidthRequest(100))
+        assert alloc.utilisation == pytest.approx(1.0)
+
+    def test_release_frees_capacity(self):
+        alloc = BandwidthAllocator(round_length=100)
+        request = BandwidthRequest(100)
+        alloc.allocate(request)
+        alloc.release(request)
+        assert alloc.allocated_cycles == 0
+        assert alloc.active_connections == 0
+        assert alloc.allocate(BandwidthRequest(50))
+
+    def test_release_unallocated_rejected(self):
+        alloc = BandwidthAllocator(round_length=100)
+        with pytest.raises(AllocationError):
+            alloc.release(BandwidthRequest(10))
+
+    def test_release_on_idle_link_rejected(self):
+        alloc = BandwidthAllocator(round_length=100)
+        alloc.allocated_cycles = 20  # simulate corruption
+        with pytest.raises(AllocationError):
+            alloc.release(BandwidthRequest(10))
+
+    def test_best_effort_reservation(self):
+        # §4.2: reserve some bandwidth/round for best-effort traffic.
+        alloc = BandwidthAllocator(round_length=100, best_effort_reserved_fraction=0.2)
+        assert alloc.allocatable_cycles == 80
+        assert not alloc.allocate(BandwidthRequest(81))
+        assert alloc.allocate(BandwidthRequest(80))
+
+
+class TestVbrAdmission:
+    def test_permanent_counts_against_register_one(self):
+        alloc = BandwidthAllocator(round_length=100, concurrency_factor=2.0)
+        assert alloc.allocate(BandwidthRequest(30, 60))
+        assert alloc.allocated_cycles == 30
+        assert alloc.peak_cycles == 60
+
+    def test_peak_budget_is_concurrency_times_round(self):
+        alloc = BandwidthAllocator(round_length=100, concurrency_factor=2.0)
+        assert alloc.peak_budget == pytest.approx(200.0)
+        assert alloc.allocate(BandwidthRequest(10, 150))
+        # Second VBR peak would exceed 200 total.
+        assert not alloc.allocate(BandwidthRequest(10, 60))
+        assert alloc.allocate(BandwidthRequest(10, 50))
+
+    def test_vbr_release_restores_both_registers(self):
+        alloc = BandwidthAllocator(round_length=100)
+        request = BandwidthRequest(30, 60)
+        alloc.allocate(request)
+        alloc.release(request)
+        assert alloc.allocated_cycles == 0
+        assert alloc.peak_cycles == 0
+
+    def test_permanent_sum_still_bounded(self):
+        alloc = BandwidthAllocator(round_length=100, concurrency_factor=10.0)
+        assert alloc.allocate(BandwidthRequest(80, 90))
+        assert not alloc.allocate(BandwidthRequest(30, 40))
+
+    def test_peak_oversubscription_metric(self):
+        alloc = BandwidthAllocator(round_length=100, concurrency_factor=2.0)
+        alloc.allocate(BandwidthRequest(10, 150))
+        assert alloc.peak_oversubscription == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthAllocator(0)
+        with pytest.raises(ValueError):
+            BandwidthAllocator(100, concurrency_factor=0.9)
+        with pytest.raises(ValueError):
+            BandwidthAllocator(100, best_effort_reserved_fraction=-0.1)
+
+
+class TestRenegotiation:
+    def test_upgrade_within_capacity(self):
+        alloc = BandwidthAllocator(round_length=100)
+        old = BandwidthRequest(20)
+        alloc.allocate(old)
+        assert alloc.renegotiate(old, BandwidthRequest(50))
+        assert alloc.allocated_cycles == 50
+        assert alloc.active_connections == 1
+
+    def test_failed_upgrade_rolls_back(self):
+        alloc = BandwidthAllocator(round_length=100)
+        old = BandwidthRequest(20)
+        alloc.allocate(old)
+        alloc.allocate(BandwidthRequest(70))
+        assert not alloc.renegotiate(old, BandwidthRequest(40))
+        assert alloc.allocated_cycles == 90  # unchanged
+        assert alloc.active_connections == 2
+
+    def test_downgrade_always_succeeds(self):
+        alloc = BandwidthAllocator(round_length=100)
+        old = BandwidthRequest(80)
+        alloc.allocate(old)
+        assert alloc.renegotiate(old, BandwidthRequest(10))
+        assert alloc.allocated_cycles == 10
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 30), st.integers(0, 40)),
+            max_size=50,
+        )
+    )
+    def test_registers_equal_sum_of_live_requests(self, demands):
+        """After any allocate/release interleaving the registers equal the
+        footprint of currently-admitted requests exactly."""
+        alloc = BandwidthAllocator(round_length=200, concurrency_factor=3.0)
+        live = []
+        for permanent, extra in demands:
+            request = BandwidthRequest(permanent, permanent + extra if extra else 0)
+            if alloc.allocate(request):
+                live.append(request)
+            elif live:
+                done = live.pop(0)
+                alloc.release(done)
+            expected_perm = sum(r.permanent_cycles for r in live)
+            expected_peak = sum(r.effective_peak for r in live if r.is_vbr)
+            assert alloc.allocated_cycles == expected_perm
+            assert alloc.peak_cycles == expected_peak
+            assert alloc.active_connections == len(live)
+            assert alloc.allocated_cycles <= alloc.allocatable_cycles
+            assert alloc.peak_cycles <= alloc.peak_budget

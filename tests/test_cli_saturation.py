@@ -1,0 +1,113 @@
+"""Tests for the CLI and the saturation-point finder."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import RouterConfig
+from repro.harness.saturation import (
+    SaturationCriteria,
+    find_saturation_load,
+    is_saturated,
+)
+from repro.harness.single_router import ExperimentSpec, run_single_router_experiment
+
+# K=8 keeps 512-cycle rounds so the load planner can pack links tightly
+# (coarser rounds waste capacity to ceil-rounding and cap offered load).
+TINY = RouterConfig(
+    num_ports=4, vcs_per_port=64, round_factor=8, enforce_round_budgets=False
+)
+TINY_CYCLES = dict(warmup_cycles=1000, measure_cycles=4000)
+
+
+class TestSaturationJudgement:
+    def run(self, load, **overrides):
+        kwargs = dict(
+            target_load=load, config=TINY, candidates=8, seed=3, **TINY_CYCLES
+        )
+        kwargs.update(overrides)
+        return run_single_router_experiment(ExperimentSpec(**kwargs))
+
+    def test_light_load_is_stable(self):
+        result = self.run(0.3)
+        assert not is_saturated(result)
+
+    def test_single_candidate_high_load_saturates(self):
+        result = self.run(0.9, candidates=1)
+        assert is_saturated(result)
+
+    def test_criteria_thresholds(self):
+        result = self.run(0.3)
+        strict = SaturationCriteria(utilisation_slack=-1.0)
+        assert is_saturated(result, strict)  # impossible slack trips it
+
+
+class TestFindSaturationLoad:
+    def base(self, candidates):
+        return ExperimentSpec(
+            target_load=0.5, config=TINY, candidates=candidates, seed=3,
+            **TINY_CYCLES,
+        )
+
+    def test_bisection_brackets(self):
+        estimate = find_saturation_load(
+            self.base(candidates=1), low=0.3, high=0.95, tolerance=0.1
+        )
+        assert 0.0 <= estimate.stable_load < estimate.saturated_load <= 1.0
+        assert estimate.stable_load <= estimate.estimate <= estimate.saturated_load
+        # C=1 head-of-line blocking saturates an 8-port... here 4-port
+        # router well below full load.
+        assert estimate.estimate < 0.95
+
+    def test_never_saturated_reports_high(self):
+        estimate = find_saturation_load(
+            self.base(candidates=8), low=0.3, high=0.7, tolerance=0.1
+        )
+        assert estimate.stable_load == 0.7
+        assert estimate.saturated_load == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_saturation_load(self.base(8), low=0.9, high=0.5)
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual channels / port: 256" in out
+        assert "103.2" in out
+
+    def test_run_json(self, capsys):
+        code = main([
+            "run", "--load", "0.4", "--cycles", "1500", "--warmup", "300",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["offered_load"] == pytest.approx(0.4, abs=0.02)
+        assert payload["utilisation"] > 0.3
+
+    def test_run_plain(self, capsys):
+        code = main(["run", "--load", "0.4", "--cycles", "1500", "--warmup", "300"])
+        assert code == 0
+        assert "mean_delay_us" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheduler", "magic"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_network_command(self, capsys):
+        code = main([
+            "network", "--link-load", "0.25", "--nodes", "6",
+            "--warmup", "500", "--cycles", "2000", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["streams"] > 0
+        assert payload["mean_delay_cycles"] > 0

@@ -1,0 +1,126 @@
+"""Tests for RouterConfig validation and derived quantities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import RouterConfig
+
+
+class TestValidation:
+    def test_defaults_are_paper_config(self):
+        config = RouterConfig()
+        assert config.num_ports == 8
+        assert config.vcs_per_port == 256
+        assert config.link_rate_bps == pytest.approx(1.24e9)
+        assert config.flit_size_bits == 128
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_ports", 0),
+            ("vcs_per_port", 0),
+            ("link_rate_bps", 0.0),
+            ("flit_size_bits", 0),
+            ("phit_size_bits", 0),
+            ("vc_buffer_flits", 0),
+            ("memory_modules", 0),
+            ("round_factor", 0),
+            ("candidates", 0),
+            ("vbr_concurrency_factor", 0.5),
+            ("best_effort_reserved_fraction", 1.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            RouterConfig(**{field: value})
+
+    def test_phit_larger_than_flit_rejected(self):
+        with pytest.raises(ValueError):
+            RouterConfig(flit_size_bits=64, phit_size_bits=128)
+
+    def test_flit_must_be_whole_phits(self):
+        with pytest.raises(ValueError):
+            RouterConfig(flit_size_bits=100, phit_size_bits=16)
+
+
+class TestDerived:
+    def test_flit_cycle_is_103ns(self):
+        # 128 bits / 1.24 Gbps ~= 103 ns — the paper's flit cycle.
+        config = RouterConfig()
+        assert config.flit_cycle_ns == pytest.approx(103.2, abs=0.2)
+
+    def test_phits_per_flit(self):
+        assert RouterConfig().phits_per_flit == 8
+
+    def test_round_length_is_k_times_v(self):
+        config = RouterConfig(round_factor=2, vcs_per_port=256)
+        assert config.round_length == 512
+
+    def test_total_vcs(self):
+        assert RouterConfig().total_vcs == 2048
+
+    def test_aggregate_bandwidth(self):
+        config = RouterConfig()
+        assert config.aggregate_bandwidth_bps == pytest.approx(8 * 1.24e9)
+
+    def test_cycles_to_us(self):
+        config = RouterConfig()
+        assert config.cycles_to_us(1.0) == pytest.approx(0.1032, abs=1e-3)
+
+    def test_full_rate_interarrival_is_one_cycle(self):
+        config = RouterConfig()
+        assert config.rate_to_interarrival_cycles(1.24e9) == pytest.approx(1.0)
+
+    def test_64kbps_interarrival(self):
+        config = RouterConfig()
+        assert config.rate_to_interarrival_cycles(64e3) == pytest.approx(19375.0)
+
+    def test_rate_to_interarrival_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RouterConfig().rate_to_interarrival_cycles(0.0)
+
+    def test_rate_to_cycles_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RouterConfig().rate_to_cycles_per_round(-1.0)
+
+    def test_allocation_at_least_one_cycle(self):
+        config = RouterConfig()
+        assert config.rate_to_cycles_per_round(64e3) == 1
+
+    def test_full_rate_allocation_is_whole_round(self):
+        config = RouterConfig()
+        assert config.rate_to_cycles_per_round(1.24e9) == config.round_length
+
+    @given(st.floats(min_value=1e3, max_value=1.24e9))
+    def test_allocation_never_undershoots_rate(self, rate):
+        config = RouterConfig()
+        cycles = config.rate_to_cycles_per_round(rate)
+        granted_rate = cycles / config.round_length * config.link_rate_bps
+        assert granted_rate >= rate * (1 - 1e-12)
+
+    @given(st.floats(min_value=1e3, max_value=1.24e9))
+    def test_allocation_overshoot_below_one_cycle(self, rate):
+        config = RouterConfig()
+        cycles = config.rate_to_cycles_per_round(rate)
+        exact = rate / config.link_rate_bps * config.round_length
+        assert cycles - exact < 1.0 or cycles == 1
+
+    def test_with_returns_modified_copy(self):
+        base = RouterConfig()
+        other = base.with_(candidates=4)
+        assert other.candidates == 4
+        assert base.candidates == 8
+        assert other.num_ports == base.num_ports
+
+    def test_frozen(self):
+        config = RouterConfig()
+        with pytest.raises(Exception):
+            config.num_ports = 4
+
+    def test_best_effort_reservation_reduces_allocatable(self):
+        config = RouterConfig(best_effort_reserved_fraction=0.25)
+        assert config.round_length == 512
+        # Reservation is applied by the BandwidthAllocator, checked there.
+        assert config.best_effort_reserved_fraction == 0.25

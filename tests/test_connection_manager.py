@@ -1,0 +1,223 @@
+"""Tests for PCS connection establishment over the network (EPB + reserve)."""
+
+import pytest
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.network.connection import ConnectionManager
+from repro.network.network import Network
+from repro.network.topology import Topology, mesh, ring
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+
+def build(topo=None, round_factor=2, vcs=8):
+    topo = topo or mesh(3, 3)
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=vcs,
+        round_factor=round_factor,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(
+        topo, config, BiasedPriority(), sim, SeededRng(5, "cm")
+    )
+    return network, ConnectionManager(network), sim, config
+
+
+class TestEstablish:
+    def test_minimal_path_reserved(self):
+        network, manager, _, _ = build()
+        connection = manager.establish(0, 8, BandwidthRequest(4))
+        assert connection is not None
+        assert connection.path[0] == 0
+        assert connection.path[-1] == 8
+        assert connection.hops == 5  # 5 routers, 4 links
+        assert len(connection.vcs) == 5
+        assert manager.stats.established == 1
+
+    def test_rejects_same_source_destination(self):
+        _, manager, _, _ = build()
+        with pytest.raises(ValueError):
+            manager.establish(3, 3, BandwidthRequest(1))
+
+    def test_bandwidth_charged_along_path(self):
+        network, manager, _, _ = build()
+        connection = manager.establish(0, 2, BandwidthRequest(4))
+        for i, node in enumerate(connection.path):
+            router = network.routers[node]
+            assert router.admission.outputs[connection.ports[i]].allocated_cycles == 4
+
+    def test_channel_mappings_installed(self):
+        network, manager, _, _ = build()
+        connection = manager.establish(0, 2, BandwidthRequest(4))
+        for i in range(connection.hops - 1):
+            node = connection.path[i]
+            router = network.routers[node]
+            next_hop = router.rau.next_hop(
+                connection.entry_ports[i], connection.vcs[i]
+            )
+            assert next_hop == (connection.ports[i], connection.vcs[i + 1])
+
+    def test_setup_latency_scales_with_search(self):
+        network, manager, _, _ = build()
+        short = manager.establish(0, 1, BandwidthRequest(1))
+        long = manager.establish(0, 8, BandwidthRequest(1))
+        assert long.ready_at > short.ready_at >= 0
+
+    def test_establish_fails_when_links_full(self):
+        # Ring: node 0 to node 2 has exactly two minimal... use a line.
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, manager, _, config = build(topo=topo)
+        cap = config.round_length
+        first = manager.establish(0, 2, BandwidthRequest(cap))
+        assert first is not None
+        second = manager.establish(0, 2, BandwidthRequest(1))
+        assert second is None
+        assert manager.stats.failed == 1
+
+    def test_establish_backtracks_onto_alternative_path(self):
+        # Square 0-1-3 / 0-2-3 plus a spur 3-4.  A 1->4 connection fills
+        # the 1->3 link (its only minimal path), so a 0->3 probe must back
+        # out of node 1 and succeed via node 2.
+        topo = Topology(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        network, manager, _, config = build(topo=topo)
+        cap = config.round_length
+        blocker = manager.establish(1, 4, BandwidthRequest(cap))
+        assert blocker is not None
+        assert blocker.path == [1, 3, 4]
+        second = manager.establish(0, 3, BandwidthRequest(cap))
+        assert second is not None
+        assert second.path == [0, 2, 3]
+        assert second.probe.backtracks >= 1
+
+    def test_vc_exhaustion_blocks_establishment(self):
+        topo = Topology(2, [(0, 1)])
+        network, manager, _, _ = build(topo=topo, vcs=2)
+        assert manager.establish(0, 1, BandwidthRequest(1)) is not None
+        assert manager.establish(0, 1, BandwidthRequest(1)) is not None
+        # Both VCs on router 1's input port 0 are now taken.
+        assert manager.establish(0, 1, BandwidthRequest(1)) is None
+
+    def test_acceptance_ratio(self):
+        topo = Topology(2, [(0, 1)])
+        network, manager, _, config = build(topo=topo)
+        cap = config.round_length
+        manager.establish(0, 1, BandwidthRequest(cap))
+        manager.establish(0, 1, BandwidthRequest(cap))
+        assert manager.stats.attempts == 2
+        assert manager.stats.acceptance_ratio == pytest.approx(0.5)
+
+
+class TestTeardown:
+    def test_releases_everything(self):
+        network, manager, _, _ = build()
+        connection = manager.establish(0, 8, BandwidthRequest(4))
+        manager.teardown(connection)
+        assert connection.closed
+        for node in connection.path:
+            router = network.routers[node]
+            for allocator in router.admission.outputs:
+                assert allocator.allocated_cycles == 0
+            for port in router.input_ports:
+                assert port.free_vc_count() == 8
+        assert not manager.connections
+
+    def test_double_teardown_rejected(self):
+        _, manager, _, _ = build()
+        connection = manager.establish(0, 8, BandwidthRequest(4))
+        manager.teardown(connection)
+        with pytest.raises(RuntimeError):
+            manager.teardown(connection)
+
+    def test_capacity_reusable_after_teardown(self):
+        topo = Topology(2, [(0, 1)])
+        network, manager, _, config = build(topo=topo)
+        cap = config.round_length
+        first = manager.establish(0, 1, BandwidthRequest(cap))
+        manager.teardown(first)
+        second = manager.establish(0, 1, BandwidthRequest(cap))
+        assert second is not None
+
+
+class TestRenegotiation:
+    def test_upgrade_applies_everywhere(self):
+        network, manager, _, _ = build()
+        connection = manager.establish(0, 8, BandwidthRequest(2))
+        assert manager.renegotiate(connection, BandwidthRequest(6))
+        assert connection.request.permanent_cycles == 6
+        for i, node in enumerate(connection.path):
+            router = network.routers[node]
+            assert router.admission.outputs[connection.ports[i]].allocated_cycles == 6
+
+    def test_blocked_upgrade_rolls_back_all_hops(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, manager, _, config = build(topo=topo)
+        cap = config.round_length
+        victim = manager.establish(0, 2, BandwidthRequest(2))
+        # Fill the 1->2 link so the victim cannot grow.
+        blocker = manager.establish(1, 2, BandwidthRequest(cap - 2))
+        assert blocker is not None
+        assert not manager.renegotiate(victim, BandwidthRequest(4))
+        assert victim.request.permanent_cycles == 2
+        for i, node in enumerate(victim.path):
+            router = network.routers[node]
+            # Victim's own footprint is back to 2 everywhere it is alone.
+            allocated = router.admission.outputs[victim.ports[i]].allocated_cycles
+            assert allocated in (2, cap)  # cap where it shares with blocker
+
+    def test_renegotiate_closed_rejected(self):
+        _, manager, _, _ = build()
+        connection = manager.establish(0, 8, BandwidthRequest(2))
+        manager.teardown(connection)
+        with pytest.raises(RuntimeError):
+            manager.renegotiate(connection, BandwidthRequest(4))
+
+    def test_set_priority_updates_every_hop(self):
+        network, manager, _, _ = build()
+        connection = manager.establish(0, 8, BandwidthRequest(2))
+        manager.set_priority(connection, 0.75)
+        for i, node in enumerate(connection.path):
+            vc = network.routers[node].input_ports[
+                connection.entry_ports[i]
+            ].vcs[connection.vcs[i]]
+            assert vc.static_priority == 0.75
+
+
+class TestConnectionChurn:
+    def test_random_open_close_cycles_return_to_baseline(self):
+        """Video-server churn: connections open and close repeatedly; all
+        router resources must return to baseline when everything closes."""
+        from repro.sim.rng import SeededRng
+
+        network, manager, _, config = build()
+        rng = SeededRng(77, "churn")
+        live = []
+        for step in range(300):
+            if live and (rng.random() < 0.45 or len(live) > 30):
+                manager.teardown(live.pop(rng.randint(0, len(live) - 1)))
+                continue
+            src = rng.randint(0, 8)
+            dst = rng.randint(0, 8)
+            if src == dst:
+                continue
+            connection = manager.establish(
+                src, dst, BandwidthRequest(rng.randint(1, 4))
+            )
+            if connection is not None:
+                live.append(connection)
+        for connection in live:
+            manager.teardown(connection)
+        for router in network.routers:
+            router.check_invariants()
+            for allocator in router.admission.outputs:
+                assert allocator.allocated_cycles == 0
+                assert allocator.active_connections == 0
+            for allocator in router.admission.inputs:
+                assert allocator.allocated_cycles == 0
+            for port in router.input_ports:
+                assert port.free_vc_count() == 8
+            assert len(router.rau.mappings) == 0
+        assert not manager.connections

@@ -1,0 +1,207 @@
+"""Tests for the crossbar organisations and the cost model."""
+
+import math
+
+import pytest
+
+from repro.core.costmodel import (
+    CrossbarOrganisation,
+    arbiter_delay,
+    area_ratio,
+    crossbar_cost,
+    multiplexor_delay,
+    scheduling_rate_ns,
+    vcm_cycle_budget,
+)
+from repro.core.crossbar import CrossbarError, MultiplexedCrossbar, PerfectSwitch
+
+
+class TestMultiplexedCrossbar:
+    def test_rejects_nonpositive_ports(self):
+        with pytest.raises(ValueError):
+            MultiplexedCrossbar(0)
+
+    def test_configure_and_transmit(self):
+        xbar = MultiplexedCrossbar(4)
+        xbar.configure({0: 2, 1: 3})
+        assert xbar.output_for(0) == 2
+        assert xbar.output_for(2) is None
+        assert xbar.transmit(0) == 2
+        assert xbar.flits_switched == 1
+
+    def test_transmit_unconfigured_rejected(self):
+        xbar = MultiplexedCrossbar(4)
+        with pytest.raises(CrossbarError):
+            xbar.transmit(1)
+
+    def test_output_conflict_rejected(self):
+        xbar = MultiplexedCrossbar(4)
+        with pytest.raises(CrossbarError):
+            xbar.configure({0: 2, 1: 2})
+
+    def test_port_range_checked(self):
+        xbar = MultiplexedCrossbar(4)
+        with pytest.raises(CrossbarError):
+            xbar.configure({4: 0})
+        with pytest.raises(CrossbarError):
+            xbar.configure({0: 4})
+        with pytest.raises(CrossbarError):
+            xbar.output_for(9)
+
+    def test_reconfiguration_counted_only_on_change(self):
+        xbar = MultiplexedCrossbar(4)
+        xbar.configure({0: 1})
+        xbar.configure({0: 1})  # identical: no reconfiguration
+        xbar.configure({0: 2})
+        assert xbar.reconfigurations == 2
+
+    def test_configuration_copy(self):
+        xbar = MultiplexedCrossbar(4)
+        xbar.configure({0: 1})
+        snapshot = xbar.configuration
+        snapshot[2] = 3
+        assert xbar.output_for(2) is None
+
+    def test_output_concurrency_is_one(self):
+        assert MultiplexedCrossbar(4).max_flits_per_output() == 1
+
+
+class TestPerfectSwitch:
+    def test_allows_output_conflicts(self):
+        switch = PerfectSwitch(4)
+        switch.configure({0: 2, 1: 2, 3: 2})
+        assert switch.transmit(0) == 2
+        assert switch.transmit(1) == 2
+
+    def test_output_concurrency_is_n(self):
+        assert PerfectSwitch(8).max_flits_per_output() == 8
+
+    def test_still_checks_port_ranges(self):
+        with pytest.raises(CrossbarError):
+            PerfectSwitch(4).configure({0: 9})
+
+
+class TestCostModel:
+    def test_multiplexed_area(self):
+        cost = crossbar_cost(CrossbarOrganisation.MULTIPLEXED, 8, 256)
+        assert cost.crosspoints == 64
+        assert cost.ports_per_link == 1
+        assert cost.needs_input_vc_arbitration
+
+    def test_fully_demultiplexed_area_is_v_squared(self):
+        # The paper: multiplexed reduces area by V^2 vs fully de-muxed.
+        ratio = area_ratio(
+            CrossbarOrganisation.MULTIPLEXED,
+            CrossbarOrganisation.FULLY_DEMULTIPLEXED,
+            num_links=8,
+            vcs_per_link=256,
+        )
+        assert ratio == pytest.approx(256**2)
+
+    def test_partially_multiplexed_ratio(self):
+        ratio = area_ratio(
+            CrossbarOrganisation.MULTIPLEXED,
+            CrossbarOrganisation.PARTIALLY_MULTIPLEXED,
+            num_links=8,
+            vcs_per_link=256,
+            group_size=1,
+        )
+        assert ratio == pytest.approx(256**2)
+        ratio_grouped = area_ratio(
+            CrossbarOrganisation.MULTIPLEXED,
+            CrossbarOrganisation.PARTIALLY_MULTIPLEXED,
+            num_links=8,
+            vcs_per_link=256,
+            group_size=16,
+        )
+        assert ratio_grouped == pytest.approx(16**2)
+
+    def test_fully_demuxed_needs_no_arbitration(self):
+        cost = crossbar_cost(CrossbarOrganisation.FULLY_DEMULTIPLEXED, 8, 16)
+        assert not cost.needs_output_arbitration
+        assert not cost.needs_input_vc_arbitration
+
+    def test_cost_validation(self):
+        with pytest.raises(ValueError):
+            crossbar_cost(CrossbarOrganisation.MULTIPLEXED, 0, 16)
+        with pytest.raises(ValueError):
+            crossbar_cost(CrossbarOrganisation.MULTIPLEXED, 8, 0)
+        with pytest.raises(ValueError):
+            crossbar_cost(CrossbarOrganisation.MULTIPLEXED, 8, 16, group_size=32)
+
+    def test_multiplexor_delay_grows_logarithmically(self):
+        assert multiplexor_delay(1) == 0.0
+        assert multiplexor_delay(4, fanin_per_stage=4) == 1
+        assert multiplexor_delay(256, fanin_per_stage=4) == 4
+        assert multiplexor_delay(256) > multiplexor_delay(16)
+
+    def test_multiplexor_delay_validation(self):
+        with pytest.raises(ValueError):
+            multiplexor_delay(0)
+        with pytest.raises(ValueError):
+            multiplexor_delay(8, fanin_per_stage=1)
+
+    def test_arbiter_delay_mirrors_mux(self):
+        assert arbiter_delay(64) == multiplexor_delay(64)
+
+    def test_scheduling_rate_matches_paper(self):
+        # 1-2 Gbps links, 128-bit flits -> 64-128 ns switch settings (§6).
+        assert scheduling_rate_ns(2e9, 128) == pytest.approx(64.0)
+        assert scheduling_rate_ns(1e9, 128) == pytest.approx(128.0)
+
+    def test_scheduling_rate_validation(self):
+        with pytest.raises(ValueError):
+            scheduling_rate_ns(0, 128)
+
+    def test_vcm_budget_balanced(self):
+        # 16-bit phits at 1.24 Gbps arrive every ~12.9 ns; 8 modules of
+        # 40 ns RAM serve a phit every 5 ns on average: budget < 1.
+        budget = vcm_cycle_budget(1.24e9, 16, memory_access_ns=40.0, num_modules=8)
+        assert budget < 1.0
+
+    def test_vcm_budget_overrun(self):
+        budget = vcm_cycle_budget(1.24e9, 16, memory_access_ns=40.0, num_modules=1)
+        assert budget > 1.0
+
+    def test_vcm_budget_validation(self):
+        with pytest.raises(ValueError):
+            vcm_cycle_budget(0, 16, 40.0, 8)
+        with pytest.raises(ValueError):
+            vcm_cycle_budget(1e9, 16, 0.0, 8)
+
+
+class TestSerializationModel:
+    def test_serialization_factor(self):
+        from repro.core.costmodel import serialization_factor
+
+        # 64-bit datapath over 16-bit links: 4 phit times per word.
+        assert serialization_factor(64, 16) == 4
+        # Link at least as wide as the datapath: no serialisation.
+        assert serialization_factor(16, 16) == 1
+        assert serialization_factor(8, 16) == 1
+        # Non-multiple widths round up.
+        assert serialization_factor(20, 16) == 2
+
+    def test_serialization_validation(self):
+        from repro.core.costmodel import serialization_factor
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            serialization_factor(0, 16)
+        with _pytest.raises(ValueError):
+            serialization_factor(64, 0)
+
+    def test_flit_pipeline_stages(self):
+        from repro.core.costmodel import flit_pipeline_stages
+
+        # The paper's 128-bit flits over a 64-bit internal datapath.
+        assert flit_pipeline_stages(128, 64) == 2
+        assert flit_pipeline_stages(128, 128) == 1
+        assert flit_pipeline_stages(100, 64) == 2
+
+    def test_flit_pipeline_validation(self):
+        from repro.core.costmodel import flit_pipeline_stages
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            flit_pipeline_stages(0, 64)

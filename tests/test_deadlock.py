@@ -1,0 +1,89 @@
+"""Tests for channel-dependency deadlock analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import Topology, hypercube, irregular, mesh, ring, torus
+from repro.routing.deadlock import (
+    all_channels,
+    build_dependency_graph,
+    find_cycle,
+    minimal_adaptive_relation,
+    updown_relation,
+    verify_deadlock_free,
+)
+from repro.sim.rng import SeededRng
+
+
+class TestGraphMachinery:
+    def test_all_channels_both_directions(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        assert all_channels(topo) == [(0, 1), (1, 0), (1, 2), (2, 1)]
+
+    def test_find_cycle_on_acyclic(self):
+        graph = {(0, 1): {(1, 2)}, (1, 2): set(), (2, 1): set(), (1, 0): set()}
+        assert find_cycle(graph) is None
+
+    def test_find_cycle_detects_loop(self):
+        graph = {
+            (0, 1): {(1, 2)},
+            (1, 2): {(2, 0)},
+            (2, 0): {(0, 1)},
+        }
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_relation_adjacency_validated(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+
+        def broken(channel_in, node, destination):
+            yield (99, 100)
+
+        with pytest.raises(ValueError, match="non-adjacent"):
+            build_dependency_graph(topo, broken)
+
+
+class TestUpDownDeadlockFreedom:
+    @pytest.mark.parametrize(
+        "topo",
+        [ring(6), mesh(3, 3), torus(3, 3), hypercube(3)],
+        ids=["ring", "mesh", "torus", "hypercube"],
+    )
+    def test_regular_topologies_acyclic(self, topo):
+        assert verify_deadlock_free(topo, updown_relation(topo)) is None
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 400), st.integers(4, 12))
+    def test_random_irregular_acyclic(self, seed, nodes):
+        """Up*/down* must be deadlock-free on every connected topology —
+        the property Autonet's design rests on."""
+        topo = irregular(nodes, SeededRng(seed, "dl"), mean_degree=3.0)
+        assert verify_deadlock_free(topo, updown_relation(topo)) is None
+
+    def test_root_choice_does_not_matter(self):
+        topo = irregular(10, SeededRng(3, "root"), mean_degree=3.0)
+        for root in range(10):
+            assert verify_deadlock_free(topo, updown_relation(topo, root)) is None
+
+
+class TestMinimalAdaptiveHazard:
+    def test_cyclic_on_ring(self):
+        """Unrestricted minimal routing deadlocks on a ring — the textbook
+        example motivating escape channels."""
+        topo = ring(6)
+        cycle = verify_deadlock_free(topo, minimal_adaptive_relation(topo))
+        assert cycle is not None
+
+    def test_cyclic_on_torus(self):
+        topo = torus(3, 3)
+        assert verify_deadlock_free(topo, minimal_adaptive_relation(topo)) is not None
+
+    def test_acyclic_on_tree(self):
+        # A tree has a unique minimal path between any pair: no cycles.
+        topo = Topology(5, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        assert verify_deadlock_free(topo, minimal_adaptive_relation(topo)) is None
+
+    def test_acyclic_on_line_mesh(self):
+        topo = mesh(4, 1)
+        assert verify_deadlock_free(topo, minimal_adaptive_relation(topo)) is None

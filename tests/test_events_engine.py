@@ -1,0 +1,163 @@
+"""Tests for the event queue and the hybrid simulation engine."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(5, lambda: order.append(5))
+        q.push(1, lambda: order.append(1))
+        q.push(3, lambda: order.append(3))
+        while q:
+            q.pop().fire()
+        assert order == [1, 3, 5]
+
+    def test_fifo_among_equal_times(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.push(7, lambda i=i: order.append(i))
+        while q:
+            q.pop().fire()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(7, lambda: order.append("low"), priority=1)
+        q.push(7, lambda: order.append("high"), priority=0)
+        while q:
+            q.pop().fire()
+        assert order == ["high", "low"]
+
+    def test_cancellation(self):
+        q = EventQueue()
+        fired = []
+        event = q.push(1, lambda: fired.append(1))
+        q.cancel(event)
+        assert len(q) == 0
+        assert not q
+        assert q.peek_time() is None
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        e = q.push(1, lambda: None)
+        q.push(2, lambda: None)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1, lambda: None)
+        q.push(9, lambda: None)
+        q.cancel(e)
+        assert q.peek_time() == 9
+
+    def test_payload_passed(self):
+        q = EventQueue()
+        got = []
+        q.push(1, got.append, payload="hello")
+        q.pop().fire()
+        assert got == ["hello"]
+
+    def test_event_repr(self):
+        e = Event(3, lambda: None)
+        assert "t=3" in repr(e)
+        e.cancel()
+        assert "cancelled" in repr(e)
+
+
+class TestSimulator:
+    def test_tickers_run_every_cycle(self):
+        sim = Simulator()
+        seen = []
+        sim.add_ticker(seen.append)
+        sim.run(5)
+        assert seen == [0, 1, 2, 3, 4]
+        assert sim.now == 5
+
+    def test_tickers_run_in_registration_order(self):
+        sim = Simulator()
+        order = []
+        sim.add_ticker(lambda c: order.append("a"))
+        sim.add_ticker(lambda c: order.append("b"))
+        sim.run(1)
+        assert order == ["a", "b"]
+
+    def test_events_fire_before_tickers(self):
+        sim = Simulator()
+        order = []
+        sim.add_ticker(lambda c: order.append(("tick", c)))
+        sim.schedule(2, lambda: order.append(("event", 2)))
+        sim.run(3)
+        assert ("event", 2) in order
+        assert order.index(("event", 2)) < order.index(("tick", 2))
+
+    def test_schedule_at(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(4, lambda: fired.append(sim.now))
+        sim.run(6)
+        assert fired == [4]
+
+    def test_schedule_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.run(5)
+        with pytest.raises(ValueError):
+            sim.schedule_at(3, lambda: None)
+
+    def test_stop_ends_run_early(self):
+        sim = Simulator()
+        sim.schedule(2, sim.stop)
+        executed = sim.run(100)
+        assert executed == 3  # cycles 0, 1, 2 complete
+        assert sim.now == 3
+
+    def test_run_until(self):
+        sim = Simulator()
+        sim.run_until(7)
+        assert sim.now == 7
+        with pytest.raises(ValueError):
+            sim.run_until(3)
+
+    def test_run_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().run(-1)
+
+    def test_event_scheduled_during_cycle_fires_same_cycle_if_due(self):
+        # An event scheduled with delay 0 from within an event fires in
+        # the same drain loop.
+        sim = Simulator()
+        order = []
+        def outer():
+            order.append("outer")
+            sim.schedule(0, lambda: order.append("inner"))
+        sim.schedule(1, outer)
+        sim.run(2)
+        assert order == ["outer", "inner"]
+
+    def test_cascading_events_across_cycles(self):
+        sim = Simulator()
+        hits = []
+        def ping():
+            hits.append(sim.now)
+            if sim.now < 4:
+                sim.schedule(2, ping)
+        sim.schedule(0, ping)
+        sim.run(10)
+        assert hits == [0, 2, 4]

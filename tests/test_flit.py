@@ -1,0 +1,92 @@
+"""Tests for flit/phit data types."""
+
+import pytest
+
+from repro.core.flit import (
+    ControlCommand,
+    Flit,
+    FlitType,
+    IMMEDIATE_TYPES,
+    Phit,
+    fragment_into_phits,
+)
+
+
+class TestFlit:
+    def test_ids_are_unique(self):
+        a = Flit(FlitType.DATA)
+        b = Flit(FlitType.DATA)
+        assert a.flit_id != b.flit_id
+
+    def test_is_data(self):
+        assert Flit(FlitType.DATA).is_data
+        assert not Flit(FlitType.BEST_EFFORT).is_data
+
+    def test_immediate_types(self):
+        assert Flit(FlitType.PROBE).is_immediate
+        assert Flit(FlitType.ACK).is_immediate
+        assert Flit(FlitType.CONTROL).is_immediate
+        assert Flit(FlitType.TEARDOWN).is_immediate
+        assert Flit(FlitType.BACKTRACK).is_immediate
+        assert not Flit(FlitType.DATA).is_immediate
+        assert not Flit(FlitType.BEST_EFFORT).is_immediate
+        assert FlitType.DATA not in IMMEDIATE_TYPES
+
+    def test_switch_delay_from_creation(self):
+        flit = Flit(FlitType.DATA, created=10)
+        flit.ready_time = 12
+        flit.depart_time = 17
+        assert flit.switch_delay() == 7  # counts from created
+        assert flit.head_wait() == 5
+
+    def test_switch_delay_requires_departure(self):
+        flit = Flit(FlitType.DATA, created=1)
+        with pytest.raises(ValueError):
+            flit.switch_delay()
+
+    def test_head_wait_requires_both_stamps(self):
+        flit = Flit(FlitType.DATA, created=1)
+        flit.depart_time = 5
+        with pytest.raises(ValueError):
+            flit.head_wait()
+
+    def test_control_payload(self):
+        flit = Flit(
+            FlitType.CONTROL,
+            command=ControlCommand.SET_BANDWIDTH,
+            argument=42,
+        )
+        assert flit.command is ControlCommand.SET_BANDWIDTH
+        assert flit.argument == 42
+
+    def test_repr_mentions_type_and_connection(self):
+        flit = Flit(FlitType.DATA, connection_id=9, sequence=3)
+        text = repr(flit)
+        assert "data" in text
+        assert "conn=9" in text
+
+
+class TestPhits:
+    def test_fragmentation_count(self):
+        flit = Flit(FlitType.DATA)
+        phits = fragment_into_phits(flit, 8)
+        assert len(phits) == 8
+        assert all(p.flit_id == flit.flit_id for p in phits)
+
+    def test_fragment_indices_ordered(self):
+        phits = fragment_into_phits(Flit(FlitType.DATA), 4)
+        assert [p.index for p in phits] == [0, 1, 2, 3]
+        assert all(p.total == 4 for p in phits)
+
+    def test_last_phit_flag(self):
+        phits = fragment_into_phits(Flit(FlitType.DATA), 3)
+        assert [p.is_last for p in phits] == [False, False, True]
+
+    def test_single_phit_flit(self):
+        phits = fragment_into_phits(Flit(FlitType.DATA), 1)
+        assert len(phits) == 1
+        assert phits[0].is_last
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            fragment_into_phits(Flit(FlitType.DATA), 0)

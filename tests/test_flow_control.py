@@ -1,0 +1,96 @@
+"""Tests for credit-based link-level flow control."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.flow_control import CreditError, LinkFlowControl
+
+
+class TestLinkFlowControl:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkFlowControl(0, 4)
+        with pytest.raises(ValueError):
+            LinkFlowControl(4, 0)
+
+    def test_starts_full(self):
+        fc = LinkFlowControl(4, 3)
+        assert all(fc.credits(vc) == 3 for vc in range(4))
+        assert fc.credits_available.count() == 4
+
+    def test_consume_and_replenish(self):
+        fc = LinkFlowControl(2, 2)
+        fc.consume(0)
+        assert fc.credits(0) == 1
+        assert fc.in_flight(0) == 1
+        fc.replenish(0)
+        assert fc.credits(0) == 2
+        assert fc.in_flight(0) == 0
+
+    def test_bit_vector_tracks_exhaustion(self):
+        fc = LinkFlowControl(2, 1)
+        fc.consume(0)
+        assert not fc.credits_available.test(0)
+        assert fc.credits_available.test(1)
+        fc.replenish(0)
+        assert fc.credits_available.test(0)
+
+    def test_send_without_credit_is_protocol_violation(self):
+        fc = LinkFlowControl(1, 1)
+        fc.consume(0)
+        assert not fc.has_credit(0)
+        with pytest.raises(CreditError):
+            fc.consume(0)
+
+    def test_credit_overflow_is_protocol_violation(self):
+        fc = LinkFlowControl(1, 2)
+        with pytest.raises(CreditError):
+            fc.replenish(0)
+
+    def test_infinite_mode_never_depletes(self):
+        fc = LinkFlowControl(1, 1, infinite=True)
+        for _ in range(100):
+            fc.consume(0)
+        assert fc.has_credit(0)
+        assert fc.in_flight(0) == 0
+        fc.replenish(0)  # no-op, no error
+
+    def test_vc_range_checked(self):
+        fc = LinkFlowControl(2, 2)
+        with pytest.raises(IndexError):
+            fc.consume(2)
+        with pytest.raises(IndexError):
+            fc.has_credit(-1)
+
+    def test_stall_counter(self):
+        fc = LinkFlowControl(1, 1)
+        fc.note_stall()
+        fc.note_stall()
+        assert fc.credit_stalls == 2
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)), max_size=200))
+    def test_credits_always_within_bounds(self, ops):
+        """Invariant: 0 <= credits <= depth, vector mirrors counters."""
+        depth = 3
+        fc = LinkFlowControl(4, depth)
+        for is_consume, vc in ops:
+            if is_consume:
+                if fc.has_credit(vc):
+                    fc.consume(vc)
+            else:
+                if fc.in_flight(vc) > 0:
+                    fc.replenish(vc)
+            assert 0 <= fc.credits(vc) <= depth
+            assert fc.credits_available.test(vc) == (fc.credits(vc) > 0)
+
+    @given(st.integers(1, 8), st.integers(1, 6))
+    def test_conservation(self, vcs, depth):
+        """credits + in_flight == depth at every point."""
+        fc = LinkFlowControl(vcs, depth)
+        for vc in range(vcs):
+            sent = 0
+            while fc.has_credit(vc):
+                fc.consume(vc)
+                sent += 1
+                assert fc.credits(vc) + fc.in_flight(vc) == depth
+            assert sent == depth

@@ -1,0 +1,177 @@
+"""Tests for the network interface: streams, policing, renegotiation."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.network.connection import ConnectionManager
+from repro.network.interface import NetworkInterface
+from repro.network.network import Network
+from repro.network.policing import TokenBucket, report
+from repro.network.topology import mesh
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.vbr import MpegProfile
+
+
+def build(vcs=8):
+    topo = mesh(2, 2)
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=vcs,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    rng = SeededRng(17, "iface")
+    network = Network(topo, config, BiasedPriority(), sim, rng)
+    manager = ConnectionManager(network)
+    interfaces = [
+        NetworkInterface(network, manager, n, rng=rng.spawn(f"ni{n}"))
+        for n in range(4)
+    ]
+    return network, manager, sim, interfaces
+
+
+class TestCbrStreams:
+    def test_open_and_deliver(self):
+        network, manager, sim, interfaces = build()
+        stream = interfaces[0].open_cbr(3, 55e6)
+        assert stream is not None
+        assert stream.policer is not None
+        sim.run(10000)
+        stats = interfaces[3].end_to_end[stream.connection.connection_id]
+        assert stats.flits > 200
+
+    def test_injection_waits_for_setup(self):
+        network, manager, sim, interfaces = build()
+        stream = interfaces[0].open_cbr(3, 120e6)
+        ready = stream.connection.ready_at
+        assert ready > 0
+        sim.run(max(1, ready - 1))
+        assert stream.source.flits_generated == 0
+
+    def test_open_fails_gracefully_when_full(self):
+        network, manager, sim, interfaces = build()
+        config = network.config
+        # Saturate the host input link at node 0.
+        opened = []
+        while True:
+            stream = interfaces[0].open_cbr(3, 120e6)
+            if stream is None:
+                break
+            opened.append(stream)
+        assert opened  # some connections fit
+        assert len(interfaces[0].streams) == len(opened)
+
+    def test_close_returns_resources(self):
+        network, manager, sim, interfaces = build()
+        stream = interfaces[0].open_cbr(3, 20e6, stop_time=1)
+        sim.run(5000)  # drain everything in flight
+        interfaces[0].close(stream)
+        assert stream.connection.closed
+        assert not interfaces[0].streams
+
+
+class TestVbrStreams:
+    def test_open_vbr_and_deliver(self):
+        # 64 VCs/port -> 128-cycle rounds, fine enough to distinguish the
+        # profile's permanent and peak demands.
+        network, manager, sim, interfaces = build(vcs=64)
+        profile = MpegProfile(mean_rate_bps=10e6, frame_rate_hz=3000.0, sigma=0.1)
+        stream = interfaces[1].open_vbr(2, profile)
+        assert stream is not None
+        assert stream.connection.request.is_vbr
+        sim.run(30000)
+        stats = interfaces[2].end_to_end[stream.connection.connection_id]
+        assert stats.flits > 50
+
+    def test_vbr_admission_uses_peak_registers(self):
+        network, manager, sim, interfaces = build(vcs=64)
+        profile = MpegProfile(mean_rate_bps=10e6, frame_rate_hz=3000.0, sigma=0.1)
+        stream = interfaces[1].open_vbr(2, profile)
+        hop = stream.connection.path[0]
+        port = stream.connection.ports[0]
+        allocator = network.routers[hop].admission.outputs[port]
+        assert allocator.peak_cycles > 0
+
+
+class TestDynamicManagement:
+    def test_renegotiate_bandwidth(self):
+        network, manager, sim, interfaces = build()
+        stream = interfaces[0].open_cbr(3, 10e6)
+        old_interarrival = stream.source.interarrival
+        assert interfaces[0].renegotiate_bandwidth(stream, 40e6)
+        assert stream.source.interarrival < old_interarrival
+        assert stream.source.rate_bps == 40e6
+        # VC state follows so the biased priority sees the new rate.
+        vc = network.routers[stream.connection.path[0]].input_ports[
+            stream.connection.entry_ports[0]
+        ].vcs[stream.connection.vcs[0]]
+        assert vc.interarrival_cycles == pytest.approx(
+            network.config.rate_to_interarrival_cycles(40e6)
+        )
+
+    def test_renegotiate_refused_when_no_capacity(self):
+        network, manager, sim, interfaces = build()
+        stream = interfaces[0].open_cbr(3, 10e6)
+        assert not interfaces[0].renegotiate_bandwidth(stream, 2e9)
+        assert stream.source.rate_bps == 10e6
+
+    def test_set_priority(self):
+        network, manager, sim, interfaces = build()
+        stream = interfaces[0].open_cbr(3, 10e6)
+        interfaces[0].set_priority(stream, 0.9)
+        vc = network.routers[stream.connection.path[0]].input_ports[
+            stream.connection.entry_ports[0]
+        ].vcs[stream.connection.vcs[0]]
+        assert vc.static_priority == 0.9
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 2)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 0.5)
+
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate_per_cycle=0.1, burst=2)
+        assert bucket.allow(0)
+        assert bucket.allow(0)
+        assert not bucket.allow(0)  # burst exhausted
+        assert bucket.allow(10)  # one token refilled
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate_per_cycle=1.0, burst=3)
+        assert bucket.tokens_at(1000) == pytest.approx(3.0)
+
+    def test_long_run_rate_enforced(self):
+        bucket = TokenBucket(rate_per_cycle=0.25, burst=2)
+        allowed = sum(1 for t in range(4000) if bucket.allow(t))
+        assert allowed == pytest.approx(1000, rel=0.02)
+
+    def test_time_reversal_rejected(self):
+        bucket = TokenBucket(1.0, 2)
+        bucket.allow(5)
+        with pytest.raises(ValueError):
+            bucket.allow(3)
+
+    def test_set_rate(self):
+        bucket = TokenBucket(0.1, 1)
+        bucket.set_rate(1.0)
+        bucket.allow(0)
+        assert bucket.allow(1)
+        with pytest.raises(ValueError):
+            bucket.set_rate(0.0)
+
+    def test_report(self):
+        bucket = TokenBucket(0.5, 1)
+        bucket.allow(0)
+        bucket.allow(0)
+        summary = report(bucket)
+        assert summary.conforming == 1
+        assert summary.violations == 1
+        assert summary.violation_fraction == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        assert report(TokenBucket(1.0, 1)).violation_fraction == 0.0

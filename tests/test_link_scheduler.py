@@ -1,0 +1,247 @@
+"""Tests for link scheduling: candidate selection and round accounting."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.flit import Flit, FlitType
+from repro.core.link_scheduler import VBR_EXCESS_OFFSET, Candidate, LinkScheduler
+from repro.core.priority import BiasedPriority, StaticConnectionPriority
+from repro.core.status_vectors import StatusBank
+from repro.core.virtual_channel import ServiceClass, VirtualChannel
+from repro.sim.rng import SeededRng
+
+
+def build(
+    num_vcs=8,
+    candidates=4,
+    scheme=None,
+    selection="per_output",
+    credit_ok=True,
+    enforce_budgets=True,
+):
+    config = RouterConfig(
+        num_ports=4,
+        vcs_per_port=num_vcs,
+        candidates=candidates,
+        enforce_round_budgets=enforce_budgets,
+    )
+    vcs = [VirtualChannel(0, i, config.vc_buffer_flits) for i in range(num_vcs)]
+    status = StatusBank(num_vcs)
+    scheduler = LinkScheduler(
+        0,
+        config,
+        vcs,
+        status,
+        scheme or BiasedPriority(),
+        credit_check=lambda port, vc: credit_ok,
+        selection=selection,
+        rng=SeededRng(1, "ls"),
+    )
+    return scheduler, vcs, status
+
+
+def activate(vcs, status, index, output_port, service=ServiceClass.CBR, created=0,
+             interarrival=10.0, static=0.0):
+    vc = vcs[index]
+    vc.bind(100 + index, service, output_port)
+    vc.interarrival_cycles = interarrival
+    vc.static_priority = static
+    flit = Flit(FlitType.DATA, connection_id=100 + index, created=created)
+    vc.enqueue(flit, now=created)
+    status.vector("flits_available").set(index)
+    status.vector("connection_active").set(index)
+    return vc
+
+
+class TestCandidateSelection:
+    def test_empty_when_no_flits(self):
+        scheduler, _, _ = build()
+        assert scheduler.candidates(now=0) == []
+
+    def test_offers_eligible_vcs(self):
+        scheduler, vcs, status = build()
+        activate(vcs, status, 2, output_port=1)
+        activate(vcs, status, 5, output_port=3)
+        offered = scheduler.candidates(now=5)
+        assert {c.vc_index for c in offered} == {2, 5}
+        assert all(c.input_port == 0 for c in offered)
+
+    def test_respects_candidate_limit(self):
+        scheduler, vcs, status = build(candidates=2)
+        for i in range(6):
+            activate(vcs, status, i, output_port=i % 4)
+        assert len(scheduler.candidates(now=5)) == 2
+
+    def test_credit_gating(self):
+        scheduler, vcs, status = build(credit_ok=False)
+        activate(vcs, status, 0, output_port=1)
+        assert scheduler.candidates(now=5) == []
+
+    def test_desynchronised_status_vector_detected(self):
+        scheduler, vcs, status = build()
+        status.vector("flits_available").set(3)  # no flit actually queued
+        with pytest.raises(RuntimeError, match="out of sync"):
+            scheduler.candidates(now=0)
+
+    def test_priority_order_in_output(self):
+        scheduler, vcs, status = build(selection="priority")
+        activate(vcs, status, 0, output_port=0, created=5)   # young
+        activate(vcs, status, 1, output_port=1, created=0)   # old -> higher
+        offered = scheduler.candidates(now=10)
+        assert [c.vc_index for c in offered] == [1, 0]
+
+    def test_per_output_dedupes_outputs(self):
+        scheduler, vcs, status = build(selection="per_output", candidates=8)
+        activate(vcs, status, 0, output_port=2, created=5)
+        activate(vcs, status, 1, output_port=2, created=0)  # older, wins slot
+        activate(vcs, status, 2, output_port=3, created=3)
+        offered = scheduler.candidates(now=10)
+        assert {c.output_port for c in offered} == {2, 3}
+        port2 = next(c for c in offered if c.output_port == 2)
+        assert port2.vc_index == 1
+
+    def test_random_selection_needs_rng(self):
+        config = RouterConfig(num_ports=4, vcs_per_port=4)
+        with pytest.raises(ValueError):
+            LinkScheduler(
+                0, config, [], StatusBank(4), BiasedPriority(),
+                lambda p, v: True, selection="random", rng=None,
+            )
+
+    def test_unknown_selection_rejected(self):
+        config = RouterConfig(num_ports=4, vcs_per_port=4)
+        with pytest.raises(ValueError):
+            LinkScheduler(
+                0, config, [], StatusBank(4), BiasedPriority(),
+                lambda p, v: True, selection="best",
+            )
+
+    def test_random_selection_bounded(self):
+        scheduler, vcs, status = build(selection="random", candidates=2)
+        for i in range(5):
+            activate(vcs, status, i, output_port=i % 4)
+        offered = scheduler.candidates(now=1)
+        assert len(offered) == 2
+
+    def test_rotating_selection_is_fair(self):
+        scheduler, vcs, status = build(selection="rotating", candidates=1)
+        for i in range(4):
+            activate(vcs, status, i, output_port=0, created=0)
+        seen = set()
+        for t in range(8):
+            offered = scheduler.candidates(now=t + 1)
+            assert len(offered) == 1
+            seen.add(offered[0].vc_index)
+        assert seen == {0, 1, 2, 3}
+
+    def test_counters(self):
+        scheduler, vcs, status = build()
+        activate(vcs, status, 0, output_port=0)
+        scheduler.candidates(now=1)
+        assert scheduler.candidates_offered == 1
+        assert scheduler.cycles_with_candidates == 1
+
+
+class TestRoundBudgets:
+    def test_cbr_capped_at_allocation(self):
+        scheduler, vcs, status = build()
+        vc = activate(vcs, status, 0, output_port=0)
+        vc.allocated_cycles = 2
+        status.vector("cbr_service_requested").set(0)
+        scheduler.on_flit_serviced(vc)
+        assert scheduler.candidates(now=1)  # 1 of 2 used
+        scheduler.on_flit_serviced(vc)
+        assert status.vector("cbr_bandwidth_serviced").test(0)
+        assert scheduler.candidates(now=2) == []  # budget exhausted
+
+    def test_round_boundary_resets_budget(self):
+        scheduler, vcs, status = build()
+        vc = activate(vcs, status, 0, output_port=0)
+        vc.allocated_cycles = 1
+        scheduler.on_flit_serviced(vc)
+        assert scheduler.candidates(now=1) == []
+        scheduler.on_round_boundary()
+        assert vc.serviced_this_round == 0
+        assert not status.vector("cbr_bandwidth_serviced").test(0)
+        assert scheduler.candidates(now=2)
+
+    def test_budgets_ignored_when_disabled(self):
+        scheduler, vcs, status = build(enforce_budgets=False)
+        vc = activate(vcs, status, 0, output_port=0)
+        vc.allocated_cycles = 1
+        scheduler.on_flit_serviced(vc)
+        scheduler.on_flit_serviced(vc)
+        assert scheduler.candidates(now=1)  # no gating
+
+    def test_vbr_permanent_then_excess_tier(self):
+        scheduler, vcs, status = build(scheme=StaticConnectionPriority())
+        vc = activate(
+            vcs, status, 0, output_port=0, service=ServiceClass.VBR, static=0.5
+        )
+        vc.permanent_cycles = 1
+        vc.peak_cycles = 3
+        in_contract = scheduler.candidates(now=1)[0]
+        scheduler.on_flit_serviced(vc)
+        excess = scheduler.candidates(now=2)[0]
+        # Excess tier priority is pushed below in-contract data.
+        assert excess.priority < in_contract.priority
+        # Offset + dominated connection priority + the scheme's own value.
+        assert excess.priority == pytest.approx(VBR_EXCESS_OFFSET + 0.5e6 + 0.5)
+
+    def test_vbr_capped_at_peak(self):
+        scheduler, vcs, status = build()
+        vc = activate(vcs, status, 0, output_port=0, service=ServiceClass.VBR)
+        vc.permanent_cycles = 1
+        vc.peak_cycles = 2
+        scheduler.on_flit_serviced(vc)
+        scheduler.on_flit_serviced(vc)
+        assert status.vector("vbr_bandwidth_serviced").test(0)
+        assert scheduler.candidates(now=1) == []
+
+    def test_vbr_excess_ordered_by_connection_priority(self):
+        # §4.3: excess bandwidth serviced one connection at a time, in
+        # priority order.
+        scheduler, vcs, status = build(
+            scheme=StaticConnectionPriority(), candidates=8
+        )
+        low = activate(
+            vcs, status, 0, output_port=0, service=ServiceClass.VBR, static=0.1
+        )
+        high = activate(
+            vcs, status, 1, output_port=1, service=ServiceClass.VBR, static=0.9
+        )
+        for vc in (low, high):
+            vc.permanent_cycles = 1
+            vc.peak_cycles = 5
+            scheduler.on_flit_serviced(vc)  # consume the permanent cycle
+        offered = scheduler.candidates(now=3)
+        assert [c.vc_index for c in offered] == [1, 0]
+
+
+class TestCandidateDataclass:
+    def test_sort_key_descending_priority(self):
+        a = Candidate(2.0, 0, 1, 0)
+        b = Candidate(1.0, 0, 2, 0)
+        assert sorted([b, a], key=Candidate.sort_key)[0] is a
+
+    def test_sort_key_tie_break_by_vc(self):
+        a = Candidate(1.0, 0, 5, 0)
+        b = Candidate(1.0, 0, 2, 0)
+        assert sorted([a, b], key=Candidate.sort_key)[0] is b
+
+
+class TestUnroutedPackets:
+    def test_unrouted_vc_not_offered(self):
+        """A best-effort packet whose routing is still blocked (no
+        downstream VC, output_port == -1) must not become a candidate —
+        granting it would configure the crossbar with an invalid port."""
+        scheduler, vcs, status = build()
+        vc = activate(
+            vcs, status, 0, output_port=-1, service=ServiceClass.BEST_EFFORT
+        )
+        assert scheduler.candidates(now=5) == []
+        # Once routing assigns an output the packet becomes schedulable.
+        vc.output_port = 2
+        offered = scheduler.candidates(now=6)
+        assert len(offered) == 1
+        assert offered[0].output_port == 2

@@ -1,0 +1,83 @@
+"""Tests for the network-level experiment harness."""
+
+import pytest
+
+from repro.harness.network_experiment import (
+    NetworkExperimentResult,
+    NetworkExperimentSpec,
+    run_network_experiment,
+)
+from repro.network.topology import mesh
+
+
+def quick_spec(**overrides):
+    base = dict(
+        target_link_load=0.3,
+        num_nodes=8,
+        warmup_cycles=1000,
+        measure_cycles=5000,
+        seed=4,
+    )
+    base.update(overrides)
+    return NetworkExperimentSpec(**base)
+
+
+class TestSpecValidation:
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            quick_spec(target_link_load=0.0)
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            quick_spec(num_nodes=1)
+
+    def test_rejects_negative_be_rate(self):
+        with pytest.raises(ValueError):
+            quick_spec(best_effort_rate=-1.0)
+
+
+class TestRunExperiment:
+    def test_produces_streams_and_stats(self):
+        result = run_network_experiment(quick_spec())
+        assert result.streams > 0
+        assert result.acceptance_ratio > 0.5
+        assert result.delay_cycles.count > 100
+        assert result.mean_hops >= 1.0
+        assert result.delay_per_hop >= 1.0
+
+    def test_deterministic(self):
+        a = run_network_experiment(quick_spec())
+        b = run_network_experiment(quick_spec())
+        assert a.streams == b.streams
+        assert a.delay_cycles.mean == b.delay_cycles.mean
+
+    def test_delay_grows_with_hops(self):
+        result = run_network_experiment(quick_spec(target_link_load=0.4))
+        hops = sorted(result.by_hops)
+        if len(hops) >= 2:
+            first_delay = result.by_hops[hops[0]][0]
+            last_delay = result.by_hops[hops[-1]][0]
+            assert last_delay > first_delay
+
+    def test_load_increases_delay(self):
+        light = run_network_experiment(quick_spec(target_link_load=0.15))
+        heavy = run_network_experiment(quick_spec(target_link_load=0.6))
+        assert heavy.streams > light.streams
+        assert heavy.delay_cycles.mean >= light.delay_cycles.mean
+
+    def test_best_effort_background_delivered(self):
+        result = run_network_experiment(
+            quick_spec(best_effort_rate=2.0)
+        )
+        assert result.best_effort_delivered > 0
+        # Streams still flow under background chatter.
+        assert result.delay_cycles.count > 100
+
+    def test_explicit_topology(self):
+        topo = mesh(3, 3)
+        result = run_network_experiment(quick_spec(num_nodes=9), topology=topo)
+        assert result.streams > 0
+
+    def test_jitter_bounded_at_light_load(self):
+        result = run_network_experiment(quick_spec(target_link_load=0.15))
+        assert result.jitter_cycles.mean < 1.0

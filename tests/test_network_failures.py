@@ -1,0 +1,93 @@
+"""Link-failure and recovery scenarios over a live network."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.network.connection import ConnectionManager
+from repro.network.interface import NetworkInterface
+from repro.network.network import Network
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+
+def build_square():
+    # 0-1-3 and 0-2-3: two disjoint paths between 0 and 3, plus spurs.
+    topo = Topology(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=16,
+        round_factor=32,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    rng = SeededRng(13, "fail")
+    network = Network(topo, config, BiasedPriority(), sim, rng)
+    manager = ConnectionManager(network)
+    interfaces = [
+        NetworkInterface(network, manager, n, rng=rng.spawn(f"ni{n}"))
+        for n in range(4)
+    ]
+    return topo, network, manager, sim, interfaces
+
+
+class TestLinkFailure:
+    def test_ports_stay_stable_after_removal(self):
+        topo, network, manager, sim, interfaces = build_square()
+        port_0_to_2 = topo.port_of(0, 2)
+        topo.remove_link(0, 1)
+        # Surviving links keep their port numbers; the dead port reads None.
+        assert topo.port_of(0, 2) == port_0_to_2
+        assert topo.neighbor_on_port(0, 0) is None  # was the link to 1
+        assert topo.host_port(0) == 2  # unchanged
+
+    def test_reestablishment_avoids_failed_link(self):
+        topo, network, manager, sim, interfaces = build_square()
+        stream = interfaces[0].open_cbr(3, 55e6, stop_time=1)
+        assert stream is not None
+        first_path = list(stream.connection.path)
+        sim.run(3000)  # drain the (stopped) stream
+        interfaces[0].close(stream)
+        # Fail the first hop of the old path.
+        topo.remove_link(first_path[0], first_path[1])
+        replacement = interfaces[0].open_cbr(3, 55e6)
+        assert replacement is not None
+        assert replacement.connection.path != first_path
+        assert (first_path[0], first_path[1]) not in list(
+            zip(replacement.connection.path, replacement.connection.path[1:])
+        )
+        sim.run(10000)
+        stats = interfaces[3].end_to_end[replacement.connection.connection_id]
+        assert stats.flits > 100
+
+    def test_unaffected_traffic_keeps_flowing_through_failure(self):
+        topo, network, manager, sim, interfaces = build_square()
+        # Stream on the 0-2-3 side; fail the 0-1 link it never uses.
+        stream = interfaces[2].open_cbr(3, 55e6)
+        assert stream is not None
+        sim.run(5000)
+        before = interfaces[3].end_to_end[stream.connection.connection_id].flits
+        topo.remove_link(0, 1)
+        sim.run(5000)
+        after = interfaces[3].end_to_end[stream.connection.connection_id].flits
+        assert after > before
+
+    def test_establishment_fails_when_network_partitioned(self):
+        topo, network, manager, sim, interfaces = build_square()
+        topo.remove_link(0, 1)
+        topo.remove_link(0, 2)
+        # Node 0 is now isolated from 3.
+        assert interfaces[0].open_cbr(3, 20e6) is None
+        assert manager.stats.failed >= 1
+
+    def test_best_effort_reroutes_around_failure(self):
+        topo, network, manager, sim, interfaces = build_square()
+        # Pre-failure routing may use either path; after failing 0-1 all
+        # packets must take 0-2-3 and still arrive.
+        topo.remove_link(0, 1)
+        network.adaptive = type(network.adaptive)(topo)  # rebuild relation
+        for _ in range(10):
+            interfaces[0].send_best_effort(3)
+        sim.run(3000)
+        assert interfaces[3].packets_received == 10

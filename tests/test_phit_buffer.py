@@ -1,0 +1,86 @@
+"""Tests for the phit buffers in front of the VCM."""
+
+import pytest
+
+from repro.core.flit import Flit, FlitType, fragment_into_phits
+from repro.core.phit_buffer import PhitBuffer
+
+
+def phits(n=4):
+    return fragment_into_phits(Flit(FlitType.DATA), n)
+
+
+class TestPhitBuffer:
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(ValueError):
+            PhitBuffer(0)
+
+    def test_fifo(self):
+        buf = PhitBuffer(8)
+        items = phits(4)
+        for p in items:
+            buf.push(p)
+        assert [buf.pop() for _ in range(4)] == items
+
+    def test_overflow(self):
+        buf = PhitBuffer(2)
+        a, b, c, _ = phits(4)
+        buf.push(a)
+        buf.push(b)
+        assert buf.is_full
+        with pytest.raises(RuntimeError):
+            buf.push(c)
+
+    def test_underflow(self):
+        with pytest.raises(RuntimeError):
+            PhitBuffer(2).pop()
+
+    def test_peek(self):
+        buf = PhitBuffer(4)
+        assert buf.peek() is None
+        items = phits(2)
+        buf.push(items[0])
+        assert buf.peek() is items[0]
+        assert len(buf) == 1
+
+    def test_high_water_mark(self):
+        buf = PhitBuffer(4)
+        for p in phits(3):
+            buf.push(p)
+        buf.pop()
+        buf.pop()
+        assert buf.max_occupancy == 3
+
+    def test_is_empty(self):
+        buf = PhitBuffer(2)
+        assert buf.is_empty
+        buf.push(phits(1)[0])
+        assert not buf.is_empty
+
+
+class TestRequiredDepth:
+    def test_paper_sizing_rule(self):
+        # Deep enough to hold all phits arriving during a decode period,
+        # plus the one in flight.
+        assert PhitBuffer.required_depth(decode_cycles=3) == 4
+
+    def test_zero_decode(self):
+        assert PhitBuffer.required_depth(0) == 1
+
+    def test_multiple_phits_per_cycle(self):
+        assert PhitBuffer.required_depth(2, phits_per_cycle=4) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhitBuffer.required_depth(-1)
+        with pytest.raises(ValueError):
+            PhitBuffer.required_depth(1, phits_per_cycle=0)
+
+    def test_sized_buffer_never_overflows_during_decode(self):
+        decode = 5
+        buf = PhitBuffer(PhitBuffer.required_depth(decode))
+        stream = phits(8)
+        # Worst case: decode+1 phits arrive before the first drain.
+        for p in stream[: decode + 1]:
+            buf.push(p)
+        assert buf.is_full or len(buf) <= buf.depth

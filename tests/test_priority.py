@@ -1,0 +1,182 @@
+"""Tests for the priority schemes (§4.4, §5.1)."""
+
+import pytest
+
+from repro.core.flit import Flit, FlitType
+from repro.core.priority import (
+    AgePriority,
+    BiasedPriority,
+    CLASS_OFFSETS,
+    FixedPriority,
+    FrozenFlitPriority,
+    RatePriority,
+    StaticConnectionPriority,
+    make_priority_scheme,
+)
+from repro.core.virtual_channel import ServiceClass, VirtualChannel
+
+
+def make_vc(service_class=ServiceClass.CBR, interarrival=10.0, static=0.5):
+    vc = VirtualChannel(0, 0, 4)
+    vc.bind(1, service_class, 0)
+    vc.interarrival_cycles = interarrival
+    vc.static_priority = static
+    return vc
+
+
+def head_flit(created=0, ready=0):
+    flit = Flit(FlitType.DATA, connection_id=1, created=created)
+    flit.ready_time = ready
+    return flit
+
+
+class TestBiasedPriority:
+    def test_grows_with_waiting_time(self):
+        scheme = BiasedPriority()
+        vc = make_vc()
+        flit = head_flit(created=100)
+        p1 = scheme.priority(vc, flit, now=105)
+        p2 = scheme.priority(vc, flit, now=110)
+        assert p2 > p1
+
+    def test_growth_rate_scales_with_connection_speed(self):
+        # The paper: "High speed connections clearly have their priorities
+        # grow at a faster rate."
+        scheme = BiasedPriority()
+        fast = make_vc(interarrival=10.0)
+        slow = make_vc(interarrival=1000.0)
+        flit = head_flit(created=0)
+        assert scheme.priority(fast, flit, 50) > scheme.priority(slow, flit, 50)
+
+    def test_is_delay_over_interarrival(self):
+        scheme = BiasedPriority()
+        vc = make_vc(interarrival=20.0)
+        flit = head_flit(created=40)
+        assert scheme.priority(vc, flit, now=50) == pytest.approx(0.5)
+
+    def test_zero_wait_zero_priority(self):
+        scheme = BiasedPriority()
+        vc = make_vc()
+        flit = head_flit(created=7)
+        assert scheme.priority(vc, flit, now=7) == pytest.approx(0.0)
+
+
+class TestFixedPriority:
+    def test_no_growth_in_expectation_is_memoryless(self):
+        # Fixed draws change per cycle but never trend with waiting time.
+        scheme = FixedPriority()
+        vc = make_vc()
+        flit = head_flit(created=0)
+        draws = [scheme.priority(vc, flit, now=t) for t in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        first_half = sum(draws[:100]) / 100
+        second_half = sum(draws[100:]) / 100
+        assert abs(first_half - second_half) < 0.15  # no aging trend
+
+    def test_deterministic_per_flit_cycle(self):
+        scheme = FixedPriority()
+        vc = make_vc()
+        flit = head_flit()
+        assert scheme.priority(vc, flit, 5) == scheme.priority(vc, flit, 5)
+
+    def test_different_flits_differ(self):
+        scheme = FixedPriority()
+        vc = make_vc()
+        a, b = head_flit(), head_flit()
+        b.sequence = 1  # flit identity = (connection, sequence)
+        assert scheme.priority(vc, a, 5) != scheme.priority(vc, b, 5)
+
+    def test_same_identity_same_draw(self):
+        # Priorities are keyed on run-stable fields, not object identity,
+        # so identically-constructed simulations reproduce exactly.
+        scheme = FixedPriority()
+        vc = make_vc()
+        a, b = head_flit(), head_flit()
+        assert scheme.priority(vc, a, 5) == scheme.priority(vc, b, 5)
+
+
+class TestFrozenFlitPriority:
+    def test_constant_over_time(self):
+        scheme = FrozenFlitPriority()
+        vc = make_vc()
+        flit = head_flit()
+        values = {scheme.priority(vc, flit, t) for t in range(10)}
+        assert len(values) == 1
+
+    def test_varies_across_flits(self):
+        scheme = FrozenFlitPriority()
+        vc = make_vc()
+        values = set()
+        for sequence in range(20):
+            flit = head_flit()
+            flit.sequence = sequence
+            values.add(scheme.priority(vc, flit, 0))
+        assert len(values) > 10
+
+
+class TestStaticAndRate:
+    def test_static_uses_connection_priority(self):
+        scheme = StaticConnectionPriority()
+        hi = make_vc(static=0.9)
+        lo = make_vc(static=0.1)
+        flit = head_flit()
+        assert scheme.priority(hi, flit, 0) > scheme.priority(lo, flit, 0)
+
+    def test_static_never_changes(self):
+        scheme = StaticConnectionPriority()
+        vc = make_vc(static=0.3)
+        flit = head_flit()
+        assert scheme.priority(vc, flit, 0) == scheme.priority(vc, flit, 1000)
+
+    def test_rate_priority_prefers_fast_connections(self):
+        scheme = RatePriority()
+        fast = make_vc(interarrival=10.0)
+        slow = make_vc(interarrival=100.0)
+        flit = head_flit()
+        assert scheme.priority(fast, flit, 0) > scheme.priority(slow, flit, 0)
+
+    def test_age_priority_is_pure_wait(self):
+        scheme = AgePriority()
+        vc = make_vc(interarrival=123.0)
+        flit = head_flit(created=10)
+        assert scheme.priority(vc, flit, 25) == pytest.approx(15.0)
+
+
+class TestClassOrdering:
+    def test_control_above_data_above_best_effort(self):
+        scheme = BiasedPriority()
+        flit = head_flit(created=0)
+        control = make_vc(ServiceClass.CONTROL)
+        cbr = make_vc(ServiceClass.CBR)
+        best_effort = make_vc(ServiceClass.BEST_EFFORT)
+        now = 10000  # large waits cannot cross class boundaries
+        p_control = scheme.priority(control, flit, now)
+        p_cbr = scheme.priority(cbr, flit, now)
+        p_be = scheme.priority(best_effort, flit, now)
+        assert p_control > p_cbr > p_be
+
+    def test_cbr_and_vbr_share_data_class(self):
+        assert CLASS_OFFSETS[ServiceClass.CBR] == CLASS_OFFSETS[ServiceClass.VBR]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("fixed", FixedPriority),
+            ("frozen", FrozenFlitPriority),
+            ("biased", BiasedPriority),
+            ("age", AgePriority),
+            ("rate", RatePriority),
+            ("static", StaticConnectionPriority),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_priority_scheme(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown priority scheme"):
+            make_priority_scheme("bogus")
+
+    def test_repr(self):
+        assert repr(BiasedPriority()) == "BiasedPriority()"

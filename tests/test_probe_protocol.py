@@ -1,0 +1,227 @@
+"""Tests for the cycle-accurate probe/ack/teardown protocol."""
+
+import pytest
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.core.virtual_channel import ServiceClass
+from repro.network.network import Network
+from repro.network.probe_protocol import CONTROL_HOP_CYCLES, ProbeProtocol
+from repro.network.topology import Topology, mesh
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+
+def build(topo=None, vcs=8):
+    topo = topo or mesh(3, 3)
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=vcs,
+        round_factor=2,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(topo, config, BiasedPriority(), sim, SeededRng(6, "probe"))
+    return network, ProbeProtocol(network), sim, config
+
+
+class Recorder:
+    """Collects completion callbacks."""
+
+    def __init__(self):
+        self.results = []
+
+    def __call__(self, session, established):
+        self.results.append((session, established))
+
+
+class TestProbeEstablishment:
+    def test_probe_reaches_destination(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        session = protocol.establish(0, 8, BandwidthRequest(4), done)
+        sim.run(200)
+        assert done.results
+        finished, ok = done.results[0]
+        assert ok
+        assert finished is session
+        assert session.path[0] == 0
+        assert session.path[-1] == 8
+        assert session.established
+
+    def test_establishment_takes_real_cycles(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        session = protocol.establish(0, 8, BandwidthRequest(4), done)
+        # Nothing completes instantaneously.
+        assert not done.results
+        sim.run(2)
+        assert not done.results
+        sim.run(200)
+        assert done.results
+        # At least one hop-delay per link out and the ack back.
+        hops = session.hops if hasattr(session, "hops") else len(session.path) - 1
+        assert session.setup_cycles >= CONTROL_HOP_CYCLES * (len(session.path) - 1)
+
+    def test_longer_paths_take_longer(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        near = protocol.establish(0, 1, BandwidthRequest(1), done)
+        far = protocol.establish(0, 8, BandwidthRequest(1), done)
+        sim.run(300)
+        assert near.setup_cycles < far.setup_cycles
+
+    def test_reserves_bandwidth_and_vcs_along_path(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        session = protocol.establish(0, 2, BandwidthRequest(4), done)
+        sim.run(200)
+        assert session.established
+        for i, node in enumerate(session.path):
+            router = network.routers[node]
+            vc = router.input_ports[session.entry_ports[i]].vcs[session.vcs[i]]
+            assert vc.connection_id == -session.session_id
+            assert vc.output_port == session.ports[i]
+            assert router.admission.outputs[session.ports[i]].allocated_cycles == 4
+
+    def test_channel_mappings_installed(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        session = protocol.establish(0, 2, BandwidthRequest(4), done)
+        sim.run(200)
+        for i in range(len(session.path) - 1):
+            router = network.routers[session.path[i]]
+            next_hop = router.rau.next_hop(session.entry_ports[i], session.vcs[i])
+            assert next_hop == (session.ports[i], session.vcs[i + 1])
+
+    def test_failure_when_no_capacity(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo)
+        done = Recorder()
+        cap = config.round_length
+        first = protocol.establish(0, 2, BandwidthRequest(cap), done)
+        sim.run(200)
+        assert first.established
+        second = protocol.establish(0, 2, BandwidthRequest(1), done)
+        sim.run(200)
+        assert not second.established
+        assert len(done.results) == 2
+        assert done.results[1] == (second, False)
+
+    def test_failed_probe_releases_partial_reservations(self):
+        # A 1->4 blocker fills the 1->3 link (its only minimal path), so a
+        # 0->3 probe dead-ends at node 1 and must backtrack via node 2.
+        topo = Topology(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        network, protocol, sim, config = build(topo=topo)
+        cap = config.round_length
+        done = Recorder()
+        blocker = protocol.establish(1, 4, BandwidthRequest(cap), done)
+        sim.run(200)
+        assert blocker.established
+        probe = protocol.establish(0, 3, BandwidthRequest(cap), done)
+        sim.run(400)
+        assert probe.established
+        assert probe.path == [0, 2, 3]
+        assert probe.backtracks >= 1
+        # Node 1 holds no leftover state from the abandoned branch.
+        router1 = network.routers[1]
+        assert router1.admission.inputs[topo.port_of(1, 0)].allocated_cycles == 0
+
+    def test_total_failure_releases_everything(self):
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo)
+        cap = config.round_length
+        done = Recorder()
+        protocol.establish(1, 2, BandwidthRequest(cap), done)
+        sim.run(100)
+        probe = protocol.establish(0, 2, BandwidthRequest(cap), done)
+        sim.run(400)
+        assert not probe.established
+        # Its partial reservation on link 0->1 was rolled back.
+        assert network.routers[0].admission.outputs[0].allocated_cycles == 0
+        port_1_from_0 = topo.port_of(1, 0)
+        assert (
+            network.routers[1].admission.inputs[port_1_from_0].allocated_cycles
+            == cap * 0 + cap  # only the blocker's footprint remains
+            or network.routers[1].admission.inputs[port_1_from_0].allocated_cycles == 0
+        )
+
+    def test_source_rejection_is_immediate_failure(self):
+        topo = Topology(2, [(0, 1)])
+        network, protocol, sim, config = build(topo=topo, vcs=2)
+        done = Recorder()
+        cap = config.round_length
+        protocol.establish(0, 1, BandwidthRequest(cap), done)
+        sim.run(100)
+        probe = protocol.establish(0, 1, BandwidthRequest(cap), done)
+        sim.run(100)
+        assert not probe.established
+        assert probe.links_searched == 0  # refused before probing
+
+
+class TestTeardown:
+    def test_teardown_releases_hops_progressively(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        session = protocol.establish(0, 8, BandwidthRequest(4), done)
+        sim.run(200)
+        assert session.established
+        protocol.teardown(session)
+        sim.run(CONTROL_HOP_CYCLES * len(session.path) + 5)
+        assert not session.established
+        for node in session.path:
+            router = network.routers[node]
+            for allocator in router.admission.outputs:
+                assert allocator.allocated_cycles == 0
+            for port in router.input_ports:
+                assert port.free_vc_count() == 8
+
+    def test_teardown_of_unestablished_rejected(self):
+        network, protocol, sim, _ = build()
+        done = Recorder()
+        session = protocol.establish(0, 8, BandwidthRequest(4), done)
+        with pytest.raises(RuntimeError):
+            protocol.teardown(session)
+
+    def test_capacity_reusable_after_teardown(self):
+        topo = Topology(2, [(0, 1)])
+        network, protocol, sim, config = build(topo=topo)
+        done = Recorder()
+        cap = config.round_length
+        first = protocol.establish(0, 1, BandwidthRequest(cap), done)
+        sim.run(100)
+        protocol.teardown(first)
+        sim.run(50)
+        second = protocol.establish(0, 1, BandwidthRequest(cap), done)
+        sim.run(100)
+        assert second.established
+
+
+class TestConcurrentProbes:
+    def test_racing_probes_share_the_network(self):
+        network, protocol, sim, config = build()
+        done = Recorder()
+        sessions = [
+            protocol.establish(src, dst, BandwidthRequest(2), done)
+            for src, dst in [(0, 8), (2, 6), (6, 2), (8, 0)]
+        ]
+        sim.run(500)
+        assert len(done.results) == 4
+        assert all(ok for _, ok in done.results)
+        # Each established its own disjoint VC state.
+        ids = {s.session_id for s in sessions}
+        assert len(ids) == 4
+
+    def test_contending_probes_never_double_book(self):
+        topo = Topology(2, [(0, 1)])
+        network, protocol, sim, config = build(topo=topo)
+        done = Recorder()
+        cap = config.round_length
+        half = cap // 2
+        for _ in range(4):
+            protocol.establish(0, 1, BandwidthRequest(half), done)
+        sim.run(300)
+        established = sum(1 for _, ok in done.results if ok)
+        assert established == 2  # exactly the link's capacity
+        assert network.routers[0].admission.outputs[0].allocated_cycles == cap

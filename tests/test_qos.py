@@ -1,0 +1,141 @@
+"""Tests for QoS metrics, aggregation and contract verification."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.qos.guarantees import (
+    ContractViolation,
+    QosContract,
+    expected_flits,
+    verify_contract,
+)
+from repro.qos.metrics import (
+    per_rate_breakdown,
+    summarise,
+    summarise_weighted,
+)
+from repro.sim.stats import ConnectionStats
+
+
+def stats_with_delays(delays):
+    stats = ConnectionStats()
+    for d in delays:
+        stats.record_flit(d)
+    return stats
+
+
+class TestSummarise:
+    def test_empty(self):
+        summary = summarise({})
+        assert summary.connections == 0
+        assert summary.flits_delivered == 0
+        assert summary.mean_delay_cycles == 0.0
+
+    def test_skips_idle_connections(self):
+        summary = summarise({1: ConnectionStats(), 2: stats_with_delays([4.0])})
+        assert summary.connections == 1
+        assert summary.flits_delivered == 1
+
+    def test_per_connection_weighting(self):
+        # Connection means are averaged, regardless of flit counts.
+        stats = {
+            1: stats_with_delays([10.0] * 100),
+            2: stats_with_delays([2.0]),
+        }
+        summary = summarise(stats)
+        assert summary.mean_delay_cycles == pytest.approx(6.0)
+        assert summary.max_delay_cycles == pytest.approx(10.0)
+
+    def test_flit_weighting(self):
+        stats = {
+            1: stats_with_delays([10.0] * 99),
+            2: stats_with_delays([0.0]),
+        }
+        summary = summarise_weighted(stats)
+        assert summary.mean_delay_cycles == pytest.approx(9.9)
+
+    def test_jitter_aggregation(self):
+        stats = {
+            1: stats_with_delays([1.0, 3.0]),  # jitter 2
+            2: stats_with_delays([5.0, 5.0]),  # jitter 0
+        }
+        summary = summarise(stats)
+        assert summary.mean_jitter_cycles == pytest.approx(1.0)
+        assert summary.max_jitter_cycles == pytest.approx(2.0)
+
+    def test_delay_in_microseconds(self):
+        config = RouterConfig()
+        summary = summarise({1: stats_with_delays([10.0])})
+        assert summary.mean_delay_us(config) == pytest.approx(1.032, abs=0.01)
+        assert summary.max_delay_us(config) == pytest.approx(1.032, abs=0.01)
+
+
+class TestPerRateBreakdown:
+    def test_groups_by_rate(self):
+        stats = {
+            1: stats_with_delays([1.0]),
+            2: stats_with_delays([3.0]),
+            3: stats_with_delays([5.0]),
+        }
+        rates = {1: 64e3, 2: 64e3, 3: 120e6}
+        groups = per_rate_breakdown(stats, rates)
+        assert set(groups) == {64e3, 120e6}
+        assert groups[64e3].connections == 2
+        assert groups[64e3].mean_delay_cycles == pytest.approx(2.0)
+        assert groups[120e6].mean_delay_cycles == pytest.approx(5.0)
+
+    def test_unknown_connections_skipped(self):
+        stats = {1: stats_with_delays([1.0])}
+        assert per_rate_breakdown(stats, {}) == {}
+
+
+class TestContracts:
+    def config(self):
+        return RouterConfig()
+
+    def test_expected_flits(self):
+        contract = QosContract(1, rate_bps=1.24e9 / 10)
+        assert expected_flits(contract, self.config(), cycles=1000) == pytest.approx(
+            100.0
+        )
+
+    def test_satisfied_contract_has_no_violations(self):
+        contract = QosContract(
+            1, rate_bps=1.24e9 / 10, max_mean_delay_cycles=5.0,
+            max_mean_jitter_cycles=1.0,
+        )
+        stats = stats_with_delays([3.0] * 100)
+        assert verify_contract(contract, stats, self.config(), cycles=1000) == []
+
+    def test_throughput_violation(self):
+        contract = QosContract(1, rate_bps=1.24e9 / 10)
+        stats = stats_with_delays([3.0] * 10)  # only 10 of ~100 flits
+        violations = verify_contract(contract, stats, self.config(), cycles=1000)
+        assert any(v.clause == "throughput_flits" for v in violations)
+
+    def test_delay_violation(self):
+        contract = QosContract(
+            1, rate_bps=1.24e9 / 10, max_mean_delay_cycles=2.0
+        )
+        stats = stats_with_delays([30.0] * 100)
+        violations = verify_contract(contract, stats, self.config(), cycles=1000)
+        assert any(v.clause == "mean_delay_cycles" for v in violations)
+
+    def test_jitter_violation(self):
+        contract = QosContract(
+            1, rate_bps=1.24e9 / 10, max_mean_jitter_cycles=0.5
+        )
+        stats = stats_with_delays([1.0, 9.0] * 50)
+        violations = verify_contract(contract, stats, self.config(), cycles=1000)
+        assert any(v.clause == "mean_jitter_cycles" for v in violations)
+
+    def test_violation_string(self):
+        violation = ContractViolation(3, "mean_delay_cycles", 2.0, 5.0)
+        text = str(violation)
+        assert "connection 3" in text
+        assert "mean_delay_cycles" in text
+
+    def test_vbr_flag(self):
+        assert QosContract(1, 1e6, peak_rate_bps=2e6).is_vbr
+        assert not QosContract(1, 1e6).is_vbr
+        assert not QosContract(1, 1e6, peak_rate_bps=1e6).is_vbr

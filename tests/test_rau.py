@@ -1,0 +1,125 @@
+"""Tests for the routing-and-arbitration unit's channel mapping stores."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rau import (
+    ChannelMappingStore,
+    MappingError,
+    RoutingArbitrationUnit,
+)
+
+
+class TestChannelMappingStore:
+    def test_add_and_lookup(self):
+        store = ChannelMappingStore()
+        store.add(1, (0, 5), (3, 7))
+        forward = store.forward((0, 5))
+        assert forward.output_channel == (3, 7)
+        backward = store.backward((3, 7))
+        assert backward.input_channel == (0, 5)
+        assert len(store) == 1
+
+    def test_missing_lookups_return_none(self):
+        store = ChannelMappingStore()
+        assert store.forward((0, 0)) is None
+        assert store.backward((0, 0)) is None
+
+    def test_duplicate_input_rejected(self):
+        store = ChannelMappingStore()
+        store.add(1, (0, 5), (3, 7))
+        with pytest.raises(MappingError):
+            store.add(2, (0, 5), (2, 2))
+
+    def test_duplicate_output_rejected(self):
+        store = ChannelMappingStore()
+        store.add(1, (0, 5), (3, 7))
+        with pytest.raises(MappingError):
+            store.add(2, (1, 1), (3, 7))
+
+    def test_remove_by_input(self):
+        store = ChannelMappingStore()
+        store.add(1, (0, 5), (3, 7))
+        removed = store.remove_by_input((0, 5))
+        assert removed.connection_id == 1
+        assert len(store) == 0
+        assert store.backward((3, 7)) is None
+
+    def test_remove_missing_input_rejected(self):
+        with pytest.raises(MappingError):
+            ChannelMappingStore().remove_by_input((0, 0))
+
+    def test_remove_by_connection(self):
+        store = ChannelMappingStore()
+        store.add(1, (0, 5), (3, 7))
+        store.add(1, (1, 2), (2, 2))
+        store.add(9, (4, 4), (5, 5))
+        assert store.remove_by_connection(1) == 2
+        assert len(store) == 1
+        assert store.forward((4, 4)) is not None
+
+    def test_mappings_iteration_sorted(self):
+        store = ChannelMappingStore()
+        store.add(1, (2, 0), (0, 0))
+        store.add(2, (0, 1), (1, 1))
+        inputs = [m.input_channel for m in store.mappings()]
+        assert inputs == [(0, 1), (2, 0)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_consistency_invariant(self, channels):
+        """Direct and reverse stores stay mirror images under add/remove."""
+        store = ChannelMappingStore()
+        added = []
+        for i, (a, b) in enumerate(channels):
+            input_channel, output_channel = (0, a), (1, b)
+            if store.forward(input_channel) or store.backward(output_channel):
+                continue
+            store.add(i, input_channel, output_channel)
+            added.append(input_channel)
+            store.check_consistency()
+        for input_channel in added[::2]:
+            store.remove_by_input(input_channel)
+            store.check_consistency()
+
+    def test_check_consistency_detects_corruption(self):
+        store = ChannelMappingStore()
+        store.add(1, (0, 0), (1, 1))
+        store._reverse.clear()  # simulate corruption
+        with pytest.raises(MappingError):
+            store.check_consistency()
+
+
+class TestRoutingArbitrationUnit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutingArbitrationUnit(0)
+
+    def test_register_and_next_hop(self):
+        rau = RoutingArbitrationUnit(8)
+        rau.register_connection(5, 0, 10, 3, 20)
+        assert rau.next_hop(0, 10) == (3, 20)
+        assert rau.previous_hop(3, 20) == (0, 10)
+
+    def test_unknown_channels_return_none(self):
+        rau = RoutingArbitrationUnit(8)
+        assert rau.next_hop(0, 0) is None
+        assert rau.previous_hop(0, 0) is None
+
+    def test_release_connection(self):
+        rau = RoutingArbitrationUnit(8)
+        rau.register_connection(5, 0, 10, 3, 20)
+        assert rau.release_connection(5) == 1
+        assert rau.next_hop(0, 10) is None
+
+    def test_port_range_checked(self):
+        rau = RoutingArbitrationUnit(4)
+        with pytest.raises(IndexError):
+            rau.register_connection(1, 4, 0, 0, 0)
+        with pytest.raises(IndexError):
+            rau.register_connection(1, 0, 0, 9, 0)

@@ -1,0 +1,125 @@
+"""Tests for the deterministic RNG substreams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeededRng, substream_seed
+
+
+class TestSubstreamSeed:
+    def test_deterministic(self):
+        assert substream_seed(1, "a") == substream_seed(1, "a")
+
+    def test_distinct_names(self):
+        assert substream_seed(1, "a") != substream_seed(1, "b")
+
+    def test_distinct_masters(self):
+        assert substream_seed(1, "a") != substream_seed(2, "a")
+
+    def test_64_bit_range(self):
+        seed = substream_seed(12345, "stream")
+        assert 0 <= seed < 2**64
+
+    @given(st.integers(0, 2**32), st.text(max_size=30))
+    def test_always_in_range(self, master, name):
+        assert 0 <= substream_seed(master, name) < 2**64
+
+
+class TestSeededRng:
+    def test_same_stream_same_sequence(self):
+        a = SeededRng(7, "x")
+        b = SeededRng(7, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_diverge(self):
+        a = SeededRng(7, "x")
+        b = SeededRng(7, "y")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_spawn_is_namespaced(self):
+        parent = SeededRng(7, "x")
+        child = parent.spawn("sub")
+        direct = SeededRng(7, "x.sub")
+        assert [child.random() for _ in range(5)] == [
+            direct.random() for _ in range(5)
+        ]
+
+    def test_spawn_does_not_consume_parent(self):
+        a = SeededRng(7, "x")
+        b = SeededRng(7, "x")
+        a.spawn("child")
+        assert a.random() == b.random()
+
+    def test_randint_bounds(self):
+        rng = SeededRng(1, "r")
+        values = [rng.randint(3, 5) for _ in range(200)]
+        assert set(values) == {3, 4, 5}
+
+    def test_uniform_bounds(self):
+        rng = SeededRng(1, "u")
+        for _ in range(100):
+            v = rng.uniform(2.0, 3.0)
+            assert 2.0 <= v <= 3.0
+
+    def test_choice(self):
+        rng = SeededRng(1, "c")
+        seq = ["a", "b", "c"]
+        assert all(rng.choice(seq) in seq for _ in range(50))
+
+    def test_sample_distinct(self):
+        rng = SeededRng(1, "s")
+        picked = rng.sample(list(range(20)), 5)
+        assert len(picked) == 5
+        assert len(set(picked)) == 5
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRng(1, "sh")
+        items = list(range(30))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(1, "e")
+        assert all(rng.expovariate(0.5) > 0 for _ in range(100))
+
+    def test_expovariate_mean(self):
+        rng = SeededRng(1, "em")
+        n = 5000
+        mean = sum(rng.expovariate(0.1) for _ in range(n)) / n
+        assert mean == pytest.approx(10.0, rel=0.1)
+
+    def test_geometric_support(self):
+        rng = SeededRng(1, "g")
+        values = [rng.geometric(0.5) for _ in range(300)]
+        assert min(values) >= 1
+        assert max(values) > 1  # virtually certain
+
+    def test_geometric_mean(self):
+        rng = SeededRng(1, "gm")
+        n = 5000
+        mean = sum(rng.geometric(0.25) for _ in range(n)) / n
+        assert mean == pytest.approx(4.0, rel=0.1)
+
+    def test_geometric_validates_probability(self):
+        rng = SeededRng(1, "gv")
+        with pytest.raises(ValueError):
+            rng.geometric(0.0)
+        with pytest.raises(ValueError):
+            rng.geometric(1.5)
+
+    def test_geometric_p_one(self):
+        rng = SeededRng(1, "g1")
+        assert all(rng.geometric(1.0) == 1 for _ in range(10))
+
+    def test_iter_uniform(self):
+        rng = SeededRng(1, "iu")
+        it = rng.iter_uniform(0.0, 1.0)
+        values = [next(it) for _ in range(10)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_gauss_reproducible(self, seed, unused):
+        a = SeededRng(seed, "n")
+        b = SeededRng(seed, "n")
+        assert a.gauss(0, 1) == b.gauss(0, 1)

@@ -1,0 +1,146 @@
+"""Tests for network topologies and port assignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.topology import (
+    Topology,
+    TopologyError,
+    hypercube,
+    irregular,
+    mesh,
+    ring,
+    torus,
+)
+from repro.sim.rng import SeededRng
+
+
+class TestTopologyBasics:
+    def test_rejects_bad_edges(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 2)])
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 0)])
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 1), (1, 0)])  # duplicate
+
+    def test_rejects_too_few_ports(self):
+        with pytest.raises(TopologyError):
+            Topology(3, [(0, 1), (0, 2)], num_ports=2)
+
+    def test_port_numbering_follows_sorted_neighbors(self):
+        topo = Topology(3, [(0, 2), (0, 1)])
+        assert topo.port_of(0, 1) == 0
+        assert topo.port_of(0, 2) == 1
+        assert topo.neighbor_on_port(0, 0) == 1
+        assert topo.neighbor_on_port(0, 1) == 2
+
+    def test_host_ports_after_link_ports(self):
+        topo = Topology(3, [(0, 1), (1, 2)], num_ports=4)
+        assert topo.host_port(0) == 1
+        assert topo.host_ports(0) == [1, 2, 3]
+        assert topo.host_port(1) == 2
+        assert topo.neighbor_on_port(0, 3) is None
+
+    def test_missing_link_rejected(self):
+        topo = Topology(3, [(0, 1)])
+        with pytest.raises(TopologyError):
+            topo.port_of(0, 2)
+
+    def test_edges_sorted_unique(self):
+        topo = Topology(3, [(2, 1), (1, 0)])
+        assert topo.edges() == [(0, 1), (1, 2)]
+
+    def test_distance(self):
+        topo = Topology(4, [(0, 1), (1, 2), (2, 3)])
+        assert topo.distance(0, 3) == 3
+        assert topo.distance(2, 2) == 0
+
+    def test_disconnected_distance_raises(self):
+        topo = Topology(4, [(0, 1), (2, 3)])
+        assert not topo.is_connected()
+        with pytest.raises(TopologyError):
+            topo.distance(0, 3)
+
+    def test_remove_link(self):
+        topo = Topology(3, [(0, 1), (1, 2), (0, 2)])
+        assert topo.distance(0, 2) == 1
+        topo.remove_link(0, 2)
+        assert topo.distance(0, 2) == 2
+        assert topo.degree(0) == 1
+        with pytest.raises(TopologyError):
+            topo.remove_link(0, 2)
+
+    def test_node_range_checked(self):
+        topo = Topology(2, [(0, 1)])
+        with pytest.raises(TopologyError):
+            topo.neighbors(2)
+
+
+class TestConstructors:
+    def test_ring(self):
+        topo = ring(5)
+        assert topo.num_nodes == 5
+        assert all(topo.degree(n) == 2 for n in range(5))
+        assert topo.distance(0, 2) == 2
+        assert topo.distance(0, 3) == 2  # wraps
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_mesh(self):
+        topo = mesh(3, 3)
+        assert topo.num_nodes == 9
+        assert topo.degree(4) == 4  # centre
+        assert topo.degree(0) == 2  # corner
+        assert topo.distance(0, 8) == 4
+
+    def test_mesh_validation(self):
+        with pytest.raises(TopologyError):
+            mesh(0, 3)
+
+    def test_torus(self):
+        topo = torus(3, 3)
+        assert all(topo.degree(n) == 4 for n in range(9))
+        assert topo.distance(0, 2) == 1  # wraparound
+
+    def test_torus_minimum(self):
+        with pytest.raises(TopologyError):
+            torus(2, 3)
+
+    def test_hypercube(self):
+        topo = hypercube(3)
+        assert topo.num_nodes == 8
+        assert all(topo.degree(n) == 3 for n in range(8))
+        assert topo.distance(0b000, 0b111) == 3
+
+    def test_hypercube_validation(self):
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+    def test_all_regular_topologies_connected(self):
+        for topo in (ring(6), mesh(4, 2), torus(3, 4), hypercube(4)):
+            assert topo.is_connected()
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 1000), st.integers(4, 20))
+    def test_irregular_connected_with_host_ports(self, seed, nodes):
+        rng = SeededRng(seed, "topo")
+        topo = irregular(nodes, rng, mean_degree=3.0)
+        assert topo.is_connected()
+        for node in range(nodes):
+            assert topo.host_ports(node), f"node {node} has no host port"
+
+    def test_irregular_mean_degree_close_to_target(self):
+        rng = SeededRng(5, "deg")
+        topo = irregular(30, rng, mean_degree=4.0)
+        mean = sum(topo.degree(n) for n in range(30)) / 30
+        assert 3.0 <= mean <= 5.0
+
+    def test_irregular_validation(self):
+        rng = SeededRng(1, "x")
+        with pytest.raises(TopologyError):
+            irregular(1, rng)
+        with pytest.raises(TopologyError):
+            irregular(10, rng, mean_degree=0.5)

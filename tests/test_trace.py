@@ -1,0 +1,140 @@
+"""Tests for the event tracer and its router integration."""
+
+import pytest
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.flit import Flit, FlitType
+from repro.core.priority import BiasedPriority
+from repro.core.router import Router
+from repro.core.switch_scheduler import GreedyPriorityScheduler
+from repro.core.virtual_channel import ServiceClass
+from repro.sim.engine import Simulator
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+
+
+class TestTracer:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_records_in_order(self):
+        tracer = Tracer()
+        tracer.record(1, "inject", "a")
+        tracer.record(2, "deliver", "b")
+        records = tracer.records()
+        assert [r.time for r in records] == [1, 2]
+        assert tracer.recorded == 2
+
+    def test_bounded_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=2)
+        for t in range(5):
+            tracer.record(t, "inject", "x")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert [r.time for r in tracer.records()] == [3, 4]
+
+    def test_category_filter_at_record_time(self):
+        tracer = Tracer(categories=("deliver",))
+        tracer.record(1, "inject", "skip me")
+        tracer.record(2, "deliver", "keep me")
+        assert len(tracer) == 1
+        assert tracer.records()[0].category == "deliver"
+
+    def test_query_filters(self):
+        tracer = Tracer()
+        tracer.record(1, "inject", "a", connection_id=7, flit_id=100)
+        tracer.record(2, "inject", "b", connection_id=8, flit_id=101)
+        tracer.record(3, "deliver", "c", connection_id=7, flit_id=100)
+        assert len(tracer.records(connection_id=7)) == 2
+        assert len(tracer.records(flit_id=101)) == 1
+        assert len(tracer.records(category="deliver", connection_id=7)) == 1
+
+    def test_disable(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        tracer.record(1, "inject", "x")
+        assert len(tracer) == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1, "inject", "x")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.recorded == 1
+
+    def test_format(self):
+        tracer = Tracer()
+        tracer.record(5, "deliver", "out", connection_id=3, flit_id=9)
+        text = tracer.format()
+        assert "deliver" in text
+        assert "conn=3" in text
+        assert "flit=9" in text
+
+    def test_record_str(self):
+        record = TraceRecord(10, "grant", "port 0")
+        assert "grant" in str(record)
+
+    def test_null_tracer_discards(self):
+        tracer = NullTracer()
+        tracer.record(1, "inject", "x")
+        assert len(tracer) == 0
+        assert tracer.records() == []
+
+
+class TestRouterIntegration:
+    def build(self, tracer):
+        config = RouterConfig(
+            num_ports=4, vcs_per_port=8, enforce_round_budgets=False,
+            round_factor=1,
+        )
+        sim = Simulator()
+        router = Router(
+            config, BiasedPriority(), GreedyPriorityScheduler(), sim,
+            tracer=tracer,
+        )
+        return router, sim, config
+
+    def test_flit_lifecycle_traced(self):
+        tracer = Tracer()
+        router, sim, config = self.build(tracer)
+        vc_index = router.open_connection(
+            1, 0, 2, BandwidthRequest(2), interarrival_cycles=5.0
+        )
+        flit = Flit(FlitType.DATA, connection_id=1, created=0)
+        router.inject(0, vc_index, flit)
+        sim.run(3)
+        lifecycle = tracer.records(flit_id=flit.flit_id)
+        categories = [r.category for r in lifecycle]
+        assert categories == ["inject", "deliver"]
+        assert lifecycle[0].time <= lifecycle[1].time
+
+    def test_connection_events_traced(self):
+        tracer = Tracer()
+        router, sim, config = self.build(tracer)
+        vc_index = router.open_connection(
+            1, 0, 2, BandwidthRequest(2), interarrival_cycles=5.0
+        )
+        router.close_connection(1, 0, vc_index, 2, BandwidthRequest(2))
+        events = tracer.records(category="connection")
+        assert len(events) == 2
+        assert "open" in events[0].message
+        assert "close" in events[1].message
+
+    def test_round_boundary_traced(self):
+        tracer = Tracer(categories=("round",))
+        router, sim, config = self.build(tracer)
+        sim.run(config.round_length * 2)
+        assert len(tracer.records(category="round")) == 2
+
+    def test_cut_through_traced(self):
+        tracer = Tracer()
+        router, sim, config = self.build(tracer)
+        vc_index = router.open_packet_vc(0, 3, ServiceClass.CONTROL, 60)
+        flit = Flit(FlitType.CONTROL, connection_id=60, is_tail=True)
+        router.inject(0, vc_index, flit)
+        assert tracer.records(category="cutthrough")
+
+    def test_default_router_has_null_tracer(self):
+        router, sim, config = self.build(None)
+        assert isinstance(router.tracer, NullTracer)

@@ -1,0 +1,289 @@
+"""Tests for the traffic generators and the load planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.core.router import Router
+from repro.core.switch_scheduler import GreedyPriorityScheduler
+from repro.core.virtual_channel import ServiceClass
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.best_effort import PacketSource, make_control_word
+from repro.traffic.cbr import CbrSource
+from repro.traffic.load import ConnectionSpec, LoadPlanner, offered_load_of
+from repro.traffic.rates import PAPER_RATE_SET, rate_name
+from repro.traffic.vbr import DEFAULT_GOP, MpegProfile, VbrSource
+from repro.core.flit import ControlCommand
+
+
+def small_router(vcs=8, enforce=False):
+    config = RouterConfig(
+        num_ports=4, vcs_per_port=vcs, enforce_round_budgets=enforce
+    )
+    sim = Simulator()
+    router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+    return router, sim, config
+
+
+class TestRates:
+    def test_paper_set_has_nine_rates(self):
+        assert len(PAPER_RATE_SET) == 9
+        assert PAPER_RATE_SET[0] == 64e3
+        assert PAPER_RATE_SET[-1] == 120e6
+
+    def test_rate_names(self):
+        assert rate_name(64e3) == "64 Kbps"
+        assert rate_name(1.54e6) == "1.54 Mbps"
+        assert rate_name(3e6) == "3 Mbps"  # generic fallback
+        assert rate_name(5e5) == "500 Kbps"
+
+
+class TestCbrSource:
+    def test_interarrival_spacing(self):
+        router, sim, config = small_router()
+        vc = router.open_connection(
+            1, 0, 1, BandwidthRequest(2), interarrival_cycles=8.0
+        )
+        rate = config.link_rate_bps / 8.0
+        source = CbrSource(sim, router, 1, 0, vc, rate, config)
+        source.start()
+        sim.run(81)
+        # One flit every 8 cycles: about 10 over 80 cycles.
+        assert source.flits_generated in (10, 11)
+        assert source.flits_injected == source.flits_generated
+
+    def test_phase_delays_first_arrival(self):
+        router, sim, config = small_router()
+        vc = router.open_connection(
+            1, 0, 1, BandwidthRequest(1), interarrival_cycles=100.0
+        )
+        rate = config.link_rate_bps / 100.0
+        source = CbrSource(sim, router, 1, 0, vc, rate, config, phase=50.0)
+        source.start()
+        sim.run(49)
+        assert source.flits_generated == 0
+        sim.run(2)
+        assert source.flits_generated == 1
+
+    def test_negative_phase_rejected(self):
+        router, sim, config = small_router()
+        with pytest.raises(ValueError):
+            CbrSource(sim, router, 1, 0, 0, 1e6, config, phase=-1.0)
+
+    def test_stop_time(self):
+        router, sim, config = small_router()
+        vc = router.open_connection(
+            1, 0, 1, BandwidthRequest(2), interarrival_cycles=10.0
+        )
+        rate = config.link_rate_bps / 10.0
+        source = CbrSource(sim, router, 1, 0, vc, rate, config, stop_time=30)
+        source.start()
+        sim.run(100)
+        assert source.flits_generated <= 4
+
+    def test_backpressure_holds_flits_without_loss(self):
+        # Tiny VC buffer and a fast source: the interface queue grows but
+        # everything is delivered in order eventually.
+        config = RouterConfig(
+            num_ports=4, vcs_per_port=4, vc_buffer_flits=2,
+            enforce_round_budgets=False,
+        )
+        sim = Simulator()
+        router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+        # Two connections on the same output so one is regularly blocked.
+        vc_a = router.open_connection(1, 0, 2, BandwidthRequest(4),
+                                      interarrival_cycles=2.0)
+        vc_b = router.open_connection(2, 1, 2, BandwidthRequest(4),
+                                      interarrival_cycles=2.0)
+        rate = config.link_rate_bps / 2.0
+        a = CbrSource(sim, router, 1, 0, vc_a, rate, config)
+        b = CbrSource(sim, router, 2, 1, vc_b, rate, config)
+        a.start()
+        b.start()
+        sim.run(200)
+        total_generated = a.flits_generated + b.flits_generated
+        delivered = router.stats.get_counter("flits_switched")
+        buffered = router.buffered_flits()
+        pending = a.backlog + b.backlog
+        assert delivered + buffered + pending == total_generated
+        assert a.max_interface_queue >= 1 or b.max_interface_queue >= 1
+
+
+class TestVbrSource:
+    def profile(self, rate=5e6):
+        return MpegProfile(mean_rate_bps=rate, frame_rate_hz=30.0, sigma=0.2)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            MpegProfile(mean_rate_bps=0)
+        with pytest.raises(ValueError):
+            MpegProfile(mean_rate_bps=1e6, frame_rate_hz=0)
+        with pytest.raises(ValueError):
+            MpegProfile(mean_rate_bps=1e6, gop=())
+        with pytest.raises(ValueError):
+            MpegProfile(mean_rate_bps=1e6, gop=("X",))
+        with pytest.raises(ValueError):
+            MpegProfile(mean_rate_bps=1e6, sigma=-1.0)
+
+    def test_gop_ratio_arithmetic(self):
+        profile = self.profile()
+        # Mean over a whole GOP equals the declared mean frame size.
+        gop_bits = sum(profile.frame_bits(kind) for kind in profile.gop)
+        assert gop_bits / len(profile.gop) == pytest.approx(
+            profile.mean_frame_bits
+        )
+        assert profile.frame_bits("I") > profile.frame_bits("P")
+        assert profile.frame_bits("P") > profile.frame_bits("B")
+
+    def test_peak_rate_above_mean(self):
+        profile = self.profile()
+        assert profile.peak_rate_bps() > profile.mean_rate_bps
+
+    def test_generated_rate_tracks_profile(self):
+        router, sim, config = small_router()
+        # A high frame rate keeps the frame period short (in cycles) so a
+        # modest simulation covers many GOPs.
+        profile = MpegProfile(mean_rate_bps=20e6, frame_rate_hz=3000.0, sigma=0.2)
+        vc = router.open_connection(
+            1, 0, 1, BandwidthRequest(1, 4), service_class=ServiceClass.VBR,
+        )
+        source = VbrSource(
+            sim, router, 1, 0, vc, profile, config, SeededRng(1, "vbr")
+        )
+        source.start()
+        cycles = 400000
+        sim.run(cycles)
+        assert source.frames_generated > 100
+        generated_bits = source.flits_generated * config.flit_size_bits
+        seconds = cycles * config.flit_cycle_seconds
+        measured = generated_bits / seconds
+        assert measured == pytest.approx(20e6, rel=0.25)
+
+    def test_frames_fragmented_with_single_tail(self):
+        router, sim, config = small_router()
+        profile = self.profile(rate=50e6)
+        vc = router.open_connection(
+            1, 0, 1, BandwidthRequest(1, 8), service_class=ServiceClass.VBR,
+        )
+        source = VbrSource(
+            sim, router, 1, 0, vc, profile, config, SeededRng(2, "vbr2")
+        )
+        source.start()
+        sim.run(1)  # exactly one frame generated at t=0
+        assert source.frames_generated == 1
+        assert source.flits_generated >= 1
+
+    def test_frame_abort_on_backlog(self):
+        router, sim, config = small_router()
+        profile = MpegProfile(mean_rate_bps=600e6, frame_rate_hz=1000.0, sigma=0)
+        vc = router.open_connection(
+            1, 0, 1, BandwidthRequest(1, 2), service_class=ServiceClass.VBR,
+        )
+        # Router enforces budgets? disabled; contention comes from rate >
+        # link share anyway because frame_rate is extreme.
+        source = VbrSource(
+            sim, router, 1, 0, vc, profile, config, SeededRng(3, "vbr3")
+        )
+        source.abort_backlog_frames = 1.0
+        source.start()
+        sim.run(50000)
+        assert source.frames_aborted > 0
+
+
+class TestPacketSource:
+    def test_poisson_generation_and_delivery(self):
+        router, sim, config = small_router()
+        source = PacketSource(
+            sim, router, -1, 0, mean_interarrival_cycles=20.0,
+            rng=SeededRng(4, "be"), config=config,
+        )
+        source.start()
+        sim.run(2000)
+        assert source.packets_generated == pytest.approx(100, rel=0.5)
+        assert source.packets_injected == source.packets_generated
+
+    def test_validation(self):
+        router, sim, config = small_router()
+        with pytest.raises(ValueError):
+            PacketSource(sim, router, -1, 0, 0.0, SeededRng(1, "x"), config)
+        with pytest.raises(ValueError):
+            PacketSource(
+                sim, router, -1, 0, 5.0, SeededRng(1, "x"), config,
+                service_class=ServiceClass.CBR,
+            )
+
+    def test_control_class_cut_through(self):
+        router, sim, config = small_router()
+        source = PacketSource(
+            sim, router, -2, 0, mean_interarrival_cycles=50.0,
+            rng=SeededRng(5, "ctl"), config=config,
+            service_class=ServiceClass.CONTROL,
+        )
+        source.start()
+        sim.run(2000)
+        assert source.packets_injected > 0
+        assert router.stats.get_counter("immediate_cut_throughs") > 0
+
+    def test_make_control_word(self):
+        flit = make_control_word(7, ControlCommand.SET_PRIORITY, 3, now=10)
+        assert flit.connection_id == 7
+        assert flit.command is ControlCommand.SET_PRIORITY
+        assert flit.argument == 3
+        assert flit.is_tail
+
+
+class TestLoadPlanner:
+    def config(self):
+        return RouterConfig(num_ports=8, vcs_per_port=256)
+
+    def test_reaches_target_load(self):
+        planner = LoadPlanner(self.config(), SeededRng(1, "plan"))
+        plan = planner.plan(0.7)
+        assert plan.offered_load == pytest.approx(0.7, abs=0.02)
+
+    def test_rejects_bad_target(self):
+        planner = LoadPlanner(self.config(), SeededRng(1, "plan"))
+        with pytest.raises(ValueError):
+            planner.plan(0.0)
+        with pytest.raises(ValueError):
+            planner.plan(1.5)
+
+    def test_rejects_empty_rate_set(self):
+        with pytest.raises(ValueError):
+            LoadPlanner(self.config(), SeededRng(1, "x"), rate_set=())
+
+    def test_offered_load_of(self):
+        config = self.config()
+        specs = [ConnectionSpec(0, 0, 0, config.link_rate_bps)]
+        assert offered_load_of(specs, config) == pytest.approx(1 / 8)
+
+    def test_deterministic_given_seed(self):
+        a = LoadPlanner(self.config(), SeededRng(2, "p")).plan(0.5)
+        b = LoadPlanner(self.config(), SeededRng(2, "p")).plan(0.5)
+        assert a.specs == b.specs
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 200), st.sampled_from([0.3, 0.6, 0.9, 0.95]))
+    def test_plans_always_admissible(self, seed, load):
+        """Every planned connection must pass the router's real admission
+        (the planner and the admission registers share their arithmetic)."""
+        config = self.config()
+        planner = LoadPlanner(config, SeededRng(seed, "adm"))
+        plan = planner.plan(load)
+        assert plan.offered_load <= load + 0.01
+        sim = Simulator()
+        router = Router(config, BiasedPriority(), GreedyPriorityScheduler(), sim)
+        for spec in plan.specs:
+            request = BandwidthRequest(config.rate_to_cycles_per_round(spec.rate_bps))
+            vc = router.open_connection(
+                spec.connection_id, spec.input_port, spec.output_port, request
+            )
+            assert vc is not None, f"admission refused planned {spec}"
+
+    def test_high_load_reachable(self):
+        planner = LoadPlanner(self.config(), SeededRng(3, "hi"))
+        plan = planner.plan(0.95)
+        assert plan.offered_load >= 0.92

@@ -1,0 +1,176 @@
+"""Tests for the interleaved virtual channel memory (paper §3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vcm import AddressGenerator, VcmGeometry, VirtualChannelMemory
+
+
+def geometry(num_vcs=4, flits_per_vc=4, phits_per_flit=8, num_modules=8):
+    return VcmGeometry(num_vcs, flits_per_vc, phits_per_flit, num_modules)
+
+
+class TestGeometry:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vcs": 0},
+            {"flits_per_vc": 0},
+            {"phits_per_flit": 0},
+            {"num_modules": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(num_vcs=4, flits_per_vc=4, phits_per_flit=8, num_modules=8)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            VcmGeometry(**base)
+
+    def test_capacity(self):
+        g = geometry()
+        assert g.total_flit_capacity == 16
+        assert g.words_per_module == 16  # 4*4*8 / 8
+
+    def test_words_per_module_rounds_up(self):
+        g = geometry(num_vcs=1, flits_per_vc=1, phits_per_flit=3, num_modules=2)
+        assert g.words_per_module == 2
+
+
+class TestAddressGenerator:
+    def test_low_order_interleaving(self):
+        gen = AddressGenerator(geometry())
+        # Consecutive phits of a flit land in consecutive modules.
+        modules = gen.modules_for_flit(0, 0)
+        assert modules == list(range(8))
+
+    def test_same_vc_adjacent_slots(self):
+        gen = AddressGenerator(geometry())
+        idx_a = gen.linear_index(1, 0, 7)
+        idx_b = gen.linear_index(1, 1, 0)
+        assert idx_b == idx_a + 1
+
+    def test_bounds_checked(self):
+        gen = AddressGenerator(geometry())
+        with pytest.raises(IndexError):
+            gen.linear_index(4, 0, 0)
+        with pytest.raises(IndexError):
+            gen.linear_index(0, 4, 0)
+        with pytest.raises(IndexError):
+            gen.linear_index(0, 0, 8)
+
+    @given(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.integers(0, 7),
+    )
+    def test_mapping_is_injective(self, vc, slot, phit):
+        gen = AddressGenerator(geometry())
+        seen = {}
+        for v in range(4):
+            for s in range(4):
+                for p in range(8):
+                    key = gen.map(v, s, p)
+                    assert key not in seen, f"collision at {key}"
+                    seen[key] = (v, s, p)
+        assert gen.map(vc, slot, phit) in seen
+
+    def test_mapping_with_odd_module_count(self):
+        g = geometry(num_modules=3)
+        gen = AddressGenerator(g)
+        seen = set()
+        for v in range(4):
+            for s in range(4):
+                for p in range(8):
+                    module, word = gen.map(v, s, p)
+                    assert 0 <= module < 3
+                    assert (module, word) not in seen
+                    seen.add((module, word))
+
+
+class TestVirtualChannelMemory:
+    def test_write_read_roundtrip(self):
+        vcm = VirtualChannelMemory(geometry())
+        vcm.write_flit(2, "payload")
+        assert vcm.occupancy(2) == 1
+        assert vcm.read_flit(2) == "payload"
+        assert vcm.is_empty(2)
+
+    def test_fifo_order_per_vc(self):
+        vcm = VirtualChannelMemory(geometry())
+        for i in range(4):
+            vcm.write_flit(1, f"flit{i}")
+        assert [vcm.read_flit(1) for _ in range(4)] == [
+            "flit0", "flit1", "flit2", "flit3"
+        ]
+
+    def test_vcs_are_independent(self):
+        vcm = VirtualChannelMemory(geometry())
+        vcm.write_flit(0, "a")
+        vcm.write_flit(3, "b")
+        assert vcm.read_flit(3) == "b"
+        assert vcm.read_flit(0) == "a"
+
+    def test_overflow_raises(self):
+        vcm = VirtualChannelMemory(geometry(flits_per_vc=2))
+        vcm.write_flit(0, "a")
+        vcm.write_flit(0, "b")
+        assert vcm.is_full(0)
+        with pytest.raises(RuntimeError):
+            vcm.write_flit(0, "c")
+
+    def test_underflow_raises(self):
+        vcm = VirtualChannelMemory(geometry())
+        with pytest.raises(RuntimeError):
+            vcm.read_flit(0)
+        with pytest.raises(RuntimeError):
+            vcm.peek_flit(0)
+
+    def test_peek_does_not_remove(self):
+        vcm = VirtualChannelMemory(geometry())
+        vcm.write_flit(1, "x")
+        assert vcm.peek_flit(1) == "x"
+        assert vcm.occupancy(1) == 1
+
+    def test_circular_slot_reuse(self):
+        vcm = VirtualChannelMemory(geometry(flits_per_vc=2))
+        for i in range(10):
+            vcm.write_flit(0, i)
+            assert vcm.read_flit(0) == i
+
+    def test_total_occupancy(self):
+        vcm = VirtualChannelMemory(geometry())
+        vcm.write_flit(0, "a")
+        vcm.write_flit(1, "b")
+        assert vcm.total_occupancy() == 2
+
+    def test_access_balance_perfect_when_aligned(self):
+        # phits_per_flit == num_modules: every flit touches every module.
+        vcm = VirtualChannelMemory(geometry())
+        for i in range(8):
+            vcm.write_flit(i % 4, i)
+        assert vcm.access_balance() == pytest.approx(1.0)
+
+    def test_access_balance_zero_before_use(self):
+        assert VirtualChannelMemory(geometry()).access_balance() == 0.0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)), max_size=60))
+    def test_matches_deque_model(self, ops):
+        """The VCM must behave exactly like per-VC FIFOs."""
+        from collections import deque
+
+        g = geometry(flits_per_vc=3)
+        vcm = VirtualChannelMemory(g)
+        model = [deque() for _ in range(4)]
+        counter = 0
+        for is_write, vc in ops:
+            if is_write:
+                if len(model[vc]) < 3:
+                    vcm.write_flit(vc, counter)
+                    model[vc].append(counter)
+                    counter += 1
+            else:
+                if model[vc]:
+                    assert vcm.read_flit(vc) == model[vc].popleft()
+        for vc in range(4):
+            assert vcm.occupancy(vc) == len(model[vc])

@@ -1,0 +1,130 @@
+"""Tests for the pipelined VCM timing model (§3.2 sizing rules)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.vcm import VcmGeometry
+from repro.core.vcm_timing import (
+    AccessTimeline,
+    VcmTimingConfig,
+    required_modules,
+    schedule_flit_stream,
+    sequential_flit_addresses,
+)
+
+
+def geometry(num_vcs=8, flits_per_vc=4, phits_per_flit=8, num_modules=8):
+    return VcmGeometry(num_vcs, flits_per_vc, phits_per_flit, num_modules)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VcmTimingConfig(geometry(), access_phit_times=0.0)
+        with pytest.raises(ValueError):
+            VcmTimingConfig(geometry(), access_phit_times=1.0, pipeline_depth=0)
+
+    def test_throughput_arithmetic(self):
+        config = VcmTimingConfig(geometry(num_modules=4), access_phit_times=2.0)
+        assert config.module_throughput == pytest.approx(0.5)
+        assert config.array_throughput == pytest.approx(2.0)
+        assert config.sustains_link_rate
+
+    def test_pipelining_multiplies_throughput(self):
+        slow = VcmTimingConfig(geometry(num_modules=2), access_phit_times=4.0)
+        piped = VcmTimingConfig(
+            geometry(num_modules=2), access_phit_times=4.0, pipeline_depth=2
+        )
+        assert not slow.sustains_link_rate
+        assert piped.sustains_link_rate
+
+
+class TestScheduling:
+    def test_balanced_array_keeps_up(self):
+        # 8 modules, 4-phit-time access: array throughput 2x link rate.
+        config = VcmTimingConfig(geometry(), access_phit_times=4.0)
+        addresses = sequential_flit_addresses(config.geometry, 32)
+        timeline = schedule_flit_stream(config, addresses)
+        assert timeline.conflicts == 0
+        assert timeline.slowdown <= 1.1  # last access drains shortly after
+
+    def test_underprovisioned_array_conflicts(self):
+        # 2 modules, 4-phit-time access: array sustains only 0.5x link.
+        config = VcmTimingConfig(geometry(num_modules=2), access_phit_times=4.0)
+        addresses = sequential_flit_addresses(config.geometry, 32)
+        timeline = schedule_flit_stream(config, addresses)
+        assert timeline.conflicts > 0
+        assert timeline.slowdown > 1.5
+
+    def test_pipelining_removes_conflicts(self):
+        base = VcmTimingConfig(geometry(num_modules=2), access_phit_times=4.0)
+        piped = VcmTimingConfig(
+            geometry(num_modules=2), access_phit_times=4.0, pipeline_depth=4
+        )
+        addresses = sequential_flit_addresses(base.geometry, 32)
+        assert schedule_flit_stream(base, addresses).conflicts > 0
+        assert schedule_flit_stream(piped, addresses).conflicts == 0
+
+    def test_accesses_counted(self):
+        config = VcmTimingConfig(geometry(), access_phit_times=1.0)
+        addresses = sequential_flit_addresses(config.geometry, 5)
+        timeline = schedule_flit_stream(config, addresses)
+        assert timeline.accesses == 5 * 8
+
+    def test_empty_stream(self):
+        config = VcmTimingConfig(geometry(), access_phit_times=1.0)
+        timeline = schedule_flit_stream(config, [])
+        assert timeline.accesses == 0
+        assert timeline.slowdown == 0.0
+
+    @settings(max_examples=25)
+    @given(
+        st.integers(1, 4),  # modules (as power fraction of phits)
+        st.floats(0.5, 6.0),
+        st.integers(1, 3),
+    )
+    def test_sufficient_arrays_never_slow_down_much(
+        self, modules, access, depth
+    ):
+        """Whenever the closed-form throughput says the array keeps up,
+        the cycle-accurate schedule agrees (no unbounded slowdown)."""
+        g = geometry(num_modules=modules * 2, phits_per_flit=8)
+        config = VcmTimingConfig(g, access_phit_times=access, pipeline_depth=depth)
+        addresses = sequential_flit_addresses(g, 24)
+        timeline = schedule_flit_stream(config, addresses)
+        if config.sustains_link_rate:
+            assert timeline.slowdown <= 1.0 + access / timeline.accesses + 0.2
+
+
+class TestRequiredModules:
+    def test_exact_division(self):
+        assert required_modules(4.0) == 4
+        assert required_modules(4.0, pipeline_depth=2) == 2
+
+    def test_rounds_up(self):
+        assert required_modules(4.5) == 5
+
+    def test_fast_memory_needs_one(self):
+        assert required_modules(0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_modules(0.0)
+        with pytest.raises(ValueError):
+            required_modules(4.0, pipeline_depth=0)
+
+    def test_sized_array_sustains_link(self):
+        for access in (1.0, 2.5, 7.0):
+            modules = required_modules(access)
+            config = VcmTimingConfig(
+                geometry(num_modules=modules), access_phit_times=access
+            )
+            assert config.sustains_link_rate
+
+    def test_paper_configuration_is_feasible(self):
+        """The paper's numbers: 16-bit phits on 1.24 Gbps links arrive
+        every ~12.9 ns; 8 modules of typical late-90s embedded SRAM
+        (~40 ns access) sustain the link with headroom."""
+        phit_time_ns = 16 / 1.24e9 * 1e9
+        access_phit_times = 40.0 / phit_time_ns
+        assert required_modules(access_phit_times) <= 8
