@@ -7,6 +7,8 @@ router cycle.  Useful for catching performance regressions in the
 simulation engine itself.
 """
 
+import pytest
+
 from repro.core.bandwidth import BandwidthRequest
 from repro.core.config import RouterConfig
 from repro.core.priority import BiasedPriority
@@ -14,6 +16,7 @@ from repro.core.router import Router
 from repro.core.status_vectors import BitVector, StatusBank
 from repro.core.switch_scheduler import GreedyPriorityScheduler
 from repro.core.vcm import VcmGeometry, VirtualChannelMemory
+from repro.harness.kernel_bench import build_cbr_scenario
 from repro.sim.engine import Simulator
 from repro.sim.events import EventQueue
 from repro.sim.rng import SeededRng
@@ -101,6 +104,26 @@ def test_router_cycles_per_second(benchmark):
             phase=rng.uniform(0, 20),
         )
         source.start()
+
+    def run_chunk():
+        sim.run(1000)
+        return router.stats.get_counter("flits_switched")
+
+    assert benchmark(run_chunk) > 0
+
+
+@pytest.mark.parametrize("kernel", ["legacy", "activity"])
+def test_kernel_before_after_light_load(benchmark, kernel):
+    """The before/after comparison behind ``scripts/perf_gate.py``.
+
+    One 124 Mbps CBR stream through the 8x8 router — the 10%-link-load
+    point where the activity kernel fast-forwards 80% of cycles.  The
+    ``legacy`` variant runs the seed kernel (every ticker ticks every
+    cycle); comparing the two benchmark medians reproduces the gated
+    speedup in ``BENCH_kernel.json``.
+    """
+    sim, router = build_cbr_scenario(kernel == "activity", connections=1)
+    assert sim.kernel == kernel
 
     def run_chunk():
         sim.run(1000)

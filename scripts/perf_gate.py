@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Kernel performance gate: identity first, then throughput.
+
+Checks two claims about the activity-driven simulation kernel against the
+legacy (seed) kernel and writes the evidence to ``BENCH_kernel.json`` so
+every future PR has a perf trajectory to regress against:
+
+1. **Identity** — on seeded runs the two kernels must be cycle-for-cycle
+   identical: same delivered flits with the same creation/departure
+   timestamps, same stats scalars, and (for the multihop check) the same
+   end-to-end delay/jitter statistics across an irregular 12-node network
+   with best-effort background traffic.
+2. **Throughput** — on the 10%-link-load CBR point (one 124 Mbps stream
+   through the 8x8 router, the operating point that isolates kernel
+   overhead) the activity kernel must be at least ``--min-speedup`` times
+   faster in simulated cycles per wall second.  The fully loaded variant
+   (124 Mbps on every input port) is also measured and reported, gate
+   free: with every port busy there is nothing to skip, so it documents
+   the transparency cost of the activity machinery instead.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/perf_gate.py
+
+Exits non-zero when an identity check fails or the gated speedup falls
+below the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.kernel_bench import (  # noqa: E402
+    measure_cycles_per_second,
+    run_identity_check,
+)
+from repro.harness.network_experiment import (  # noqa: E402
+    NetworkExperimentSpec,
+    run_network_experiment,
+)
+
+
+def multihop_identity(seed: int = 11) -> dict:
+    """Compare end-to-end QoS statistics across kernels on a network run."""
+    summaries = {}
+    for mode in (False, True):
+        spec = NetworkExperimentSpec(
+            target_link_load=0.3,
+            best_effort_rate=0.5,
+            warmup_cycles=2000,
+            measure_cycles=8000,
+            seed=seed,
+            allow_fast_forward=mode,
+        )
+        result = run_network_experiment(spec)
+        summaries[mode] = {
+            "streams": result.streams,
+            "attempts": result.attempts,
+            "mean_hops": result.mean_hops,
+            "delay_count": result.delay_cycles.count,
+            "delay_mean": result.delay_cycles.mean,
+            "delay_min": result.delay_cycles.minimum,
+            "delay_max": result.delay_cycles.maximum,
+            "jitter_count": result.jitter_cycles.count,
+            "jitter_mean": result.jitter_cycles.mean,
+            "by_hops": {str(k): v for k, v in result.by_hops.items()},
+            "best_effort_delivered": result.best_effort_delivered,
+        }
+    return {
+        "identical": summaries[False] == summaries[True],
+        "seed": seed,
+        "legacy": summaries[False],
+        "activity": summaries[True],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cycles", type=int, default=120_000,
+        help="simulated cycles per timing run (default 120000)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per kernel; best is reported (default 5)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="gate threshold on the 10%%-load point (default 3.0)",
+    )
+    parser.add_argument(
+        "--identity-cycles", type=int, default=60_000,
+        help="cycles for the single-router identity runs (default 60000)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_kernel.json",
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--skip-multihop", action="store_true",
+        help="skip the (slower) multihop identity check",
+    )
+    args = parser.parse_args(argv)
+    if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
+        parser.error("--cycles, --identity-cycles and --repeats must be positive")
+
+    failures = []
+
+    print("== identity: 8-stream single router ==")
+    router_identity = run_identity_check(8, args.identity_cycles)
+    print(
+        f"   flits={router_identity['flits_delivered']} "
+        f"identical={router_identity['identical']} "
+        f"ff={router_identity['fast_forwarded_fraction']:.1%}"
+    )
+    if not router_identity["identical"]:
+        failures.append("single-router identity")
+    if router_identity["legacy_fast_forwarded"] != 0:
+        failures.append("legacy kernel fast-forwarded")
+
+    network_identity = None
+    if not args.skip_multihop:
+        print("== identity: 12-node multihop network ==")
+        network_identity = multihop_identity()
+        print(
+            f"   streams={network_identity['legacy']['streams']} "
+            f"delay_count={network_identity['legacy']['delay_count']} "
+            f"identical={network_identity['identical']}"
+        )
+        if not network_identity["identical"]:
+            failures.append("multihop identity")
+
+    scenarios = {}
+    for name, connections, activity_cycle_factor in (
+        ("cbr_10pct_single_stream", 1, 5),
+        ("cbr_10pct_all_ports", 8, 1),
+    ):
+        print(f"== throughput: {name} ==")
+        # Both kernels are timed in steady state, so cycles/sec is a rate
+        # and the two runs need not simulate the same number of cycles.
+        # The activity kernel gets proportionally more cycles so each
+        # timed run covers comparable *wall time* — short runs are what
+        # machine-noise bursts distort most.
+        legacy = measure_cycles_per_second(
+            False, connections, args.cycles, args.repeats
+        )
+        activity = measure_cycles_per_second(
+            True, connections, args.cycles * activity_cycle_factor, args.repeats
+        )
+        speedup = activity["cycles_per_sec"] / legacy["cycles_per_sec"]
+        scenarios[name] = {
+            "connections": connections,
+            "legacy": legacy,
+            "activity": activity,
+            "speedup": speedup,
+        }
+        print(
+            f"   legacy={legacy['cycles_per_sec']:,.0f} cyc/s  "
+            f"activity={activity['cycles_per_sec']:,.0f} cyc/s  "
+            f"speedup={speedup:.2f}x  "
+            f"ff={activity['fast_forwarded_fraction']:.1%}"
+        )
+
+    gate_speedup = scenarios["cbr_10pct_single_stream"]["speedup"]
+    gate_passed = gate_speedup >= args.min_speedup
+    if not gate_passed:
+        failures.append(
+            f"speedup {gate_speedup:.2f}x below threshold {args.min_speedup}x"
+        )
+
+    report = {
+        "schema": "bench-kernel/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "identity": {
+            "single_router": router_identity,
+            "multihop": network_identity,
+        },
+        "gate": {
+            "scenario": "cbr_10pct_single_stream",
+            "min_speedup": args.min_speedup,
+            "speedup": round(gate_speedup, 3),
+            "passed": gate_passed,
+        },
+        "scenarios": scenarios,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    if failures:
+        print("FAIL: " + "; ".join(failures))
+        return 1
+    print(f"PASS: identity holds, {gate_speedup:.2f}x >= {args.min_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

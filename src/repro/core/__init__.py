@@ -35,7 +35,7 @@ from .priority import (
 )
 from .rau import ChannelMapping, ChannelMappingStore, MappingError, RoutingArbitrationUnit
 from .router import InputPort, Router
-from .status_vectors import BitVector, StatusBank
+from .status_vectors import ActivitySet, BitVector, StatusBank
 from .switch_scheduler import (
     DecScheduler,
     Grant,
@@ -99,6 +99,7 @@ __all__ = [
     "RoutingArbitrationUnit",
     "InputPort",
     "Router",
+    "ActivitySet",
     "BitVector",
     "StatusBank",
     "DecScheduler",

@@ -59,6 +59,30 @@ class MultiplexedCrossbar:
             self.reconfigurations += 1
         self._input_to_output = dict(matching)
 
+    def install(self, matching: Dict[int, int]) -> None:
+        """Install a pre-validated matching, taking ownership of the dict.
+
+        The router's tick path uses this for grant sets that already
+        passed ``validate_grants`` (or came from a scheduler that
+        guarantees the matching property): it skips the per-port checks
+        and the defensive copy of :meth:`configure` but keeps the
+        reconfiguration count exact.  Callers must not mutate
+        ``matching`` afterwards.
+        """
+        if matching != self._input_to_output:
+            self.reconfigurations += 1
+            self._input_to_output = matching
+
+    def teardown(self) -> None:
+        """Drop the configuration; counts one reconfiguration if one was set.
+
+        Equivalent to ``configure({})`` without the empty-matching
+        validation — the hot path for a router going idle.
+        """
+        if self._input_to_output:
+            self.reconfigurations += 1
+            self._input_to_output = {}
+
     def output_for(self, in_port: int) -> Optional[int]:
         """Output currently connected to ``in_port`` (None when idle)."""
         self._check_port(in_port)
@@ -66,7 +90,7 @@ class MultiplexedCrossbar:
 
     def transmit(self, in_port: int) -> int:
         """Move one flit from ``in_port``; returns the output port used."""
-        out_port = self.output_for(in_port)
+        out_port = self._input_to_output.get(in_port)
         if out_port is None:
             raise CrossbarError(f"input port {in_port} is not configured")
         self.flits_switched += 1

@@ -49,7 +49,7 @@ class ControlCommand(enum.Enum):
     LIMIT_INJECTION = "limit_injection"  # throttle the source
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control digit.
 
@@ -62,7 +62,7 @@ class Flit:
     flit_type: FlitType
     connection_id: int = -1
     created: int = 0
-    flit_id: int = field(default_factory=lambda: next(_flit_ids))
+    flit_id: int = field(default_factory=_flit_ids.__next__)
     # Set by the router as the flit moves through it.
     ready_time: Optional[int] = None
     depart_time: Optional[int] = None

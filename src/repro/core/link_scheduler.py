@@ -21,8 +21,7 @@ Round-based accounting implements the paper's QoS discipline:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, NamedTuple, Optional, Sequence
 
 from ..sim.rng import SeededRng
 from .config import RouterConfig
@@ -36,8 +35,7 @@ from .virtual_channel import ServiceClass, VirtualChannel
 VBR_EXCESS_OFFSET = -1e9
 
 
-@dataclass(frozen=True)
-class Candidate:
+class Candidate(NamedTuple):
     """One virtual channel offered to the switch scheduler this cycle."""
 
     priority: float
@@ -100,13 +98,20 @@ class LinkScheduler:
         self.cycles_with_candidates = 0
         # Rotating-scan start pointer (the hardware round-robin encoder).
         self._scan_pointer = 0
+        # Hot-path handles: candidate selection and round accounting run
+        # every busy cycle, so resolve the status vectors once.
+        self._flits_available = status.vector("flits_available")
+        self._cbr_serviced = status.vector("cbr_bandwidth_serviced")
+        self._vbr_serviced = status.vector("vbr_bandwidth_serviced")
+        self._connection_active = status.vector("connection_active")
+        self._candidate_limit = config.candidates
 
     # ----- round accounting --------------------------------------------------
 
     def on_round_boundary(self) -> None:
         """Reset per-round serviced counters and the serviced bit vectors."""
-        serviced_cbr = self.status.vector("cbr_bandwidth_serviced")
-        serviced_vbr = self.status.vector("vbr_bandwidth_serviced")
+        serviced_cbr = self._cbr_serviced
+        serviced_vbr = self._vbr_serviced
         for vc_index in serviced_cbr.indices():
             self.vcs[vc_index].serviced_this_round = 0
         for vc_index in serviced_vbr.indices():
@@ -114,7 +119,7 @@ class LinkScheduler:
         serviced_cbr.clear_all()
         serviced_vbr.clear_all()
         # VCs partially serviced (bit not set) also reset.
-        for vc_index in self.status.vector("connection_active").indices():
+        for vc_index in self._connection_active.indices():
             self.vcs[vc_index].serviced_this_round = 0
 
     def on_flit_serviced(self, vc: VirtualChannel) -> None:
@@ -122,10 +127,10 @@ class LinkScheduler:
         vc.serviced_this_round += 1
         if vc.service_class is ServiceClass.CBR:
             if vc.allocated_cycles and vc.serviced_this_round >= vc.allocated_cycles:
-                self.status.vector("cbr_bandwidth_serviced").set(vc.index)
+                self._cbr_serviced.set(vc.index)
         elif vc.service_class is ServiceClass.VBR:
             if vc.peak_cycles and vc.serviced_this_round >= vc.peak_cycles:
-                self.status.vector("vbr_bandwidth_serviced").set(vc.index)
+                self._vbr_serviced.set(vc.index)
 
     # ----- candidate selection -----------------------------------------------
 
@@ -162,10 +167,9 @@ class LinkScheduler:
     def candidates(self, now: int, limit: Optional[int] = None) -> List[Candidate]:
         """The candidate set offered to the switch scheduler this cycle."""
         if limit is None:
-            limit = self.config.candidates
+            limit = self._candidate_limit
         pool: List[Candidate] = []
-        flits_available = self.status.vector("flits_available")
-        for vc_index in flits_available.indices():
+        for vc_index in self._flits_available.indices():
             vc = self.vcs[vc_index]
             flit = vc.head()
             if flit is None:
@@ -186,7 +190,11 @@ class LinkScheduler:
             pool.append(Candidate(priority, self.port, vc_index, vc.output_port))
         if not pool:
             return []
-        if self.selection == "random":
+        if len(pool) == 1 and self.selection == "priority":
+            # Nothing to order or rotate; a one-flit port is the common
+            # case at light load.
+            chosen = pool
+        elif self.selection == "random":
             chosen = (
                 self.rng.sample(pool, limit) if len(pool) > limit else list(pool)
             )
@@ -220,19 +228,23 @@ class LinkScheduler:
         returned list is priority-sorted because downstream consumers
         (the perfect switch, greedy arbitration) treat earlier entries as
         preferred.
+
+        The pointer advances on *every* scan, including when the whole
+        pool fits within ``limit`` — a hardware rotating encoder steps
+        regardless of how many requests it saw.  (It previously advanced
+        only on oversubscribed scans, so after a quiet spell the scan
+        resumed from a stale pointer and re-favoured the same low-index
+        VCs.)
         """
-        if len(pool) > limit:
-            # Pool is built in ascending vc_index order; rotate it so the
-            # scan starts at the pointer, then take the first ``limit``.
-            start = 0
-            for i, candidate in enumerate(pool):
-                if candidate.vc_index >= self._scan_pointer:
-                    start = i
-                    break
-            rotated = pool[start:] + pool[:start]
-            chosen = rotated[:limit]
-            self._scan_pointer = (chosen[-1].vc_index + 1) % self.config.vcs_per_port
-        else:
-            chosen = list(pool)
+        # Pool is built in ascending vc_index order; rotate it so the
+        # scan starts at the pointer, then take the first ``limit``.
+        start = 0
+        for i, candidate in enumerate(pool):
+            if candidate.vc_index >= self._scan_pointer:
+                start = i
+                break
+        rotated = pool[start:] + pool[:start]
+        chosen = rotated[:limit]
+        self._scan_pointer = (chosen[-1].vc_index + 1) % self.config.vcs_per_port
         chosen.sort(key=Candidate.sort_key)
         return chosen

@@ -25,12 +25,12 @@ from .admission import AdmissionController
 from .bandwidth import BandwidthRequest
 from .config import RouterConfig
 from .crossbar import MultiplexedCrossbar, PerfectSwitch
-from .flit import Flit, FlitType
+from .flit import IMMEDIATE_TYPES, Flit, FlitType
 from .flow_control import LinkFlowControl
 from .link_scheduler import LinkScheduler
 from .priority import PriorityScheme
 from .rau import RoutingArbitrationUnit
-from .status_vectors import StatusBank
+from .status_vectors import ActivitySet, StatusBank
 from .switch_scheduler import (
     Grant,
     PerfectSwitchScheduler,
@@ -38,6 +38,9 @@ from .switch_scheduler import (
     validate_grants,
 )
 from .virtual_channel import ServiceClass, VirtualChannel
+
+# Service classes whose packets release their VC at the tail flit (§3.4).
+_PACKET_CLASSES = frozenset((ServiceClass.CONTROL, ServiceClass.BEST_EFFORT))
 
 # Handler invoked when a flit leaves through an output port:
 # handler(flit, output_vc).  None means the port drains to a sink.
@@ -148,7 +151,39 @@ class Router:
         # Outputs/inputs consumed by asynchronous VCT cut-through during the
         # current flit cycle (§3.4): busy for the next arbitration.
         self._immediate_busy_outputs = set()
-        self.sim.add_ticker(self.tick)
+        # Activity published to the kernel: one bit per input port (flits
+        # buffered), one for a cut-through in flight, one while the
+        # crossbar still holds a configuration (it must be torn down by a
+        # tick before the router can go idle).
+        self._act_immediate = config.num_ports
+        self._act_crossbar = config.num_ports + 1
+        self.activity = ActivitySet(config.num_ports + 2)
+        self._flits_available = [
+            port.status.vector("flits_available") for port in self.input_ports
+        ]
+        self._input_buffer_full = [
+            port.status.vector("input_buffer_full") for port in self.input_ports
+        ]
+        # Hot-path caches: the tick/transmit/deliver pipeline runs hundreds
+        # of thousands of times per experiment.
+        self._round_length = config.round_length
+        self._port_mask = (1 << config.num_ports) - 1
+        self._output_flit_keys = [
+            f"output{p}_flits" for p in range(config.num_ports)
+        ]
+        # Candidate lists are never mutated by schedulers, so idle ports
+        # can all share one empty list; busy cycles start from a copy of
+        # the all-idle template and fill in only the active ports.
+        self._no_candidates: List = []
+        self._no_candidate_lists: List[List] = [
+            self._no_candidates for _ in range(config.num_ports)
+        ]
+        # The legacy (seed) kernel polls every port every cycle; the
+        # activity kernel polls only ports whose activity bit is set.
+        self._legacy_kernel = not sim.allow_fast_forward
+        self.sim.add_ticker(
+            self.tick, activity=self.activity, on_skip=self.account_idle_cycles
+        )
 
     # ----- wiring ------------------------------------------------------------
 
@@ -332,25 +367,29 @@ class Router:
         credit returns.  Control-class flits attempt asynchronous VCT
         cut-through first (§3.4).
         """
-        port = self.input_ports[input_port]
-        vc = port.vcs[vc_index]
-        if flit.is_immediate and self._try_immediate_cut_through(input_port, vc, flit):
+        vc = self.input_ports[input_port].vcs[vc_index]
+        if flit.flit_type in IMMEDIATE_TYPES and self._try_immediate_cut_through(
+            input_port, vc, flit
+        ):
             return True
         if vc.is_full:
-            port.status.vector("input_buffer_full").set(vc_index)
+            self._input_buffer_full[input_port].set(vc_index)
             self.stats.counter("inject_blocked")
             return False
         vc.enqueue(flit, self.sim.now)
-        self.tracer.record(
-            self.sim.now,
-            "inject",
-            f"port {input_port} vc {vc_index}",
-            connection_id=flit.connection_id,
-            flit_id=flit.flit_id,
-        )
-        port.status.vector("flits_available").set(vc_index)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(
+                self.sim.now,
+                "inject",
+                f"port {input_port} vc {vc_index}",
+                connection_id=flit.connection_id,
+                flit_id=flit.flit_id,
+            )
+        self._flits_available[input_port].set(vc_index)
+        self.activity.set(input_port)
         if vc.is_full:
-            port.status.vector("input_buffer_full").set(vc_index)
+            self._input_buffer_full[input_port].set(vc_index)
         return True
 
     def _try_immediate_cut_through(
@@ -379,82 +418,168 @@ class Router:
         flit.ready_time = self.sim.now
         self._deliver(flit, vc, output_port, depart_time=self.sim.now)
         self._immediate_busy_outputs.add(output_port)
+        self.activity.set(self._act_immediate)
         self.rau.immediate_forwards += 1
         self.stats.counter("immediate_cut_throughs")
-        self.tracer.record(
-            self.sim.now,
-            "cutthrough",
-            f"port {input_port} -> {output_port}",
-            connection_id=flit.connection_id,
-            flit_id=flit.flit_id,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now,
+                "cutthrough",
+                f"port {input_port} -> {output_port}",
+                connection_id=flit.connection_id,
+                flit_id=flit.flit_id,
+            )
         return True
 
     def tick(self, cycle: int) -> None:
-        """One flit cycle: schedule, reconfigure, transmit, account."""
-        candidate_lists = []
-        for scheduler in self.link_schedulers:
-            candidates = scheduler.candidates(cycle)
-            if self._immediate_busy_outputs:
-                candidates = [
-                    c
-                    for c in candidates
-                    if c.output_port not in self._immediate_busy_outputs
-                ]
-            candidate_lists.append(candidates)
-        grants = self.switch_scheduler.schedule(candidate_lists, cycle)
-        if self.checked:
-            validate_grants(
-                grants,
-                self.config.num_ports,
-                self.switch_scheduler.output_concurrency,
-            )
-        self.crossbar.configure(
-            {grant.input_port: grant.output_port for grant in grants}
-        )
-        for grant in grants:
-            self._transmit(grant, cycle)
+        """One flit cycle: schedule, reconfigure, transmit, account.
+
+        Under the legacy (seed) kernel every link scheduler is polled every
+        cycle, exactly as the seed engine did.  Under the activity kernel
+        the per-port activity bits — which mirror ``flits_available`` —
+        gate the polling: an idle port contributes an empty candidate set
+        either way, so the short-circuit is behaviour-preserving.  A cycle
+        with no buffered flits and no cut-through anywhere skips switch
+        scheduling entirely (the schedulers grant nothing and draw no
+        random state on all-empty candidate sets); only the crossbar
+        teardown and the cycle accounting remain.
+        """
+        activity = self.activity
+        busy_outputs = self._immediate_busy_outputs
+        port_bits = activity.as_int() & self._port_mask
+        if self._legacy_kernel or port_bits or busy_outputs:
+            if self._legacy_kernel:
+                candidate_lists = []
+                for scheduler in self.link_schedulers:
+                    candidates = scheduler.candidates(cycle)
+                    if busy_outputs:
+                        candidates = [
+                            c
+                            for c in candidates
+                            if c.output_port not in busy_outputs
+                        ]
+                    candidate_lists.append(candidates)
+            else:
+                candidate_lists = self._no_candidate_lists.copy()
+                bits = port_bits
+                while bits:
+                    low = bits & -bits
+                    bits ^= low
+                    port = low.bit_length() - 1
+                    candidates = self.link_schedulers[port].candidates(cycle)
+                    if busy_outputs:
+                        candidates = [
+                            c
+                            for c in candidates
+                            if c.output_port not in busy_outputs
+                        ]
+                    candidate_lists[port] = candidates
+            grants = self.switch_scheduler.schedule(candidate_lists, cycle)
+            if self.checked:
+                validate_grants(
+                    grants,
+                    self.config.num_ports,
+                    self.switch_scheduler.output_concurrency,
+                )
+            if grants:
+                # The grant set satisfies the matching property by
+                # construction (and validate_grants just proved it when
+                # checking is on), so skip configure()'s re-validation.
+                self.crossbar.install(
+                    {grant.input_port: grant.output_port for grant in grants}
+                )
+                for grant in grants:
+                    self._transmit(grant, cycle)
+                flits = len(grants)
+            else:
+                self.crossbar.configure({})
+                flits = 0
+        else:
+            self.crossbar.teardown()
+            flits = 0
         self.stats.counter("cycles")
-        self.stats.counter("flits_switched", len(grants))
-        self._immediate_busy_outputs.clear()
-        if (cycle + 1) % self.config.round_length == 0:
+        self.stats.counter("flits_switched", flits)
+        if busy_outputs:
+            busy_outputs.clear()
+            activity.clear(self._act_immediate)
+        # Keep the router active while the crossbar holds a configuration:
+        # the tick after the last transmission tears it down (and counts
+        # the reconfiguration) exactly as the always-ticking kernel did.
+        activity.assign(self._act_crossbar, flits != 0)
+        if (cycle + 1) % self._round_length == 0:
             for scheduler in self.link_schedulers:
                 scheduler.on_round_boundary()
-            self.tracer.record(cycle, "round", "round boundary")
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.record(cycle, "round", "round boundary")
+
+    def account_idle_cycles(self, start: int, count: int) -> None:
+        """Bookkeeping for cycles the kernel skipped this router's tick.
+
+        Called by the simulator (see ``Simulator.add_ticker``) for idle
+        cycles, either one at a time while other components stay busy or
+        in bulk when the whole simulation fast-forwards.  Replays exactly
+        what :meth:`tick` does on a cycle with no flits buffered: advance
+        the cycle counters and process any round boundary in the span
+        (resetting per-round service state is idempotent while no flit
+        moves, so the skipped boundaries collapse losslessly).
+        """
+        # Counter updates written out longhand: this runs once per skipped
+        # span, which at light load is once per flit period.
+        scalars = self.stats.scalars
+        scalars["cycles"] = scalars.get("cycles", 0.0) + count
+        scalars.setdefault("flits_switched", 0.0)
+        round_length = self._round_length
+        # Boundary cycles c satisfy (c + 1) % round_length == 0; find the
+        # first at or after ``start``, then stride.  Most skipped spans are
+        # shorter than a round and contain no boundary at all.
+        first = start + (round_length - 1 - start % round_length)
+        if first < start + count:
+            for cycle in range(first, start + count, round_length):
+                for scheduler in self.link_schedulers:
+                    scheduler.on_round_boundary()
+                if self.tracer.enabled:
+                    self.tracer.record(cycle, "round", "round boundary")
 
     def _transmit(self, grant: Grant, cycle: int) -> None:
-        port = self.input_ports[grant.input_port]
-        vc = port.vcs[grant.vc_index]
-        self.crossbar.transmit(grant.input_port)
+        input_port = grant.input_port
+        vc_index = grant.vc_index
+        vc = self.input_ports[input_port].vcs[vc_index]
+        self.crossbar.transmit(input_port)
         flit = vc.dequeue(cycle + 1)
         if not vc.buffer:
-            port.status.vector("flits_available").clear(grant.vc_index)
-        port.status.vector("input_buffer_full").clear(grant.vc_index)
-        self.link_schedulers[grant.input_port].on_flit_serviced(vc)
-        handler = self.credit_return_handlers[grant.input_port]
+            flits_available = self._flits_available[input_port]
+            flits_available.clear(vc_index)
+            if not flits_available.any():
+                self.activity.clear(input_port)
+        self._input_buffer_full[input_port].clear(vc_index)
+        self.link_schedulers[input_port].on_flit_serviced(vc)
+        handler = self.credit_return_handlers[input_port]
         if handler is not None:
-            handler(grant.vc_index)
-        self._deliver(flit, vc, grant.output_port, depart_time=cycle + 1)
+            handler(vc_index)
+        self._deliver(flit, vc, grant.output_port, cycle + 1)
 
     def _deliver(
         self, flit: Flit, vc: VirtualChannel, output_port: int, depart_time: int
     ) -> None:
         flit.depart_time = depart_time
-        delay = flit.switch_delay()
-        self.tracer.record(
-            depart_time,
-            "deliver",
-            f"output {output_port} delay {delay}",
-            connection_id=flit.connection_id,
-            flit_id=flit.flit_id,
-        )
+        delay = depart_time - flit.created
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record(
+                depart_time,
+                "deliver",
+                f"output {output_port} delay {delay}",
+                connection_id=flit.connection_id,
+                flit_id=flit.flit_id,
+            )
         stats = self.connection_stats.get(flit.connection_id)
         if stats is not None:
             stats.record_flit(delay)
         self.stats.observe("switch_delay", delay)
         if self.delay_histogram is not None:
             self.delay_histogram.add(delay)
-        self.stats.counter(f"output{output_port}_flits")
+        self.stats.counter(self._output_flit_keys[output_port])
         output_vc = vc.output_vc
         if output_vc >= 0:
             self.output_flow[output_port].consume(output_vc)
@@ -463,7 +588,7 @@ class Router:
             handler(flit, output_vc)
         # VCT packets release their virtual channel once fully sent (§3.4).
         if (
-            vc.service_class in (ServiceClass.CONTROL, ServiceClass.BEST_EFFORT)
+            vc.service_class in _PACKET_CLASSES
             and flit.is_tail
             and not vc.buffer
             and vc.connection_id is not None
@@ -512,6 +637,8 @@ class Router:
         * ``input_buffer_full`` is only set on genuinely full VCs;
         * the free-VC pools mirror connection bindings;
         * ``connection_active`` matches bound VCs;
+        * the published activity bits mirror ``flits_available`` per port
+          (a desync here would let the kernel skip a busy router);
         * the RAU's direct/reverse stores are mirror images.
 
         Raises ``AssertionError`` on the first violation.
@@ -537,6 +664,9 @@ class Router:
                 assert (vc.index in port._free_vcs) == (not bound), (
                     f"{self.name}: free pool desync at {port.port}.{vc.index}"
                 )
+            assert self.activity.test(port.port) == status.vector(
+                "flits_available"
+            ).any(), f"{self.name}: activity bit desync at port {port.port}"
         self.rau.mappings.check_consistency()
 
     def utilisation(self) -> float:

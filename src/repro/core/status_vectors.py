@@ -33,12 +33,14 @@ class BitVector:
 
     def set(self, index: int) -> None:
         """Set bit ``index`` to 1."""
-        self._check(index)
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range [0, {self.width})")
         self._bits |= 1 << index
 
     def clear(self, index: int) -> None:
         """Set bit ``index`` to 0."""
-        self._check(index)
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range [0, {self.width})")
         self._bits &= ~(1 << index)
 
     def assign(self, index: int, value: bool) -> None:
@@ -50,7 +52,8 @@ class BitVector:
 
     def test(self, index: int) -> bool:
         """Read bit ``index``."""
-        self._check(index)
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range [0, {self.width})")
         return bool(self._bits >> index & 1)
 
     def _check(self, index: int) -> None:
@@ -131,13 +134,67 @@ class BitVector:
         return f"BitVector(width={self.width}, bits=0x{self._bits:x})"
 
 
+class ActivitySet:
+    """A component's activity bits, backed by a :class:`BitVector`.
+
+    The simulation kernel asks each ticker "do you have work this cycle?"
+    every flit cycle, so the answer must be O(1).  An ``ActivitySet`` gives
+    a component one bit per activity source (a port with flits buffered, a
+    pending crossbar teardown, an asynchronous cut-through in flight ...);
+    sources set and clear their bit as state changes, and ``active()`` is a
+    single integer test — the same trade of state for scheduling speed the
+    paper's status vectors make (§4.1).
+
+    Pass the set (or its bound ``active`` method) as the ``activity``
+    argument of :meth:`repro.sim.engine.Simulator.add_ticker`.
+    """
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, width: int) -> None:
+        self._bits = BitVector(width)
+
+    def set(self, index: int) -> None:
+        """Mark activity source ``index`` busy."""
+        self._bits.set(index)
+
+    def clear(self, index: int) -> None:
+        """Mark activity source ``index`` idle."""
+        self._bits.clear(index)
+
+    def assign(self, index: int, busy: bool) -> None:
+        """Set activity source ``index`` to ``busy``."""
+        self._bits.assign(index, busy)
+
+    def test(self, index: int) -> bool:
+        """Read activity source ``index``."""
+        return self._bits.test(index)
+
+    def active(self) -> bool:
+        """True while any activity source is busy (one integer test)."""
+        # Reaches through the BitVector: this is the kernel's per-ticker
+        # per-cycle poll, the single hottest call in the simulator.
+        return self._bits._bits != 0
+
+    def as_int(self) -> int:
+        """Raw mask of busy sources (for masked multi-bit reads)."""
+        return self._bits._bits
+
+    def __bool__(self) -> bool:
+        return self._bits._bits != 0
+
+    def __repr__(self) -> str:
+        return f"ActivitySet(width={self._bits.width}, bits=0x{self._bits.as_int():x})"
+
+
 class StatusBank:
     """The named status vectors associated with one physical link.
 
     The paper's examples include ``flits_available``, ``input_buffer_full``,
     ``CBR_service_requested``, ``CBR_bandwidth_serviced`` and
-    ``VBR_bandwidth_serviced``; arbitrary further conditions can be
-    registered.  All vectors in a bank share one width (the VC count).
+    ``VBR_bandwidth_serviced``; further conditions can be added with
+    :meth:`register`.  All vectors in a bank share one width (the VC
+    count).
     """
 
     STANDARD_VECTORS = (
@@ -160,7 +217,24 @@ class StatusBank:
         self._vectors["credits_available"].set_all()
 
     def vector(self, name: str) -> BitVector:
-        """Fetch (creating on first use) the vector called ``name``."""
+        """Fetch the vector called ``name``.
+
+        ``name`` must be a standard vector or one previously added with
+        :meth:`register`; unknown names raise ``KeyError``.  (Auto-creating
+        on first use turned every typo — ``"flit_available"`` for
+        ``"flits_available"`` — into a permanently empty vector that made
+        its condition silently unsatisfiable.)
+        """
+        try:
+            return self._vectors[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown status vector {name!r}; register it explicitly "
+                f"(known: {', '.join(sorted(self._vectors))})"
+            ) from None
+
+    def register(self, name: str) -> BitVector:
+        """Add (or fetch, when already present) a custom vector ``name``."""
         if name not in self._vectors:
             self._vectors[name] = BitVector(self.width)
         return self._vectors[name]

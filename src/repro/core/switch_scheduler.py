@@ -19,15 +19,13 @@ Three schedulers cover the evaluation:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from ..sim.rng import SeededRng
 from .link_scheduler import Candidate
 
 
-@dataclass(frozen=True)
-class Grant:
+class Grant(NamedTuple):
     """One scheduled transmission: input port, VC and output port."""
 
     input_port: int
@@ -75,6 +73,14 @@ class GreedyPriorityScheduler(SwitchScheduler):
         merged: List[Candidate] = []
         for candidates in candidate_lists:
             merged.extend(candidates)
+        if len(merged) == 1:
+            # One candidate can conflict with nothing: grant it outright.
+            # This is the common case at light load, where exactly one
+            # connection has a flit buffered in a given cycle.
+            candidate = merged[0]
+            return [
+                Grant(candidate.input_port, candidate.vc_index, candidate.output_port)
+            ]
         merged.sort(key=Candidate.sort_key)
         grants: List[Grant] = []
         inputs_used = set()

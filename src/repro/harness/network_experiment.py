@@ -40,6 +40,8 @@ class NetworkExperimentSpec:
     warmup_cycles: int = 5000
     measure_cycles: int = 20000
     seed: int = 1
+    # Kernel mode knob (see ExperimentSpec.allow_fast_forward).
+    allow_fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_link_load <= 1.0:
@@ -99,7 +101,7 @@ def run_network_experiment(
         round_factor=spec.round_factor,
         enforce_round_budgets=False,
     )
-    sim = Simulator()
+    sim = Simulator(allow_fast_forward=spec.allow_fast_forward)
     network = Network(
         topology,
         config,

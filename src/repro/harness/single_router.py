@@ -66,6 +66,10 @@ class ExperimentSpec:
     # Bins for the per-flit delay histogram (0 disables; enables p50/p99
     # tail reporting on the result).
     delay_histogram_bins: int = 0
+    # Kernel mode: False forces the pre-activity spin-every-cycle kernel.
+    # Results are cycle-for-cycle identical either way (the perf gate
+    # checks this); the knob exists for before/after benchmarking.
+    allow_fast_forward: bool = True
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -134,7 +138,7 @@ def run_single_router_experiment(
     """
     rng = SeededRng(spec.seed, "experiment")
     config = spec.config.with_(candidates=spec.candidates)
-    sim = Simulator()
+    sim = Simulator(allow_fast_forward=spec.allow_fast_forward)
     scheme = make_priority_scheme(spec.priority)
     switch_scheduler = build_switch_scheduler(spec, rng)
     selection = "random" if spec.scheduler == "dec" else spec.selection

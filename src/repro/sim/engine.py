@@ -1,10 +1,35 @@
-"""Hybrid cycle/event simulation engine.
+"""Activity-driven hybrid cycle/event simulation engine.
 
 The MMR is a synchronous machine internally (flit cycles), so the natural
 kernel is cycle-driven: components register a ``tick`` that runs once per
 flit cycle.  Traffic arrivals and timers are sparse, so they are handled by
-an event queue drained at the start of each cycle.  This hybrid keeps the
-per-cycle cost proportional to actual activity.
+an event queue drained at the start of each cycle.
+
+The paper's scheduling hardware keeps its cost proportional to *actual
+activity* via status bit vectors (§4.1); the kernel mirrors that.  A ticker
+may register an *activity predicate* — typically an
+:class:`~repro.core.status_vectors.ActivitySet` handle backed by the same
+``BitVector`` machinery as the status banks — and the simulator maintains a
+per-cycle active set:
+
+* a ticker whose predicate reports inactive is not invoked that cycle (its
+  cheap ``on_skip`` hook, when given, keeps its cycle accounting exact);
+* when *every* gated ticker is inactive and no event is due, ``run`` fast
+  forwards ``now`` directly to the next event time (or the end of the run)
+  instead of spinning empty cycles.
+
+Tickers registered without a predicate are assumed always-active, which
+preserves the original kernel's semantics (and disables fast-forward while
+any such ticker exists).
+
+``Simulator(allow_fast_forward=False)`` selects the **legacy kernel**: a
+faithful reproduction of the seed engine, which invokes every registered
+ticker on every cycle — no activity gating, no skip accounting, no
+fast-forward.  Components keep publishing activity (the bits are cheap)
+but the kernel ignores it, and they fall back to their original
+scan-everything code paths.  The perf gate uses the legacy kernel as the
+"before" measurement and checks the two kernels are cycle-for-cycle
+identical on seeded runs.
 """
 
 from __future__ import annotations
@@ -12,6 +37,27 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional
 
 from .events import Event, EventQueue
+
+#: An activity predicate: () -> bool, True when the ticker has work.
+ActivityPredicate = Callable[[], bool]
+#: Idle accounting hook: (first_skipped_cycle, count) -> None.
+SkipHook = Callable[[int, int], None]
+
+
+class _Ticker:
+    """One registered per-cycle callback and its activity wiring."""
+
+    __slots__ = ("tick", "active", "on_skip")
+
+    def __init__(
+        self,
+        tick: Callable[[int], None],
+        active: Optional[ActivityPredicate],
+        on_skip: Optional[SkipHook],
+    ) -> None:
+        self.tick = tick
+        self.active = active
+        self.on_skip = on_skip
 
 
 class Simulator:
@@ -23,19 +69,68 @@ class Simulator:
     flit size.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, allow_fast_forward: bool = True) -> None:
         self.now = 0
         self.events = EventQueue()
-        self._tickers: List[Callable[[int], None]] = []
+        #: True selects the activity-driven kernel; False the legacy
+        #: (seed) kernel that ticks every ticker every cycle.
+        self.allow_fast_forward = allow_fast_forward
+        #: Cycles skipped by fast-forward so far (reporting only).
+        self.fast_forwarded_cycles = 0
+        self._tickers: List[_Ticker] = []
+        self._all_gated = True
         self._stopped = False
+        self._in_tick_phase = False
+        # Flat views over self._tickers, maintained by add_ticker: the
+        # idle test and the fast-forward accounting run between every
+        # stepped cycle, so they should not re-filter the ticker list.
+        self._activity_predicates: List[ActivityPredicate] = []
+        self._skip_hooks: List[SkipHook] = []
 
-    def add_ticker(self, tick: Callable[[int], None]) -> None:
+    def add_ticker(
+        self,
+        tick: Callable[[int], None],
+        activity: Any = None,
+        on_skip: Optional[SkipHook] = None,
+    ) -> None:
         """Register a per-cycle callback ``tick(cycle)``.
 
         Tickers run in registration order every cycle, after same-cycle
         events have been drained.
+
+        ``activity`` gates the ticker: it may be a zero-argument callable
+        returning True while the ticker has work, or any object with an
+        ``active()`` method (such as an ``ActivitySet``).  When the
+        predicate reports inactive the ticker is skipped for that cycle and
+        ``on_skip(first_cycle, count)`` — if given — is invoked instead so
+        the component can account the idle cycles (counters, round
+        boundaries) without paying for a full tick.  ``on_skip`` also
+        covers spans elided by fast-forward, with ``count > 1``.
+
+        Omitting ``activity`` marks the ticker always-active; the kernel
+        then never skips it and never fast-forwards past it.
+
+        The legacy kernel (``allow_fast_forward=False``) ignores both
+        ``activity`` and ``on_skip`` and ticks every ticker every cycle.
         """
-        self._tickers.append(tick)
+        predicate: Optional[ActivityPredicate]
+        if activity is None:
+            predicate = None
+        elif callable(activity):
+            predicate = activity
+        elif hasattr(activity, "active"):
+            predicate = activity.active
+        else:
+            raise TypeError(
+                f"activity must be callable or have .active(), got {activity!r}"
+            )
+        self._tickers.append(_Ticker(tick, predicate, on_skip))
+        if predicate is None:
+            self._all_gated = False
+        else:
+            self._activity_predicates.append(predicate)
+        if on_skip is not None:
+            self._skip_hooks.append(on_skip)
 
     def schedule(
         self,
@@ -44,9 +139,22 @@ class Simulator:
         payload: Any = None,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``action`` to run ``delay`` cycles from now."""
+        """Schedule ``action`` to run ``delay`` cycles from now.
+
+        ``delay=0`` is legal from event context (the drain loop fires it in
+        the same cycle, before tickers) but **rejected from ticker
+        context**: the drain phase has already passed, so a zero-delay
+        event scheduled by a ticker would silently slip to the next cycle.
+        Rather than fire it late, the kernel raises ``ValueError`` —
+        schedule with ``delay=1`` to run at the start of the next cycle.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
+        if delay == 0 and self._in_tick_phase:
+            raise ValueError(
+                "delay=0 from ticker context would silently slip to the "
+                "next cycle; schedule with delay=1 instead"
+            )
         return self.events.push(self.now + delay, action, payload, priority)
 
     def schedule_at(
@@ -56,39 +164,102 @@ class Simulator:
         payload: Any = None,
         priority: int = 0,
     ) -> Event:
-        """Schedule ``action`` at absolute cycle ``time`` (>= now)."""
+        """Schedule ``action`` at absolute cycle ``time`` (>= now).
+
+        ``time == now`` carries the same ticker-context restriction as
+        ``schedule(0, ...)`` — see :meth:`schedule`.
+        """
         if time < self.now:
             raise ValueError(f"cannot schedule at {time}, now is {self.now}")
+        if time == self.now and self._in_tick_phase:
+            raise ValueError(
+                "scheduling at the current cycle from ticker context would "
+                "silently slip to the next cycle; use now+1 instead"
+            )
         return self.events.push(time, action, payload, priority)
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current cycle."""
         self._stopped = True
 
-    def _drain_events(self) -> None:
-        while self.events:
-            next_time = self.events.peek_time()
-            if next_time is None or next_time > self.now:
-                break
-            self.events.pop().fire()
+    @property
+    def kernel(self) -> str:
+        """The selected kernel: ``"activity"`` or ``"legacy"``."""
+        return "activity" if self.allow_fast_forward else "legacy"
 
     def step(self) -> None:
-        """Execute one cycle: due events first, then every ticker."""
-        self._drain_events()
-        for tick in self._tickers:
-            tick(self.now)
-        self.now += 1
+        """Execute one cycle: due events first, then the tickers.
+
+        Under the activity kernel, gated tickers whose activity predicate
+        reports False are skipped (their ``on_skip`` hook runs instead);
+        ungated tickers always run.  Under the legacy kernel every ticker
+        runs unconditionally, exactly as the seed engine did.
+        """
+        pop_due = self.events.pop_due
+        now = self.now
+        while True:
+            event = pop_due(now)
+            if event is None:
+                break
+            event.fire()
+        self._in_tick_phase = True
+        try:
+            if self.allow_fast_forward:
+                for ticker in self._tickers:
+                    active = ticker.active
+                    if active is None or active():
+                        ticker.tick(now)
+                    elif ticker.on_skip is not None:
+                        ticker.on_skip(now, 1)
+            else:
+                for ticker in self._tickers:
+                    ticker.tick(now)
+        finally:
+            self._in_tick_phase = False
+        self.now = now + 1
+
+    def _idle(self) -> bool:
+        """True when every ticker is gated and none reports activity."""
+        if not self._all_gated:
+            return False
+        for active in self._activity_predicates:
+            if active():
+                return False
+        return True
+
+    def _fast_forward(self, target: int) -> int:
+        """Jump ``now`` to ``target``, accounting the skip; returns cycles."""
+        now = self.now
+        skipped = target - now
+        for on_skip in self._skip_hooks:
+            on_skip(now, skipped)
+        self.now = target
+        self.fast_forwarded_cycles += skipped
+        return skipped
 
     def run(self, cycles: int) -> int:
-        """Run ``cycles`` cycles (or until :meth:`stop`); returns cycles run."""
+        """Run ``cycles`` cycles (or until :meth:`stop`); returns cycles run.
+
+        Cycles elided by fast-forward count as run: the simulation state at
+        return is cycle-for-cycle identical to stepping through them.
+        """
         if cycles < 0:
             raise ValueError(f"cannot run a negative number of cycles: {cycles}")
         self._stopped = False
+        end = self.now + cycles
         executed = 0
-        for _ in range(cycles):
-            if self._stopped:
-                break
-            self.step()
+        fast_forward = self.allow_fast_forward
+        idle = self._idle
+        peek_time = self.events.peek_time
+        step = self.step
+        while self.now < end and not self._stopped:
+            if fast_forward and idle():
+                next_time = peek_time()
+                target = end if next_time is None else min(int(next_time), end)
+                if target > self.now:
+                    executed += self._fast_forward(target)
+                    continue
+            step()
             executed += 1
         return executed
 

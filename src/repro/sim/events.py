@@ -43,12 +43,6 @@ class Event:
         else:
             self.action(self.payload)
 
-    def _key(self):
-        return (self.time, self.priority, self.sequence)
-
-    def __lt__(self, other: "Event") -> bool:
-        return self._key() < other._key()
-
     def __repr__(self) -> str:
         state = " cancelled" if self.cancelled else ""
         return f"Event(t={self.time}, prio={self.priority}{state})"
@@ -57,13 +51,19 @@ class Event:
 class EventQueue:
     """Binary-heap event queue with lazy cancellation.
 
+    Heap entries are ``(time, priority, sequence, event)`` tuples so that
+    ordering is resolved by native tuple comparison — the event object
+    itself is never compared.  The unique sequence number both provides
+    FIFO ordering among ties and guarantees the comparison never reaches
+    the event element.
+
     Cancelled events stay in the heap and are skipped on pop; this keeps
     cancellation O(1) at the cost of heap slack, which is the right trade
     for the simulator (cancellations are rare).
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -81,8 +81,9 @@ class EventQueue:
         priority: int = 0,
     ) -> Event:
         """Schedule ``action`` at ``time``; returns the event for cancellation."""
-        event = Event(time, action, payload, priority, next(self._counter))
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time, action, payload, priority, sequence)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         self._live += 1
         return event
 
@@ -94,18 +95,32 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None when empty."""
-        self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def pop(self) -> Event:
         """Remove and return the next live event."""
-        self._drop_cancelled()
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             raise IndexError("pop from empty EventQueue")
-        event = heapq.heappop(self._heap)
         self._live -= 1
-        return event
+        return heapq.heappop(heap)[3]
 
-    def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+    def pop_due(self, now: float) -> Optional[Event]:
+        """Pop the next live event at or before ``now``, or None.
+
+        The engine's drain loop calls this once per event instead of a
+        ``peek_time``/``pop`` pair — one cancelled-entry sweep, one heap
+        operation.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap or heap[0][0] > now:
+            return None
+        self._live -= 1
+        return heapq.heappop(heap)[3]

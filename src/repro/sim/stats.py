@@ -244,9 +244,10 @@ class StatsRegistry:
 
     def observe(self, name: str, value: float) -> None:
         """Fold a sample into the running series ``name``."""
-        if name not in self.series:
-            self.series[name] = RunningStats()
-        self.series[name].add(value)
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = RunningStats()
+        series.add(value)
 
     def get_counter(self, name: str) -> float:
         """Current value of a counter (0 when never incremented)."""

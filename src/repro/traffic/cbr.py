@@ -72,12 +72,30 @@ class CbrSource:
         )
         self.sequence += 1
         self.flits_generated += 1
-        self._pending.append(flit)
-        if len(self._pending) > self.max_interface_queue:
-            self.max_interface_queue = len(self._pending)
-        self._drain()
+        pending = self._pending
+        if not pending:
+            # Common case: no backlog, so try the VC directly and skip the
+            # interface queue round-trip.  The flit still "occupies" the
+            # queue for the attempt, so the high-water mark is at least 1.
+            if self.router.inject(self.input_port, self.vc_index, flit):
+                self.flits_injected += 1
+                if self.max_interface_queue < 1:
+                    self.max_interface_queue = 1
+            else:
+                pending.append(flit)
+                if self.max_interface_queue < 1:
+                    self.max_interface_queue = 1
+                self._schedule_retry()
+        else:
+            pending.append(flit)
+            if len(pending) > self.max_interface_queue:
+                self.max_interface_queue = len(pending)
+            self._drain()
         self._next_arrival += self.interarrival
-        self.sim.schedule_at(int(self._next_arrival), self._on_arrival)
+        # Straight to the event queue: the next arrival is always in the
+        # future, so schedule_at's guards can never fire, and this runs
+        # once per generated flit.
+        self.sim.events.push(int(self._next_arrival), self._on_arrival)
 
     def _drain(self) -> None:
         """Push pending flits into the input VC until it refuses one."""

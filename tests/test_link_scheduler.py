@@ -18,12 +18,14 @@ def build(
     selection="per_output",
     credit_ok=True,
     enforce_budgets=True,
+    vbr_excess_discipline="priority",
 ):
     config = RouterConfig(
         num_ports=4,
         vcs_per_port=num_vcs,
         candidates=candidates,
         enforce_round_budgets=enforce_budgets,
+        vbr_excess_discipline=vbr_excess_discipline,
     )
     vcs = [VirtualChannel(0, i, config.vc_buffer_flits) for i in range(num_vcs)]
     status = StatusBank(num_vcs)
@@ -141,6 +143,38 @@ class TestCandidateSelection:
         assert scheduler.candidates_offered == 1
         assert scheduler.cycles_with_candidates == 1
 
+    def test_rotating_pointer_advances_on_underfull_scans(self):
+        """Regression: the rotating pointer must advance even when the
+        eligible pool fits within the candidate limit.  It used to stay
+        put through a quiet spell, so the next oversubscribed scan
+        resumed from a stale pointer and re-favoured low-index VCs."""
+        scheduler, vcs, status = build(selection="rotating", candidates=1)
+        # Quiet spell: only VC 0 is eligible; each scan fits the limit.
+        activate(vcs, status, 0, output_port=0, created=0)
+        for t in range(3):
+            offered = scheduler.candidates(now=t + 1)
+            assert [c.vc_index for c in offered] == [0]
+        # Burst: VCs 0..3 all eligible.  A fair scan resumes past the VC
+        # serviced during the quiet spell instead of re-favouring VC 0.
+        for i in range(1, 4):
+            activate(vcs, status, i, output_port=0, created=0)
+        offered = scheduler.candidates(now=10)
+        assert [c.vc_index for c in offered] == [1]
+
+    def test_rotating_full_pool_scan_keeps_cycling(self):
+        """A scan that takes the whole pool wraps the full circle; the
+        next limited scan continues from where the wrap ended."""
+        scheduler, vcs, status = build(selection="rotating", candidates=8)
+        for i in range(4):
+            activate(vcs, status, i, output_port=0, created=0)
+        offered = scheduler.candidates(now=1)  # pool of 4 fits limit 8
+        assert {c.vc_index for c in offered} == {0, 1, 2, 3}
+        # Pointer wrapped past VC 3 back to 0; a limit-2 scan starts there.
+        offered = scheduler.candidates(now=2, limit=2)
+        assert {c.vc_index for c in offered} == {0, 1}
+        offered = scheduler.candidates(now=3, limit=2)
+        assert {c.vc_index for c in offered} == {2, 3}
+
 
 class TestRoundBudgets:
     def test_cbr_capped_at_allocation(self):
@@ -216,6 +250,123 @@ class TestRoundBudgets:
             scheduler.on_flit_serviced(vc)  # consume the permanent cycle
         offered = scheduler.candidates(now=3)
         assert [c.vc_index for c in offered] == [1, 0]
+
+
+class TestVbrRoundAccounting:
+    """Round accounting for VBR VCs across a round boundary (§4.3).
+
+    ``vbr_bandwidth_serviced`` is only set once a VC reaches its peak
+    allocation, and ``on_round_boundary`` resets serviced counters through
+    two partially overlapping paths (the serviced vectors and the
+    ``connection_active`` sweep); these pin the combined behaviour for
+    permanent-only, permanent->excess and peak-capped VCs under both
+    excess-service disciplines.
+    """
+
+    def _vbr(self, scheduler, vcs, status, index, *, permanent, peak,
+             static=0.5, output_port=0):
+        vc = activate(
+            vcs, status, index, output_port=output_port,
+            service=ServiceClass.VBR, static=static,
+        )
+        vc.permanent_cycles = permanent
+        vc.peak_cycles = peak
+        status.vector("vbr_service_requested").set(index)
+        return vc
+
+    @pytest.mark.parametrize("discipline", ["priority", "shared"])
+    def test_permanent_only_vc_stays_in_contract(self, discipline):
+        scheduler, vcs, status = build(
+            scheme=StaticConnectionPriority(), vbr_excess_discipline=discipline
+        )
+        vc = self._vbr(scheduler, vcs, status, 0, permanent=3, peak=5)
+        scheduler.on_flit_serviced(vc)
+        scheduler.on_flit_serviced(vc)  # 2 of 3 permanent cycles
+        offered = scheduler.candidates(now=1)
+        assert offered and offered[0].priority == pytest.approx(0.5)
+        assert not status.vector("vbr_bandwidth_serviced").test(0)
+        scheduler.on_round_boundary()
+        # Reset arrives via the connection_active sweep (no serviced bit).
+        assert vc.serviced_this_round == 0
+
+    @pytest.mark.parametrize("discipline,expected_offset", [
+        ("priority", VBR_EXCESS_OFFSET + 0.5e6),
+        ("shared", VBR_EXCESS_OFFSET),
+    ])
+    def test_excess_tier_resets_to_contract_at_boundary(
+        self, discipline, expected_offset
+    ):
+        scheduler, vcs, status = build(
+            scheme=StaticConnectionPriority(), vbr_excess_discipline=discipline
+        )
+        vc = self._vbr(scheduler, vcs, status, 0, permanent=1, peak=4)
+        scheduler.on_flit_serviced(vc)  # permanent consumed -> excess tier
+        excess = scheduler.candidates(now=1)[0]
+        assert excess.priority == pytest.approx(expected_offset + 0.5)
+        assert not status.vector("vbr_bandwidth_serviced").test(0)
+        scheduler.on_round_boundary()
+        assert vc.serviced_this_round == 0
+        back = scheduler.candidates(now=2)[0]
+        assert back.priority == pytest.approx(0.5)  # in-contract again
+
+    @pytest.mark.parametrize("discipline", ["priority", "shared"])
+    def test_peak_capped_vc_regains_service_after_boundary(self, discipline):
+        scheduler, vcs, status = build(
+            scheme=StaticConnectionPriority(), vbr_excess_discipline=discipline
+        )
+        vc = self._vbr(scheduler, vcs, status, 0, permanent=1, peak=2)
+        scheduler.on_flit_serviced(vc)
+        scheduler.on_flit_serviced(vc)  # hits the peak cap
+        assert status.vector("vbr_bandwidth_serviced").test(0)
+        assert scheduler.candidates(now=1) == []
+        scheduler.on_round_boundary()
+        # The VC is reset exactly once despite matching both reset paths
+        # (serviced vector AND connection_active sweep).
+        assert vc.serviced_this_round == 0
+        assert not status.vector("vbr_bandwidth_serviced").test(0)
+        offered = scheduler.candidates(now=2)
+        assert offered and offered[0].priority == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("discipline", ["priority", "shared"])
+    def test_mixed_population_round_boundary(self, discipline):
+        """Permanent-only, excess-tier and peak-capped VCs plus a CBR VC
+        all come out of a round boundary with clean accounting."""
+        scheduler, vcs, status = build(
+            scheme=StaticConnectionPriority(),
+            candidates=8,
+            vbr_excess_discipline=discipline,
+        )
+        permanent_only = self._vbr(
+            scheduler, vcs, status, 0, permanent=3, peak=6, static=0.1
+        )
+        in_excess = self._vbr(
+            scheduler, vcs, status, 1, permanent=1, peak=6, static=0.2,
+            output_port=1,
+        )
+        capped = self._vbr(
+            scheduler, vcs, status, 2, permanent=1, peak=2, static=0.3,
+            output_port=2,
+        )
+        cbr = activate(vcs, status, 3, output_port=3, static=0.4)
+        cbr.allocated_cycles = 1
+        status.vector("cbr_service_requested").set(3)
+        scheduler.on_flit_serviced(permanent_only)
+        scheduler.on_flit_serviced(in_excess)
+        scheduler.on_flit_serviced(in_excess)
+        scheduler.on_flit_serviced(capped)
+        scheduler.on_flit_serviced(capped)
+        scheduler.on_flit_serviced(cbr)
+        assert status.vector("vbr_bandwidth_serviced").test(2)
+        assert status.vector("cbr_bandwidth_serviced").test(3)
+        offered = {c.vc_index for c in scheduler.candidates(now=1)}
+        assert offered == {0, 1}  # capped VBR and capped CBR gated off
+        scheduler.on_round_boundary()
+        for vc in (permanent_only, in_excess, capped, cbr):
+            assert vc.serviced_this_round == 0
+        assert not status.vector("vbr_bandwidth_serviced").any()
+        assert not status.vector("cbr_bandwidth_serviced").any()
+        offered = {c.vc_index for c in scheduler.candidates(now=2)}
+        assert offered == {0, 1, 2, 3}
 
 
 class TestCandidateDataclass:

@@ -117,16 +117,26 @@ class TestStatusBank:
         bank = StatusBank(8)
         assert bank.vector("credits_available").count() == 8
 
-    def test_vector_created_on_demand(self):
+    def test_registered_custom_vector(self):
         bank = StatusBank(8)
-        v = bank.vector("custom_condition")
+        v = bank.register("custom_condition")
         assert v.count() == 0
         v.set(1)
         assert bank.vector("custom_condition").test(1)
+        # Re-registering returns the same vector, state intact.
+        assert bank.register("custom_condition") is v
+
+    def test_unregistered_name_raises(self):
+        # A typo ("flit_available" for "flits_available") used to yield a
+        # fresh all-zero vector, making the condition silently
+        # unsatisfiable; it must be a loud error instead.
+        bank = StatusBank(8)
+        with pytest.raises(KeyError, match="flit_available"):
+            bank.vector("flit_available")
 
     def test_names_sorted(self):
         bank = StatusBank(8)
-        bank.vector("zzz")
+        bank.register("zzz")
         names = bank.names()
         assert names == sorted(names)
         assert "zzz" in names
