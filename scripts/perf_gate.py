@@ -17,6 +17,11 @@ every future PR has a perf trajectory to regress against:
    (124 Mbps on every input port) is also measured and reported, gate
    free: with every port busy there is nothing to skip, so it documents
    the transparency cost of the activity machinery instead.
+3. **Observability** — carrying a *disabled* flight recorder must cost
+   less than ``--max-obs-overhead`` percent on both timed scenarios, and
+   a recorder-on run must export a Chrome/Perfetto trace that validates
+   against the trace-event schema with a complete inject/grant/deliver
+   lifecycle for every delivered flit (written to ``--trace-output``).
 
 Run from the repo root::
 
@@ -39,8 +44,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.harness.kernel_bench import (  # noqa: E402
     measure_cycles_per_second,
+    measure_obs_overhead,
     run_identity_check,
+    run_trace_validation,
 )
+from repro.obs import build_manifest  # noqa: E402
 from repro.harness.network_experiment import (  # noqa: E402
     NetworkExperimentSpec,
     run_network_experiment,
@@ -106,6 +114,18 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-multihop", action="store_true",
         help="skip the (slower) multihop identity check",
+    )
+    parser.add_argument(
+        "--max-obs-overhead", type=float, default=2.0,
+        help="gate: max %% cost of a disabled flight recorder (default 2.0)",
+    )
+    parser.add_argument(
+        "--trace-cycles", type=int, default=1000,
+        help="cycles for the recorder-on trace validation run (default 1000)",
+    )
+    parser.add_argument(
+        "--trace-output", type=Path, default=REPO_ROOT / "BENCH_trace.json",
+        help="where to write the validated Perfetto trace artefact",
     )
     args = parser.parse_args(argv)
     if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
@@ -175,10 +195,51 @@ def main(argv=None) -> int:
             f"speedup {gate_speedup:.2f}x below threshold {args.min_speedup}x"
         )
 
+    obs_overhead = {}
+    for name, connections, cycle_factor in (
+        # The fast-forwarding single-stream scenario gets proportionally
+        # more cycles (as in the throughput section) so each timed slice
+        # is long enough for a sub-2% comparison to be meaningful; repeats
+        # are floored at 9 (72 slice pairs) because pair count, not run
+        # length, is what bounds the residual noise here.
+        ("cbr_10pct_single_stream", 1, 5),
+        ("cbr_10pct_all_ports", 8, 1),
+    ):
+        print(f"== observability: disabled-recorder overhead, {name} ==")
+        measurement = measure_obs_overhead(
+            connections, args.cycles * cycle_factor, max(args.repeats, 9)
+        )
+        obs_overhead[name] = measurement
+        print(
+            f"   baseline={measurement['baseline_cycles_per_sec']:,.0f} cyc/s  "
+            f"disabled={measurement['disabled_cycles_per_sec']:,.0f} cyc/s  "
+            f"overhead={measurement['overhead_pct']:+.2f}%"
+        )
+        if measurement["overhead_pct"] > args.max_obs_overhead:
+            failures.append(
+                f"disabled-recorder overhead {measurement['overhead_pct']:.2f}% "
+                f"on {name} above {args.max_obs_overhead}%"
+            )
+
+    print("== observability: trace export validation ==")
+    trace_check = run_trace_validation(8, args.trace_cycles)
+    trace_payload = trace_check.pop("payload")
+    args.trace_output.write_text(json.dumps(trace_payload) + "\n")
+    print(
+        f"   flits={trace_check['flits_delivered']} "
+        f"traced={trace_check['traced_deliveries']} "
+        f"complete={trace_check['all_lifecycles_complete']} "
+        f"schema_ok=True ({trace_check['trace_bytes']:,} bytes)"
+    )
+    print(f"wrote {args.trace_output}")
+    if not trace_check["ok"]:
+        failures.append("trace export validation")
+
     report = {
-        "schema": "bench-kernel/1",
+        "schema": "bench-kernel/2",
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "manifest": build_manifest(command="scripts/perf_gate.py"),
         "identity": {
             "single_router": router_identity,
             "multihop": network_identity,
@@ -190,6 +251,12 @@ def main(argv=None) -> int:
             "passed": gate_passed,
         },
         "scenarios": scenarios,
+        "observability": {
+            "max_obs_overhead_pct": args.max_obs_overhead,
+            "overhead": obs_overhead,
+            "trace_validation": trace_check,
+            "trace_artifact": str(args.trace_output),
+        },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -6,6 +6,8 @@ Commands:
 * ``figures`` — regenerate Figure 3/4/5 tables (alias for
   ``python -m repro.harness.figures``).
 * ``saturation`` — bisect a scheduler variant's saturation load.
+* ``obs`` — run a point with the flight recorder on and export the
+  telemetry, kernel profile and Perfetto-loadable flit trace.
 * ``info`` — print the paper configuration's derived quantities.
 """
 
@@ -22,6 +24,8 @@ from .harness.network_experiment import (
     NetworkExperimentSpec,
     run_network_experiment,
 )
+from .harness.export import write_trace_json
+from .harness.report import format_kernel_profile, format_telemetry
 from .harness.saturation import find_saturation_load
 from .harness.single_router import (
     PAPER_CONFIG,
@@ -47,7 +51,9 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cycles", type=int, default=100000, help="measured cycles")
 
 
-def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+def _spec_from_args(
+    args: argparse.Namespace, telemetry: bool = False
+) -> ExperimentSpec:
     return ExperimentSpec(
         target_load=args.load,
         scheduler=args.scheduler,
@@ -56,6 +62,7 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
         seed=args.seed,
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
+        telemetry=telemetry or getattr(args, "telemetry", False),
     )
 
 
@@ -73,12 +80,73 @@ def cmd_run(args: argparse.Namespace) -> int:
         "per_connection_jitter_cycles": result.per_connection.mean_jitter_cycles,
         "max_interface_backlog": result.max_interface_backlog,
     }
+    recorder = result.recorder
+    if recorder is not None:
+        payload["telemetry_channels"] = recorder.telemetry.names()
+        payload["trace_events"] = len(recorder.events)
+        payload["config_digest"] = recorder.manifest.get("config_digest")
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         for key, value in payload.items():
             print(f"{key:>30}: {value:.4f}" if isinstance(value, float) else
                   f"{key:>30}: {value}")
+        if recorder is not None:
+            print()
+            print(format_telemetry(recorder.telemetry.snapshot()))
+            print()
+            print(format_kernel_profile(recorder.kernel_snapshot()))
+    if recorder is not None and args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            write_trace_json(recorder, stream)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run one point with the flight recorder on; export its artefacts."""
+    result = run_single_router_experiment(_spec_from_args(args, telemetry=True))
+    recorder = result.recorder
+    assert recorder is not None
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            write_trace_json(recorder, stream)
+    if args.export_out:
+        with open(args.export_out, "w", encoding="utf-8") as stream:
+            json.dump(recorder.export(), stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "manifest": recorder.manifest,
+                    "telemetry": recorder.telemetry.snapshot(),
+                    "kernel": recorder.kernel_snapshot(),
+                    "trace_events": len(recorder.events),
+                    "trace_dropped": recorder.dropped,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        manifest = recorder.manifest
+        print(
+            f"run manifest: seed={manifest.get('seed')} "
+            f"config={manifest.get('config_digest')} "
+            f"rev={manifest.get('git_revision')} "
+            f"at={manifest.get('created_iso')}"
+        )
+        print(f"trace: {len(recorder.events)} events "
+              f"({recorder.dropped} dropped)")
+        print()
+        print(format_telemetry(recorder.telemetry.snapshot()))
+        print()
+        print(format_kernel_profile(recorder.kernel_snapshot()))
+        if args.trace_out:
+            print(f"\ntrace written to {args.trace_out}")
+        if args.export_out:
+            print(f"export written to {args.export_out}")
     return 0
 
 
@@ -154,7 +222,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser = sub.add_parser("run", help="run one experiment point")
     _add_spec_arguments(run_parser)
     run_parser.add_argument("--json", action="store_true", help="JSON output")
+    run_parser.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the flight recorder (telemetry + kernel profile)",
+    )
+    run_parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="with --telemetry: write the Perfetto trace JSON here",
+    )
     run_parser.set_defaults(func=cmd_run)
+
+    obs_parser = sub.add_parser(
+        "obs", help="flight-recorder run: telemetry, profile, trace export"
+    )
+    _add_spec_arguments(obs_parser)
+    obs_parser.add_argument("--json", action="store_true", help="JSON output")
+    obs_parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the Chrome/Perfetto trace-event JSON here",
+    )
+    obs_parser.add_argument(
+        "--export-out", default=None, metavar="PATH",
+        help="write the full recorder export (manifest+telemetry+trace) here",
+    )
+    obs_parser.set_defaults(func=cmd_obs)
 
     figures_parser = sub.add_parser("figures", help="regenerate figure tables")
     figures_parser.add_argument("which", nargs="?", default="all",

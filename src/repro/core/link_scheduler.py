@@ -96,6 +96,10 @@ class LinkScheduler:
         self.rng = rng
         self.candidates_offered = 0
         self.cycles_with_candidates = 0
+        # VBR service-tier accounting (§4.4): flits granted within the
+        # permanent allocation vs in the excess (permanent..peak) tier.
+        self.vbr_permanent_grants = 0
+        self.vbr_excess_grants = 0
         # Rotating-scan start pointer (the hardware round-robin encoder).
         self._scan_pointer = 0
         # Hot-path handles: candidate selection and round accounting run
@@ -129,6 +133,10 @@ class LinkScheduler:
             if vc.allocated_cycles and vc.serviced_this_round >= vc.allocated_cycles:
                 self._cbr_serviced.set(vc.index)
         elif vc.service_class is ServiceClass.VBR:
+            if vc.serviced_this_round <= vc.permanent_cycles:
+                self.vbr_permanent_grants += 1
+            else:
+                self.vbr_excess_grants += 1
             if vc.peak_cycles and vc.serviced_this_round >= vc.peak_cycles:
                 self._vbr_serviced.set(vc.index)
 

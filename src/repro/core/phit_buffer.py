@@ -60,6 +60,16 @@ class PhitBuffer:
         """Oldest phit without removing it, or None when empty."""
         return self._fifo[0] if self._fifo else None
 
+    def publish_telemetry(self, hub, now: float, name: str = "phit_buffer") -> None:
+        """Sample current depth and high-water mark into a telemetry hub.
+
+        ``hub`` is duck-typed (``sample(name, time, value)``); the sizing
+        argument of §3.2 is checked by comparing the high-water channel
+        against :meth:`required_depth`.
+        """
+        hub.sample(f"{name}.occupancy", now, len(self._fifo))
+        hub.sample(f"{name}.max_occupancy", now, self.max_occupancy)
+
     @staticmethod
     def required_depth(decode_cycles: int, phits_per_cycle: int = 1) -> int:
         """Depth needed to absorb arrivals during a decode period.

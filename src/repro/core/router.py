@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from ..obs.recorder import NULL_RECORDER
 from ..sim.engine import Simulator
 from ..sim.stats import ConnectionStats, Histogram, StatsRegistry
 from ..sim.trace import NullTracer
@@ -95,6 +96,7 @@ class Router:
         checked: bool = False,
         tracer=None,
         delay_histogram_bins: int = 0,
+        recorder=None,
     ) -> None:
         """``sink_outputs=True`` models the single-router evaluation: output
         links drain into ideal sinks with unlimited downstream credit.  A
@@ -107,6 +109,10 @@ class Router:
         self.name = name
         self.checked = checked
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Flight recorder (see :mod:`repro.obs.recorder`).  Every hot-path
+        #: emission guards on ``recorder.enabled`` so the default
+        #: NULL_RECORDER costs one attribute read per site.
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         # Optional per-flit delay histogram (cycles), for tail metrics.
         self.delay_histogram: Optional[Histogram] = (
             Histogram(0.0, 4096.0, delay_histogram_bins)
@@ -182,7 +188,10 @@ class Router:
         # activity kernel polls only ports whose activity bit is set.
         self._legacy_kernel = not sim.allow_fast_forward
         self.sim.add_ticker(
-            self.tick, activity=self.activity, on_skip=self.account_idle_cycles
+            self.tick,
+            activity=self.activity,
+            on_skip=self.account_idle_cycles,
+            name=name,
         )
 
     # ----- wiring ------------------------------------------------------------
@@ -257,6 +266,10 @@ class Router:
             f"open {input_port}.{vc_index} -> {output_port}",
             connection_id=connection_id,
         )
+        if self.recorder.enabled:
+            self.recorder.connection_open(
+                self.sim.now, connection_id, input_port, vc_index
+            )
         return vc_index
 
     def open_packet_vc(
@@ -325,6 +338,10 @@ class Router:
             f"close {input_port}.{vc_index}",
             connection_id=connection_id,
         )
+        if self.recorder.enabled:
+            self.recorder.connection_close(
+                self.sim.now, connection_id, input_port, vc_index
+            )
 
     def renegotiate_connection(
         self,
@@ -386,6 +403,11 @@ class Router:
                 connection_id=flit.connection_id,
                 flit_id=flit.flit_id,
             )
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.flit_inject(
+                self.sim.now, input_port, vc_index, flit.connection_id, flit.flit_id
+            )
         self._flits_available[input_port].set(vc_index)
         self.activity.set(input_port)
         if vc.is_full:
@@ -416,6 +438,15 @@ class Router:
         ):
             return False
         flit.ready_time = self.sim.now
+        # The cut-through event must precede the deliver event it causes.
+        if self.recorder.enabled:
+            self.recorder.cut_through(
+                self.sim.now,
+                input_port,
+                output_port,
+                flit.connection_id,
+                flit.flit_id,
+            )
         self._deliver(flit, vc, output_port, depart_time=self.sim.now)
         self._immediate_busy_outputs.add(output_port)
         self.activity.set(self._act_immediate)
@@ -474,7 +505,11 @@ class Router:
                             if c.output_port not in busy_outputs
                         ]
                     candidate_lists[port] = candidates
-            grants = self.switch_scheduler.schedule(candidate_lists, cycle)
+            switch_scheduler = self.switch_scheduler
+            grants = switch_scheduler.schedule(candidate_lists, cycle)
+            switch_scheduler.schedule_calls += 1
+            if grants:
+                switch_scheduler.grants_issued += len(grants)
             if self.checked:
                 validate_grants(
                     grants,
@@ -507,6 +542,11 @@ class Router:
         # the reconfiguration) exactly as the always-ticking kernel did.
         activity.assign(self._act_crossbar, flits != 0)
         if (cycle + 1) % self._round_length == 0:
+            recorder = self.recorder
+            if recorder.enabled:
+                # Sample *before* the schedulers reset their round
+                # accounting so consumed-vs-reserved reflects this round.
+                recorder.sample_round(self, cycle)
             for scheduler in self.link_schedulers:
                 scheduler.on_round_boundary()
             tracer = self.tracer
@@ -535,7 +575,10 @@ class Router:
         # shorter than a round and contain no boundary at all.
         first = start + (round_length - 1 - start % round_length)
         if first < start + count:
+            recorder = self.recorder
             for cycle in range(first, start + count, round_length):
+                if recorder.enabled:
+                    recorder.sample_round(self, cycle)
                 for scheduler in self.link_schedulers:
                     scheduler.on_round_boundary()
                 if self.tracer.enabled:
@@ -553,6 +596,11 @@ class Router:
             if not flits_available.any():
                 self.activity.clear(input_port)
         self._input_buffer_full[input_port].clear(vc_index)
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.flit_grant(
+                cycle, input_port, vc_index, flit.connection_id, flit.flit_id
+            )
         self.link_schedulers[input_port].on_flit_serviced(vc)
         handler = self.credit_return_handlers[input_port]
         if handler is not None:
@@ -572,6 +620,11 @@ class Router:
                 f"output {output_port} delay {delay}",
                 connection_id=flit.connection_id,
                 flit_id=flit.flit_id,
+            )
+        recorder = self.recorder
+        if recorder.enabled:
+            recorder.flit_deliver(
+                depart_time, output_port, delay, flit.connection_id, flit.flit_id
             )
         stats = self.connection_stats.get(flit.connection_id)
         if stats is not None:
@@ -629,6 +682,10 @@ class Router:
         for scheduler in self.link_schedulers:
             scheduler.candidates_offered = 0
             scheduler.cycles_with_candidates = 0
+            scheduler.vbr_permanent_grants = 0
+            scheduler.vbr_excess_grants = 0
+        self.switch_scheduler.grants_issued = 0
+        self.switch_scheduler.schedule_calls = 0
 
     def check_invariants(self) -> None:
         """Validate cross-structure consistency (tests/checked mode).

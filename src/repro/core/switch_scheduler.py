@@ -40,6 +40,10 @@ class SwitchScheduler(abc.ABC):
     #: True when the backing switch can accept several flits per output
     #: per cycle (only the perfect switch).
     output_concurrency: int = 1
+    #: Matching accounting, maintained by the router around each
+    #: ``schedule`` call (class-level defaults; incremented per instance).
+    grants_issued: int = 0
+    schedule_calls: int = 0
 
     @abc.abstractmethod
     def schedule(

@@ -181,6 +181,16 @@ class VirtualChannelMemory:
 
     # ----- analysis ----------------------------------------------------------
 
+    def publish_telemetry(self, hub, now: float, name: str = "vcm") -> None:
+        """Sample occupancy and interleave balance into a telemetry hub.
+
+        ``hub`` is duck-typed (anything with ``sample(name, time, value)``,
+        normally a :class:`repro.obs.timeseries.TelemetryHub`), so the
+        structural model stays import-independent of the obs package.
+        """
+        hub.sample(f"{name}.occupancy", now, self.total_occupancy())
+        hub.sample(f"{name}.access_balance", now, self.access_balance())
+
     def access_balance(self) -> float:
         """Ratio of the busiest to the average module access count.
 

@@ -13,6 +13,7 @@ import io
 import json
 from typing import Any, Dict, Mapping, TextIO
 
+from ..obs import FlightRecorder, build_manifest, validate_chrome_trace
 from .figures import FigureData
 from .single_router import ExperimentResult, ExperimentSpec
 
@@ -25,8 +26,22 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, Any]:
 
 
 def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
-    """A JSON-safe record of one experiment outcome."""
-    return {
+    """A JSON-safe record of one experiment outcome.
+
+    Every record carries a run manifest: the recorder's when telemetry was
+    on (captured at run time), otherwise one built at export time from the
+    spec's seed and configuration.
+    """
+    if result.recorder is not None:
+        manifest = result.recorder.manifest
+    else:
+        manifest = build_manifest(
+            seed=result.spec.seed,
+            config=result.spec.config,
+            command="result_to_dict",
+        )
+    record: Dict[str, Any] = {
+        "manifest": manifest,
         "spec": spec_to_dict(result.spec),
         "offered_load": result.offered_load,
         "connections": result.connections,
@@ -53,11 +68,29 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, Any]:
             for rate, summary in sorted(result.per_rate.items())
         },
     }
+    if result.recorder is not None:
+        record["telemetry"] = result.recorder.telemetry.snapshot()
+        record["kernel_profile"] = result.recorder.kernel_snapshot()
+        record["trace_events"] = len(result.recorder.events)
+        record["trace_dropped"] = result.recorder.dropped
+    return record
 
 
 def write_result_json(result: ExperimentResult, stream: TextIO) -> None:
     """Serialise one experiment result as pretty-printed JSON."""
     json.dump(result_to_dict(result), stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def write_trace_json(recorder: FlightRecorder, stream: TextIO) -> None:
+    """Serialise a recorder's flit trace as Chrome trace-event JSON.
+
+    The payload is schema-checked before writing, so a file this function
+    produced is known to load in Perfetto / ``chrome://tracing``.
+    """
+    payload = recorder.chrome_trace()
+    validate_chrome_trace(payload)
+    json.dump(payload, stream)
     stream.write("\n")
 
 

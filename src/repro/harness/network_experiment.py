@@ -19,6 +19,7 @@ from ..network.connection import ConnectionManager
 from ..network.interface import NetworkInterface, OpenStream
 from ..network.network import Network
 from ..network.topology import Topology, irregular
+from ..obs import FlightRecorder, build_manifest
 from ..sim.engine import Simulator
 from ..sim.rng import SeededRng
 from ..sim.stats import RunningStats
@@ -42,6 +43,9 @@ class NetworkExperimentSpec:
     seed: int = 1
     # Kernel mode knob (see ExperimentSpec.allow_fast_forward).
     allow_fast_forward: bool = True
+    # Attach a shared flight recorder across all routers (see
+    # ExperimentSpec.telemetry).
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_link_load <= 1.0:
@@ -72,6 +76,8 @@ class NetworkExperimentResult:
     best_effort_delivered: int = 0
     links_searched: int = 0
     backtracks: int = 0
+    #: The shared flight recorder, when ``spec.telemetry`` asked for one.
+    recorder: Optional[FlightRecorder] = None
 
     @property
     def acceptance_ratio(self) -> float:
@@ -102,12 +108,28 @@ def run_network_experiment(
         enforce_round_budgets=False,
     )
     sim = Simulator(allow_fast_forward=spec.allow_fast_forward)
+    recorder = None
+    if spec.telemetry:
+        recorder = FlightRecorder(
+            manifest=build_manifest(
+                seed=spec.seed,
+                config=config,
+                command="run_network_experiment",
+                extra={
+                    "num_nodes": spec.num_nodes,
+                    "target_link_load": spec.target_link_load,
+                    "warmup_cycles": spec.warmup_cycles,
+                    "measure_cycles": spec.measure_cycles,
+                },
+            )
+        )
     network = Network(
         topology,
         config,
         make_priority_scheme(spec.priority),
         sim,
         rng.spawn("network"),
+        recorder=recorder,
     )
     manager = ConnectionManager(network)
     interfaces = [
@@ -156,6 +178,8 @@ def run_network_experiment(
         ni.end_to_end.clear()
         ni.flits_received = 0
         ni.packets_received = 0
+    if recorder is not None:
+        recorder.clear()
     sim.run(spec.measure_cycles)
 
     delay = RunningStats()
@@ -187,6 +211,7 @@ def run_network_experiment(
         best_effort_delivered=sum(ni.packets_received for ni in interfaces),
         links_searched=manager.stats.links_searched,
         backtracks=manager.stats.backtracks,
+        recorder=recorder,
     )
 
 

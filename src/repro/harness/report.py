@@ -56,6 +56,62 @@ def format_series(
     return f"{title}\n{format_table(headers, rows, precision)}"
 
 
+def format_telemetry(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a :meth:`TelemetryHub.snapshot` as an aligned channel table.
+
+    One row per channel: whole-run sample count, mean/min/max, and how
+    many samples fell off the ring (``dropped``).
+    """
+    if not snapshot:
+        return "(no telemetry channels)"
+    rows = []
+    for name in sorted(snapshot):
+        channel = snapshot[name]
+        rows.append(
+            [
+                name,
+                channel.get("count", 0),
+                channel.get("mean", 0.0),
+                channel.get("min") if channel.get("min") is not None else "-",
+                channel.get("max") if channel.get("max") is not None else "-",
+                channel.get("dropped", 0),
+            ]
+        )
+    return format_table(
+        ["channel", "samples", "mean", "min", "max", "dropped"], rows
+    )
+
+
+def format_kernel_profile(snapshot: Mapping[str, object]) -> str:
+    """Render a :meth:`KernelProfiler.snapshot` as a per-ticker table."""
+    lines = [
+        "kernel: "
+        f"stepped={snapshot.get('stepped_cycles', 0)} "
+        f"fast_forwarded={snapshot.get('fast_forwarded_cycles', 0)} "
+        f"(ratio {float(snapshot.get('fast_forward_ratio', 0.0)):.3f}, "
+        f"{snapshot.get('fast_forward_spans', 0)} spans) "
+        f"events={snapshot.get('events_fired', 0)}"
+    ]
+    tickers = snapshot.get("tickers") or []
+    if tickers:
+        rows = [
+            [
+                t.get("name", ""),
+                t.get("ticks", 0),
+                t.get("skipped_cycles", 0),
+                t.get("skip_spans", 0),
+                float(t.get("seconds", 0.0)) * 1e3,
+            ]
+            for t in tickers
+        ]
+        lines.append(
+            format_table(
+                ["ticker", "ticks", "skipped", "skip_spans", "wall_ms"], rows
+            )
+        )
+    return "\n".join(lines)
+
+
 def ascii_plot(
     xs: Sequence[float],
     series: Mapping[str, Sequence[float]],

@@ -29,6 +29,7 @@ from ..core.switch_scheduler import (
     SwitchScheduler,
 )
 from ..core.virtual_channel import ServiceClass
+from ..obs import FlightRecorder, build_manifest
 from ..qos.metrics import QosSummary, per_rate_breakdown, summarise, summarise_weighted
 from ..sim.engine import Simulator
 from ..sim.rng import SeededRng
@@ -70,6 +71,9 @@ class ExperimentSpec:
     # Results are cycle-for-cycle identical either way (the perf gate
     # checks this); the knob exists for before/after benchmarking.
     allow_fast_forward: bool = True
+    # Attach a flight recorder (flit trace, telemetry rings, kernel
+    # profile); warm-up samples are discarded with the statistics.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULERS:
@@ -100,6 +104,8 @@ class ExperimentResult:
     max_interface_backlog: int = 0
     #: (p50, p99) per-flit delay in cycles, when the histogram was enabled.
     delay_percentiles: Optional[tuple] = None
+    #: The flight recorder, when ``spec.telemetry`` asked for one.
+    recorder: Optional[FlightRecorder] = None
 
     @property
     def mean_delay_cycles(self) -> float:
@@ -142,6 +148,22 @@ def run_single_router_experiment(
     scheme = make_priority_scheme(spec.priority)
     switch_scheduler = build_switch_scheduler(spec, rng)
     selection = "random" if spec.scheduler == "dec" else spec.selection
+    recorder = None
+    if spec.telemetry:
+        recorder = FlightRecorder(
+            manifest=build_manifest(
+                seed=spec.seed,
+                config=config,
+                command="run_single_router_experiment",
+                extra={
+                    "scheduler": spec.scheduler,
+                    "priority": spec.priority,
+                    "target_load": spec.target_load,
+                    "warmup_cycles": spec.warmup_cycles,
+                    "measure_cycles": spec.measure_cycles,
+                },
+            )
+        )
     router = Router(
         config,
         scheme,
@@ -151,7 +173,10 @@ def run_single_router_experiment(
         rng=rng.spawn("router"),
         sink_outputs=True,
         delay_histogram_bins=spec.delay_histogram_bins,
+        recorder=recorder,
     )
+    if recorder is not None:
+        recorder.attach(sim)
 
     if plan is None:
         plan = LoadPlanner(config, rng.spawn("plan")).plan(spec.target_load)
@@ -193,6 +218,9 @@ def run_single_router_experiment(
 
     sim.run(spec.warmup_cycles)
     router.reset_statistics()
+    if recorder is not None:
+        # Warm-up flits and samples are not part of the measurement.
+        recorder.clear()
     sim.run(spec.measure_cycles)
 
     active_stats = {
@@ -216,4 +244,5 @@ def run_single_router_experiment(
             if router.delay_histogram is not None
             else None
         ),
+        recorder=recorder,
     )

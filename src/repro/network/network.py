@@ -49,7 +49,11 @@ class Network:
         scheduler_factory: Optional[Callable[[int], SwitchScheduler]] = None,
         link_latency: int = 1,
         selection: str = "per_output",
+        recorder=None,
     ) -> None:
+        """``recorder`` (a :class:`repro.obs.FlightRecorder`) is shared by
+        every router; its telemetry channels are namespaced by router name
+        (``router3.link_utilisation``) so per-node series stay separate."""
         if link_latency < 1:
             raise ValueError(f"link_latency must be >= 1, got {link_latency}")
         if config.num_ports < topology.num_ports:
@@ -76,9 +80,12 @@ class Network:
                 selection=selection,
                 rng=rng.spawn(f"router{node}"),
                 sink_outputs=False,
+                recorder=recorder,
             )
             for node in range(topology.num_nodes)
         ]
+        if recorder is not None:
+            recorder.attach(sim)
         self._host_delivery: Dict[Tuple[int, int], HostDelivery] = {}
         # Pending unrouted best-effort packets per router: (port, vc_index).
         self._unrouted: Dict[int, List[Tuple[int, int]]] = {}

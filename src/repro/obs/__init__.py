@@ -1,0 +1,46 @@
+"""Observability: flight recorder, telemetry rings, trace export, profiling.
+
+This package is deliberately dependency-light (it imports only
+``repro.sim.stats``) so every layer — core router, network, harness,
+CLI — can use it without cycles.  The hot-path contract is that all
+emission sites guard on ``recorder.enabled``; see
+:mod:`repro.obs.recorder`.
+"""
+
+from .kernel import KernelProfiler, TickerProfile
+from .manifest import MANIFEST_SCHEMA, build_manifest, config_digest, git_revision
+from .recorder import (
+    DEFAULT_TRACE_CAPACITY,
+    NULL_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+from .timeseries import DEFAULT_CAPACITY, TelemetryHub, TimeSeries
+from .trace_export import (
+    KIND_NAMES,
+    TraceEvent,
+    lifecycle_by_flit,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_TRACE_CAPACITY",
+    "FlightRecorder",
+    "KernelProfiler",
+    "KIND_NAMES",
+    "MANIFEST_SCHEMA",
+    "NULL_RECORDER",
+    "NullFlightRecorder",
+    "TelemetryHub",
+    "TickerProfile",
+    "TimeSeries",
+    "TraceEvent",
+    "build_manifest",
+    "config_digest",
+    "git_revision",
+    "lifecycle_by_flit",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

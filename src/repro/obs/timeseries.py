@@ -1,0 +1,121 @@
+"""Ring-buffered time series: the flight recorder's sampling substrate.
+
+A production router cannot afford unbounded metric storage, so every
+channel is a fixed-capacity ring of ``(time, value)`` samples plus a
+:class:`~repro.sim.stats.RunningStats` aggregate that keeps folding in
+samples after the ring starts dropping.  The aggregate therefore always
+describes the *whole* run; the ring holds the most recent window at full
+resolution for export and plotting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim.stats import RunningStats
+
+#: Default ring capacity per channel.  At the paper's round length of 512
+#: cycles this holds ~500k cycles of per-round samples.
+DEFAULT_CAPACITY = 1024
+
+
+class TimeSeries:
+    """Fixed-memory ``(time, value)`` ring with a whole-run aggregate."""
+
+    __slots__ = ("name", "capacity", "dropped", "stats", "_samples")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.dropped = 0
+        self.stats = RunningStats()
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def append(self, time: float, value: float) -> None:
+        """Record that the signal had ``value`` at ``time``."""
+        if len(self._samples) == self.capacity:
+            self.dropped += 1
+        self._samples.append((time, value))
+        self.stats.add(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """The retained window, oldest first."""
+        return list(self._samples)
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        """The most recent sample, or None before the first."""
+        return self._samples[-1] if self._samples else None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe record: aggregate over all samples + retained window."""
+        stats = self.stats
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "count": stats.count,
+            "dropped": self.dropped,
+            "mean": stats.mean,
+            "min": stats.minimum if stats.count else None,
+            "max": stats.maximum if stats.count else None,
+            "samples": [[t, v] for t, v in self._samples],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeSeries({self.name!r}, n={self.stats.count}, "
+            f"retained={len(self._samples)}/{self.capacity})"
+        )
+
+
+class TelemetryHub:
+    """A namespace of :class:`TimeSeries` channels components publish into.
+
+    Channels are registered on first access, so instrumentation sites do
+    not need set-up code — but unlike the old ``StatsRegistry.get_series``
+    bug, the returned series is always the *registered* one, never a
+    detached accumulator whose samples would be lost.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._channels: Dict[str, TimeSeries] = {}
+
+    def channel(self, name: str) -> TimeSeries:
+        """The channel called ``name``, created on first access."""
+        series = self._channels.get(name)
+        if series is None:
+            series = self._channels[name] = TimeSeries(name, self.capacity)
+        return series
+
+    def sample(self, name: str, time: float, value: float) -> None:
+        """Append one sample to channel ``name``."""
+        self.channel(name).append(time, value)
+
+    def names(self) -> List[str]:
+        """Registered channel names, sorted."""
+        return sorted(self._channels)
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-safe dict of every channel's :meth:`TimeSeries.to_dict`."""
+        return {
+            name: series.to_dict()
+            for name, series in sorted(self._channels.items())
+        }
+
+    def clear(self) -> None:
+        """Drop every channel (used when warm-up samples are discarded)."""
+        self._channels.clear()

@@ -34,6 +34,7 @@ identical on seeded runs.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from .events import Event, EventQueue
@@ -47,17 +48,19 @@ SkipHook = Callable[[int, int], None]
 class _Ticker:
     """One registered per-cycle callback and its activity wiring."""
 
-    __slots__ = ("tick", "active", "on_skip")
+    __slots__ = ("tick", "active", "on_skip", "name")
 
     def __init__(
         self,
         tick: Callable[[int], None],
         active: Optional[ActivityPredicate],
         on_skip: Optional[SkipHook],
+        name: Optional[str] = None,
     ) -> None:
         self.tick = tick
         self.active = active
         self.on_skip = on_skip
+        self.name = name
 
 
 class Simulator:
@@ -81,6 +84,7 @@ class Simulator:
         self._all_gated = True
         self._stopped = False
         self._in_tick_phase = False
+        self._profiler = None
         # Flat views over self._tickers, maintained by add_ticker: the
         # idle test and the fast-forward accounting run between every
         # stepped cycle, so they should not re-filter the ticker list.
@@ -92,6 +96,7 @@ class Simulator:
         tick: Callable[[int], None],
         activity: Any = None,
         on_skip: Optional[SkipHook] = None,
+        name: Optional[str] = None,
     ) -> None:
         """Register a per-cycle callback ``tick(cycle)``.
 
@@ -124,13 +129,31 @@ class Simulator:
             raise TypeError(
                 f"activity must be callable or have .active(), got {activity!r}"
             )
-        self._tickers.append(_Ticker(tick, predicate, on_skip))
+        self._tickers.append(_Ticker(tick, predicate, on_skip, name))
         if predicate is None:
             self._all_gated = False
         else:
             self._activity_predicates.append(predicate)
         if on_skip is not None:
             self._skip_hooks.append(on_skip)
+        if self._profiler is not None:
+            self._profiler.register(len(self._tickers) - 1, name)
+
+    def set_profiler(self, profiler: Any) -> None:
+        """Attach (or detach, with None) a kernel profiler.
+
+        While attached, the profiler receives ``register`` for every
+        ticker (existing and future), ``on_cycle``/``on_tick``/``on_skip``
+        per dispatch decision, ``on_events`` per drained batch and
+        ``on_fast_forward`` per elided span — see
+        :class:`repro.obs.kernel.KernelProfiler`.  Profiling brackets each
+        tick with wall-clock reads, so timing-sensitive measurements
+        should detach it first.
+        """
+        self._profiler = profiler
+        if profiler is not None:
+            for index, ticker in enumerate(self._tickers):
+                profiler.register(index, ticker.name)
 
     def schedule(
         self,
@@ -195,6 +218,9 @@ class Simulator:
         ungated tickers always run.  Under the legacy kernel every ticker
         runs unconditionally, exactly as the seed engine did.
         """
+        if self._profiler is not None:
+            self._step_profiled()
+            return
         pop_due = self.events.pop_due
         now = self.now
         while True:
@@ -218,6 +244,47 @@ class Simulator:
             self._in_tick_phase = False
         self.now = now + 1
 
+    def _step_profiled(self) -> None:
+        """One cycle with the profiler's dispatch accounting engaged.
+
+        Kept out of :meth:`step` so the unprofiled path pays a single
+        ``is not None`` test per cycle and nothing else.
+        """
+        profiler = self._profiler
+        pop_due = self.events.pop_due
+        now = self.now
+        fired = 0
+        while True:
+            event = pop_due(now)
+            if event is None:
+                break
+            event.fire()
+            fired += 1
+        if fired:
+            profiler.on_events(fired)
+        profiler.on_cycle()
+        self._in_tick_phase = True
+        try:
+            if self.allow_fast_forward:
+                for index, ticker in enumerate(self._tickers):
+                    active = ticker.active
+                    if active is None or active():
+                        start = perf_counter()
+                        ticker.tick(now)
+                        profiler.on_tick(index, perf_counter() - start)
+                    else:
+                        if ticker.on_skip is not None:
+                            ticker.on_skip(now, 1)
+                        profiler.on_skip(index, 1)
+            else:
+                for index, ticker in enumerate(self._tickers):
+                    start = perf_counter()
+                    ticker.tick(now)
+                    profiler.on_tick(index, perf_counter() - start)
+        finally:
+            self._in_tick_phase = False
+        self.now = now + 1
+
     def _idle(self) -> bool:
         """True when every ticker is gated and none reports activity."""
         if not self._all_gated:
@@ -235,6 +302,8 @@ class Simulator:
             on_skip(now, skipped)
         self.now = target
         self.fast_forwarded_cycles += skipped
+        if self._profiler is not None:
+            self._profiler.on_fast_forward(skipped)
         return skipped
 
     def run(self, cycles: int) -> int:

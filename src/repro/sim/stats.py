@@ -254,8 +254,18 @@ class StatsRegistry:
         return self.scalars.get(name, 0.0)
 
     def get_series(self, name: str) -> RunningStats:
-        """Running stats for ``name`` (empty stats when never observed)."""
-        return self.series.get(name, RunningStats())
+        """Running stats for ``name``, registering it on first access.
+
+        The returned accumulator is the live registered instance —
+        samples observed afterwards are visible through it, and samples
+        added through it are visible to every other reader.  (An unknown
+        name used to return a detached empty accumulator that silently
+        swallowed any updates.)
+        """
+        series = self.series.get(name)
+        if series is None:
+            series = self.series[name] = RunningStats()
+        return series
 
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of counters and series means, for reporting."""

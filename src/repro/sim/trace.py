@@ -16,6 +16,19 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
+#: Categories the router emits (kept here as the single source of truth).
+CATEGORIES = (
+    "inject",  # flit entered an input VC
+    "cutthrough",  # control flit bypassed synchronous scheduling
+    "grant",  # switch scheduler granted a (port, vc)
+    "deliver",  # flit left through an output port
+    "connection",  # open / close / renegotiate
+    "round",  # round boundary
+    "credit",  # credit consumed / returned
+)
+
+_KNOWN_CATEGORIES = frozenset(CATEGORIES)
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -48,7 +61,17 @@ class Tracer:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.enabled = True
-        self._categories = frozenset(categories) if categories else None
+        if categories:
+            requested = frozenset(categories)
+            unknown = requested - _KNOWN_CATEGORIES
+            if unknown:
+                raise ValueError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"known: {CATEGORIES}"
+                )
+            self._categories = requested
+        else:
+            self._categories = None
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self.dropped = 0
         self.recorded = 0
@@ -61,9 +84,18 @@ class Tracer:
         connection_id: int = -1,
         flit_id: int = -1,
     ) -> None:
-        """Append a record (honouring the enable flag and category filter)."""
+        """Append a record (honouring the enable flag and category filter).
+
+        The category must be one of :data:`CATEGORIES` — a typo would
+        otherwise produce a record no filter ever matches (or, on the
+        filtering side, a permanently empty trace).
+        """
         if not self.enabled:
             return
+        if category not in _KNOWN_CATEGORIES:
+            raise ValueError(
+                f"unknown trace category {category!r}; known: {CATEGORIES}"
+            )
         if self._categories is not None and category not in self._categories:
             return
         if len(self._records) == self.capacity:
@@ -121,15 +153,3 @@ class NullTracer:
 
     def __len__(self) -> int:
         return 0
-
-
-#: Categories the router emits (kept here as the single source of truth).
-CATEGORIES = (
-    "inject",  # flit entered an input VC
-    "cutthrough",  # control flit bypassed synchronous scheduling
-    "grant",  # switch scheduler granted a (port, vc)
-    "deliver",  # flit left through an output port
-    "connection",  # open / close / renegotiate
-    "round",  # round boundary
-    "credit",  # credit consumed / returned
-)

@@ -145,6 +145,39 @@ class TestHistogram:
         h.add(2.5)
         assert h.nonzero_bins() == [(2.0, 1)]
 
+    def test_quantile_extremes_span_the_data(self):
+        h = Histogram(0.0, 10.0, 10)
+        h.add(2.5)
+        h.add(7.5)
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert h.quantile(1.0) <= h.high
+        assert h.quantile(0.0) >= h.low
+
+    def test_quantile_all_underflow_clamps_to_low(self):
+        h = Histogram(0.0, 1.0, 4)
+        for _ in range(5):
+            h.add(-3.0)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_quantile_all_overflow_clamps_to_high(self):
+        h = Histogram(0.0, 1.0, 4)
+        for _ in range(5):
+            h.add(2.0)
+        # No bin ever reaches the target, so every quantile reports the
+        # top edge — the closest value the histogram can attribute.
+        assert h.quantile(0.5) == h.high
+        assert h.quantile(1.0) == h.high
+
+    def test_quantile_single_bin_interpolates(self):
+        h = Histogram(0.0, 1.0, 1)
+        for _ in range(4):
+            h.add(0.5)
+        assert 0.0 <= h.quantile(0.25) <= 1.0
+        assert h.quantile(0.25) == pytest.approx(0.25)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
 
 class TestTimeWeightedStats:
     def test_constant_signal(self):
@@ -167,6 +200,27 @@ class TestTimeWeightedStats:
     def test_empty_window(self):
         t = TimeWeightedStats()
         assert t.mean == 0.0
+
+    def test_finish_twice_at_same_time_is_idempotent(self):
+        t = TimeWeightedStats(initial_value=4.0)
+        t.finish(10.0)
+        first = t.mean
+        t.finish(10.0)  # zero-length extension: mean must not move
+        assert t.mean == pytest.approx(first) == pytest.approx(4.0)
+
+    def test_finish_then_later_finish_extends_the_window(self):
+        t = TimeWeightedStats()
+        t.record(5.0, 10.0)
+        t.finish(10.0)
+        assert t.mean == pytest.approx(5.0)
+        t.finish(20.0)  # the last value (10.0) holds for 10 more units
+        assert t.mean == pytest.approx((0.0 * 5 + 10.0 * 15) / 20)
+
+    def test_finish_rejects_time_reversal(self):
+        t = TimeWeightedStats()
+        t.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            t.finish(4.0)
 
 
 class TestConnectionStats:
@@ -221,6 +275,21 @@ class TestStatsRegistry:
 
     def test_missing_series_is_empty(self):
         assert StatsRegistry().get_series("nope").count == 0
+
+    def test_get_series_registers_on_access(self):
+        r = StatsRegistry()
+        series = r.get_series("late")
+        # Samples observed after the lookup are visible through the
+        # handle the caller already holds (it used to be detached).
+        r.observe("late", 7.0)
+        assert series.count == 1
+        assert series.mean == pytest.approx(7.0)
+        assert r.get_series("late") is series
+
+    def test_get_series_handle_feeds_the_registry(self):
+        r = StatsRegistry()
+        r.get_series("fed").add(3.0)
+        assert r.snapshot()["fed.count"] == 1
 
     def test_snapshot(self):
         r = StatsRegistry()

@@ -10,7 +10,7 @@ from repro.core.router import Router
 from repro.core.switch_scheduler import GreedyPriorityScheduler
 from repro.core.virtual_channel import ServiceClass
 from repro.sim.engine import Simulator
-from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.sim.trace import CATEGORIES, NullTracer, TraceRecord, Tracer
 
 
 class TestTracer:
@@ -74,6 +74,30 @@ class TestTracer:
     def test_record_str(self):
         record = TraceRecord(10, "grant", "port 0")
         assert "grant" in str(record)
+
+    def test_unknown_filter_category_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown trace categories"):
+            Tracer(categories=("deliver", "delivery"))
+
+    def test_unknown_category_rejected_at_record_time(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="unknown trace category"):
+            tracer.record(1, "injected", "typo")
+        assert len(tracer) == 0
+
+    def test_all_known_categories_accepted(self):
+        tracer = Tracer(categories=CATEGORIES)
+        for t, category in enumerate(CATEGORIES):
+            tracer.record(t, category, "ok")
+        assert len(tracer) == len(CATEGORIES)
+
+    def test_disabled_tracer_skips_category_check(self):
+        # The enable flag is the zero-cost escape hatch: a disabled
+        # tracer must not pay (or raise) for anything.
+        tracer = Tracer()
+        tracer.enabled = False
+        tracer.record(1, "not-a-category", "ignored")
+        assert len(tracer) == 0
 
     def test_null_tracer_discards(self):
         tracer = NullTracer()
