@@ -11,7 +11,7 @@ from conftest import run_once
 from repro.harness.figures import figure3
 
 
-def test_fig3_jitter_low_candidates(benchmark, loads, full):
+def test_fig3_jitter_low_candidates(benchmark, loads, full, jobs):
     """Figure 3, left panel: 1 and 2 candidates.
 
     With so few candidates the router saturates above ~60-70% load (the
@@ -20,7 +20,9 @@ def test_fig3_jitter_low_candidates(benchmark, loads, full):
     — inside saturation both schemes' jitter is dominated by unbounded
     queue growth and the comparison is meaningless.
     """
-    data = run_once(benchmark, figure3, loads=loads, candidates=(1, 2), full=full)
+    data = run_once(
+        benchmark, figure3, loads=loads, candidates=(1, 2), full=full, jobs=jobs
+    )
     print()
     print(data.table())
     for c in (1, 2):
@@ -35,9 +37,11 @@ def test_fig3_jitter_low_candidates(benchmark, loads, full):
             )
 
 
-def test_fig3_jitter_high_candidates(benchmark, loads, full):
+def test_fig3_jitter_high_candidates(benchmark, loads, full, jobs):
     """Figure 3, right panel: 4 and 8 candidates."""
-    data = run_once(benchmark, figure3, loads=loads, candidates=(4, 8), full=full)
+    data = run_once(
+        benchmark, figure3, loads=loads, candidates=(4, 8), full=full, jobs=jobs
+    )
     print()
     print(data.table())
     for c in (4, 8):

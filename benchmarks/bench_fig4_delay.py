@@ -11,10 +11,12 @@ from conftest import run_once
 from repro.harness.figures import figure4
 
 
-def test_fig4_delay_low_candidates(benchmark, loads, full):
+def test_fig4_delay_low_candidates(benchmark, loads, full, jobs):
     """Figure 4, left panel: 1 and 2 candidates (clipped in the paper —
     these delays blow up near saturation)."""
-    data = run_once(benchmark, figure4, loads=loads, candidates=(1, 2), full=full)
+    data = run_once(
+        benchmark, figure4, loads=loads, candidates=(1, 2), full=full, jobs=jobs
+    )
     print()
     print(data.table())
     # 2 candidates dominate 1 candidate for the biased scheme.
@@ -22,9 +24,11 @@ def test_fig4_delay_low_candidates(benchmark, loads, full):
         assert data.series["2C biased"][i] <= data.series["1C biased"][i] * 1.1 + 0.1
 
 
-def test_fig4_delay_high_candidates(benchmark, loads, full):
+def test_fig4_delay_high_candidates(benchmark, loads, full, jobs):
     """Figure 4, right panel: 4 and 8 candidates."""
-    data = run_once(benchmark, figure4, loads=loads, candidates=(4, 8), full=full)
+    data = run_once(
+        benchmark, figure4, loads=loads, candidates=(4, 8), full=full, jobs=jobs
+    )
     print()
     print(data.table())
     moderate = [i for i, load in enumerate(loads) if load <= 0.9]

@@ -12,8 +12,8 @@ from conftest import run_once
 from repro.harness.figures import figure5
 
 
-def test_fig5_delay_and_jitter(benchmark, loads, full):
-    delay, jitter = run_once(benchmark, figure5, loads=loads, full=full)
+def test_fig5_delay_and_jitter(benchmark, loads, full, jobs):
+    delay, jitter = run_once(benchmark, figure5, loads=loads, full=full, jobs=jobs)
     print()
     print(delay.table())
     print()

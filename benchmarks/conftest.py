@@ -12,6 +12,8 @@ Environment knobs:
 * ``REPRO_BENCH_FULL=1`` — paper-scale windows (20k warm-up + 100k
   measured cycles) instead of the quick profile.
 * ``REPRO_BENCH_LOADS=0.3,0.8,...`` — override the offered-load axis.
+* ``REPRO_BENCH_JOBS=N`` — fan grid points out over N worker processes
+  (results are identical for any value; only wall-clock changes).
 """
 
 import os
@@ -35,6 +37,11 @@ def bench_full():
     return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
 
+def bench_jobs():
+    """Worker-process count for parallelisable figure grids."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture
 def loads():
     return bench_loads()
@@ -43,6 +50,11 @@ def loads():
 @pytest.fixture
 def full():
     return bench_full()
+
+
+@pytest.fixture
+def jobs():
+    return bench_jobs()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

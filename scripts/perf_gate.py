@@ -23,18 +23,35 @@ every future PR has a perf trajectory to regress against:
    against the trace-event schema with a complete inject/grant/deliver
    lifecycle for every delivered flit (written to ``--trace-output``).
 
+A second gate covers the bit-parallel scheduling fast path, recorded to
+``BENCH_sched.json``:
+
+4. **Scheduler identity** — the fused status-vector candidate walk
+   (``scheduler_fast_path=True``) must deliver bit-identical flit streams
+   and stats against the reference per-VC walk, on the saturated-CBR
+   single-router scenario and on the multihop network.
+5. **Scheduler throughput** — on the saturated-CBR scenario at the
+   90%-load point the fast path must be at least ``--min-sched-speedup``
+   times faster in cycles per wall second.
+6. **Sweep parallelism** — ``run_sweep(..., jobs=N)`` must produce the
+   same metric rows as a serial run, and must be at least
+   ``--min-sweep-speedup`` times faster wall-clock when the machine
+   actually has ``--sweep-jobs`` cores (recorded but not gated on
+   smaller machines — a 1-core runner cannot exhibit the speedup).
+
 Run from the repo root::
 
     PYTHONPATH=src python scripts/perf_gate.py
 
-Exits non-zero when an identity check fails or the gated speedup falls
-below the threshold.
+Exits non-zero when an identity check fails or a gated speedup falls
+below its threshold.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
@@ -45,7 +62,10 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.harness.kernel_bench import (  # noqa: E402
     measure_cycles_per_second,
     measure_obs_overhead,
+    measure_sched_cycles_per_second,
+    measure_sweep_speedup,
     run_identity_check,
+    run_sched_identity_check,
     run_trace_validation,
 )
 from repro.obs import build_manifest  # noqa: E402
@@ -53,6 +73,22 @@ from repro.harness.network_experiment import (  # noqa: E402
     NetworkExperimentSpec,
     run_network_experiment,
 )
+
+
+def _network_summary(result) -> dict:
+    return {
+        "streams": result.streams,
+        "attempts": result.attempts,
+        "mean_hops": result.mean_hops,
+        "delay_count": result.delay_cycles.count,
+        "delay_mean": result.delay_cycles.mean,
+        "delay_min": result.delay_cycles.minimum,
+        "delay_max": result.delay_cycles.maximum,
+        "jitter_count": result.jitter_cycles.count,
+        "jitter_mean": result.jitter_cycles.mean,
+        "by_hops": {str(k): v for k, v in result.by_hops.items()},
+        "best_effort_delivered": result.best_effort_delivered,
+    }
 
 
 def multihop_identity(seed: int = 11) -> dict:
@@ -67,25 +103,39 @@ def multihop_identity(seed: int = 11) -> dict:
             seed=seed,
             allow_fast_forward=mode,
         )
-        result = run_network_experiment(spec)
-        summaries[mode] = {
-            "streams": result.streams,
-            "attempts": result.attempts,
-            "mean_hops": result.mean_hops,
-            "delay_count": result.delay_cycles.count,
-            "delay_mean": result.delay_cycles.mean,
-            "delay_min": result.delay_cycles.minimum,
-            "delay_max": result.delay_cycles.maximum,
-            "jitter_count": result.jitter_cycles.count,
-            "jitter_mean": result.jitter_cycles.mean,
-            "by_hops": {str(k): v for k, v in result.by_hops.items()},
-            "best_effort_delivered": result.best_effort_delivered,
-        }
+        summaries[mode] = _network_summary(run_network_experiment(spec))
     return {
         "identical": summaries[False] == summaries[True],
         "seed": seed,
         "legacy": summaries[False],
         "activity": summaries[True],
+    }
+
+
+def sched_multihop_identity(seed: int = 11) -> dict:
+    """Compare end-to-end QoS across scheduler paths on a network run.
+
+    Same workload as :func:`multihop_identity` (including best-effort
+    background traffic, which exercises the routed-bit transitions of
+    blocked packets), toggling ``scheduler_fast_path`` instead of the
+    kernel mode.
+    """
+    summaries = {}
+    for fast_path in (False, True):
+        spec = NetworkExperimentSpec(
+            target_link_load=0.3,
+            best_effort_rate=0.5,
+            warmup_cycles=2000,
+            measure_cycles=8000,
+            seed=seed,
+            scheduler_fast_path=fast_path,
+        )
+        summaries[fast_path] = _network_summary(run_network_experiment(spec))
+    return {
+        "identical": summaries[False] == summaries[True],
+        "seed": seed,
+        "reference": summaries[False],
+        "fast_path": summaries[True],
     }
 
 
@@ -126,6 +176,35 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--trace-output", type=Path, default=REPO_ROOT / "BENCH_trace.json",
         help="where to write the validated Perfetto trace artefact",
+    )
+    parser.add_argument(
+        "--sched-cycles", type=int, default=10_000,
+        help="simulated cycles per scheduler timing run (default 10000)",
+    )
+    parser.add_argument(
+        "--sched-identity-cycles", type=int, default=8_000,
+        help="cycles for the saturated-CBR scheduler identity run (default 8000)",
+    )
+    parser.add_argument(
+        "--min-sched-speedup", type=float, default=1.5,
+        help="gate threshold on the saturated-CBR 90%%-load point (default 1.5)",
+    )
+    parser.add_argument(
+        "--sweep-jobs", type=int, default=4,
+        help="worker count for the sweep-parallelism measurement (default 4)",
+    )
+    parser.add_argument(
+        "--min-sweep-speedup", type=float, default=2.0,
+        help="gate threshold on the parallel sweep, enforced only when the "
+             "machine has at least --sweep-jobs cores (default 2.0)",
+    )
+    parser.add_argument(
+        "--skip-sweep", action="store_true",
+        help="skip the sweep-parallelism measurement",
+    )
+    parser.add_argument(
+        "--sched-output", type=Path, default=REPO_ROOT / "BENCH_sched.json",
+        help="where to write the scheduler-gate JSON report",
     )
     args = parser.parse_args(argv)
     if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
@@ -235,6 +314,100 @@ def main(argv=None) -> int:
     if not trace_check["ok"]:
         failures.append("trace export validation")
 
+    print("== sched identity: saturated-CBR single router ==")
+    sched_identity = run_sched_identity_check(args.sched_identity_cycles)
+    print(
+        f"   flits={sched_identity['flits_delivered']} "
+        f"identical={sched_identity['identical']}"
+    )
+    if not sched_identity["identical"]:
+        failures.append("scheduler fast-path identity (single router)")
+
+    sched_network_identity = None
+    if not args.skip_multihop:
+        print("== sched identity: 12-node multihop network ==")
+        sched_network_identity = sched_multihop_identity()
+        print(
+            f"   streams={sched_network_identity['reference']['streams']} "
+            f"delay_count={sched_network_identity['reference']['delay_count']} "
+            f"identical={sched_network_identity['identical']}"
+        )
+        if not sched_network_identity["identical"]:
+            failures.append("scheduler fast-path identity (multihop)")
+
+    print("== sched throughput: saturated CBR at 90% load ==")
+    sched_reference = measure_sched_cycles_per_second(
+        False, args.sched_cycles, args.repeats
+    )
+    sched_fast = measure_sched_cycles_per_second(
+        True, args.sched_cycles, args.repeats
+    )
+    sched_speedup = sched_fast["cycles_per_sec"] / sched_reference["cycles_per_sec"]
+    sched_gate_passed = sched_speedup >= args.min_sched_speedup
+    print(
+        f"   reference={sched_reference['cycles_per_sec']:,.0f} cyc/s  "
+        f"fast={sched_fast['cycles_per_sec']:,.0f} cyc/s  "
+        f"speedup={sched_speedup:.2f}x"
+    )
+    if not sched_gate_passed:
+        failures.append(
+            f"scheduler speedup {sched_speedup:.2f}x below "
+            f"threshold {args.min_sched_speedup}x"
+        )
+
+    sweep_measurement = None
+    sweep_gated = False
+    if not args.skip_sweep:
+        print(f"== sweep parallelism: {args.sweep_jobs} jobs ==")
+        sweep_measurement = measure_sweep_speedup(args.sweep_jobs)
+        # The wall-clock gate only binds where the hardware can deliver
+        # it; row identity must hold everywhere.
+        sweep_gated = (os.cpu_count() or 1) >= args.sweep_jobs
+        print(
+            f"   serial={sweep_measurement['serial_seconds']:.2f}s  "
+            f"parallel={sweep_measurement['parallel_seconds']:.2f}s  "
+            f"speedup={sweep_measurement['speedup']:.2f}x  "
+            f"cores={sweep_measurement['cpu_count']} "
+            f"({'gated' if sweep_gated else 'recorded only'})"
+        )
+        if not sweep_measurement["rows_identical"]:
+            failures.append("parallel sweep rows differ from serial rows")
+        if sweep_gated and sweep_measurement["speedup"] < args.min_sweep_speedup:
+            failures.append(
+                f"sweep speedup {sweep_measurement['speedup']:.2f}x below "
+                f"threshold {args.min_sweep_speedup}x on a "
+                f"{sweep_measurement['cpu_count']}-core machine"
+            )
+
+    sched_report = {
+        "schema": "bench-sched/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "manifest": build_manifest(command="scripts/perf_gate.py"),
+        "identity": {
+            "single_router": sched_identity,
+            "multihop": sched_network_identity,
+        },
+        "gate": {
+            "scenario": "cbr_saturated_90pct",
+            "min_speedup": args.min_sched_speedup,
+            "speedup": round(sched_speedup, 3),
+            "passed": sched_gate_passed,
+        },
+        "throughput": {
+            "reference": sched_reference,
+            "fast_path": sched_fast,
+            "speedup": sched_speedup,
+        },
+        "sweep": {
+            "min_speedup": args.min_sweep_speedup,
+            "gated": sweep_gated,
+            "measurement": sweep_measurement,
+        },
+    }
+    args.sched_output.write_text(json.dumps(sched_report, indent=2) + "\n")
+    print(f"wrote {args.sched_output}")
+
     report = {
         "schema": "bench-kernel/2",
         "python": platform.python_version(),
@@ -264,7 +437,11 @@ def main(argv=None) -> int:
     if failures:
         print("FAIL: " + "; ".join(failures))
         return 1
-    print(f"PASS: identity holds, {gate_speedup:.2f}x >= {args.min_speedup}x")
+    print(
+        f"PASS: identity holds, kernel {gate_speedup:.2f}x >= "
+        f"{args.min_speedup}x, scheduler {sched_speedup:.2f}x >= "
+        f"{args.min_sched_speedup}x"
+    )
     return 0
 
 

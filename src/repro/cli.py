@@ -2,7 +2,10 @@
 
 Commands:
 
-* ``run`` — one point of the single-router evaluation grid.
+* ``run`` — one point of the single-router evaluation grid (or several
+  loads fanned out over ``--jobs`` worker processes).
+* ``sweep`` — a cartesian design-space sweep (``--axis name=v1,v2,...``)
+  over spec or router-config parameters, optionally parallel.
 * ``figures`` — regenerate Figure 3/4/5 tables (alias for
   ``python -m repro.harness.figures``).
 * ``saturation`` — bisect a scheduler variant's saturation load.
@@ -14,9 +17,10 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from .core.config import RouterConfig
 from .harness.figures import main as figures_main
@@ -33,10 +37,23 @@ from .harness.single_router import (
     ExperimentSpec,
     run_single_router_experiment,
 )
+from .harness.sweep import SweepAxis, run_sweep
+
+#: Field names an ``--axis`` may target, and where each one lives.
+_SPEC_FIELDS = {f.name for f in dataclasses.fields(ExperimentSpec)}
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(RouterConfig)}
 
 
-def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--load", type=float, default=0.8, help="offered load")
+def _add_spec_arguments(
+    parser: argparse.ArgumentParser, multi_load: bool = False
+) -> None:
+    if multi_load:
+        parser.add_argument(
+            "--load", type=float, nargs="+", default=[0.8], metavar="LOAD",
+            help="offered load(s); several values fan out over --jobs",
+        )
+    else:
+        parser.add_argument("--load", type=float, default=0.8, help="offered load")
     parser.add_argument(
         "--scheduler", choices=SCHEDULERS, default="greedy",
         help="switch scheduler variant",
@@ -52,10 +69,12 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _spec_from_args(
-    args: argparse.Namespace, telemetry: bool = False
+    args: argparse.Namespace,
+    telemetry: bool = False,
+    load: Optional[float] = None,
 ) -> ExperimentSpec:
     return ExperimentSpec(
-        target_load=args.load,
+        target_load=args.load if load is None else load,
         scheduler=args.scheduler,
         priority=args.priority,
         candidates=args.candidates,
@@ -66,10 +85,8 @@ def _spec_from_args(
     )
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    """Run one experiment point and print (or dump) its metrics."""
-    result = run_single_router_experiment(_spec_from_args(args))
-    payload = {
+def _result_payload(result) -> dict:
+    return {
         "offered_load": result.offered_load,
         "connections": result.connections,
         "utilisation": result.utilisation,
@@ -80,6 +97,40 @@ def cmd_run(args: argparse.Namespace) -> int:
         "per_connection_jitter_cycles": result.per_connection.mean_jitter_cycles,
         "max_interface_backlog": result.max_interface_backlog,
     }
+
+
+def _print_payload(payload: dict, indent: str = "") -> None:
+    for key, value in payload.items():
+        print(f"{indent}{key:>30}: {value:.4f}" if isinstance(value, float) else
+              f"{indent}{key:>30}: {value}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one experiment point (or several loads) and print the metrics."""
+    loads = list(args.load)
+    if len(loads) > 1:
+        # Several loads: one experiment per load, fanned out over --jobs
+        # worker processes (telemetry/trace export is single-point only).
+        sweep = run_sweep(
+            _spec_from_args(args, load=loads[0]),
+            [SweepAxis("target_load", tuple(loads))],
+            jobs=args.jobs,
+        )
+        points = [
+            {"target_load": load, **_result_payload(sweep.results[(load,)])}
+            for load in loads
+        ]
+        if args.json:
+            print(json.dumps({"points": points}, indent=2))
+        else:
+            for point in points:
+                print(f"load {point['target_load']:g}:")
+                _print_payload(
+                    {k: v for k, v in point.items() if k != "target_load"}
+                )
+        return 0
+    result = run_single_router_experiment(_spec_from_args(args, load=loads[0]))
+    payload = _result_payload(result)
     recorder = result.recorder
     if recorder is not None:
         payload["telemetry_channels"] = recorder.telemetry.names()
@@ -88,9 +139,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
-        for key, value in payload.items():
-            print(f"{key:>30}: {value:.4f}" if isinstance(value, float) else
-                  f"{key:>30}: {value}")
+        _print_payload(payload)
         if recorder is not None:
             print()
             print(format_telemetry(recorder.telemetry.snapshot()))
@@ -147,6 +196,66 @@ def cmd_obs(args: argparse.Namespace) -> int:
             print(f"\ntrace written to {args.trace_out}")
         if args.export_out:
             print(f"export written to {args.export_out}")
+    return 0
+
+
+def _parse_axis_value(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _parse_axis(text: str) -> SweepAxis:
+    """Parse ``name=v1,v2,...`` into a SweepAxis, inferring the target.
+
+    Axis names are looked up among :class:`ExperimentSpec` fields first
+    ('spec' target), then :class:`RouterConfig` fields ('config' target,
+    applied via ``config.with_``).
+    """
+    name, sep, values_text = text.partition("=")
+    values = tuple(
+        _parse_axis_value(v) for v in values_text.split(",") if v != ""
+    )
+    if not sep or not values:
+        raise argparse.ArgumentTypeError(
+            f"axis must look like name=v1,v2,... (got {text!r})"
+        )
+    if name in _SPEC_FIELDS:
+        target = "spec"
+    elif name in _CONFIG_FIELDS:
+        target = "config"
+    else:
+        raise argparse.ArgumentTypeError(
+            f"unknown axis {name!r}: not an ExperimentSpec or RouterConfig field"
+        )
+    return SweepAxis(name, values, target)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a design-space sweep and print its metric table."""
+    sweep = run_sweep(_spec_from_args(args), args.axis, jobs=args.jobs)
+    metrics = args.metrics.split(",")
+    rows = sweep.rows(metrics)
+    header = [axis.name for axis in args.axis] + metrics
+    if args.json:
+        print(json.dumps({"columns": header, "rows": rows}, indent=2))
+        return 0
+    cells = [
+        [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in cells))
+        for i in range(len(header))
+    ]
+    print("  ".join(name.rjust(w) for name, w in zip(header, widths)))
+    for row in cells:
+        print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
     return 0
 
 
@@ -220,7 +329,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one experiment point")
-    _add_spec_arguments(run_parser)
+    _add_spec_arguments(run_parser, multi_load=True)
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes when several --load values are given",
+    )
     run_parser.add_argument("--json", action="store_true", help="JSON output")
     run_parser.add_argument(
         "--telemetry", action="store_true",
@@ -247,13 +360,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     obs_parser.set_defaults(func=cmd_obs)
 
+    sweep_parser = sub.add_parser(
+        "sweep", help="cartesian design-space sweep over spec/config axes"
+    )
+    _add_spec_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--axis", action="append", required=True, type=_parse_axis,
+        metavar="NAME=V1,V2,...",
+        help="swept parameter (repeatable); ExperimentSpec or RouterConfig "
+             "field name followed by comma-separated values",
+    )
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for sweep points"
+    )
+    sweep_parser.add_argument(
+        "--metrics",
+        default="mean_delay_us,mean_jitter_cycles,utilisation",
+        help="comma-separated ExperimentResult attributes to tabulate",
+    )
+    sweep_parser.add_argument("--json", action="store_true", help="JSON output")
+    sweep_parser.set_defaults(func=cmd_sweep)
+
     figures_parser = sub.add_parser("figures", help="regenerate figure tables")
     figures_parser.add_argument("which", nargs="?", default="all",
                                 choices=("fig3", "fig4", "fig5", "all"))
     figures_parser.add_argument("--full", action="store_true")
+    figures_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the figure grid points",
+    )
     figures_parser.set_defaults(
         func=lambda args: figures_main(
-            [args.which] + (["--full"] if args.full else [])
+            [args.which]
+            + (["--full"] if args.full else [])
+            + ([f"--jobs={args.jobs}"] if args.jobs != 1 else [])
         )
     )
 

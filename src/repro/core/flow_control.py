@@ -10,7 +10,7 @@ driven, §4.3).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .status_vectors import BitVector
 
@@ -46,6 +46,11 @@ class LinkFlowControl:
         self._credits: List[int] = [buffer_depth] * num_vcs
         self.credits_available = BitVector(num_vcs)
         self.credits_available.set_all()
+        # Invoked as listener(vc, available) on every 0<->1 credit
+        # transition, so the owning router can mirror downstream credit
+        # state into the input port's ``credits_available`` status vector
+        # instead of polling per scheduling decision.
+        self.availability_listener: Optional[Callable[[int, bool], None]] = None
         # Stall accounting: how often a scheduling decision was blocked on
         # credits (useful for diagnosing back-pressure).
         self.credit_stalls = 0
@@ -72,6 +77,8 @@ class LinkFlowControl:
         self._credits[vc] -= 1
         if self._credits[vc] == 0:
             self.credits_available.clear(vc)
+            if self.availability_listener is not None:
+                self.availability_listener(vc, False)
 
     def replenish(self, vc: int) -> None:
         """Return one credit: downstream freed a buffer slot on ``vc``."""
@@ -83,8 +90,11 @@ class LinkFlowControl:
                 f"credit overflow on vc {vc}: more credits returned than "
                 f"buffer slots ({self.buffer_depth})"
             )
+        was_blocked = self._credits[vc] == 0
         self._credits[vc] += 1
         self.credits_available.set(vc)
+        if was_blocked and self.availability_listener is not None:
+            self.availability_listener(vc, True)
 
     def note_stall(self) -> None:
         """Record that scheduling skipped a flit for lack of credit."""

@@ -35,6 +35,12 @@ from .virtual_channel import ServiceClass, VirtualChannel
 VBR_EXCESS_OFFSET = -1e9
 
 
+def _winner_sort_key(winner):
+    """Per-output winner order: same as ``Candidate.sort_key`` restricted
+    to one input port — descending priority, then lowest VC index."""
+    return (-winner[0], winner[1])
+
+
 class Candidate(NamedTuple):
     """One virtual channel offered to the switch scheduler this cycle."""
 
@@ -61,6 +67,7 @@ class LinkScheduler:
         credit_check: Callable[[int, int], bool],
         selection: str = "priority",
         rng: Optional[SeededRng] = None,
+        fast_path: bool = True,
     ) -> None:
         """``credit_check(output_port, output_vc)`` must report downstream
         credit.
@@ -94,8 +101,17 @@ class LinkScheduler:
         self.credit_check = credit_check
         self.selection = selection
         self.rng = rng
+        #: Fused bit-parallel candidate walk (the default).  The reference
+        #: per-VC walk is kept behind ``fast_path=False`` so perf_gate can
+        #: prove the two produce bit-identical streams.
+        self.fast_path = fast_path
         self.candidates_offered = 0
         self.cycles_with_candidates = 0
+        # Size of the eligible set before candidate-set truncation, summed
+        # per scan (sampled by the flight recorder).  Fast path counts set
+        # bits in the fused mask; reference counts the pool it built —
+        # provably equal while the vectors are in sync.
+        self.eligible_vcs_total = 0
         # VBR service-tier accounting (§4.4): flits granted within the
         # permanent allocation vs in the excess (permanent..peak) tier.
         self.vbr_permanent_grants = 0
@@ -105,26 +121,48 @@ class LinkScheduler:
         # Hot-path handles: candidate selection and round accounting run
         # every busy cycle, so resolve the status vectors once.
         self._flits_available = status.vector("flits_available")
+        self._credits_available = status.vector("credits_available")
+        self._routed = status.vector("routed")
+        self._exhausted = status.vector("round_budget_exhausted")
         self._cbr_serviced = status.vector("cbr_bandwidth_serviced")
         self._vbr_serviced = status.vector("vbr_bandwidth_serviced")
         self._connection_active = status.vector("connection_active")
         self._candidate_limit = config.candidates
+        self._enforce = config.enforce_round_budgets
+        # Integer dispatch code for the priority scheme's time dependence
+        # (see PriorityScheme.time_dependence); keeps the fast-path inner
+        # loop to an int compare instead of a string compare.
+        self._scheme_dep = {"static": 0, "aging": 1, "hashed": 2}.get(
+            scheme.time_dependence, 3
+        )
+        # The per-output mode folds its selection into the fused scan
+        # (tracking the best flit per output while walking the mask)
+        # instead of building the full pool and reducing it afterwards.
+        self._per_output_fast = selection == "per_output"
 
     # ----- round accounting --------------------------------------------------
 
     def on_round_boundary(self) -> None:
-        """Reset per-round serviced counters and the serviced bit vectors."""
-        serviced_cbr = self._cbr_serviced
-        serviced_vbr = self._vbr_serviced
-        for vc_index in serviced_cbr.indices():
-            self.vcs[vc_index].serviced_this_round = 0
-        for vc_index in serviced_vbr.indices():
-            self.vcs[vc_index].serviced_this_round = 0
-        serviced_cbr.clear_all()
-        serviced_vbr.clear_all()
-        # VCs partially serviced (bit not set) also reset.
-        for vc_index in self._connection_active.indices():
-            self.vcs[vc_index].serviced_this_round = 0
+        """Reset per-round serviced counters and the serviced bit vectors.
+
+        One pass over the OR of the three vectors that can mark a VC as
+        touched this round — a VC both serviced and active is visited
+        once, not three times.
+        """
+        vcs = self.vcs
+        bits = (
+            self._cbr_serviced._bits
+            | self._vbr_serviced._bits
+            | self._connection_active._bits
+        )
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            vc = vcs[low.bit_length() - 1]
+            vc.serviced_this_round = 0
+            self.refresh_round_state(vc)
+        self._cbr_serviced.clear_all()
+        self._vbr_serviced.clear_all()
 
     def on_flit_serviced(self, vc: VirtualChannel) -> None:
         """Account one transmitted flit against the VC's round budget."""
@@ -139,6 +177,37 @@ class LinkScheduler:
                 self.vbr_excess_grants += 1
             if vc.peak_cycles and vc.serviced_this_round >= vc.peak_cycles:
                 self._vbr_serviced.set(vc.index)
+        if self._enforce:
+            self.refresh_round_state(vc)
+
+    def refresh_round_state(self, vc: VirtualChannel) -> None:
+        """Recompute the VC's exhausted bit and cached tier offset.
+
+        Mirrors :meth:`_round_gate` exactly: ``round_budget_exhausted``
+        holds the cases where the gate returns None, ``vc.round_offset``
+        the offset it would return otherwise.  Called whenever an input of
+        the gate changes — a flit serviced, a round boundary, a (re)bind
+        or renegotiation — so the fast path never evaluates the gate.
+        """
+        exhausted = False
+        offset = 0.0
+        if self._enforce:
+            service_class = vc.service_class
+            if service_class is ServiceClass.CBR:
+                exhausted = bool(vc.allocated_cycles) and (
+                    vc.serviced_this_round >= vc.allocated_cycles
+                )
+            elif service_class is ServiceClass.VBR:
+                if vc.serviced_this_round < vc.permanent_cycles:
+                    pass
+                elif vc.peak_cycles and vc.serviced_this_round >= vc.peak_cycles:
+                    exhausted = True
+                elif self.config.vbr_excess_discipline == "priority":
+                    offset = VBR_EXCESS_OFFSET + vc.static_priority * 1e6
+                else:
+                    offset = VBR_EXCESS_OFFSET
+        self._exhausted.assign(vc.index, exhausted)
+        vc.round_offset = offset
 
     # ----- candidate selection -----------------------------------------------
 
@@ -172,8 +241,131 @@ class LinkScheduler:
         """Indices of VCs passing the bit-vector schedulability test."""
         return list(self.status.eligible_for_service().indices())
 
+    def fused_mask(self) -> int:
+        """The fast path's eligibility mask as a raw integer:
+        ``flits & credits & routed & ~exhausted``."""
+        return (
+            self._flits_available._bits
+            & self._credits_available._bits
+            & self._routed._bits
+            & ~self._exhausted._bits
+        )
+
     def candidates(self, now: int, limit: Optional[int] = None) -> List[Candidate]:
         """The candidate set offered to the switch scheduler this cycle."""
+        if not self.fast_path:
+            return self._candidates_reference(now, limit)
+        if limit is None:
+            limit = self._candidate_limit
+        mask = (
+            self._flits_available._bits
+            & self._credits_available._bits
+            & self._routed._bits
+            & ~self._exhausted._bits
+        )
+        if not mask:
+            return []
+        vcs = self.vcs
+        port = self.port
+        scheme = self.scheme
+        dep = self._scheme_dep
+        if self._per_output_fast:
+            # Selection fused into the scan: keep only the best flit per
+            # requested output while walking the mask.  An ascending-index
+            # scan with strict ``>`` replacement reproduces the reference
+            # ordering exactly (``sort_key`` ties on equal priority keep
+            # the lowest VC index, i.e. the first one encountered).
+            best: dict = {}
+            count = 0
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                vc_index = low.bit_length() - 1
+                vc = vcs[vc_index]
+                buffer = vc.buffer
+                if not buffer:
+                    raise RuntimeError(
+                        f"status vector out of sync: vc {self.port}.{vc_index} "
+                        "flagged available but empty"
+                    )
+                flit = buffer[0]
+                if vc.prio_flit is not flit:
+                    vc.prio_base, vc.prio_div, vc.prio_key = scheme.cache_terms(
+                        vc, flit
+                    )
+                    vc.prio_flit = flit
+                if dep == 1:
+                    priority = vc.prio_base + (now - flit.created) / vc.prio_div
+                elif dep == 0:
+                    priority = vc.prio_base
+                elif dep == 2:
+                    priority = vc.prio_base + (
+                        (vc.prio_key * 31 + now) * 2654435761 & 0xFFFFFFFF
+                    ) / 2**32
+                else:
+                    priority = scheme.priority(vc, flit, now)
+                priority += vc.round_offset
+                count += 1
+                output_port = vc.output_port
+                incumbent = best.get(output_port)
+                if incumbent is None or priority > incumbent[0]:
+                    best[output_port] = (priority, vc_index, output_port)
+            self.eligible_vcs_total += count
+            winners = sorted(best.values(), key=_winner_sort_key)
+            if len(winners) > limit:
+                winners = winners[:limit]
+            chosen = [
+                Candidate(priority, port, vc_index, output_port)
+                for priority, vc_index, output_port in winners
+            ]
+            self.candidates_offered += len(chosen)
+            self.cycles_with_candidates += 1
+            return chosen
+        pool: List[Candidate] = []
+        append = pool.append
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            vc_index = low.bit_length() - 1
+            vc = vcs[vc_index]
+            buffer = vc.buffer
+            if not buffer:
+                raise RuntimeError(
+                    f"status vector out of sync: vc {self.port}.{vc_index} "
+                    "flagged available but empty"
+                )
+            flit = buffer[0]
+            # Priority-term cache: valid while the same flit heads the VC
+            # (identity check doubles as the dirty bit — bind, release and
+            # route changes reset prio_flit to None).
+            if vc.prio_flit is not flit:
+                vc.prio_base, vc.prio_div, vc.prio_key = scheme.cache_terms(
+                    vc, flit
+                )
+                vc.prio_flit = flit
+            if dep == 0:
+                priority = vc.prio_base
+            elif dep == 1:
+                priority = vc.prio_base + (now - flit.created) / vc.prio_div
+            elif dep == 2:
+                priority = vc.prio_base + (
+                    (vc.prio_key * 31 + now) * 2654435761 & 0xFFFFFFFF
+                ) / 2**32
+            else:
+                priority = scheme.priority(vc, flit, now)
+            append(
+                Candidate(
+                    priority + vc.round_offset, port, vc_index, vc.output_port
+                )
+            )
+        return self._select(pool, limit)
+
+    def _candidates_reference(
+        self, now: int, limit: Optional[int] = None
+    ) -> List[Candidate]:
+        """The original per-VC candidate walk, kept as the identity oracle
+        for the fused fast path (cf. the legacy kernel behind PR 1's
+        ``allow_fast_forward=False``)."""
         if limit is None:
             limit = self._candidate_limit
         pool: List[Candidate] = []
@@ -198,6 +390,11 @@ class LinkScheduler:
             pool.append(Candidate(priority, self.port, vc_index, vc.output_port))
         if not pool:
             return []
+        return self._select(pool, limit)
+
+    def _select(self, pool: List[Candidate], limit: int) -> List[Candidate]:
+        """Draw the offered candidate set from the eligible ``pool``."""
+        self.eligible_vcs_total += len(pool)
         if len(pool) == 1 and self.selection == "priority":
             # Nothing to order or rotate; a one-flit port is the common
             # case at light load.

@@ -36,6 +36,18 @@ class PriorityScheme(abc.ABC):
 
     name: str = "abstract"
 
+    #: How the priority of a fixed head flit varies with ``now``.  The
+    #: link scheduler's fast path uses this to cache the flit-constant
+    #: terms (via :meth:`cache_terms`) and re-derive only the time-varying
+    #: part each cycle, bit-identically to :meth:`priority`:
+    #:
+    #: * ``"static"``  — ``base`` (constant while the flit heads the VC);
+    #: * ``"aging"``   — ``base + (now - flit.created) / div``;
+    #: * ``"hashed"``  — ``base + hash(key * 31 + now)`` with the Knuth
+    #:   multiplicative hash of :func:`_hash_priority`;
+    #: * ``"percycle"``— no cacheable structure; call :meth:`priority`.
+    time_dependence: str = "percycle"
+
     @abc.abstractmethod
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         """Priority of ``flit`` (head of ``vc``) at cycle ``now``.
@@ -43,6 +55,16 @@ class PriorityScheme(abc.ABC):
         Larger values win arbitration.  Implementations must not mutate
         the VC or the flit.
         """
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        """``(base, div, key)`` for the fast path's cached recomputation.
+
+        Only meaningful when :attr:`time_dependence` is not ``"percycle"``.
+        The terms must reproduce :meth:`priority` exactly — same floating
+        point operations in the same order — so fast-path candidate
+        ordering stays bit-identical to the reference path.
+        """
+        return (0.0, 1.0, 0)
 
     def with_class_offset(self, vc: VirtualChannel, base: float) -> float:
         """Apply the absolute traffic-class ordering on top of ``base``."""
@@ -86,11 +108,15 @@ class FixedPriority(PriorityScheme):
     """
 
     name = "fixed"
+    time_dependence = "hashed"
 
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         return self.with_class_offset(
             vc, _hash_priority(_flit_key(flit) * 31 + now)
         )
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        return (CLASS_OFFSETS[vc.service_class], 1.0, _flit_key(flit))
 
 
 class FrozenFlitPriority(PriorityScheme):
@@ -104,9 +130,14 @@ class FrozenFlitPriority(PriorityScheme):
     """
 
     name = "frozen"
+    time_dependence = "static"
 
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         return self.with_class_offset(vc, _hash_priority(_flit_key(flit)))
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        base = CLASS_OFFSETS[vc.service_class] + _hash_priority(_flit_key(flit))
+        return (base, 1.0, 0)
 
 
 class StaticConnectionPriority(PriorityScheme):
@@ -118,9 +149,13 @@ class StaticConnectionPriority(PriorityScheme):
     """
 
     name = "static"
+    time_dependence = "static"
 
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         return self.with_class_offset(vc, vc.static_priority)
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        return (CLASS_OFFSETS[vc.service_class] + vc.static_priority, 1.0, 0)
 
 
 class BiasedPriority(PriorityScheme):
@@ -134,10 +169,14 @@ class BiasedPriority(PriorityScheme):
     """
 
     name = "biased"
+    time_dependence = "aging"
 
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         waited = now - flit.created
         return self.with_class_offset(vc, waited / vc.interarrival_cycles)
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        return (CLASS_OFFSETS[vc.service_class], vc.interarrival_cycles, 0)
 
 
 class AgePriority(PriorityScheme):
@@ -149,9 +188,15 @@ class AgePriority(PriorityScheme):
     """
 
     name = "age"
+    time_dependence = "aging"
 
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         return self.with_class_offset(vc, float(now - flit.created))
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        # waited / 1.0 == float(waited) exactly, so the aging fast path
+        # reproduces priority() bit for bit.
+        return (CLASS_OFFSETS[vc.service_class], 1.0, 0)
 
 
 class RatePriority(PriorityScheme):
@@ -162,9 +207,14 @@ class RatePriority(PriorityScheme):
     """
 
     name = "rate"
+    time_dependence = "static"
 
     def priority(self, vc: VirtualChannel, flit: Flit, now: int) -> float:
         return self.with_class_offset(vc, 1.0 / vc.interarrival_cycles)
+
+    def cache_terms(self, vc: VirtualChannel, flit: Flit):
+        base = CLASS_OFFSETS[vc.service_class] + 1.0 / vc.interarrival_cycles
+        return (base, 1.0, 0)
 
 
 SCHEMES = {

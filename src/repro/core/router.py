@@ -97,6 +97,7 @@ class Router:
         tracer=None,
         delay_histogram_bins: int = 0,
         recorder=None,
+        scheduler_fast_path: bool = True,
     ) -> None:
         """``sink_outputs=True`` models the single-router evaluation: output
         links drain into ideal sinks with unlimited downstream credit.  A
@@ -137,9 +138,23 @@ class Router:
                 self._credit_check,
                 selection=selection,
                 rng=rng.spawn(f"link{port}") if rng is not None else None,
+                fast_path=scheduler_fast_path,
             )
             for port in range(config.num_ports)
         ]
+        # Fast-path credit mirroring: each (output_port, output_vc) in use
+        # maps to the single input VC bound to it; the output links'
+        # availability listeners push downstream 0<->1 credit transitions
+        # into that VC's ``credits_available`` status bit.
+        self._downstream_users: Dict[tuple, tuple] = {}
+        self._credits_vectors = [
+            port.status.vector("credits_available") for port in self.input_ports
+        ]
+        self._routed_vectors = [
+            port.status.vector("routed") for port in self.input_ports
+        ]
+        for output_port, flow in enumerate(self.output_flow):
+            flow.availability_listener = self._make_credit_listener(output_port)
         perfect = isinstance(switch_scheduler, PerfectSwitchScheduler)
         self.crossbar = (
             PerfectSwitch(config.num_ports)
@@ -210,6 +225,95 @@ class Router:
             return True
         return self.output_flow[output_port].has_credit(output_vc)
 
+    def _make_credit_listener(self, output_port: int):
+        users = self._downstream_users
+        vectors = self._credits_vectors
+
+        def listener(output_vc: int, available: bool) -> None:
+            user = users.get((output_port, output_vc))
+            if user is not None:
+                vectors[user[0]].assign(user[1], available)
+
+        return listener
+
+    # ----- route state (fast-path vector maintenance) -----------------------
+
+    def _register_route_state(
+        self, input_port: int, vc_index: int, output_port: int, output_vc: int
+    ) -> None:
+        """Mirror a VC's freshly resolved route into the status vectors."""
+        if output_port < 0:
+            return
+        self._routed_vectors[input_port].set(vc_index)
+        if output_vc >= 0:
+            key = (output_port, output_vc)
+            if key in self._downstream_users:
+                raise RuntimeError(
+                    f"{self.name}: downstream vc {output_port}.{output_vc} "
+                    f"already driven by input vc "
+                    f"{self._downstream_users[key][0]}."
+                    f"{self._downstream_users[key][1]}"
+                )
+            self._downstream_users[key] = (input_port, vc_index)
+            self._credits_vectors[input_port].assign(
+                vc_index, self.output_flow[output_port].has_credit(output_vc)
+            )
+        else:
+            # Sink binding: downstream credit can never block.
+            self._credits_vectors[input_port].set(vc_index)
+
+    def _release_route_state(self, vc: VirtualChannel) -> None:
+        """Drop a VC's route mirroring (teardown or re-route)."""
+        input_port = vc.port
+        self._routed_vectors[input_port].clear(vc.index)
+        # Unbound/unrouted VCs park with credits available (the vector's
+        # idle default), so a future binding starts from a known state.
+        self._credits_vectors[input_port].set(vc.index)
+        if vc.output_port >= 0 and vc.output_vc >= 0:
+            self._downstream_users.pop((vc.output_port, vc.output_vc), None)
+
+    def scrub_vc_scheduling_state(self, input_port: int, vc_index: int) -> None:
+        """Reset a VC's fast-path scheduling bits ahead of its release.
+
+        Must run while the VC still holds its route (the downstream-user
+        map is keyed by it).  Clears the routed/credits mirroring and the
+        per-round serviced/exhausted bits so a future occupant of the VC
+        inherits nothing — a stale ``round_budget_exhausted`` bit would
+        silently mask the next connection until a round boundary.
+        """
+        port = self.input_ports[input_port]
+        self._release_route_state(port.vcs[vc_index])
+        status = port.status
+        status.vector("cbr_bandwidth_serviced").clear(vc_index)
+        status.vector("vbr_bandwidth_serviced").clear(vc_index)
+        status.vector("round_budget_exhausted").clear(vc_index)
+
+    def assign_route(
+        self, input_port: int, vc_index: int, output_port: int, output_vc: int = -1
+    ) -> None:
+        """Resolve (or change) the route of an already-bound VC.
+
+        The only supported way to set ``vc.output_port``/``vc.output_vc``
+        after binding: it keeps the ``routed`` and ``credits_available``
+        status vectors and the downstream-user map in sync, which the
+        scheduling fast path depends on.  Used by best-effort routing
+        (a blocked packet routed once a downstream VC frees up, §3.4) and
+        by probe-driven connection establishment (§3.5).
+        """
+        vc = self.input_ports[input_port].vcs[vc_index]
+        if vc.connection_id is None:
+            raise RuntimeError(
+                f"{self.name}: cannot route unbound VC {input_port}.{vc_index}"
+            )
+        if vc.output_port >= 0 or vc.output_vc >= 0:
+            self._release_route_state(vc)
+        vc.output_port = output_port
+        vc.output_vc = output_vc
+        # Route context feeds the cached priority terms (class offsets,
+        # interarrival) — invalidate so the next scan recomputes.
+        vc.prio_flit = None
+        self._register_route_state(input_port, vc_index, output_port, output_vc)
+
     # ----- connection management ------------------------------------------------
 
     def open_connection(
@@ -251,6 +355,8 @@ class Router:
             port.status.vector("vbr_service_requested").set(vc_index)
         port.status.vector("connection_active").set(vc_index)
         port.mark_bound(vc_index)
+        self._register_route_state(input_port, vc_index, output_port, output_vc)
+        self.link_schedulers[input_port].refresh_round_state(vc)
         if output_vc >= 0:
             # A real downstream VC exists: record the direct/reverse channel
             # mappings.  Sink outputs (single-router mode) have no channel
@@ -303,6 +409,8 @@ class Router:
         vc.interarrival_cycles = interarrival_cycles
         port.status.vector("connection_active").set(vc_index)
         port.mark_bound(vc_index)
+        self._register_route_state(input_port, vc_index, output_port, output_vc)
+        self.link_schedulers[input_port].refresh_round_state(vc)
         if connection_id not in self.connection_stats:
             self.connection_stats[connection_id] = ConnectionStats()
         self.stats.counter("packet_vcs_opened")
@@ -324,6 +432,7 @@ class Router:
                 f"VC {input_port}.{vc_index} bound to {vc.connection_id}, "
                 f"not {connection_id}"
             )
+        self.scrub_vc_scheduling_state(input_port, vc_index)
         vc.release()
         port.status.vector("cbr_service_requested").clear(vc_index)
         port.status.vector("vbr_service_requested").clear(vc_index)
@@ -371,6 +480,9 @@ class Router:
         else:
             vc.permanent_cycles = new.permanent_cycles
             vc.peak_cycles = new.effective_peak
+        # The new contract may change which round tier the VC sits in
+        # right now (e.g. a raised allocation un-exhausts it mid-round).
+        self.link_schedulers[input_port].refresh_round_state(vc)
         self.stats.counter("renegotiations")
         return True
 
@@ -651,6 +763,7 @@ class Router:
     def _release_packet_vc(self, vc: VirtualChannel) -> None:
         port = self.input_ports[vc.port]
         connection_id = vc.connection_id
+        self.scrub_vc_scheduling_state(vc.port, vc.index)
         vc.release()
         port.status.vector("connection_active").clear(vc.index)
         port.mark_free(vc.index)
@@ -682,6 +795,7 @@ class Router:
         for scheduler in self.link_schedulers:
             scheduler.candidates_offered = 0
             scheduler.cycles_with_candidates = 0
+            scheduler.eligible_vcs_total = 0
             scheduler.vbr_permanent_grants = 0
             scheduler.vbr_excess_grants = 0
         self.switch_scheduler.grants_issued = 0
@@ -694,6 +808,10 @@ class Router:
         * ``input_buffer_full`` is only set on genuinely full VCs;
         * the free-VC pools mirror connection bindings;
         * ``connection_active`` matches bound VCs;
+        * the fast-path vectors hold: ``routed`` mirrors resolved output
+          ports, ``credits_available`` mirrors :meth:`_credit_check` on
+          routed VCs, and ``round_budget_exhausted`` plus the cached
+          ``round_offset`` reproduce the reference round gate;
         * the published activity bits mirror ``flits_available`` per port
           (a desync here would let the kernel skip a busy router);
         * the RAU's direct/reverse stores are mirror images.
@@ -702,6 +820,7 @@ class Router:
         """
         for port in self.input_ports:
             status = port.status
+            scheduler = self.link_schedulers[port.port]
             for vc in port.vcs:
                 has_flits = status.vector("flits_available").test(vc.index)
                 assert has_flits == (vc.occupancy > 0), (
@@ -721,6 +840,35 @@ class Router:
                 assert (vc.index in port._free_vcs) == (not bound), (
                     f"{self.name}: free pool desync at {port.port}.{vc.index}"
                 )
+                routed = bound and vc.output_port >= 0
+                assert status.vector("routed").test(vc.index) == routed, (
+                    f"{self.name}: routed desync at {port.port}.{vc.index}"
+                )
+                credits_bit = status.vector("credits_available").test(vc.index)
+                if routed:
+                    assert credits_bit == self._credit_check(
+                        vc.output_port, vc.output_vc
+                    ), (
+                        f"{self.name}: credits_available desync at "
+                        f"{port.port}.{vc.index}"
+                    )
+                else:
+                    assert credits_bit, (
+                        f"{self.name}: credits_available not parked at "
+                        f"{port.port}.{vc.index}"
+                    )
+                gate = scheduler._round_gate(vc) if bound else 0.0
+                exhausted = status.vector("round_budget_exhausted").test(vc.index)
+                assert exhausted == (gate is None), (
+                    f"{self.name}: round_budget_exhausted desync at "
+                    f"{port.port}.{vc.index}"
+                )
+                if gate is not None:
+                    assert vc.round_offset == gate, (
+                        f"{self.name}: round_offset desync at "
+                        f"{port.port}.{vc.index}: "
+                        f"{vc.round_offset} != {gate}"
+                    )
             assert self.activity.test(port.port) == status.vector(
                 "flits_available"
             ).any(), f"{self.name}: activity bit desync at port {port.port}"

@@ -33,14 +33,12 @@ class BitVector:
 
     def set(self, index: int) -> None:
         """Set bit ``index`` to 1."""
-        if not 0 <= index < self.width:
-            raise IndexError(f"bit {index} out of range [0, {self.width})")
+        self._check(index)
         self._bits |= 1 << index
 
     def clear(self, index: int) -> None:
         """Set bit ``index`` to 0."""
-        if not 0 <= index < self.width:
-            raise IndexError(f"bit {index} out of range [0, {self.width})")
+        self._check(index)
         self._bits &= ~(1 << index)
 
     def assign(self, index: int, value: bool) -> None:
@@ -52,8 +50,7 @@ class BitVector:
 
     def test(self, index: int) -> bool:
         """Read bit ``index``."""
-        if not 0 <= index < self.width:
-            raise IndexError(f"bit {index} out of range [0, {self.width})")
+        self._check(index)
         return bool(self._bits >> index & 1)
 
     def _check(self, index: int) -> None:
@@ -72,7 +69,7 @@ class BitVector:
 
     def count(self) -> int:
         """Population count."""
-        return bin(self._bits).count("1")
+        return self._bits.bit_count()
 
     def any(self) -> bool:
         """True when at least one bit is set."""
@@ -206,6 +203,11 @@ class StatusBank:
         "vbr_service_requested",
         "vbr_bandwidth_serviced",
         "connection_active",
+        # Fast-path vectors (see DESIGN.md "scheduling fast path"): a VC's
+        # output port is resolved / its round budget is spent, maintained
+        # incrementally so candidate selection is one fused AND.
+        "routed",
+        "round_budget_exhausted",
     )
 
     def __init__(self, width: int) -> None:
@@ -247,6 +249,18 @@ class StatusBank:
         """VCs with flits to send and downstream credit — the basic
         schedulable set, computed as one wide AND (paper §4.1)."""
         return self._vectors["flits_available"] & self._vectors["credits_available"]
+
+    def schedulable(self) -> BitVector:
+        """The fused fast-path mask: flits AND credits AND routed AND NOT
+        round-budget-exhausted.  This is the exact eligibility set
+        :meth:`repro.core.link_scheduler.LinkScheduler.candidates` walks —
+        one wide boolean expression instead of per-VC Python checks."""
+        return (
+            self._vectors["flits_available"]
+            & self._vectors["credits_available"]
+            & self._vectors["routed"]
+            & ~self._vectors["round_budget_exhausted"]
+        )
 
     def cbr_candidates(self) -> BitVector:
         """The paper's worked example: channels with flits available,

@@ -74,17 +74,24 @@ class GreedyPriorityScheduler(SwitchScheduler):
     def schedule(
         self, candidate_lists: Sequence[List[Candidate]], now: int
     ) -> List[Grant]:
+        contributing = [candidates for candidates in candidate_lists if candidates]
+        if not contributing:
+            return []
+        if len(contributing) == 1:
+            # Every candidate shares one input port, so the full greedy
+            # pass grants exactly the top-priority candidate and skips the
+            # rest (input constraint).  This is the common case at light
+            # load, where a single port has flits buffered in a cycle.
+            candidates = contributing[0]
+            best = (
+                candidates[0]
+                if len(candidates) == 1
+                else min(candidates, key=Candidate.sort_key)
+            )
+            return [Grant(best.input_port, best.vc_index, best.output_port)]
         merged: List[Candidate] = []
-        for candidates in candidate_lists:
+        for candidates in contributing:
             merged.extend(candidates)
-        if len(merged) == 1:
-            # One candidate can conflict with nothing: grant it outright.
-            # This is the common case at light load, where exactly one
-            # connection has a flit buffered in a given cycle.
-            candidate = merged[0]
-            return [
-                Grant(candidate.input_port, candidate.vc_index, candidate.output_port)
-            ]
         merged.sort(key=Candidate.sort_key)
         grants: List[Grant] = []
         inputs_used = set()

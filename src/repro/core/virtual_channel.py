@@ -48,6 +48,11 @@ class VirtualChannel:
         "static_priority",
         "interarrival_cycles",
         "serviced_this_round",
+        "round_offset",
+        "prio_flit",
+        "prio_base",
+        "prio_div",
+        "prio_key",
         "history",
     )
 
@@ -71,6 +76,17 @@ class VirtualChannel:
         self.interarrival_cycles: float = 1.0
         # Flit cycles consumed in the current round.
         self.serviced_this_round: int = 0
+        # Cached priority offset of the VC's current round tier (0.0 in
+        # contract, the VBR excess offset beyond it); owned by
+        # LinkScheduler.refresh_round_state.
+        self.round_offset: float = 0.0
+        # Priority-term cache for the scheduling fast path: valid while
+        # ``prio_flit`` is the current head flit (identity check); the
+        # scheme's cache_terms() fills base/div/key.
+        self.prio_flit: Optional[Flit] = None
+        self.prio_base: float = 0.0
+        self.prio_div: float = 1.0
+        self.prio_key: int = 0
         # Output links already probed from this VC (EPB history store, §3.5).
         self.history: set = set()
 
@@ -98,6 +114,7 @@ class VirtualChannel:
         self.service_class = service_class
         self.output_port = output_port
         self.output_vc = output_vc
+        self.prio_flit = None
 
     def release(self) -> None:
         """Free the VC (connection torn down or packet fully sent)."""
@@ -116,6 +133,8 @@ class VirtualChannel:
         self.static_priority = 0.0
         self.interarrival_cycles = 1.0
         self.serviced_this_round = 0
+        self.round_offset = 0.0
+        self.prio_flit = None
         self.history.clear()
 
     # ----- buffer operations -----------------------------------------------

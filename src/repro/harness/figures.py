@@ -13,13 +13,14 @@ with pytest-benchmark timing.
 
 Run standalone::
 
-    python -m repro.harness.figures fig3 [--full]
-    python -m repro.harness.figures all  --full   # paper-scale cycles
+    python -m repro.harness.figures fig3 [--full] [--jobs=N]
+    python -m repro.harness.figures all  --full --jobs=4   # paper-scale cycles
 """
 
 from __future__ import annotations
 
 import sys
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -49,6 +50,28 @@ def run_point(spec: ExperimentSpec) -> ExperimentResult:
 def clear_cache() -> None:
     """Drop memoised results (tests use this for isolation)."""
     _cache.clear()
+
+
+def prime_cache(specs: Iterable[ExperimentSpec], jobs: int = 1) -> None:
+    """Run not-yet-memoised specs, optionally over worker processes.
+
+    Figure points are independent simulations, so ``jobs=N`` fans them
+    out with :class:`ProcessPoolExecutor`; results land in the same memo
+    cache :func:`run_point` reads, making the benchmark figures embarrass-
+    ingly parallel without touching the figure-assembly code.
+    """
+    pending = [spec for spec in dict.fromkeys(specs) if spec not in _cache]
+    if not pending:
+        return
+    if jobs <= 1 or len(pending) == 1:
+        for spec in pending:
+            _cache[spec] = run_single_router_experiment(spec)
+        return
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+        for spec, result in zip(
+            pending, pool.map(run_single_router_experiment, pending)
+        ):
+            _cache[spec] = result
 
 
 @dataclass
@@ -99,11 +122,13 @@ def _fig34_grid(
     candidates: Sequence[int],
     full: bool,
     seed: int,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, str, int, float], ExperimentResult]:
     combos = [
         ("greedy", priority, c) for priority in ("biased", "fixed") for c in candidates
     ]
     specs = _grid_specs(loads, combos, full, seed)
+    prime_cache(specs.values(), jobs)
     return {key: run_point(spec) for key, spec in specs.items()}
 
 
@@ -112,9 +137,10 @@ def figure3(
     candidates: Sequence[int] = (1, 2, 4, 8),
     full: bool = False,
     seed: int = 1,
+    jobs: int = 1,
 ) -> FigureData:
     """Jitter vs offered load for fixed and biased priorities."""
-    results = _fig34_grid(loads, candidates, full, seed)
+    results = _fig34_grid(loads, candidates, full, seed, jobs)
     data = FigureData(
         title="Figure 3: Jitter vs Offered Load (flit cycles), 1.24 Gb links",
         x_label="load",
@@ -134,9 +160,10 @@ def figure4(
     candidates: Sequence[int] = (1, 2, 4, 8),
     full: bool = False,
     seed: int = 1,
+    jobs: int = 1,
 ) -> FigureData:
     """Delay (microseconds) vs offered load for fixed and biased."""
-    results = _fig34_grid(loads, candidates, full, seed)
+    results = _fig34_grid(loads, candidates, full, seed, jobs)
     data = FigureData(
         title="Figure 4: Delay vs Offered Load (microseconds), 1.24 Gb links",
         x_label="load",
@@ -165,9 +192,25 @@ def figure5(
     full: bool = False,
     seed: int = 1,
     candidates: int = 8,
+    jobs: int = 1,
 ) -> Tuple[FigureData, FigureData]:
     """Delay and jitter vs load: biased, fixed, DEC, perfect (8 candidates)."""
     cycles = _cycles(full)
+    prime_cache(
+        (
+            ExperimentSpec(
+                target_load=load,
+                scheduler=scheduler,
+                priority=priority,
+                candidates=candidates,
+                seed=seed,
+                **cycles,
+            )
+            for _, scheduler, priority in FIGURE5_VARIANTS
+            for load in loads
+        ),
+        jobs,
+    )
     delay = FigureData(
         title="Figure 5a: Delay vs Offered Load (microseconds), 8 candidates",
         x_label="load",
@@ -201,19 +244,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: regenerate one figure (or all) and print its table(s)."""
     args = list(sys.argv[1:] if argv is None else argv)
     full = "--full" in args
+    jobs = 1
+    for arg in args:
+        if arg.startswith("--jobs="):
+            jobs = int(arg.split("=", 1)[1])
     args = [a for a in args if not a.startswith("--")]
     which = args[0] if args else "all"
     if which not in ("fig3", "fig4", "fig5", "all"):
-        print(f"unknown figure {which!r}; use fig3|fig4|fig5|all [--full]")
+        print(
+            f"unknown figure {which!r}; use fig3|fig4|fig5|all [--full] [--jobs=N]"
+        )
         return 2
     if which in ("fig3", "all"):
-        print(figure3(full=full).table())
+        print(figure3(full=full, jobs=jobs).table())
         print()
     if which in ("fig4", "all"):
-        print(figure4(full=full).table())
+        print(figure4(full=full, jobs=jobs).table())
         print()
     if which in ("fig5", "all"):
-        delay, jitter = figure5(full=full)
+        delay, jitter = figure5(full=full, jobs=jobs)
         print(delay.table())
         print()
         print(jitter.table())

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import time
 from typing import Callable, List, Optional, Tuple
 
@@ -28,6 +29,7 @@ from ..core.config import RouterConfig
 from ..core.priority import BiasedPriority
 from ..core.router import Router
 from ..core.switch_scheduler import GreedyPriorityScheduler
+from ..core.virtual_channel import ServiceClass
 from ..obs import (
     FlightRecorder,
     build_manifest,
@@ -35,7 +37,10 @@ from ..obs import (
     validate_chrome_trace,
 )
 from ..sim.engine import Simulator
+from ..sim.rng import SeededRng
 from ..traffic.cbr import CbrSource
+from ..traffic.load import LoadPlanner
+from ..traffic.rates import MBPS
 
 #: 10% of the paper's 1.24 Gbps link: inter-arrival of exactly 10 cycles.
 TEN_PCT_RATE_BPS = 124e6
@@ -266,6 +271,209 @@ def measure_obs_overhead(
         "total_overhead_pct": (totals["disabled"] - totals["baseline"])
         / totals["baseline"]
         * 100.0,
+    }
+
+
+#: The scheduler-stress rate mix: the middle of the paper's rate set.
+#: At 90% load these rates pack ~90 connections per input port (the
+#: 5 Mbps stream's inter-arrival is 248 cycles), so with phase-aligned
+#: sources a port's arrivals cluster into bursts that keep tens to
+#: hundreds of VCs simultaneously eligible — the regime where the
+#: candidate scan dominates and bit-parallel eligibility pays (the Tiny
+#: Tera bet, PAPERS.md).  Higher-rate mixes admit so few connections the
+#: per-flit pipeline dominates instead; lower-rate mixes need more
+#: connections than there are VCs to reach 90% load.
+SCHED_BENCH_RATE_SET = (5 * MBPS, 10 * MBPS, 20 * MBPS)
+
+
+def build_saturated_scenario(
+    scheduler_fast_path: bool,
+    target_load: float = 0.9,
+    seed: int = 7,
+    delivered: Optional[List[DeliveryRecord]] = None,
+) -> Tuple[Simulator, Router]:
+    """An 8x8 router loaded to ``target_load`` with many small CBR streams.
+
+    This is the link scheduler's worst case and the fast path's target
+    operating point: LoadPlanner packs hundreds of randomly-placed
+    connections from :data:`SCHED_BENCH_RATE_SET`, all phase-aligned
+    (like :func:`build_cbr_scenario`), so every busy cycle scans a large
+    eligible set and ``candidates()`` dominates the run.  The connection
+    plan and static priorities derive from ``seed``, so two builds
+    differing only in ``scheduler_fast_path`` execute the same workload
+    and must deliver bit-identical flit streams.
+    """
+    config = RouterConfig(enforce_round_budgets=False)
+    rng = SeededRng(seed, "sched-bench")
+    sim = Simulator(allow_fast_forward=True)
+    router = Router(
+        config,
+        BiasedPriority(),
+        GreedyPriorityScheduler(),
+        sim,
+        selection="per_output",
+        rng=rng.spawn("router"),
+        scheduler_fast_path=scheduler_fast_path,
+    )
+    if delivered is not None:
+        record = delivered.append
+
+        def handler(flit, output_vc):
+            record(
+                (flit.connection_id, flit.sequence, flit.created, flit.depart_time)
+            )
+
+        for port in range(config.num_ports):
+            router.set_output_handler(port, handler)
+    plan = LoadPlanner(
+        config, rng.spawn("plan"), rate_set=SCHED_BENCH_RATE_SET
+    ).plan(target_load)
+    priority_rng = rng.spawn("static-priority")
+    for item in plan.specs:
+        interarrival = config.rate_to_interarrival_cycles(item.rate_bps)
+        vc_index = router.open_connection(
+            item.connection_id,
+            item.input_port,
+            item.output_port,
+            BandwidthRequest(config.rate_to_cycles_per_round(item.rate_bps)),
+            service_class=ServiceClass.CBR,
+            interarrival_cycles=interarrival,
+            static_priority=priority_rng.random(),
+        )
+        if vc_index is None:
+            continue  # flit-cycle rounding refusal; mirrors the harness
+        CbrSource(
+            sim,
+            router,
+            item.connection_id,
+            item.input_port,
+            vc_index,
+            item.rate_bps,
+            config,
+            phase=0,
+        ).start()
+    return sim, router
+
+
+def run_sched_identity_check(
+    cycles: int, target_load: float = 0.9, seed: int = 7
+) -> dict:
+    """Run the saturated scenario with both scheduler paths and compare.
+
+    The fused bit-vector path must reproduce the reference per-VC walk's
+    flit stream and statistics exactly; ``check_invariants`` additionally
+    audits every status vector against its brute-force predicate at the
+    end of each run.
+    """
+    results = {}
+    for fast_path in (False, True):
+        delivered: List[DeliveryRecord] = []
+        sim, router = build_saturated_scenario(
+            fast_path, target_load, seed, delivered=delivered
+        )
+        sim.run(cycles)
+        router.check_invariants()
+        results[fast_path] = (delivered, dict(router.stats.scalars))
+    reference, fused = results[False], results[True]
+    flits_identical = reference[0] == fused[0]
+    stats_identical = reference[1] == fused[1]
+    return {
+        "identical": flits_identical and stats_identical,
+        "flits_identical": flits_identical,
+        "stats_identical": stats_identical,
+        "flits_delivered": len(reference[0]),
+        "target_load": target_load,
+    }
+
+
+def measure_sched_cycles_per_second(
+    scheduler_fast_path: bool,
+    cycles: int,
+    repeats: int = 5,
+    target_load: float = 0.9,
+    seed: int = 7,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Best-of-``repeats`` throughput of the saturated-load scenario.
+
+    Same protocol as :func:`measure_cycles_per_second` (fresh scenario
+    per repeat, GC off, best time reported) on the scheduler-bound
+    workload, with the link-scheduler path selected by
+    ``scheduler_fast_path``.
+    """
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    best = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            sim, router = build_saturated_scenario(
+                scheduler_fast_path, target_load, seed
+            )
+            start = clock()
+            sim.run(cycles)
+            elapsed = clock() - start
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "cycles": cycles,
+        "repeats": repeats,
+        "target_load": target_load,
+        "seconds": best,
+        "cycles_per_sec": cycles / best,
+    }
+
+
+def measure_sweep_speedup(
+    jobs: int,
+    points: int = 4,
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 10000,
+    target_load: float = 0.6,
+    seed: int = 3,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Wall-clock of a seed sweep run serially vs with ``jobs`` workers.
+
+    Also cross-checks that the parallel run produced the same metric rows
+    as the serial one — the speedup is only meaningful if the work was
+    actually equivalent.  ``cpu_count`` is reported so callers can decide
+    whether the machine could possibly exhibit the speedup (a 1-core
+    runner cannot, and should record rather than gate).
+    """
+    from .single_router import ExperimentSpec
+    from .sweep import SweepAxis, run_sweep
+
+    if jobs < 2:
+        raise ValueError(f"speedup needs jobs >= 2, got {jobs}")
+    base = ExperimentSpec(
+        target_load=target_load,
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        seed=seed,
+    )
+    axes = (SweepAxis("seed", tuple(range(seed, seed + points))),)
+    metrics = ("mean_delay_cycles", "mean_jitter_cycles", "utilisation")
+    start = clock()
+    serial = run_sweep(base, axes, jobs=1)
+    serial_seconds = clock() - start
+    start = clock()
+    parallel = run_sweep(base, axes, jobs=jobs)
+    parallel_seconds = clock() - start
+    return {
+        "jobs": jobs,
+        "points": points,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "rows_identical": serial.rows(metrics) == parallel.rows(metrics),
     }
 
 

@@ -43,6 +43,8 @@ class NetworkExperimentSpec:
     seed: int = 1
     # Kernel mode knob (see ExperimentSpec.allow_fast_forward).
     allow_fast_forward: bool = True
+    # Link-scheduler mode knob (see ExperimentSpec.scheduler_fast_path).
+    scheduler_fast_path: bool = True
     # Attach a shared flight recorder across all routers (see
     # ExperimentSpec.telemetry).
     telemetry: bool = False
@@ -130,6 +132,7 @@ def run_network_experiment(
         sim,
         rng.spawn("network"),
         recorder=recorder,
+        scheduler_fast_path=spec.scheduler_fast_path,
     )
     manager = ConnectionManager(network)
     interfaces = [

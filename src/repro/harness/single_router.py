@@ -71,6 +71,10 @@ class ExperimentSpec:
     # Results are cycle-for-cycle identical either way (the perf gate
     # checks this); the knob exists for before/after benchmarking.
     allow_fast_forward: bool = True
+    # Link-scheduler mode: False forces the reference per-VC eligibility
+    # walk instead of the fused status-vector mask.  Candidate streams are
+    # bit-identical either way (the perf gate checks this too).
+    scheduler_fast_path: bool = True
     # Attach a flight recorder (flit trace, telemetry rings, kernel
     # profile); warm-up samples are discarded with the statistics.
     telemetry: bool = False
@@ -174,6 +178,7 @@ def run_single_router_experiment(
         sink_outputs=True,
         delay_histogram_bins=spec.delay_histogram_bins,
         recorder=recorder,
+        scheduler_fast_path=spec.scheduler_fast_path,
     )
     if recorder is not None:
         recorder.attach(sim)

@@ -4,13 +4,20 @@ The figure harness covers the paper's evaluation grid; this module covers
 the *design-space* sweeps DESIGN.md's ablation index calls for — candidate
 counts, round factors, VC counts, flit sizes — by generating spec grids
 from a base spec plus per-axis overrides.
+
+Sweep points are independent simulations, so :func:`run_sweep` can fan
+them out over worker processes (``jobs=N``).  Each worker receives one
+fully-built, seeded :class:`ExperimentSpec` and returns the picklable
+part of the result; rows are identical to a serial run because nothing
+about a point depends on execution order.
 """
 
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import RouterConfig
 from .single_router import ExperimentResult, ExperimentSpec, run_single_router_experiment
@@ -36,12 +43,25 @@ class SweepAxis:
             raise ValueError(f"axis {self.name} has no values")
 
 
+class SweepPointError(RuntimeError):
+    """One sweep point's experiment raised; names the failing point."""
+
+    def __init__(self, point: str, cause: BaseException) -> None:
+        super().__init__(f"sweep point [{point}] failed: {cause!r}")
+        self.point = point
+        self.cause = cause
+
+
 @dataclass
 class SweepResult:
     """All results of one sweep, keyed by the axis-value tuples."""
 
     axes: Tuple[SweepAxis, ...]
     results: Dict[Tuple[Any, ...], ExperimentResult] = field(default_factory=dict)
+    #: Run manifests of telemetry-enabled points, merged across workers
+    #: (parallel workers cannot ship the recorder itself — see
+    #: :func:`_run_point`).
+    manifests: Dict[Tuple[Any, ...], Dict[str, Any]] = field(default_factory=dict)
 
     def column(self, metric: str) -> Dict[Tuple[Any, ...], float]:
         """Extract one metric across the grid.
@@ -74,13 +94,88 @@ def build_spec(base: ExperimentSpec, assignment: Mapping[str, Tuple[str, Any]]) 
     return spec
 
 
-def run_sweep(base: ExperimentSpec, axes: Sequence[SweepAxis]) -> SweepResult:
-    """Run the full cartesian product of the axes over the base spec."""
-    sweep = SweepResult(tuple(axes))
+def sweep_points(
+    base: ExperimentSpec, axes: Sequence[SweepAxis]
+) -> List[Tuple[Tuple[Any, ...], ExperimentSpec]]:
+    """The sweep's full cartesian grid as ``(key, spec)`` pairs.
+
+    Specs are built up-front (each carrying its own seed from the base
+    spec) so parallel workers receive self-contained, picklable work
+    items and the grid is identical for any ``jobs`` value.
+    """
+    points = []
     for values in itertools.product(*(axis.values for axis in axes)):
         assignment = {
             axis.name: (axis.target, value) for axis, value in zip(axes, values)
         }
-        spec = build_spec(base, assignment)
-        sweep.results[values] = run_single_router_experiment(spec)
+        points.append((values, build_spec(base, assignment)))
+    return points
+
+
+def _describe_point(axes: Sequence[SweepAxis], key: Tuple[Any, ...]) -> str:
+    return ", ".join(f"{axis.name}={value}" for axis, value in zip(axes, key))
+
+
+def _run_point(
+    spec: ExperimentSpec,
+    runner: Callable[[ExperimentSpec], ExperimentResult],
+) -> Tuple[ExperimentResult, Optional[Dict[str, Any]]]:
+    """Worker body: run one point, split off the non-picklable recorder.
+
+    The flight recorder holds simulator closures and trace rings, so it
+    never crosses the process boundary; its JSON-safe manifest does, and
+    the parent merges manifests into :attr:`SweepResult.manifests`.
+    """
+    result = runner(spec)
+    manifest = None
+    if result.recorder is not None:
+        manifest = dict(result.recorder.manifest)
+        result.recorder = None
+    return result, manifest
+
+
+def run_sweep(
+    base: ExperimentSpec,
+    axes: Sequence[SweepAxis],
+    jobs: int = 1,
+    _runner: Callable[[ExperimentSpec], ExperimentResult] = run_single_router_experiment,
+) -> SweepResult:
+    """Run the full cartesian product of the axes over the base spec.
+
+    ``jobs`` > 1 distributes points over that many worker processes.
+    Rows are identical to a serial run (each point is an independent,
+    self-seeded simulation); only wall-clock time changes.  A crashing
+    point raises :class:`SweepPointError` naming its axis assignment.
+
+    ``_runner`` is the per-point experiment function — overridable for
+    tests (it must be a module-level callable so workers can unpickle it).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    points = sweep_points(base, axes)
+    sweep = SweepResult(tuple(axes))
+
+    def record(key: Tuple[Any, ...], outcome) -> None:
+        result, manifest = outcome
+        sweep.results[key] = result
+        if manifest is not None:
+            sweep.manifests[key] = manifest
+
+    if jobs == 1 or len(points) <= 1:
+        for key, spec in points:
+            try:
+                record(key, _run_point(spec, _runner))
+            except Exception as exc:
+                raise SweepPointError(_describe_point(axes, key), exc) from exc
+        return sweep
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+        futures = {
+            key: pool.submit(_run_point, spec, _runner) for key, spec in points
+        }
+        for key, future in futures.items():
+            try:
+                record(key, future.result())
+            except Exception as exc:
+                raise SweepPointError(_describe_point(axes, key), exc) from exc
     return sweep

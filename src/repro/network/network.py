@@ -50,6 +50,7 @@ class Network:
         link_latency: int = 1,
         selection: str = "per_output",
         recorder=None,
+        scheduler_fast_path: bool = True,
     ) -> None:
         """``recorder`` (a :class:`repro.obs.FlightRecorder`) is shared by
         every router; its telemetry channels are namespaced by router name
@@ -81,6 +82,7 @@ class Network:
                 rng=rng.spawn(f"router{node}"),
                 sink_outputs=False,
                 recorder=recorder,
+                scheduler_fast_path=scheduler_fast_path,
             )
             for node in range(topology.num_nodes)
         ]
@@ -219,8 +221,7 @@ class Network:
         destination = flit.argument
         if destination == node:
             # Deliver locally through the (first) host port.
-            vc.output_port = self.topology.host_port(node)
-            vc.output_vc = -1
+            router.assign_route(port, vc_index, self.topology.host_port(node))
             return
         arrived_up = None
         neighbor = self.topology.neighbor_on_port(node, port)
@@ -234,8 +235,7 @@ class Network:
             )
             if reserved is None:
                 continue
-            vc.output_port = choice.output_port
-            vc.output_vc = reserved
+            router.assign_route(port, vc_index, choice.output_port, reserved)
             self.stats.counter("be_hops_routed")
             return
         # Blocked: every candidate next router is out of VCs.  Retry next

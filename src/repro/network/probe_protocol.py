@@ -279,8 +279,6 @@ class ProbeProtocol:
             hop = session.reservations[i]
             router = self.network.routers[hop.node]
             vc = router.input_ports[hop.entry_port].vcs[hop.vc_index]
-            vc.output_port = hop.output_port
-            vc.output_vc = downstream_vc
             vc.interarrival_cycles = session.interarrival_cycles
             vc.static_priority = session.static_priority
             if session.service_class is ServiceClass.CBR:
@@ -294,9 +292,17 @@ class ProbeProtocol:
                 router.input_ports[hop.entry_port].status.vector(
                     "vbr_service_requested"
                 ).set(hop.vc_index)
+            # assign_route (not direct field writes) keeps the fast-path
+            # routed/credits vectors in sync and invalidates the priority
+            # cache; the bandwidth fields above feed the round gate, so
+            # refresh that too.
+            router.assign_route(
+                hop.entry_port, hop.vc_index, hop.output_port, downstream_vc
+            )
             router.input_ports[hop.entry_port].status.vector(
                 "connection_active"
             ).set(hop.vc_index)
+            router.link_schedulers[hop.entry_port].refresh_round_state(vc)
             if downstream_vc >= 0:
                 router.rau.register_connection(
                     connection_id,
@@ -349,6 +355,7 @@ class ProbeProtocol:
         router = self.network.routers[hop.node]
         port = router.input_ports[hop.entry_port]
         vc = port.vcs[hop.vc_index]
+        router.scrub_vc_scheduling_state(hop.entry_port, hop.vc_index)
         vc.release()
         port.status.vector("cbr_service_requested").clear(hop.vc_index)
         port.status.vector("vbr_service_requested").clear(hop.vc_index)

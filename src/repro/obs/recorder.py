@@ -169,11 +169,13 @@ class FlightRecorder:
         cycles = scalars.get("cycles", 0.0)
         flits = scalars.get("flits_switched", 0.0)
         candidates = 0.0
+        eligible = 0.0
         busy_cycles = 0.0
         vbr_permanent = 0.0
         vbr_excess = 0.0
         for scheduler in router.link_schedulers:
             candidates += scheduler.candidates_offered
+            eligible += scheduler.eligible_vcs_total
             busy_cycles += scheduler.cycles_with_candidates
             vbr_permanent += scheduler.vbr_permanent_grants
             vbr_excess += scheduler.vbr_excess_grants
@@ -199,6 +201,13 @@ class FlightRecorder:
                     f"{prefix}.candidate_set_size",
                     cycle,
                     (candidates - window.get("candidates", 0.0)) / delta_busy,
+                )
+                # Eligible set before candidate truncation — how much the
+                # fused mask scan has to look at per busy cycle.
+                hub.sample(
+                    f"{prefix}.eligible_set_size",
+                    cycle,
+                    (eligible - window.get("eligible", 0.0)) / delta_busy,
                 )
             hub.sample(
                 f"{prefix}.vbr_permanent_grants",
@@ -228,6 +237,7 @@ class FlightRecorder:
         window["cycles"] = cycles
         window["flits"] = flits
         window["candidates"] = candidates
+        window["eligible"] = eligible
         window["busy_cycles"] = busy_cycles
         window["vbr_permanent"] = vbr_permanent
         window["vbr_excess"] = vbr_excess

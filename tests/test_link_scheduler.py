@@ -52,6 +52,10 @@ def activate(vcs, status, index, output_port, service=ServiceClass.CBR, created=
     vc.enqueue(flit, now=created)
     status.vector("flits_available").set(index)
     status.vector("connection_active").set(index)
+    if output_port >= 0:
+        # In a full router this is Router.assign_route's job; standalone
+        # scheduler tests mirror the route into the vector by hand.
+        status.vector("routed").set(index)
     return vc
 
 
@@ -77,11 +81,21 @@ class TestCandidateSelection:
     def test_credit_gating(self):
         scheduler, vcs, status = build(credit_ok=False)
         activate(vcs, status, 0, output_port=1)
+        # The fast path reads the credits_available vector (the router
+        # mirrors downstream credit state into it); the reference path
+        # polls the credit_check callable.  Gate both.
+        status.vector("credits_available").clear(0)
+        assert scheduler.candidates(now=5) == []
+        scheduler.fast_path = False
         assert scheduler.candidates(now=5) == []
 
     def test_desynchronised_status_vector_detected(self):
         scheduler, vcs, status = build()
         status.vector("flits_available").set(3)  # no flit actually queued
+        status.vector("routed").set(3)  # keep it in the fused mask
+        with pytest.raises(RuntimeError, match="out of sync"):
+            scheduler.candidates(now=0)
+        scheduler.fast_path = False
         with pytest.raises(RuntimeError, match="out of sync"):
             scheduler.candidates(now=0)
 
@@ -392,7 +406,10 @@ class TestUnroutedPackets:
         )
         assert scheduler.candidates(now=5) == []
         # Once routing assigns an output the packet becomes schedulable.
+        # (In a full router Router.assign_route sets the field and the
+        # routed bit together.)
         vc.output_port = 2
+        status.vector("routed").set(0)
         offered = scheduler.candidates(now=6)
         assert len(offered) == 1
         assert offered[0].output_port == 2

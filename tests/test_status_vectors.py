@@ -148,6 +148,24 @@ class TestStatusBank:
         bank.vector("credits_available").clear(5)
         assert set(bank.eligible_for_service().indices()) == {2}
 
+    @given(index_sets, index_sets, index_sets, index_sets)
+    def test_schedulable_is_fused_and(self, flits, credits, routed, exhausted):
+        # The fast-path mask: flits & credits & routed & ~exhausted, as
+        # one wide boolean expression over all four vectors.
+        bank = StatusBank(64)
+        bank.vector("credits_available").clear_all()
+        for name, indices in (
+            ("flits_available", flits),
+            ("credits_available", credits),
+            ("routed", routed),
+            ("round_budget_exhausted", exhausted),
+        ):
+            vector = bank.vector(name)
+            for i in indices:
+                vector.set(i)
+        expected = (flits & credits & routed) - exhausted
+        assert set(bank.schedulable().indices()) == expected
+
     def test_cbr_candidates_combination(self):
         # The paper's worked example: flits & credits & requested & ~serviced.
         bank = StatusBank(8)

@@ -1,0 +1,93 @@
+"""Tests for the multiprocess sweep harness: row identity across job
+counts, manifest merging, and worker-crash reporting."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.harness.single_router import ExperimentSpec
+from repro.harness.sweep import SweepAxis, SweepPointError, run_sweep
+
+TINY = RouterConfig(num_ports=4, vcs_per_port=32, enforce_round_budgets=False)
+
+METRICS = ("mean_delay_cycles", "mean_jitter_cycles", "utilisation")
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        target_load=0.4,
+        config=TINY,
+        candidates=4,
+        seed=3,
+        warmup_cycles=300,
+        measure_cycles=1500,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+@dataclass
+class _FakeResult:
+    """Minimal picklable stand-in for ExperimentResult in crash tests."""
+
+    seed: int
+    recorder: Optional[object] = field(default=None)
+
+
+def _crashing_runner(spec):
+    """Module-level (hence picklable) runner that fails one grid point."""
+    if spec.seed == 5 and spec.target_load == 0.4:
+        raise ValueError("boom")
+    return _FakeResult(seed=spec.seed)
+
+
+class TestParallelSweep:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_sweep(tiny_spec(), [SweepAxis("seed", (1,))], jobs=0)
+
+    def test_parallel_rows_identical_to_serial(self):
+        axes = [
+            SweepAxis("seed", (3, 4)),
+            SweepAxis("target_load", (0.3, 0.5)),
+        ]
+        serial = run_sweep(tiny_spec(), axes, jobs=1)
+        parallel = run_sweep(tiny_spec(), axes, jobs=2)
+        assert serial.rows(METRICS) == parallel.rows(METRICS)
+        assert set(serial.results) == set(parallel.results)
+
+    def test_manifests_merged_across_workers(self):
+        axes = [SweepAxis("seed", (3, 4))]
+        serial = run_sweep(tiny_spec(telemetry=True), axes, jobs=1)
+        parallel = run_sweep(tiny_spec(telemetry=True), axes, jobs=2)
+        assert set(parallel.manifests) == {(3,), (4,)}
+        assert set(serial.manifests) == set(parallel.manifests)
+        for manifest in parallel.manifests.values():
+            # Workers ship the JSON-safe manifest, never the recorder.
+            assert isinstance(manifest, dict) and manifest
+        for key in parallel.results:
+            assert parallel.results[key].recorder is None
+
+    def test_no_manifests_without_telemetry(self):
+        sweep = run_sweep(tiny_spec(), [SweepAxis("seed", (3, 4))], jobs=2)
+        assert sweep.manifests == {}
+
+    def test_worker_crash_names_failing_point(self):
+        axes = [
+            SweepAxis("seed", (4, 5)),
+            SweepAxis("target_load", (0.4, 0.6)),
+        ]
+        with pytest.raises(SweepPointError, match=r"seed=5, target_load=0\.4"):
+            run_sweep(tiny_spec(), axes, jobs=2, _runner=_crashing_runner)
+
+    def test_serial_crash_names_failing_point(self):
+        axes = [
+            SweepAxis("seed", (4, 5)),
+            SweepAxis("target_load", (0.4, 0.6)),
+        ]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(tiny_spec(), axes, jobs=1, _runner=_crashing_runner)
+        assert excinfo.value.point == "seed=5, target_load=0.4"
+        assert isinstance(excinfo.value.cause, ValueError)
