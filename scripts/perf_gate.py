@@ -39,6 +39,15 @@ A second gate covers the bit-parallel scheduling fast path, recorded to
    actually has ``--sweep-jobs`` cores (recorded but not gated on
    smaller machines — a 1-core runner cannot exhibit the speedup).
 
+A third gate covers the checkpoint/restore subsystem, recorded to
+``BENCH_ckpt.json``:
+
+7. **Checkpoint identity** — the saturated-CBR 90%-load single router
+   (the 729-connection scenario) and the 12-node multihop network (with
+   best-effort chatter in flight) run straight through vs
+   checkpoint-at-midpoint / restore-from-disk / resume, and must produce
+   bit-identical delivered-flit streams and statistics.
+
 Run from the repo root::
 
     PYTHONPATH=src python scripts/perf_gate.py
@@ -67,6 +76,10 @@ from repro.harness.kernel_bench import (  # noqa: E402
     run_identity_check,
     run_sched_identity_check,
     run_trace_validation,
+)
+from repro.ckpt.verify import (  # noqa: E402
+    run_ckpt_network_identity_check,
+    run_ckpt_router_identity_check,
 )
 from repro.obs import build_manifest  # noqa: E402
 from repro.harness.network_experiment import (  # noqa: E402
@@ -205,6 +218,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--sched-output", type=Path, default=REPO_ROOT / "BENCH_sched.json",
         help="where to write the scheduler-gate JSON report",
+    )
+    parser.add_argument(
+        "--ckpt-identity-cycles", type=int, default=8_000,
+        help="cycles for the saturated-CBR checkpoint identity run "
+             "(default 8000)",
+    )
+    parser.add_argument(
+        "--ckpt-output", type=Path, default=REPO_ROOT / "BENCH_ckpt.json",
+        help="where to write the checkpoint-gate JSON report",
     )
     args = parser.parse_args(argv)
     if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
@@ -379,6 +401,45 @@ def main(argv=None) -> int:
                 f"{sweep_measurement['cpu_count']}-core machine"
             )
 
+    print("== ckpt identity: saturated-CBR single router (729 connections) ==")
+    ckpt_router = run_ckpt_router_identity_check(args.ckpt_identity_cycles)
+    print(
+        f"   connections={ckpt_router['connections']} "
+        f"flits={ckpt_router['flits_delivered']} "
+        f"ckpt@{ckpt_router['checkpoint_cycle']} "
+        f"({ckpt_router['checkpoint_bytes']:,} bytes) "
+        f"identical={ckpt_router['identical']}"
+    )
+    if not ckpt_router["identical"]:
+        failures.append("checkpoint identity (saturated single router)")
+
+    ckpt_network = None
+    if not args.skip_multihop:
+        print("== ckpt identity: 12-node multihop network ==")
+        ckpt_network = run_ckpt_network_identity_check()
+        print(
+            f"   streams={ckpt_network['streams']} "
+            f"delay_count={ckpt_network['delay_count']} "
+            f"ckpt@{ckpt_network['checkpoint_cycle']} "
+            f"({ckpt_network['checkpoint_bytes']:,} bytes) "
+            f"identical={ckpt_network['identical']}"
+        )
+        if not ckpt_network["identical"]:
+            failures.append("checkpoint identity (multihop)")
+
+    ckpt_report = {
+        "schema": "bench-ckpt/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "manifest": build_manifest(command="scripts/perf_gate.py"),
+        "identity": {
+            "single_router": ckpt_router,
+            "multihop": ckpt_network,
+        },
+    }
+    args.ckpt_output.write_text(json.dumps(ckpt_report, indent=2) + "\n")
+    print(f"wrote {args.ckpt_output}")
+
     sched_report = {
         "schema": "bench-sched/1",
         "python": platform.python_version(),
@@ -438,9 +499,9 @@ def main(argv=None) -> int:
         print("FAIL: " + "; ".join(failures))
         return 1
     print(
-        f"PASS: identity holds, kernel {gate_speedup:.2f}x >= "
-        f"{args.min_speedup}x, scheduler {sched_speedup:.2f}x >= "
-        f"{args.min_sched_speedup}x"
+        f"PASS: identity holds (kernel, scheduler, checkpoint), "
+        f"kernel {gate_speedup:.2f}x >= {args.min_speedup}x, "
+        f"scheduler {sched_speedup:.2f}x >= {args.min_sched_speedup}x"
     )
     return 0
 

@@ -1,0 +1,31 @@
+"""Checkpoint/restore and deterministic replay.
+
+The codec (:mod:`repro.ckpt.codec`) defines the versioned on-disk format;
+the experiment harnesses (``SingleRouterExperiment.checkpoint/resume``,
+``NetworkExperiment.checkpoint/resume``) decide *what* goes in a
+checkpoint; :mod:`repro.ckpt.verify` proves restores are bit-identical
+(imported lazily by ``scripts/perf_gate.py`` — not re-exported here, to
+keep this package importable from inside the harness layer).
+"""
+
+from .codec import (
+    CKPT_SCHEMA,
+    MAGIC,
+    CheckpointCodec,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointHeader,
+    CheckpointMismatchError,
+    CheckpointSchemaError,
+)
+
+__all__ = [
+    "CKPT_SCHEMA",
+    "MAGIC",
+    "CheckpointCodec",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointHeader",
+    "CheckpointMismatchError",
+    "CheckpointSchemaError",
+]

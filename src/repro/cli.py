@@ -11,7 +11,13 @@ Commands:
 * ``saturation`` — bisect a scheduler variant's saturation load.
 * ``obs`` — run a point with the flight recorder on and export the
   telemetry, kernel profile and Perfetto-loadable flit trace.
+* ``ckpt`` — checkpoint tooling (``ckpt inspect <file>`` dumps a
+  checkpoint's header and per-component sizes without unpickling it).
 * ``info`` — print the paper configuration's derived quantities.
+
+``run`` accepts ``--checkpoint-every N --checkpoint-out PATH`` to write
+periodic checkpoints, and ``--resume-from PATH`` to continue a run from
+its latest checkpoint — results are bit-identical to a straight run.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import json
 import sys
 from typing import Any, Optional, Sequence
 
+from .ckpt.codec import CheckpointCodec, CheckpointError
 from .core.config import RouterConfig
 from .harness.figures import main as figures_main
 from .harness.network_experiment import (
@@ -108,6 +115,11 @@ def _print_payload(payload: dict, indent: str = "") -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one experiment point (or several loads) and print the metrics."""
     loads = list(args.load)
+    checkpointed = args.checkpoint_every is not None or args.resume_from is not None
+    if checkpointed and len(loads) > 1:
+        print("--checkpoint-every/--resume-from are single-point only; "
+              "use one --load (or run_sweep's checkpointing)", file=sys.stderr)
+        return 2
     if len(loads) > 1:
         # Several loads: one experiment per load, fanned out over --jobs
         # worker processes (telemetry/trace export is single-point only).
@@ -129,8 +141,27 @@ def cmd_run(args: argparse.Namespace) -> int:
                     {k: v for k, v in point.items() if k != "target_load"}
                 )
         return 0
-    result = run_single_router_experiment(_spec_from_args(args, load=loads[0]))
+    if checkpointed:
+        path = args.resume_from or args.checkpoint_out
+        if path is None:
+            print("--checkpoint-every needs --checkpoint-out PATH (or "
+                  "--resume-from an existing checkpoint)", file=sys.stderr)
+            return 2
+        try:
+            result = run_single_router_experiment(
+                _spec_from_args(args, load=loads[0]),
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=path,
+                resume=args.resume_from is not None,
+            )
+        except CheckpointError as exc:
+            print(f"checkpoint error: {exc}", file=sys.stderr)
+            return 1
+    else:
+        result = run_single_router_experiment(_spec_from_args(args, load=loads[0]))
     payload = _result_payload(result)
+    if result.checkpoint is not None:
+        payload["checkpoint"] = result.checkpoint
     recorder = result.recorder
     if recorder is not None:
         payload["telemetry_channels"] = recorder.telemetry.names()
@@ -303,6 +334,37 @@ def cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ckpt_inspect(args: argparse.Namespace) -> int:
+    """Describe a checkpoint from its header alone (no unpickling, so
+    inspecting a corrupt or foreign file is safe)."""
+    try:
+        summary = CheckpointCodec.inspect(args.file)
+    except (CheckpointError, OSError) as exc:
+        print(f"cannot inspect {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    manifest = summary["manifest"]
+    print(f"checkpoint: {summary['path']}")
+    print(f"{'schema':>16}: {summary['schema']}")
+    print(f"{'kind':>16}: {summary['kind']}")
+    print(f"{'cycle':>16}: {summary['cycle']}")
+    print(f"{'seed':>16}: {summary['seed']}")
+    print(f"{'config digest':>16}: {summary['config_digest']}")
+    print(f"{'git revision':>16}: {manifest.get('git_revision')}")
+    print(f"{'written':>16}: {manifest.get('created_iso')}")
+    print(f"{'file bytes':>16}: {summary['file_bytes']}")
+    print(f"{'payload bytes':>16}: {summary['payload_bytes']}")
+    print(f"{'payload sha256':>16}: {summary['payload_sha256'][:16]}...")
+    if summary["sections"]:
+        print("component sizes (standalone-encoded, shared state counted "
+              "per component):")
+        for name, size in summary["sections"].items():
+            print(f"{name:>16}: {size}")
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     """Print the paper configuration's derived quantities."""
     config: RouterConfig = PAPER_CONFIG
@@ -342,6 +404,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     run_parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="with --telemetry: write the Perfetto trace JSON here",
+    )
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="CYCLES",
+        help="write a checkpoint to --checkpoint-out every CYCLES cycles",
+    )
+    run_parser.add_argument(
+        "--checkpoint-out", default=None, metavar="PATH",
+        help="checkpoint file path (atomically replaced; latest wins)",
+    )
+    run_parser.add_argument(
+        "--resume-from", default=None, metavar="PATH",
+        help="resume from an existing checkpoint instead of cycle 0 "
+             "(bit-identical to a straight run)",
     )
     run_parser.set_defaults(func=cmd_run)
 
@@ -416,6 +491,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     network_parser.add_argument("--seed", type=int, default=1)
     network_parser.add_argument("--json", action="store_true")
     network_parser.set_defaults(func=cmd_network)
+
+    ckpt_parser = sub.add_parser("ckpt", help="checkpoint tooling")
+    ckpt_sub = ckpt_parser.add_subparsers(dest="ckpt_command", required=True)
+    inspect_parser = ckpt_sub.add_parser(
+        "inspect", help="dump a checkpoint's header and component sizes"
+    )
+    inspect_parser.add_argument("file", help="checkpoint file path")
+    inspect_parser.add_argument("--json", action="store_true", help="JSON output")
+    inspect_parser.set_defaults(func=cmd_ckpt_inspect)
 
     info_parser = sub.add_parser("info", help="paper configuration summary")
     info_parser.set_defaults(func=cmd_info)

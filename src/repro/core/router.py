@@ -80,6 +80,29 @@ class InputPort:
         self._free_vcs.add(vc_index)
 
 
+class _CreditListener:
+    """Mirrors one output link's 0<->1 credit transitions into the input
+    ports' ``credits_available`` status vectors.
+
+    A class (rather than a closure over the router's dict and vector
+    list) so routers are picklable for checkpointing; it shares the
+    router's live ``_downstream_users`` dict and vector list by
+    reference, which pickle preserves within one snapshot.
+    """
+
+    __slots__ = ("users", "vectors", "output_port")
+
+    def __init__(self, users: Dict[tuple, tuple], vectors: list, output_port: int) -> None:
+        self.users = users
+        self.vectors = vectors
+        self.output_port = output_port
+
+    def __call__(self, output_vc: int, available: bool) -> None:
+        user = self.users.get((self.output_port, output_vc))
+        if user is not None:
+            self.vectors[user[0]].assign(user[1], available)
+
+
 class Router:
     """A single MMR router instance driven by a shared simulator clock."""
 
@@ -225,16 +248,10 @@ class Router:
             return True
         return self.output_flow[output_port].has_credit(output_vc)
 
-    def _make_credit_listener(self, output_port: int):
-        users = self._downstream_users
-        vectors = self._credits_vectors
-
-        def listener(output_vc: int, available: bool) -> None:
-            user = users.get((output_port, output_vc))
-            if user is not None:
-                vectors[user[0]].assign(user[1], available)
-
-        return listener
+    def _make_credit_listener(self, output_port: int) -> "_CreditListener":
+        return _CreditListener(
+            self._downstream_users, self._credits_vectors, output_port
+        )
 
     # ----- route state (fast-path vector maintenance) -----------------------
 

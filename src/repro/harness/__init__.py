@@ -14,6 +14,8 @@ from .single_router import (
     PAPER_CONFIG,
     ExperimentResult,
     ExperimentSpec,
+    SimulatedWorkerCrash,
+    SingleRouterExperiment,
     run_single_router_experiment,
 )
 from .export import (
@@ -24,7 +26,14 @@ from .export import (
     write_result_json,
 )
 from .saturation import SaturationEstimate, find_saturation_load, is_saturated
-from .sweep import SweepAxis, SweepResult, build_spec, run_sweep
+from .sweep import (
+    Checkpointing,
+    SweepAxis,
+    SweepPointError,
+    SweepResult,
+    build_spec,
+    run_sweep,
+)
 
 __all__ = [
     "DEFAULT_LOADS",
@@ -40,8 +49,12 @@ __all__ = [
     "PAPER_CONFIG",
     "ExperimentResult",
     "ExperimentSpec",
+    "SimulatedWorkerCrash",
+    "SingleRouterExperiment",
     "run_single_router_experiment",
+    "Checkpointing",
     "SweepAxis",
+    "SweepPointError",
     "SweepResult",
     "build_spec",
     "run_sweep",

@@ -50,6 +50,25 @@ TEN_PCT_RATE_BPS = 124e6
 DeliveryRecord = Tuple[int, int, int, int]
 
 
+class DeliveryLog:
+    """Output handler that appends one :data:`DeliveryRecord` per flit.
+
+    A class (not a closure) so scenarios carrying one remain picklable —
+    the checkpoint identity gates snapshot mid-run with the log attached
+    and the records list full of history.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: Optional[List[DeliveryRecord]] = None) -> None:
+        self.records = records if records is not None else []
+
+    def __call__(self, flit, output_vc) -> None:
+        self.records.append(
+            (flit.connection_id, flit.sequence, flit.created, flit.depart_time)
+        )
+
+
 def build_cbr_scenario(
     allow_fast_forward: bool,
     connections: int,
@@ -77,13 +96,7 @@ def build_cbr_scenario(
     if recorder is not None:
         recorder.attach(sim)
     if delivered is not None:
-        record = delivered.append
-
-        def handler(flit, output_vc):
-            record(
-                (flit.connection_id, flit.sequence, flit.created, flit.depart_time)
-            )
-
+        handler = DeliveryLog(delivered)
         for port in range(config.num_ports):
             router.set_output_handler(port, handler)
     for i in range(connections):
@@ -316,13 +329,7 @@ def build_saturated_scenario(
         scheduler_fast_path=scheduler_fast_path,
     )
     if delivered is not None:
-        record = delivered.append
-
-        def handler(flit, output_vc):
-            record(
-                (flit.connection_id, flit.sequence, flit.created, flit.depart_time)
-            )
-
+        handler = DeliveryLog(delivered)
         for port in range(config.num_ports):
             router.set_output_handler(port, handler)
     plan = LoadPlanner(

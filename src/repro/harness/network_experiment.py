@@ -13,6 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..ckpt.codec import (
+    CheckpointCodec,
+    CheckpointFormatError,
+    CheckpointHeader,
+    CheckpointMismatchError,
+)
 from ..core.config import RouterConfig
 from ..core.priority import make_priority_scheme
 from ..network.connection import ConnectionManager
@@ -92,130 +98,235 @@ class NetworkExperimentResult:
         return self.delay_cycles.mean / self.mean_hops if self.mean_hops else 0.0
 
 
+class NetworkExperiment:
+    """A network-level evaluation point as a resumable object.
+
+    Construction builds and loads the cluster (stream admission is
+    synchronous); :meth:`run_to` advances it with the warm-up boundary
+    handled exactly once; :meth:`checkpoint` / :meth:`resume` round-trip
+    the whole cluster — all routers, links in flight, interfaces and the
+    best-effort chatter events — through the checkpoint codec.
+    """
+
+    #: Checkpoint producer tag (header ``kind``).
+    KIND = "network"
+
+    def __init__(
+        self,
+        spec: NetworkExperimentSpec,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        rng = SeededRng(spec.seed, "network-experiment")
+        if topology is None:
+            topology = irregular(
+                spec.num_nodes, rng.spawn("topology"), mean_degree=spec.mean_degree
+            )
+        config = RouterConfig(
+            num_ports=topology.num_ports,
+            vcs_per_port=spec.vcs_per_port,
+            round_factor=spec.round_factor,
+            enforce_round_budgets=False,
+        )
+        sim = Simulator(allow_fast_forward=spec.allow_fast_forward)
+        recorder = None
+        if spec.telemetry:
+            recorder = FlightRecorder(
+                manifest=build_manifest(
+                    seed=spec.seed,
+                    config=config,
+                    command="run_network_experiment",
+                    extra={
+                        "num_nodes": spec.num_nodes,
+                        "target_link_load": spec.target_link_load,
+                        "warmup_cycles": spec.warmup_cycles,
+                        "measure_cycles": spec.measure_cycles,
+                    },
+                )
+            )
+        network = Network(
+            topology,
+            config,
+            make_priority_scheme(spec.priority),
+            sim,
+            rng.spawn("network"),
+            recorder=recorder,
+            scheduler_fast_path=spec.scheduler_fast_path,
+        )
+        manager = ConnectionManager(network)
+        interfaces = [
+            NetworkInterface(network, manager, node, rng=rng.spawn(f"ni{node}"))
+            for node in range(topology.num_nodes)
+        ]
+
+        # Admit streams until the mean router-to-router link utilisation
+        # reaches the target (or admissions stop succeeding).
+        demand_rng = rng.spawn("demand")
+        streams: List[Tuple[int, OpenStream]] = []
+        attempts = 0
+        consecutive_failures = 0
+        while consecutive_failures < 25:
+            if _mean_link_utilisation(network, topology) >= spec.target_link_load:
+                break
+            src = demand_rng.randint(0, topology.num_nodes - 1)
+            dst = demand_rng.randint(0, topology.num_nodes - 1)
+            if src == dst:
+                continue
+            attempts += 1
+            rate = demand_rng.choice((5e6, 20e6, 55e6, 120e6))
+            stream = interfaces[src].open_cbr(dst, rate)
+            if stream is None:
+                consecutive_failures += 1
+                continue
+            consecutive_failures = 0
+            streams.append((dst, stream))
+
+        self.spec = spec
+        self.topology = topology
+        self.config = config
+        self.sim = sim
+        self.recorder = recorder
+        self.network = network
+        self.manager = manager
+        self.interfaces = interfaces
+        self.streams = streams
+        self.attempts = attempts
+        self._be_rng = None
+        self._be_interval = 0.0
+        self._measurement_started = False
+
+        if spec.best_effort_rate > 0:
+            self._be_rng = rng.spawn("be")
+            self._be_interval = 100.0 / spec.best_effort_rate
+            for node in range(topology.num_nodes):
+                sim.schedule(1 + node, self._chatter)
+
+    def _chatter(self) -> None:
+        """Self-rescheduling best-effort background traffic (a bound
+        method, not a closure, so pending chatter events checkpoint)."""
+        be_rng = self._be_rng
+        num_nodes = self.topology.num_nodes
+        src = be_rng.randint(0, num_nodes - 1)
+        dst = be_rng.randint(0, num_nodes - 1)
+        if src != dst:
+            self.interfaces[src].send_best_effort(dst)
+        self.sim.schedule(
+            max(1, round(be_rng.expovariate(1.0 / self._be_interval))),
+            self._chatter,
+        )
+
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self.sim.now
+
+    @property
+    def total_cycles(self) -> int:
+        """Warm-up plus measurement horizon."""
+        return self.spec.warmup_cycles + self.spec.measure_cycles
+
+    def run_to(self, cycle: int) -> None:
+        """Advance to absolute ``cycle`` (clamped to the experiment end),
+        resetting measurement state once at the warm-up boundary."""
+        target = min(int(cycle), self.total_cycles)
+        if target < self.sim.now:
+            raise ValueError(
+                f"cannot run backwards to {target}, now is {self.sim.now}"
+            )
+        warmup = self.spec.warmup_cycles
+        if self.sim.now < warmup:
+            self.sim.run(min(target, warmup) - self.sim.now)
+        if self.sim.now >= warmup and not self._measurement_started:
+            self._measurement_started = True
+            for ni in self.interfaces:
+                ni.end_to_end.clear()
+                ni.flits_received = 0
+                ni.packets_received = 0
+            if self.recorder is not None:
+                self.recorder.clear()
+        if target > self.sim.now:
+            self.sim.run(target - self.sim.now)
+
+    def result(self) -> NetworkExperimentResult:
+        """Summarise the (completed) run; runs any remaining cycles."""
+        if self.sim.now < self.total_cycles:
+            self.run_to(self.total_cycles)
+        interfaces = self.interfaces
+        delay = RunningStats()
+        jitter = RunningStats()
+        hop_groups: Dict[int, Tuple[RunningStats, RunningStats]] = {}
+        hops_total = 0.0
+        for dst, stream in self.streams:
+            stats = interfaces[dst].end_to_end.get(stream.connection.connection_id)
+            hops_total += stream.connection.hops
+            if stats is None or stats.flits == 0:
+                continue
+            delay.merge(_clone(stats.delay))
+            jitter.merge(_clone(stats.jitter))
+            hops = stream.connection.hops
+            if hops not in hop_groups:
+                hop_groups[hops] = (RunningStats(), RunningStats())
+            hop_groups[hops][0].merge(_clone(stats.delay))
+            hop_groups[hops][1].merge(_clone(stats.jitter))
+        return NetworkExperimentResult(
+            spec=self.spec,
+            streams=len(self.streams),
+            attempts=self.attempts,
+            mean_hops=hops_total / len(self.streams) if self.streams else 0.0,
+            delay_cycles=delay,
+            jitter_cycles=jitter,
+            by_hops={
+                hops: (d.mean, j.mean) for hops, (d, j) in sorted(hop_groups.items())
+            },
+            best_effort_delivered=sum(ni.packets_received for ni in interfaces),
+            links_searched=self.manager.stats.links_searched,
+            backtracks=self.manager.stats.backtracks,
+            recorder=self.recorder,
+        )
+
+    # ----- checkpoint / resume ----------------------------------------------
+
+    def checkpoint(self, path) -> CheckpointHeader:
+        """Write the complete cluster state to ``path`` (``ckpt/1``)."""
+        return CheckpointCodec.save(
+            path,
+            {"experiment": self},
+            kind=self.KIND,
+            cycle=self.sim.now,
+            seed=self.spec.seed,
+            config=self.config,
+            extra={
+                "num_nodes": self.spec.num_nodes,
+                "target_link_load": self.spec.target_link_load,
+                "warmup_cycles": self.spec.warmup_cycles,
+                "measure_cycles": self.spec.measure_cycles,
+                "measurement_started": self._measurement_started,
+            },
+        )
+
+    @classmethod
+    def resume(
+        cls, path, expect_spec: Optional[NetworkExperimentSpec] = None
+    ) -> "NetworkExperiment":
+        """Reload a checkpointed network experiment, verifying provenance."""
+        _, components = CheckpointCodec.load(path, expect_kind=cls.KIND)
+        experiment = components.get("experiment")
+        if not isinstance(experiment, cls):
+            raise CheckpointFormatError(
+                f"{path}: checkpoint does not contain a {cls.__name__}"
+            )
+        if expect_spec is not None and experiment.spec != expect_spec:
+            raise CheckpointMismatchError("spec", experiment.spec, expect_spec)
+        return experiment
+
+
 def run_network_experiment(
     spec: NetworkExperimentSpec,
     topology: Optional[Topology] = None,
 ) -> NetworkExperimentResult:
     """Build the cluster, load it with CBR streams to the target link
     utilisation, run, and summarise end-to-end QoS."""
-    rng = SeededRng(spec.seed, "network-experiment")
-    if topology is None:
-        topology = irregular(
-            spec.num_nodes, rng.spawn("topology"), mean_degree=spec.mean_degree
-        )
-    config = RouterConfig(
-        num_ports=topology.num_ports,
-        vcs_per_port=spec.vcs_per_port,
-        round_factor=spec.round_factor,
-        enforce_round_budgets=False,
-    )
-    sim = Simulator(allow_fast_forward=spec.allow_fast_forward)
-    recorder = None
-    if spec.telemetry:
-        recorder = FlightRecorder(
-            manifest=build_manifest(
-                seed=spec.seed,
-                config=config,
-                command="run_network_experiment",
-                extra={
-                    "num_nodes": spec.num_nodes,
-                    "target_link_load": spec.target_link_load,
-                    "warmup_cycles": spec.warmup_cycles,
-                    "measure_cycles": spec.measure_cycles,
-                },
-            )
-        )
-    network = Network(
-        topology,
-        config,
-        make_priority_scheme(spec.priority),
-        sim,
-        rng.spawn("network"),
-        recorder=recorder,
-        scheduler_fast_path=spec.scheduler_fast_path,
-    )
-    manager = ConnectionManager(network)
-    interfaces = [
-        NetworkInterface(network, manager, node, rng=rng.spawn(f"ni{node}"))
-        for node in range(topology.num_nodes)
-    ]
-
-    # Admit streams until the mean router-to-router link utilisation
-    # reaches the target (or admissions stop succeeding).
-    demand_rng = rng.spawn("demand")
-    streams: List[Tuple[int, OpenStream]] = []
-    attempts = 0
-    consecutive_failures = 0
-    while consecutive_failures < 25:
-        if _mean_link_utilisation(network, topology) >= spec.target_link_load:
-            break
-        src = demand_rng.randint(0, topology.num_nodes - 1)
-        dst = demand_rng.randint(0, topology.num_nodes - 1)
-        if src == dst:
-            continue
-        attempts += 1
-        rate = demand_rng.choice((5e6, 20e6, 55e6, 120e6))
-        stream = interfaces[src].open_cbr(dst, rate)
-        if stream is None:
-            consecutive_failures += 1
-            continue
-        consecutive_failures = 0
-        streams.append((dst, stream))
-
-    if spec.best_effort_rate > 0:
-        be_rng = rng.spawn("be")
-        interval = 100.0 / spec.best_effort_rate
-
-        def chatter():
-            src = be_rng.randint(0, topology.num_nodes - 1)
-            dst = be_rng.randint(0, topology.num_nodes - 1)
-            if src != dst:
-                interfaces[src].send_best_effort(dst)
-            sim.schedule(max(1, round(be_rng.expovariate(1.0 / interval))), chatter)
-
-        for node in range(topology.num_nodes):
-            sim.schedule(1 + node, chatter)
-
-    sim.run(spec.warmup_cycles)
-    for ni in interfaces:
-        ni.end_to_end.clear()
-        ni.flits_received = 0
-        ni.packets_received = 0
-    if recorder is not None:
-        recorder.clear()
-    sim.run(spec.measure_cycles)
-
-    delay = RunningStats()
-    jitter = RunningStats()
-    hop_groups: Dict[int, Tuple[RunningStats, RunningStats]] = {}
-    hops_total = 0.0
-    for dst, stream in streams:
-        stats = interfaces[dst].end_to_end.get(stream.connection.connection_id)
-        hops_total += stream.connection.hops
-        if stats is None or stats.flits == 0:
-            continue
-        delay.merge(_clone(stats.delay))
-        jitter.merge(_clone(stats.jitter))
-        hops = stream.connection.hops
-        if hops not in hop_groups:
-            hop_groups[hops] = (RunningStats(), RunningStats())
-        hop_groups[hops][0].merge(_clone(stats.delay))
-        hop_groups[hops][1].merge(_clone(stats.jitter))
-    return NetworkExperimentResult(
-        spec=spec,
-        streams=len(streams),
-        attempts=attempts,
-        mean_hops=hops_total / len(streams) if streams else 0.0,
-        delay_cycles=delay,
-        jitter_cycles=jitter,
-        by_hops={
-            hops: (d.mean, j.mean) for hops, (d, j) in sorted(hop_groups.items())
-        },
-        best_effort_delivered=sum(ni.packets_received for ni in interfaces),
-        links_searched=manager.stats.links_searched,
-        backtracks=manager.stats.backtracks,
-        recorder=recorder,
-    )
+    experiment = NetworkExperiment(spec, topology)
+    return experiment.result()
 
 
 def _mean_link_utilisation(network: Network, topology: Topology) -> float:

@@ -14,9 +14,12 @@ about a point depends on execution order.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import re
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import RouterConfig
@@ -44,12 +47,52 @@ class SweepAxis:
 
 
 class SweepPointError(RuntimeError):
-    """One sweep point's experiment raised; names the failing point."""
+    """One sweep point's experiment raised; names the failing point.
 
-    def __init__(self, point: str, cause: BaseException) -> None:
-        super().__init__(f"sweep point [{point}] failed: {cause!r}")
+    Fully picklable across the process boundary: the axis assignment and
+    the cause travel as plain strings rather than as the live exception
+    chain (a worker-side traceback can reference unpicklable frames and
+    would poison the future's result channel).
+    """
+
+    def __init__(self, point: str, cause) -> None:
+        cause_repr = cause if isinstance(cause, str) else repr(cause)
+        super().__init__(f"sweep point [{point}] failed: {cause_repr}")
         self.point = point
-        self.cause = cause
+        self.cause_repr = cause_repr
+
+    def __reduce__(self):
+        return (SweepPointError, (self.point, self.cause_repr))
+
+
+@dataclass(frozen=True)
+class Checkpointing:
+    """Sweep checkpoint policy: where, how often, and whether to resume.
+
+    Each sweep point checkpoints to its own file under ``directory``
+    (named from the axis assignment plus a digest, so renamed values
+    cannot collide).  With ``resume=True`` (the default) a rerun of the
+    same sweep picks every point up from its latest checkpoint instead
+    of recomputing from cycle 0 — this is how a crashed or preempted
+    ``run_sweep`` is continued: just run it again.
+    """
+
+    directory: "Path | str"
+    every: int
+    resume: bool = True
+    #: Test hook, forwarded to the runner: the first (non-resumed)
+    #: attempt of every point raises once it passes this cycle.
+    crash_at_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.every <= 0:
+            raise ValueError(f"checkpoint interval must be positive, got {self.every}")
+
+    def point_path(self, key: Tuple[Any, ...]) -> Path:
+        """The checkpoint file for one grid point (stable across runs)."""
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:12]
+        human = re.sub(r"[^A-Za-z0-9.=_-]+", "_", "_".join(str(v) for v in key))
+        return Path(self.directory) / f"point-{human[:60]}-{digest}.ckpt"
 
 
 @dataclass
@@ -118,7 +161,11 @@ def _describe_point(axes: Sequence[SweepAxis], key: Tuple[Any, ...]) -> str:
 
 def _run_point(
     spec: ExperimentSpec,
-    runner: Callable[[ExperimentSpec], ExperimentResult],
+    runner: Callable[..., ExperimentResult],
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    resume: bool = False,
+    crash_at_cycle: Optional[int] = None,
 ) -> Tuple[ExperimentResult, Optional[Dict[str, Any]]]:
     """Worker body: run one point, split off the non-picklable recorder.
 
@@ -126,7 +173,16 @@ def _run_point(
     never crosses the process boundary; its JSON-safe manifest does, and
     the parent merges manifests into :attr:`SweepResult.manifests`.
     """
-    result = runner(spec)
+    if checkpoint_path is None:
+        result = runner(spec)
+    else:
+        result = runner(
+            spec,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            _crash_at_cycle=crash_at_cycle,
+        )
     manifest = None
     if result.recorder is not None:
         manifest = dict(result.recorder.manifest)
@@ -138,7 +194,8 @@ def run_sweep(
     base: ExperimentSpec,
     axes: Sequence[SweepAxis],
     jobs: int = 1,
-    _runner: Callable[[ExperimentSpec], ExperimentResult] = run_single_router_experiment,
+    checkpointing: Optional[Checkpointing] = None,
+    _runner: Callable[..., ExperimentResult] = run_single_router_experiment,
 ) -> SweepResult:
     """Run the full cartesian product of the axes over the base spec.
 
@@ -147,31 +204,57 @@ def run_sweep(
     self-seeded simulation); only wall-clock time changes.  A crashing
     point raises :class:`SweepPointError` naming its axis assignment.
 
+    ``checkpointing`` makes every point write periodic checkpoints and —
+    with ``resume=True`` — continue from its latest checkpoint when the
+    sweep is rerun after a crash or preemption, instead of recomputing
+    from cycle 0.  Each point's checkpoint lineage (path, resume cycle,
+    checkpoints written) lands in :attr:`SweepResult.manifests` under
+    ``"checkpoint"``.  Results are bit-identical with or without
+    checkpointing (the checkpoint identity gate proves this).
+
     ``_runner`` is the per-point experiment function — overridable for
-    tests (it must be a module-level callable so workers can unpickle it).
+    tests (it must be a module-level callable so workers can unpickle it;
+    with ``checkpointing`` it must accept the checkpoint keyword
+    arguments of :func:`run_single_router_experiment`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     points = sweep_points(base, axes)
     sweep = SweepResult(tuple(axes))
+    if checkpointing is not None:
+        Path(checkpointing.directory).mkdir(parents=True, exist_ok=True)
+
+    def point_kwargs(key: Tuple[Any, ...]) -> Dict[str, Any]:
+        if checkpointing is None:
+            return {}
+        return {
+            "checkpoint_path": str(checkpointing.point_path(key)),
+            "checkpoint_every": checkpointing.every,
+            "resume": checkpointing.resume,
+            "crash_at_cycle": checkpointing.crash_at_cycle,
+        }
 
     def record(key: Tuple[Any, ...], outcome) -> None:
         result, manifest = outcome
         sweep.results[key] = result
         if manifest is not None:
             sweep.manifests[key] = manifest
+        lineage = getattr(result, "checkpoint", None)
+        if lineage is not None:
+            sweep.manifests.setdefault(key, {})["checkpoint"] = lineage
 
     if jobs == 1 or len(points) <= 1:
         for key, spec in points:
             try:
-                record(key, _run_point(spec, _runner))
+                record(key, _run_point(spec, _runner, **point_kwargs(key)))
             except Exception as exc:
                 raise SweepPointError(_describe_point(axes, key), exc) from exc
         return sweep
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
         futures = {
-            key: pool.submit(_run_point, spec, _runner) for key, spec in points
+            key: pool.submit(_run_point, spec, _runner, **point_kwargs(key))
+            for key, spec in points
         }
         for key, future in futures.items():
             try:

@@ -36,6 +36,78 @@ from .topology import Topology
 HostDelivery = Callable[[int, int, Flit], None]
 
 
+class _LinkOutput:
+    """Output handler for a router-to-router link.
+
+    A class (not a closure) so networks are picklable for checkpointing;
+    the flit-in-flight itself travels as an event payload for the same
+    reason.
+    """
+
+    __slots__ = ("network", "node", "port", "neighbor", "remote_port")
+
+    def __init__(
+        self, network: "Network", node: int, port: int, neighbor: int
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.port = port
+        self.neighbor = neighbor
+        self.remote_port = network.topology.port_of(neighbor, node)
+
+    def __call__(self, flit: Flit, output_vc: int) -> None:
+        if output_vc < 0:
+            raise RuntimeError(
+                f"flit left router {self.node} port {self.port} without a "
+                "downstream VC binding"
+            )
+        network = self.network
+        network.stats.counter("link_flits")
+        network.sim.schedule(
+            network.link_latency,
+            network._arrive_event,
+            (self.neighbor, self.remote_port, output_vc, flit),
+        )
+
+
+class _CreditReturn:
+    """Credit-return handler for the upstream side of a link (picklable)."""
+
+    __slots__ = ("network", "neighbor", "upstream_port")
+
+    def __init__(self, network: "Network", neighbor: int, upstream_port: int) -> None:
+        self.network = network
+        self.neighbor = neighbor
+        self.upstream_port = upstream_port
+
+    def __call__(self, vc_index: int) -> None:
+        network = self.network
+        network.sim.schedule(
+            network.link_latency,
+            network._replenish_event,
+            (self.neighbor, self.upstream_port, vc_index),
+        )
+
+
+class _HostOutput:
+    """Output handler for a host port: hands flits to the attached
+    network interface (picklable)."""
+
+    __slots__ = ("network", "node", "port")
+
+    def __init__(self, network: "Network", node: int, port: int) -> None:
+        self.network = network
+        self.node = node
+        self.port = port
+
+    def __call__(self, flit: Flit, output_vc: int) -> None:
+        network = self.network
+        network.stats.counter("host_deliveries")
+        handler = network._host_delivery.get((self.node, self.port))
+        if handler is not None:
+            handler(self.node, self.port, flit)
+
+
 class Network:
     """A cluster of MMR routers over a :class:`Topology`."""
 
@@ -102,59 +174,29 @@ class Network:
                 neighbor = self.topology.neighbor_on_port(node, port)
                 if neighbor is not None:
                     router.set_output_handler(
-                        port, self._make_link_handler(node, port, neighbor)
+                        port, _LinkOutput(self, node, port, neighbor)
                     )
+                    # Credits for router ``node``'s input port ``port``
+                    # return to the upstream router's output flow control
+                    # for the reverse direction.
                     router.set_credit_return_handler(
-                        port, self._make_credit_handler(node, port)
+                        port,
+                        _CreditReturn(
+                            self, neighbor, self.topology.port_of(neighbor, node)
+                        ),
                     )
                 else:
-                    router.set_output_handler(
-                        port, self._make_host_handler(node, port)
-                    )
+                    router.set_output_handler(port, _HostOutput(self, node, port))
 
-    def _make_link_handler(self, node: int, port: int, neighbor: int):
-        remote_port = self.topology.port_of(neighbor, node)
-        remote = self.routers[neighbor]
+    def _arrive_event(self, payload: Tuple[int, int, int, Flit]) -> None:
+        """Event trampoline: a flit finished crossing a link."""
+        neighbor, remote_port, output_vc, flit = payload
+        self._arrive(self.routers[neighbor], neighbor, remote_port, output_vc, flit)
 
-        def on_flit(flit: Flit, output_vc: int) -> None:
-            if output_vc < 0:
-                raise RuntimeError(
-                    f"flit left router {node} port {port} without a "
-                    "downstream VC binding"
-                )
-            self.stats.counter("link_flits")
-            self.sim.schedule(
-                self.link_latency,
-                lambda: self._arrive(remote, neighbor, remote_port, output_vc, flit),
-            )
-
-        return on_flit
-
-    def _make_credit_handler(self, node: int, port: int):
-        # Credits for router ``node``'s input port ``port`` return to the
-        # upstream router's output flow control for the reverse direction.
-        neighbor = self.topology.neighbor_on_port(node, port)
-        if neighbor is None:
-            return None
-        upstream = self.routers[neighbor]
-        upstream_port = self.topology.port_of(neighbor, node)
-
-        def on_credit(vc_index: int) -> None:
-            self.sim.schedule(
-                self.link_latency,
-                lambda: upstream.output_flow[upstream_port].replenish(vc_index),
-            )
-
-        return on_credit
-
-    def _make_host_handler(self, node: int, port: int):
-        def on_flit(flit: Flit, output_vc: int) -> None:
-            self.stats.counter("host_deliveries")
-            handler = self._host_delivery.get((node, port))
-            if handler is not None:
-                handler(node, port, flit)
-
-        return on_flit
+    def _replenish_event(self, payload: Tuple[int, int, int]) -> None:
+        """Event trampoline: a credit finished crossing a link upstream."""
+        neighbor, upstream_port, vc_index = payload
+        self.routers[neighbor].output_flow[upstream_port].replenish(vc_index)
 
     def set_host_delivery(self, node: int, port: int, handler: HostDelivery) -> None:
         """Attach a consumer (network interface) to a host port."""
@@ -241,7 +283,11 @@ class Network:
         # Blocked: every candidate next router is out of VCs.  Retry next
         # cycle — the packet stays buffered in its VC (§3.4).
         self.stats.counter("be_blocked")
-        self.sim.schedule(1, lambda: self._route_best_effort(node, port, vc_index))
+        self.sim.schedule(1, self._route_best_effort_event, (node, port, vc_index))
+
+    def _route_best_effort_event(self, payload: Tuple[int, int, int]) -> None:
+        """Event trampoline: retry routing a blocked best-effort packet."""
+        self._route_best_effort(*payload)
 
     # ----- reporting --------------------------------------------------------------
 

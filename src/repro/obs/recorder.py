@@ -310,6 +310,16 @@ class NullFlightRecorder(FlightRecorder):
     def sample_round(self, router, cycle: int) -> None:
         pass
 
+    def __reduce__(self):
+        # Checkpoints must not clone the shared singleton: every router in
+        # a restored graph should hold the same NULL_RECORDER the module
+        # exports, exactly like a freshly built one.
+        return (_null_recorder, ())
+
+
+def _null_recorder() -> "NullFlightRecorder":
+    return NULL_RECORDER
+
 
 #: Shared disabled recorder (stateless — every router may hold it).
 NULL_RECORDER = NullFlightRecorder()

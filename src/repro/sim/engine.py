@@ -34,6 +34,7 @@ identical on seeded runs.
 
 from __future__ import annotations
 
+import pickle
 from time import perf_counter
 from typing import Any, Callable, List, Optional
 
@@ -337,3 +338,52 @@ class Simulator:
         if time < self.now:
             raise ValueError(f"cannot run backwards to {time} from {self.now}")
         return self.run(time - self.now)
+
+    # ----- checkpoint / restore ---------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Serialise the simulator *and everything reachable from it*.
+
+        Tickers, activity predicates and pending events hold references
+        into the component graph (routers, sources, networks), so one
+        snapshot captures the complete simulation state — event queue
+        positions, RNG substreams, buffer contents, scheduler round
+        accounting — with shared references preserved.  Resuming the
+        restored simulator replays the exact cycle-for-cycle execution
+        the original would have produced (the perf gate proves this
+        bit-identically on the gated scenarios).
+
+        Only legal between cycles: snapshotting from inside a ticker
+        would capture a half-stepped cycle that cannot be resumed
+        faithfully.  Components must be picklable — closures and lambdas
+        in handlers or pending events make the snapshot fail (the
+        asynchronous probe-protocol demos are the one remaining
+        known-unsnapshottable phase).
+        """
+        if self._in_tick_phase:
+            raise RuntimeError(
+                "cannot snapshot from ticker context: the cycle is half-"
+                "stepped; snapshot between run() calls instead"
+            )
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise RuntimeError(
+                "simulator state is not snapshottable: a ticker, handler "
+                f"or pending event holds a non-picklable object ({exc})"
+            ) from exc
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "Simulator":
+        """Rebuild a simulator (and its component graph) from a snapshot.
+
+        The returned instance is fully detached from the original: it owns
+        deep copies of every component and can be run, re-snapshotted or
+        discarded independently.  An attached kernel profiler travels with
+        the snapshot (it is plain counters), so profiled runs resume
+        profiled.
+        """
+        sim = pickle.loads(blob)
+        if not isinstance(sim, cls):
+            raise TypeError(f"snapshot does not contain a {cls.__name__}")
+        return sim

@@ -41,6 +41,25 @@ class SeededRng:
         """Create a child stream named ``<this>.<name>``."""
         return SeededRng(self.master_seed, f"{self.name}.{name}")
 
+    def getstate(self) -> tuple:
+        """The stream's current internal state (checkpointable).
+
+        The returned value is opaque: treat it as a token to hand back to
+        :meth:`setstate` on the same (or an identically-named) stream.
+        Capturing state does not advance the stream.
+        """
+        return self._rng.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        After restoring, the stream continues the exact draw sequence it
+        would have produced from the capture point.  Only this stream is
+        affected — substreams spawned from it are independent
+        ``random.Random`` instances and keep their own state.
+        """
+        self._rng.setstate(state)
+
     def random(self) -> float:
         """Uniform float in [0, 1)."""
         return self._rng.random()

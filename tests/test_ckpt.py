@@ -1,0 +1,360 @@
+"""Tests for the checkpoint/restore subsystem: the ``ckpt/1`` codec
+(format, schema versioning, provenance checks), simulator snapshots, and
+resumable single-router experiments."""
+
+import pickle
+
+import pytest
+
+from repro.ckpt.codec import (
+    CKPT_SCHEMA,
+    MAGIC,
+    CheckpointCodec,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointMismatchError,
+    CheckpointSchemaError,
+)
+from repro.core.config import RouterConfig
+from repro.harness.kernel_bench import build_cbr_scenario
+from repro.harness.single_router import (
+    ExperimentSpec,
+    SingleRouterExperiment,
+    run_single_router_experiment,
+)
+from repro.obs.manifest import config_digest
+from repro.sim.engine import Simulator
+
+TINY = RouterConfig(num_ports=4, vcs_per_port=32, enforce_round_budgets=False)
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        target_load=0.4,
+        config=TINY,
+        candidates=4,
+        seed=3,
+        warmup_cycles=300,
+        measure_cycles=1500,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def result_fingerprint(result):
+    """The scalar outcome of an experiment, for identity comparison."""
+    return (
+        result.connections,
+        result.summary,
+        result.per_connection,
+        result.utilisation,
+        result.max_interface_backlog,
+    )
+
+
+class TestCodecRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        components = {"numbers": [1, 2, 3], "label": "midpoint"}
+        written = CheckpointCodec.save(
+            path, components, kind="test", cycle=42, seed=9, config=TINY
+        )
+        header, loaded = CheckpointCodec.load(path, expect_kind="test")
+        assert loaded == components
+        assert header == written
+        assert header.schema == CKPT_SCHEMA
+        assert header.cycle == 42
+        assert header.seed == 9
+        assert header.config_digest == config_digest(TINY)
+        assert set(header.sections) == {"numbers", "label"}
+        assert all(size > 0 for size in header.sections.values())
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="test", cycle=0)
+        CheckpointCodec.save(path, {"v": 2}, kind="test", cycle=1)
+        _, loaded = CheckpointCodec.load(path)
+        assert loaded == {"v": 2}
+        assert list(tmp_path.iterdir()) == [path]  # no .tmp left behind
+
+    def test_header_carries_provenance(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(
+            path, {"v": 1}, kind="test", cycle=5, extra={"note": "hi"}
+        )
+        header = CheckpointCodec.read_header(path)
+        assert header.manifest["command"] == "ckpt.save[test]"
+        assert header.manifest["note"] == "hi"  # extra fields are flattened
+
+    def test_accepts_digest_string_for_expect_config(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="test", cycle=0, config=TINY)
+        CheckpointCodec.load(path, expect_config=config_digest(TINY))
+
+    def test_rejects_unpicklable_component(self, tmp_path):
+        with pytest.raises(CheckpointError) as excinfo:
+            CheckpointCodec.save(
+                tmp_path / "bad.ckpt",
+                {"handler": lambda: None},
+                kind="test",
+                cycle=0,
+            )
+        assert "not picklable" in str(excinfo.value)
+        assert not (tmp_path / "bad.ckpt").exists()
+
+
+class TestHeaderOnlyReads:
+    """read_header/inspect must never unpickle the payload."""
+
+    def _write_raw(self, path, header_line: bytes, payload: bytes):
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(header_line)
+            handle.write(b"\n")
+            handle.write(payload)
+
+    def test_inspect_never_unpickles(self, tmp_path):
+        # The payload is NOT valid pickle; header-only reads must still
+        # succeed because they never touch it.
+        import hashlib
+        import json
+
+        payload = b"\x00definitely-not-a-pickle"
+        header = {
+            "schema": CKPT_SCHEMA,
+            "kind": "test",
+            "cycle": 7,
+            "seed": None,
+            "config_digest": None,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "sections": {},
+            "manifest": {},
+        }
+        path = tmp_path / "opaque.ckpt"
+        self._write_raw(path, json.dumps(header).encode(), payload)
+        assert CheckpointCodec.read_header(path).cycle == 7
+        summary = CheckpointCodec.inspect(path)
+        assert summary["kind"] == "test"
+        assert summary["payload_bytes"] == len(payload)
+        # Only a full load attempts the unpickle, and it fails loudly.
+        with pytest.raises(CheckpointFormatError, match="failed to unpickle"):
+            CheckpointCodec.load(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "notckpt"
+        path.write_bytes(b"garbage bytes, not a checkpoint")
+        with pytest.raises(CheckpointFormatError, match="bad magic"):
+            CheckpointCodec.read_header(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc.ckpt"
+        path.write_bytes(MAGIC + b'{"schema": "ckpt/1"')  # no newline
+        with pytest.raises(CheckpointFormatError, match="truncated"):
+            CheckpointCodec.read_header(path)
+
+    def test_header_not_json(self, tmp_path):
+        path = tmp_path / "badjson.ckpt"
+        self._write_raw(path, b"not json at all", b"")
+        with pytest.raises(CheckpointFormatError, match="not valid JSON"):
+            CheckpointCodec.read_header(path)
+
+
+class TestSchemaAndProvenanceChecks:
+    def _rewrite_header(self, path, mutate):
+        """Edit one field of an existing checkpoint's header in place."""
+        import json
+
+        raw = path.read_bytes()
+        body = raw[len(MAGIC):]
+        header_line, payload = body.split(b"\n", 1)
+        record = json.loads(header_line)
+        mutate(record)
+        path.write_bytes(MAGIC + json.dumps(record).encode() + b"\n" + payload)
+
+    def test_unknown_schema_names_both_versions(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="test", cycle=0)
+        self._rewrite_header(path, lambda r: r.update(schema="ckpt/999"))
+        with pytest.raises(CheckpointSchemaError) as excinfo:
+            CheckpointCodec.read_header(path)
+        assert excinfo.value.found == "ckpt/999"
+        assert excinfo.value.expected == CKPT_SCHEMA
+        assert "ckpt/999" in str(excinfo.value)
+        assert CKPT_SCHEMA in str(excinfo.value)
+
+    def test_kind_mismatch(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="network", cycle=0)
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            CheckpointCodec.load(path, expect_kind="single_router")
+        assert excinfo.value.found == "network"
+        assert excinfo.value.expected == "single_router"
+
+    def test_config_digest_mismatch_names_both_digests(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="test", cycle=0, config=TINY)
+        other = TINY.with_(vcs_per_port=64)
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            CheckpointCodec.load(path, expect_config=other)
+        message = str(excinfo.value)
+        assert config_digest(TINY) in message
+        assert config_digest(other) in message
+
+    def test_corrupt_payload_checksum(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="test", cycle=0)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip one payload byte, length unchanged
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointFormatError, match="checksum"):
+            CheckpointCodec.load(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "state.ckpt"
+        CheckpointCodec.save(path, {"v": 1}, kind="test", cycle=0)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-3])
+        with pytest.raises(CheckpointFormatError, match="truncated or corrupt"):
+            CheckpointCodec.load(path)
+
+
+class TestSimulatorSnapshot:
+    def test_snapshot_restore_is_bit_identical(self):
+        delivered_a, delivered_b = [], []
+        sim_a, _ = build_cbr_scenario(True, connections=8, delivered=delivered_a)
+        sim_b, _ = build_cbr_scenario(True, connections=8, delivered=delivered_b)
+        sim_a.run(600)
+
+        sim_b.run(300)
+        blob = sim_b.snapshot()
+        midpoint = len(delivered_b)
+        restored = Simulator.restore(blob)
+        restored.run(300)
+
+        # The restored kernel finds the same delivery log through its own
+        # pickled component graph and extends it identically.
+        restored_log = delivered_b[:midpoint] + self._restored_records(
+            restored, midpoint
+        )
+        assert restored_log == delivered_a
+
+    @staticmethod
+    def _restored_records(restored_sim, midpoint):
+        # The DeliveryLog is reachable from the restored graph: the router
+        # is a registered ticker, and its output handlers share one log.
+        for ticker in restored_sim._tickers:  # noqa: SLF001 - test introspection
+            owner = getattr(ticker.tick, "__self__", None)
+            handlers = getattr(owner, "output_handlers", None) or []
+            logs = [h for h in handlers if h is not None]
+            if logs:
+                return logs[0].records[midpoint:]
+        raise AssertionError("restored graph has no router output handlers")
+
+    def test_restored_simulator_is_detached(self):
+        delivered = []
+        sim, _ = build_cbr_scenario(True, connections=4, delivered=delivered)
+        sim.run(200)
+        blob = sim.snapshot()
+        count = len(delivered)
+        restored = Simulator.restore(blob)
+        restored.run(200)
+        # Running the copy never mutates the original's delivery log.
+        assert len(delivered) == count
+
+    def test_snapshot_mid_tick_is_refused(self):
+        sim = Simulator()
+        failures = []
+
+        class Snapshotter:
+            def __init__(self, sim):
+                self.sim = sim
+
+            def tick(self, cycle):
+                try:
+                    self.sim.snapshot()
+                except RuntimeError as exc:
+                    failures.append(str(exc))
+
+        sim.add_ticker(Snapshotter(sim).tick)
+        sim.run(1)
+        assert failures and "ticker context" in failures[0]
+
+    def test_restore_rejects_non_simulator(self):
+        blob = pickle.dumps({"not": "a simulator"})
+        with pytest.raises(TypeError):
+            Simulator.restore(blob)
+
+
+class TestSingleRouterCheckpoint:
+    def test_midpoint_resume_is_bit_identical(self, tmp_path):
+        spec = tiny_spec()
+        straight = SingleRouterExperiment(spec).result()
+
+        experiment = SingleRouterExperiment(spec)
+        experiment.run_to(900)
+        path = tmp_path / "mid.ckpt"
+        header = experiment.checkpoint(path)
+        assert header.cycle == 900
+        del experiment
+        resumed = SingleRouterExperiment.resume(path, expect_spec=spec)
+        assert resumed.now == 900
+        assert result_fingerprint(resumed.result()) == result_fingerprint(straight)
+
+    def test_resume_refuses_wrong_spec(self, tmp_path):
+        spec = tiny_spec()
+        experiment = SingleRouterExperiment(spec)
+        experiment.run_to(400)
+        path = tmp_path / "mid.ckpt"
+        experiment.checkpoint(path)
+        # Same config digest, different spec (seed): caught after load.
+        with pytest.raises(CheckpointMismatchError, match="spec"):
+            SingleRouterExperiment.resume(path, expect_spec=tiny_spec(seed=4))
+        # Different config: caught on the digest, before any unpickle.
+        other = tiny_spec(config=TINY.with_(vcs_per_port=64))
+        with pytest.raises(CheckpointMismatchError, match="config digest"):
+            SingleRouterExperiment.resume(path, expect_spec=other)
+
+    def test_run_to_rejects_backwards(self):
+        experiment = SingleRouterExperiment(tiny_spec())
+        experiment.run_to(500)
+        with pytest.raises(ValueError, match="backwards"):
+            experiment.run_to(100)
+
+    def test_warmup_reset_happens_once_across_resume(self, tmp_path):
+        # Checkpoint exactly at the warm-up boundary: the resumed run must
+        # not reset statistics a second time.
+        spec = tiny_spec()
+        experiment = SingleRouterExperiment(spec)
+        experiment.run_to(spec.warmup_cycles)
+        assert experiment._measurement_started  # noqa: SLF001
+        path = tmp_path / "boundary.ckpt"
+        experiment.checkpoint(path)
+        resumed = SingleRouterExperiment.resume(path)
+        assert resumed._measurement_started  # noqa: SLF001
+        straight = SingleRouterExperiment(spec).result()
+        assert result_fingerprint(resumed.result()) == result_fingerprint(straight)
+
+    def test_wrapper_periodic_checkpoints_record_lineage(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "run.ckpt"
+        result = run_single_router_experiment(
+            spec, checkpoint_every=600, checkpoint_path=path
+        )
+        plain = run_single_router_experiment(spec)
+        assert result_fingerprint(result) == result_fingerprint(plain)
+        lineage = result.checkpoint
+        assert lineage["schema"] == CKPT_SCHEMA
+        assert lineage["resumed_from_cycle"] is None
+        assert lineage["checkpoints_written"] >= 2
+        assert path.exists()
+
+    def test_wrapper_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            run_single_router_experiment(tiny_spec(), checkpoint_every=500)
+
+    def test_wrapper_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            run_single_router_experiment(
+                tiny_spec(), checkpoint_every=0, checkpoint_path="x.ckpt"
+            )

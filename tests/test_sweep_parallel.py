@@ -90,4 +90,6 @@ class TestParallelSweep:
         with pytest.raises(SweepPointError) as excinfo:
             run_sweep(tiny_spec(), axes, jobs=1, _runner=_crashing_runner)
         assert excinfo.value.point == "seed=5, target_load=0.4"
-        assert isinstance(excinfo.value.cause, ValueError)
+        # The cause travels as plain data (picklability), not a live chain.
+        assert "ValueError" in excinfo.value.cause_repr
+        assert "boom" in excinfo.value.cause_repr

@@ -1,0 +1,129 @@
+"""Tests for resumable sweeps: a killed worker's point continues from its
+checkpoint rather than recomputing from cycle 0, and the sweep-level error
+type survives the process boundary."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.harness.single_router import ExperimentSpec, SimulatedWorkerCrash
+from repro.harness.sweep import Checkpointing, SweepAxis, SweepPointError, run_sweep
+
+TINY = RouterConfig(num_ports=4, vcs_per_port=32, enforce_round_budgets=False)
+
+METRICS = ("mean_delay_cycles", "mean_jitter_cycles", "utilisation")
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        target_load=0.4,
+        config=TINY,
+        candidates=4,
+        seed=3,
+        warmup_cycles=300,
+        measure_cycles=1500,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSweepPointErrorPickling:
+    def test_round_trips_through_pickle(self):
+        error = SweepPointError("seed=5, target_load=0.4", ValueError("boom"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SweepPointError)
+        assert clone.point == error.point
+        assert clone.cause_repr == error.cause_repr
+        assert str(clone) == str(error)
+
+    def test_cause_is_plain_data(self):
+        error = SweepPointError("seed=5", ValueError("boom"))
+        assert error.cause_repr == "ValueError('boom')"
+        assert error.__reduce__() == (
+            SweepPointError,
+            ("seed=5", "ValueError('boom')"),
+        )
+
+
+class TestCheckpointing:
+    def test_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            Checkpointing(directory=tmp_path, every=0)
+
+    def test_point_paths_are_stable_and_distinct(self, tmp_path):
+        policy = Checkpointing(directory=tmp_path, every=100)
+        a = policy.point_path((5, 0.4))
+        assert a == policy.point_path((5, 0.4))
+        assert a != policy.point_path((5, 0.6))
+        assert a.parent == tmp_path
+        assert a.name.startswith("point-5_0.4-")
+
+    def test_renamed_values_cannot_collide(self, tmp_path):
+        # 'a_b' and 'a/b' sanitise to the same human prefix; the digest
+        # keeps their checkpoint files apart.
+        policy = Checkpointing(directory=tmp_path, every=100)
+        assert policy.point_path(("a_b",)) != policy.point_path(("a/b",))
+
+
+class TestKilledWorkerResumes:
+    def test_crashed_sweep_resumes_from_checkpoint(self, tmp_path):
+        """The acceptance scenario: kill a worker mid-point, rerun the
+        sweep, and the point continues from its checkpoint — with rows
+        bit-identical to a sweep that never crashed."""
+        base = tiny_spec()
+        axes = [SweepAxis("seed", (5, 6))]
+        straight = run_sweep(base, axes)
+
+        crashing = Checkpointing(
+            directory=tmp_path, every=600, crash_at_cycle=1000
+        )
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(base, axes, checkpointing=crashing)
+        assert "SimulatedWorkerCrash" in excinfo.value.cause_repr
+        checkpoints = list(tmp_path.glob("*.ckpt"))
+        assert checkpoints, "the killed point left no checkpoint to resume"
+
+        rerun = run_sweep(
+            base, axes, checkpointing=Checkpointing(directory=tmp_path, every=600)
+        )
+        lineages = {
+            key: manifest["checkpoint"]
+            for key, manifest in rerun.manifests.items()
+        }
+        # The killed point resumed mid-run instead of recomputing from 0;
+        # the untouched point ran straight through.
+        assert lineages[(5,)]["resumed_from_cycle"] is not None
+        assert lineages[(5,)]["resumed_from_cycle"] > 0
+        assert lineages[(6,)]["resumed_from_cycle"] is None
+        assert rerun.rows(METRICS) == straight.rows(METRICS)
+
+    def test_crash_hook_spares_resumed_attempts(self, tmp_path):
+        # A resumed point must not re-trigger the crash hook, or reruns
+        # could never make progress.
+        spec = tiny_spec(seed=5)
+        axes = [SweepAxis("seed", (5,))]
+        policy = Checkpointing(directory=tmp_path, every=600, crash_at_cycle=1000)
+        with pytest.raises(SweepPointError):
+            run_sweep(spec, axes, checkpointing=policy)
+        rerun = run_sweep(spec, axes, checkpointing=policy)
+        lineage = rerun.manifests[(5,)]["checkpoint"]
+        assert lineage["resumed_from_cycle"] is not None
+
+    def test_checkpointed_rows_match_parallel_plain_sweep(self, tmp_path):
+        base = tiny_spec()
+        axes = [SweepAxis("seed", (3, 4))]
+        plain = run_sweep(base, axes, jobs=2)
+        checkpointed = run_sweep(
+            base,
+            axes,
+            jobs=2,
+            checkpointing=Checkpointing(directory=tmp_path, every=700),
+        )
+        assert checkpointed.rows(METRICS) == plain.rows(METRICS)
+        for manifest in checkpointed.manifests.values():
+            assert manifest["checkpoint"]["checkpoints_written"] >= 1
+
+    def test_simulated_crash_is_a_runtime_error(self):
+        # The hook models a hard kill; sweeps surface it like any crash.
+        assert issubclass(SimulatedWorkerCrash, RuntimeError)
