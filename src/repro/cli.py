@@ -30,6 +30,7 @@ from typing import Any, Optional, Sequence
 
 from .ckpt.codec import CheckpointCodec, CheckpointError
 from .core.config import RouterConfig
+from .harness.churn import ChurnSpec, run_churn_experiment
 from .harness.figures import main as figures_main
 from .harness.network_experiment import (
     NetworkExperimentSpec,
@@ -44,11 +45,12 @@ from .harness.single_router import (
     ExperimentSpec,
     run_single_router_experiment,
 )
-from .harness.sweep import SweepAxis, run_sweep
+from .harness.sweep import Checkpointing, SweepAxis, run_sweep
 
 #: Field names an ``--axis`` may target, and where each one lives.
 _SPEC_FIELDS = {f.name for f in dataclasses.fields(ExperimentSpec)}
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(RouterConfig)}
+_CHURN_FIELDS = {f.name for f in dataclasses.fields(ChurnSpec)}
 
 
 def _add_spec_arguments(
@@ -334,6 +336,144 @@ def cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_churn_axis(text: str) -> SweepAxis:
+    """Parse ``name=v1,v2,...`` against :class:`ChurnSpec` fields."""
+    name, sep, values_text = text.partition("=")
+    values = tuple(
+        _parse_axis_value(v) for v in values_text.split(",") if v != ""
+    )
+    if not sep or not values:
+        raise argparse.ArgumentTypeError(
+            f"axis must look like name=v1,v2,... (got {text!r})"
+        )
+    if name not in _CHURN_FIELDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown axis {name!r}: not a ChurnSpec field"
+        )
+    return SweepAxis(name, values, "spec")
+
+
+def _churn_payload(result) -> dict:
+    return {
+        "arrivals": result.arrivals,
+        "established": result.established,
+        "blocked": result.blocked,
+        "torn_down": result.torn_down,
+        "blocking_probability": result.blocking_probability,
+        "setup_p50_cycles": result.setup_p50,
+        "setup_p99_cycles": result.setup_p99,
+        "setup_mean_cycles": result.setup_mean,
+        "mean_delay_cycles": result.mean_delay_cycles,
+        "mean_jitter_cycles": result.mean_jitter_cycles,
+        "flits_delivered": result.flits_delivered,
+        "renegotiations_applied": result.renegotiations_applied,
+        "renegotiations_refused": result.renegotiations_refused,
+        "teardown_retries": result.teardown_retries,
+        "links_searched": result.links_searched,
+        "backtracks": result.backtracks,
+        "unclassified_connections": result.unclassified_connections,
+        "drained": result.drained,
+        "leak_free": result.leak_free,
+    }
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Run the session-churn workload (single point or --axis sweep).
+
+    Exits 1 when the post-drain resource-leak invariant fails (or any
+    sweep point's does) — suitable as a CI gate.
+    """
+    spec = ChurnSpec(
+        num_sessions=args.sessions,
+        mean_interarrival_cycles=args.interarrival,
+        mean_holding_cycles=args.holding,
+        vbr_fraction=args.vbr_fraction,
+        renegotiation_fraction=args.renegotiation_fraction,
+        diurnal_amplitude=args.diurnal_amplitude,
+        num_nodes=args.nodes,
+        seed=args.seed,
+        telemetry=args.telemetry,
+        police=not args.no_police,
+    )
+    checkpointing = None
+    if args.checkpoint_dir is not None:
+        checkpointing = Checkpointing(
+            directory=args.checkpoint_dir,
+            every=args.checkpoint_every,
+            resume=True,
+        )
+    if args.axis:
+        sweep = run_sweep(
+            spec,
+            args.axis,
+            jobs=args.jobs,
+            checkpointing=checkpointing,
+            _runner=run_churn_experiment,
+        )
+        header = [axis.name for axis in args.axis] + [
+            "blocking_probability", "setup_p50_cycles", "setup_p99_cycles",
+            "mean_delay_cycles", "leak_free",
+        ]
+        rows = sweep.rows(
+            ["blocking_probability", "setup_p50", "setup_p99",
+             "mean_delay_cycles", "leak_free"]
+        )
+        leaky = [
+            key for key, result in sweep.results.items() if not result.leak_free
+        ]
+        if args.json:
+            print(json.dumps(
+                {"columns": header, "rows": rows,
+                 "leaky_points": [list(k) for k in leaky]},
+                indent=2,
+            ))
+        else:
+            cells = [
+                [f"{v:.4f}" if isinstance(v, float) else str(v) for v in row]
+                for row in rows
+            ]
+            widths = [
+                max(len(header[i]), *(len(row[i]) for row in cells))
+                for i in range(len(header))
+            ]
+            print("  ".join(name.rjust(w) for name, w in zip(header, widths)))
+            for row in cells:
+                print("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if leaky:
+            print(f"resource-leak invariant FAILED at {len(leaky)} point(s)",
+                  file=sys.stderr)
+            return 1
+        return 0
+    if checkpointing is not None:
+        result = run_churn_experiment(
+            spec,
+            checkpoint_every=checkpointing.every,
+            checkpoint_path=str(checkpointing.point_path(("churn",))),
+            resume=True,
+        )
+    else:
+        result = run_churn_experiment(spec)
+    payload = _churn_payload(result)
+    if result.checkpoint is not None:
+        payload["checkpoint"] = result.checkpoint
+    recorder = result.recorder
+    if recorder is not None:
+        payload["telemetry_channels"] = recorder.telemetry.names()
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as stream:
+            json.dump({"churn": payload}, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_payload(payload)
+        if not result.leak_free:
+            print("resource-leak invariant FAILED:", file=sys.stderr)
+            for line in result.leak_report:
+                print(f"  {line}", file=sys.stderr)
+    return 0 if result.leak_free else 1
+
+
 def cmd_ckpt_inspect(args: argparse.Namespace) -> int:
     """Describe a checkpoint from its header alone (no unpickling, so
     inspecting a corrupt or foreign file is safe)."""
@@ -491,6 +631,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     network_parser.add_argument("--seed", type=int, default=1)
     network_parser.add_argument("--json", action="store_true")
     network_parser.set_defaults(func=cmd_network)
+
+    churn_parser = sub.add_parser(
+        "churn", help="open-loop session-churn workload over the probe protocol"
+    )
+    churn_parser.add_argument("--sessions", type=int, default=10000,
+                              help="total session arrivals")
+    churn_parser.add_argument("--interarrival", type=float, default=400.0,
+                              help="mean Poisson inter-arrival gap (cycles)")
+    churn_parser.add_argument("--holding", type=float, default=20000.0,
+                              help="mean session lifetime (cycles)")
+    churn_parser.add_argument("--vbr-fraction", type=float, default=0.3)
+    churn_parser.add_argument("--renegotiation-fraction", type=float, default=0.25,
+                              help="fraction of VBR sessions renegotiating mid-life")
+    churn_parser.add_argument("--diurnal-amplitude", type=float, default=0.0,
+                              help="sinusoidal arrival-rate modulation depth [0,1)")
+    churn_parser.add_argument("--nodes", type=int, default=12)
+    churn_parser.add_argument("--seed", type=int, default=1)
+    churn_parser.add_argument("--no-police", action="store_true",
+                              help="disable per-session token-bucket policing")
+    churn_parser.add_argument("--telemetry", action="store_true",
+                              help="attach the flight recorder (churn.* channels)")
+    churn_parser.add_argument(
+        "--axis", action="append", default=[], type=_parse_churn_axis,
+        metavar="NAME=V1,V2,...",
+        help="sweep a ChurnSpec field (repeatable); enables sweep mode",
+    )
+    churn_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for sweep points")
+    churn_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="periodic checkpoints under DIR; rerunning resumes from them",
+    )
+    churn_parser.add_argument("--checkpoint-every", type=int, default=100000,
+                              metavar="CYCLES")
+    churn_parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write the churn metrics as a BENCH JSON artifact",
+    )
+    churn_parser.add_argument("--json", action="store_true", help="JSON output")
+    churn_parser.set_defaults(func=cmd_churn)
 
     ckpt_parser = sub.add_parser("ckpt", help="checkpoint tooling")
     ckpt_sub = ckpt_parser.add_subparsers(dest="ckpt_command", required=True)

@@ -9,6 +9,12 @@ from .figures import (
     figure5,
     run_point,
 )
+from .churn import (
+    ChurnResult,
+    ChurnSpec,
+    ChurnWorkload,
+    run_churn_experiment,
+)
 from .report import ascii_plot, format_series, format_table
 from .single_router import (
     PAPER_CONFIG,
@@ -36,6 +42,10 @@ from .sweep import (
 )
 
 __all__ = [
+    "ChurnResult",
+    "ChurnSpec",
+    "ChurnWorkload",
+    "run_churn_experiment",
     "DEFAULT_LOADS",
     "FigureData",
     "clear_cache",

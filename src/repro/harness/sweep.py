@@ -115,12 +115,37 @@ class SweepResult:
         return {key: getattr(result, metric) for key, result in self.results.items()}
 
     def rows(self, metrics: Sequence[str]) -> List[List[Any]]:
-        """Table rows: axis values followed by the requested metrics."""
+        """Table rows: axis values followed by the requested metrics.
+
+        Rows are ordered by the axis-value tuples themselves, not their
+        string forms: numeric axes sort numerically (``(9,)`` before
+        ``(10,)``), non-numeric values sort by string within their own
+        group, and mixed-type axes never raise.
+        """
         out = []
-        for key in sorted(self.results, key=str):
+        for key in sorted(self.results, key=_point_sort_key):
             result = self.results[key]
             out.append(list(key) + [getattr(result, m) for m in metrics])
         return out
+
+
+def _point_sort_key(key: Tuple[Any, ...]) -> Tuple[Tuple[int, float, str], ...]:
+    """Type-stable comparator for grid keys.
+
+    Each element maps to ``(type rank, numeric value, string value)`` so
+    numbers compare numerically, everything else compares as text, and
+    heterogeneous grids order deterministically without TypeError.
+    """
+    parts = []
+    for value in key:
+        if isinstance(value, bool):
+            # bool is an int subclass but is a flag, not a magnitude.
+            parts.append((1, float(value), ""))
+        elif isinstance(value, (int, float)):
+            parts.append((0, float(value), ""))
+        else:
+            parts.append((2, 0.0, str(value)))
+    return tuple(parts)
 
 
 def build_spec(base: ExperimentSpec, assignment: Mapping[str, Tuple[str, Any]]) -> ExperimentSpec:

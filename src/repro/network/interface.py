@@ -185,7 +185,7 @@ class NetworkInterface:
             source.interarrival = interarrival
             source.rate_bps = new_rate_bps
         if stream.policer is not None:
-            stream.policer.set_rate(1.0 / interarrival)
+            stream.policer.set_rate(1.0 / interarrival, now=self.network.sim.now)
         # Update the per-hop VC state the biased priority consults.
         for i, node in enumerate(stream.connection.path):
             vc = self.network.routers[node].input_ports[

@@ -10,6 +10,7 @@ CPU), which is where this token-bucket implementation sits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 class TokenBucket:
@@ -53,10 +54,19 @@ class TokenBucket:
         self._refill(now)
         return self._tokens
 
-    def set_rate(self, rate_per_cycle: float) -> None:
-        """Apply a renegotiated rate (dynamic bandwidth management, §4.3)."""
+    def set_rate(self, rate_per_cycle: float, now: Optional[int] = None) -> None:
+        """Apply a renegotiated rate (dynamic bandwidth management, §4.3).
+
+        ``now`` is the renegotiation cycle.  Tokens accrued since the last
+        refill are credited *at the old rate* before the new rate takes
+        effect — otherwise a rate change would retroactively reprice the
+        whole elapsed window (credit a backlog the old contract never
+        earned, or confiscate tokens the old contract already paid for).
+        """
         if rate_per_cycle <= 0:
             raise ValueError(f"rate_per_cycle must be positive, got {rate_per_cycle}")
+        if now is not None:
+            self._refill(now)
         self.rate = rate_per_cycle
 
 

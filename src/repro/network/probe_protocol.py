@@ -8,7 +8,8 @@ bandwidth as they advance; on a dead end a BACKTRACK flit retraces the
 reverse channel mapping, releasing reservations and marking the history
 store; when the probe reaches the destination an ACK returns along the
 reverse mappings and the connection opens.  TEARDOWN flits release a
-connection hop by hop.
+connection hop by hop, and SET_BANDWIDTH control words renegotiate an
+established session's contract in place (§4.3).
 
 Control flits use the router's asynchronous cut-through path when the
 output link is idle (§3.4) and otherwise consume the reconfiguration
@@ -17,8 +18,15 @@ gaps; we model each hop of control traffic as a fixed
 
 The protocol exists alongside the instantaneous manager so experiments
 can choose fidelity: the figure harness needs thousands of established
-connections (instantaneous), while the establishment-latency studies need
-the real token passing (this module).
+connections (instantaneous), while the establishment-latency and
+session-churn studies need the real token passing (this module).
+
+Every scheduled continuation is a bound method plus a plain payload —
+never a closure — so a simulation with probes, acks or teardowns in
+flight checkpoints through the ``ckpt/1`` codec like the rest of the
+component graph.  Completion callbacks ride on the session object itself;
+a caller that wants checkpointability passes a picklable callable (e.g. a
+bound method of a harness that is itself part of the checkpoint).
 """
 
 from __future__ import annotations
@@ -74,6 +82,10 @@ class ProbeSession:
     ports: List[int] = field(default_factory=list)
     vcs: List[int] = field(default_factory=list)
     entry_ports: List[int] = field(default_factory=list)
+    #: Establishment / teardown completion callbacks (stored here, not in
+    #: event closures, so in-flight protocol state is picklable).
+    on_complete: Optional[Completion] = None
+    on_teardown: Optional[Completion] = None
 
     @property
     def setup_cycles(self) -> int:
@@ -93,6 +105,9 @@ class ProbeProtocol:
         self.probes_sent = 0
         self.acks_sent = 0
         self.backtracks_sent = 0
+        self.teardowns_completed = 0
+        self.renegotiations_applied = 0
+        self.renegotiations_refused = 0
 
     # ----- establishment -------------------------------------------------------
 
@@ -119,6 +134,7 @@ class ProbeProtocol:
             interarrival_cycles=interarrival_cycles,
             static_priority=static_priority,
             started_at=self.network.sim.now,
+            on_complete=on_complete,
         )
         self.sessions[session.session_id] = session
         topology = self.network.topology
@@ -129,26 +145,28 @@ class ProbeProtocol:
             host_port
         ].can_allocate(request)
         if not admitted:
-            self._finish(session, False, on_complete, delay=1)
+            self._finish(session, False, delay=1)
             return session
         # The source hop is reserved when the probe leaves the interface;
         # output port is fixed once the probe picks its first link.
         session.reservations.append(HopReservation(source, host_port, -1))
         self.probes_sent += 1
-        self.network.sim.schedule(
-            1, lambda: self._probe_step(session, on_complete)
-        )
+        self.network.sim.schedule(1, self._probe_step_event, session.session_id)
         return session
 
     # ----- probe movement ----------------------------------------------------------
 
-    def _probe_step(self, session: ProbeSession, on_complete: Completion) -> None:
+    def _probe_step_event(self, session_id: int) -> None:
+        """Event trampoline: advance the probe of one session."""
+        self._probe_step(self.sessions[session_id])
+
+    def _probe_step(self, session: ProbeSession) -> None:
         """The probe sits at the tail reservation; try to advance it."""
         topology = self.network.topology
         here = session.reservations[-1]
         node = here.node
         if node == session.destination:
-            self._send_ack(session, on_complete)
+            self._send_ack(session)
             return
         point = (node, here.entry_port)
         advanced = False
@@ -167,11 +185,10 @@ class ProbeProtocol:
             break
         if advanced:
             self.network.sim.schedule(
-                CONTROL_HOP_CYCLES,
-                lambda: self._probe_step(session, on_complete),
+                CONTROL_HOP_CYCLES, self._probe_step_event, session.session_id
             )
         else:
-            self._backtrack(session, on_complete)
+            self._backtrack(session)
 
     def _try_reserve_hop(
         self, session: ProbeSession, node: int, out_port: int, neighbor: int
@@ -201,7 +218,7 @@ class ProbeProtocol:
         session.reservations.append(HopReservation(neighbor, entry, vc_index))
         return True
 
-    def _backtrack(self, session: ProbeSession, on_complete: Completion) -> None:
+    def _backtrack(self, session: ProbeSession) -> None:
         """Release the tail hop and step the probe back (§3.5)."""
         self.backtracks_sent += 1
         tail = session.reservations.pop()
@@ -210,12 +227,11 @@ class ProbeProtocol:
             previous = session.reservations[-1]
             self._release_hop(previous, tail, session)
             self.network.sim.schedule(
-                CONTROL_HOP_CYCLES,
-                lambda: self._probe_step(session, on_complete),
+                CONTROL_HOP_CYCLES, self._probe_step_event, session.session_id
             )
         else:
             # Backtracked out of the source: establishment failed.
-            self._finish(session, False, on_complete, delay=1)
+            self._finish(session, False, delay=1)
 
     def _release_hop(
         self,
@@ -235,7 +251,7 @@ class ProbeProtocol:
 
     # ----- acknowledgment ------------------------------------------------------------
 
-    def _send_ack(self, session: ProbeSession, on_complete: Completion) -> None:
+    def _send_ack(self, session: ProbeSession) -> None:
         """Destination reached: return the ack, installing connection state."""
         self.acks_sent += 1
         topology = self.network.topology
@@ -246,7 +262,7 @@ class ProbeProtocol:
             last.output_port
         ].allocate(session.request):
             # Destination host egress filled while the probe was in flight.
-            self._backtrack(session, on_complete)
+            self._backtrack(session)
             return
         # Reserve the source hop's input VC now that the path is certain.
         source_router = self.network.routers[session.source]
@@ -258,7 +274,7 @@ class ProbeProtocol:
             self.network.routers[session.destination].admission.outputs[
                 last.output_port
             ].release(session.request)
-            self._backtrack(session, on_complete)
+            self._backtrack(session)
             return
         vc = source_router.input_ports[head.entry_port].vcs[source_vc]
         vc.bind(-session.session_id, session.service_class, -1)
@@ -268,10 +284,14 @@ class ProbeProtocol:
         # hop's VC state; model it as one delayed installation.
         ack_latency = CONTROL_HOP_CYCLES * (len(session.reservations) - 1) + 1
         self.network.sim.schedule(
-            ack_latency, lambda: self._install(session, on_complete)
+            ack_latency, self._install_event, session.session_id
         )
 
-    def _install(self, session: ProbeSession, on_complete: Completion) -> None:
+    def _install_event(self, session_id: int) -> None:
+        """Event trampoline: the ack reached the source."""
+        self._install(self.sessions[session_id])
+
+    def _install(self, session: ProbeSession) -> None:
         """Ack reached the source: finalise per-hop VC scheduling state."""
         connection_id = -session.session_id
         downstream_vc = -1
@@ -316,24 +336,72 @@ class ProbeProtocol:
         session.ports = [r.output_port for r in session.reservations]
         session.vcs = [r.vc_index for r in session.reservations]
         session.entry_ports = [r.entry_port for r in session.reservations]
-        self._finish(session, True, on_complete, delay=0)
+        self._finish(session, True, delay=0)
 
-    def _finish(
+    def _finish(self, session: ProbeSession, established: bool, delay: int) -> None:
+        if delay:
+            self.network.sim.schedule(
+                delay, self._finish_event, (session.session_id, established)
+            )
+        else:
+            self._complete(session, established)
+
+    def _finish_event(self, payload: Tuple[int, bool]) -> None:
+        """Event trampoline: deliver a delayed completion."""
+        session_id, established = payload
+        self._complete(self.sessions[session_id], established)
+
+    def _complete(self, session: ProbeSession, established: bool) -> None:
+        session.finished_at = self.network.sim.now
+        session.established = established
+        callback = session.on_complete
+        if callback is not None:
+            callback(session, established)
+
+    # ----- dynamic bandwidth management (§4.3) -----------------------------------
+
+    def renegotiate(
         self,
         session: ProbeSession,
-        established: bool,
-        on_complete: Completion,
-        delay: int,
-    ) -> None:
-        def complete():
-            session.finished_at = self.network.sim.now
-            session.established = established
-            on_complete(session, established)
+        new_request: BandwidthRequest,
+        interarrival_cycles: Optional[float] = None,
+    ) -> bool:
+        """Apply a SET_BANDWIDTH control word along the session's path.
 
-        if delay:
-            self.network.sim.schedule(delay, complete)
-        else:
-            complete()
+        Every hop swaps the old contract for ``new_request`` or — when any
+        hop lacks capacity — the already-renegotiated hops roll back and
+        the old contract stays everywhere (the control word is NACKed).
+        ``interarrival_cycles``, when given, updates the per-hop VC pacing
+        term the biased priority consults.
+        """
+        if not session.established:
+            raise RuntimeError("cannot renegotiate an unestablished session")
+        applied: List[HopReservation] = []
+        for hop in session.reservations:
+            router = self.network.routers[hop.node]
+            ok = router.renegotiate_connection(
+                hop.entry_port, hop.vc_index, session.request, new_request
+            )
+            if not ok:
+                for back in reversed(applied):
+                    if not self.network.routers[back.node].renegotiate_connection(
+                        back.entry_port, back.vc_index, new_request, session.request
+                    ):
+                        raise RuntimeError("renegotiation rollback failed")
+                self.renegotiations_refused += 1
+                return False
+            applied.append(hop)
+        session.request = new_request
+        if interarrival_cycles is not None:
+            session.interarrival_cycles = interarrival_cycles
+            for hop in session.reservations:
+                vc = self.network.routers[hop.node].input_ports[
+                    hop.entry_port
+                ].vcs[hop.vc_index]
+                vc.interarrival_cycles = interarrival_cycles
+                vc.prio_flit = None  # cached priority terms are stale
+        self.renegotiations_applied += 1
+        return True
 
     # ----- teardown -------------------------------------------------------------------
 
@@ -341,15 +409,21 @@ class ProbeProtocol:
         """Send a TEARDOWN token hop by hop, releasing the connection."""
         if not session.established:
             raise RuntimeError("cannot tear down an unestablished session")
-        self._teardown_step(session, 0, on_complete)
+        session.on_teardown = on_complete
+        self._teardown_step(session, 0)
 
-    def _teardown_step(
-        self, session: ProbeSession, index: int, on_complete: Optional[Completion]
-    ) -> None:
+    def _teardown_step_event(self, payload: Tuple[int, int]) -> None:
+        """Event trampoline: the teardown token reached its next hop."""
+        session_id, index = payload
+        self._teardown_step(self.sessions[session_id], index)
+
+    def _teardown_step(self, session: ProbeSession, index: int) -> None:
         if index >= len(session.reservations):
             session.established = False
-            if on_complete is not None:
-                on_complete(session, False)
+            self.teardowns_completed += 1
+            callback = session.on_teardown
+            if callback is not None:
+                callback(session, False)
             return
         hop = session.reservations[index]
         router = self.network.routers[hop.node]
@@ -366,5 +440,17 @@ class ProbeProtocol:
         router.admission.outputs[hop.output_port].release(session.request)
         self.network.sim.schedule(
             CONTROL_HOP_CYCLES,
-            lambda: self._teardown_step(session, index + 1, on_complete),
+            self._teardown_step_event,
+            (session.session_id, index + 1),
         )
+
+    # ----- bookkeeping -----------------------------------------------------------------
+
+    def forget(self, session: ProbeSession) -> None:
+        """Drop a finished session from the registry (long churn runs would
+        otherwise accumulate every session ever attempted)."""
+        if session.finished_at is None:
+            raise RuntimeError("cannot forget a session still in flight")
+        if session.established:
+            raise RuntimeError("cannot forget an established session")
+        self.sessions.pop(session.session_id, None)

@@ -261,7 +261,11 @@ def irregular(
 
     Starts from a random spanning tree (guaranteeing connectivity, as ad
     hoc LAN wiring grows) and adds random extra links until the mean
-    degree is reached.
+    degree is reached.  If the try budget runs out before the target link
+    count is reached (the requested density may even exceed the complete
+    graph), :class:`TopologyError` is raised naming the achieved versus
+    requested link counts — a silently sparser graph would skew every
+    blocking/latency figure computed on it.
     """
     if num_nodes < 2:
         raise TopologyError(f"need at least 2 nodes, got {num_nodes}")
@@ -283,6 +287,11 @@ def irregular(
         if a == b:
             continue
         edges.add((min(a, b), max(a, b)))
+    if len(edges) < target_links:
+        raise TopologyError(
+            f"irregular({num_nodes}, mean_degree={mean_degree}) exhausted "
+            f"{tries} tries at {len(edges)} links; {target_links} requested"
+        )
     return Topology(
         num_nodes, sorted(edges), num_ports, name=f"irregular{num_nodes}"
     )

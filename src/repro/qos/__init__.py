@@ -8,7 +8,7 @@ from .queueing import (
     nd_d1_worst_case_wait,
     saturation_load_hol_blocking,
 )
-from .metrics import QosSummary, per_rate_breakdown, summarise, summarise_weighted
+from .metrics import UNCLASSIFIED, QosSummary, per_rate_breakdown, summarise, summarise_weighted
 
 __all__ = [
     "ContractViolation",
@@ -16,6 +16,7 @@ __all__ = [
     "expected_flits",
     "verify_contract",
     "QosSummary",
+    "UNCLASSIFIED",
     "per_rate_breakdown",
     "summarise",
     "summarise_weighted",

@@ -106,17 +106,41 @@ def _copy(stats: RunningStats) -> RunningStats:
     return clone
 
 
+#: Breakdown key for connections absent from ``connection_rates``.
+UNCLASSIFIED = "unclassified"
+
+
 def per_rate_breakdown(
     connection_stats: Mapping[int, ConnectionStats],
     connection_rates: Mapping[int, float],
-) -> Dict[float, QosSummary]:
+    strict: bool = False,
+) -> Dict[object, QosSummary]:
     """Group QoS by connection rate (paper: "Actual jitter values for
     high-speed connections will be even less and those for low-speed
-    connections will be relatively higher")."""
+    connections will be relatively higher").
+
+    Connections missing from ``connection_rates`` are *not* silently
+    dropped (that would mask mislabeled sessions): they are grouped under
+    the explicit :data:`UNCLASSIFIED` key, or — with ``strict=True`` —
+    raise ``ValueError`` naming the offending connection ids.
+    """
     by_rate: Dict[float, Dict[int, ConnectionStats]] = {}
+    unclassified: Dict[int, ConnectionStats] = {}
     for connection_id, stats in connection_stats.items():
         rate = connection_rates.get(connection_id)
         if rate is None:
+            unclassified[connection_id] = stats
             continue
         by_rate.setdefault(rate, {})[connection_id] = stats
-    return {rate: summarise(group) for rate, group in sorted(by_rate.items())}
+    if unclassified and strict:
+        missing = ", ".join(str(cid) for cid in sorted(unclassified))
+        raise ValueError(
+            f"{len(unclassified)} connection(s) missing from "
+            f"connection_rates: {missing}"
+        )
+    breakdown: Dict[object, QosSummary] = {
+        rate: summarise(group) for rate, group in sorted(by_rate.items())
+    }
+    if unclassified:
+        breakdown[UNCLASSIFIED] = summarise(unclassified)
+    return breakdown

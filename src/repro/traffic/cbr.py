@@ -32,9 +32,14 @@ class CbrSource:
         config: RouterConfig,
         phase: float = 0.0,
         stop_time: Optional[int] = None,
+        policer=None,
     ) -> None:
         """``phase`` offsets the first arrival (cycles) so that connections
-        admitted together do not all beat in lockstep."""
+        admitted together do not all beat in lockstep.  ``policer`` (a
+        :class:`~repro.network.policing.TokenBucket`) gates injection when
+        set: a flit enters the network only once a token is available, so a
+        renegotiated-down session is actually shaped to its new contract
+        (§4.2-4.3)."""
         if phase < 0:
             raise ValueError(f"phase must be >= 0, got {phase}")
         self.sim = sim
@@ -53,6 +58,18 @@ class CbrSource:
         self._retry_scheduled = False
         self._next_arrival = phase
         self.max_interface_queue = 0
+        self.policer = policer
+        # A token granted for a flit the router then refused stays "held"
+        # for the retry, so back-pressure never burns policer credit.
+        self._token_held = False
+
+    def _policer_allows(self) -> bool:
+        if self.policer is None or self._token_held:
+            return True
+        if self.policer.allow(self.sim.now):
+            self._token_held = True
+            return True
+        return False
 
     def start(self) -> None:
         """Schedule the first arrival, ``phase`` cycles from now."""
@@ -77,7 +94,10 @@ class CbrSource:
             # Common case: no backlog, so try the VC directly and skip the
             # interface queue round-trip.  The flit still "occupies" the
             # queue for the attempt, so the high-water mark is at least 1.
-            if self.router.inject(self.input_port, self.vc_index, flit):
+            if self._policer_allows() and self.router.inject(
+                self.input_port, self.vc_index, flit
+            ):
+                self._token_held = False
                 self.flits_injected += 1
                 if self.max_interface_queue < 1:
                     self.max_interface_queue = 1
@@ -100,9 +120,13 @@ class CbrSource:
     def _drain(self) -> None:
         """Push pending flits into the input VC until it refuses one."""
         while self._pending:
+            if not self._policer_allows():
+                self._schedule_retry()
+                return
             if not self.router.inject(self.input_port, self.vc_index, self._pending[0]):
                 self._schedule_retry()
                 return
+            self._token_held = False
             self._pending.popleft()
             self.flits_injected += 1
 

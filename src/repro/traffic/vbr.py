@@ -100,7 +100,12 @@ class VbrSource:
         rng: SeededRng,
         phase: float = 0.0,
         stop_time: Optional[int] = None,
+        policer=None,
     ) -> None:
+        """``policer`` (a :class:`~repro.network.policing.TokenBucket`)
+        gates injection when set — see :class:`~repro.traffic.cbr.CbrSource`.
+        A VBR policer should be provisioned near the peak rate (with burst
+        headroom for a frame), or it will shape frame bursts flat."""
         self.sim = sim
         self.router = router
         self.connection_id = connection_id
@@ -122,9 +127,19 @@ class VbrSource:
         self._pending: Deque[Flit] = deque()
         self._retry_scheduled = False
         self.max_interface_queue = 0
+        self.policer = policer
+        self._token_held = False
         # When True, the current frame's remaining flits are dropped (the
         # §4.3 frame-abort mechanism driven by back-pressure).
         self.abort_backlog_frames: Optional[float] = None
+
+    def _policer_allows(self) -> bool:
+        if self.policer is None or self._token_held:
+            return True
+        if self.policer.allow(self.sim.now):
+            self._token_held = True
+            return True
+        return False
 
     def start(self) -> None:
         """Schedule the first frame, ``phase`` cycles from now."""
@@ -182,9 +197,13 @@ class VbrSource:
 
     def _drain(self) -> None:
         while self._pending:
+            if not self._policer_allows():
+                self._schedule_retry()
+                return
             if not self.router.inject(self.input_port, self.vc_index, self._pending[0]):
                 self._schedule_retry()
                 return
+            self._token_held = False
             self._pending.popleft()
             self.flits_injected += 1
 

@@ -1,0 +1,262 @@
+"""Tests for the session-churn workload harness."""
+
+import pytest
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.harness.churn import ChurnSpec, ChurnWorkload, run_churn_experiment
+from repro.harness.single_router import SimulatedWorkerCrash
+from repro.harness.sweep import SweepAxis, run_sweep
+from repro.network.network import Network
+from repro.network.policing import TokenBucket
+from repro.network.probe_protocol import ProbeProtocol
+from repro.network.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.cbr import CbrSource
+
+
+def small_spec(**overrides):
+    """A churn point small enough for unit tests (~1-2 s)."""
+    base = dict(
+        num_sessions=80,
+        mean_interarrival_cycles=200.0,
+        mean_holding_cycles=4000.0,
+        drain_cycles=30_000,
+        num_nodes=8,
+        seed=3,
+    )
+    base.update(overrides)
+    return ChurnSpec(**base)
+
+
+class TestChurnSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(num_sessions=0)
+        with pytest.raises(ValueError):
+            ChurnSpec(mean_interarrival_cycles=0.0)
+        with pytest.raises(ValueError):
+            ChurnSpec(vbr_fraction=1.5)
+        with pytest.raises(ValueError):
+            ChurnSpec(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            ChurnSpec(num_nodes=1)
+
+    def test_horizon_covers_arrivals_and_drain(self):
+        spec = small_spec()
+        assert spec.max_cycles > spec.num_sessions * spec.mean_interarrival_cycles
+        assert spec.max_cycles > spec.drain_cycles
+
+
+class TestChurnRun:
+    def test_end_to_end_drains_leak_free(self):
+        result = run_churn_experiment(small_spec())
+        assert result.drained
+        assert result.leak_free, result.leak_report
+        assert result.arrivals == 80
+        assert result.established + result.blocked == result.arrivals
+        assert result.torn_down == result.established
+        assert result.established > 0
+        assert result.flits_delivered > 0
+        assert result.qos.mean_delay_cycles > 0
+        # Every delivered flit belonged to a session the rate table knew.
+        assert result.unclassified_connections == 0
+        assert 0.0 < result.setup_p50 <= result.setup_p99
+        assert 0.0 <= result.blocking_probability < 1.0
+
+    def test_deterministic_for_same_seed(self):
+        a = run_churn_experiment(small_spec())
+        b = run_churn_experiment(small_spec())
+        assert a.established == b.established
+        assert a.setup_p50 == b.setup_p50
+        assert a.flits_delivered == b.flits_delivered
+        assert a.qos.mean_delay_cycles == b.qos.mean_delay_cycles
+
+    def test_seed_changes_workload(self):
+        a = run_churn_experiment(small_spec(seed=3))
+        b = run_churn_experiment(small_spec(seed=4))
+        assert a.flits_delivered != b.flits_delivered
+
+    def test_blocking_under_overload_stays_leak_free(self):
+        # A small, VC-starved network with sessions arriving much faster
+        # than they leave: establishment attempts must be NACKed back out
+        # of the network, and every NACK must leave no residue.
+        result = run_churn_experiment(
+            small_spec(
+                num_sessions=60,
+                mean_interarrival_cycles=30.0,
+                mean_holding_cycles=20_000.0,
+                num_nodes=4,
+                vcs_per_port=4,
+                vbr_fraction=0.0,
+            )
+        )
+        assert result.blocked > 0
+        assert result.blocking_probability > 0.0
+        assert result.drained
+        assert result.leak_free, result.leak_report
+        assert result.backtracks > 0 or result.blocked > 0
+
+    def test_renegotiations_happen_and_balance(self):
+        result = run_churn_experiment(
+            small_spec(vbr_fraction=1.0, renegotiation_fraction=1.0)
+        )
+        assert result.renegotiations_applied > 0
+        assert result.drained
+        assert result.leak_free, result.leak_report
+
+    def test_diurnal_modulation_changes_arrival_spacing(self):
+        flat = run_churn_experiment(small_spec())
+        wavy = run_churn_experiment(
+            small_spec(diurnal_amplitude=0.8, diurnal_period_cycles=4000.0)
+        )
+        assert wavy.drained and wavy.leak_free
+        assert wavy.flits_delivered != flat.flits_delivered
+
+    def test_unpoliced_run_also_balances(self):
+        result = run_churn_experiment(small_spec(police=False))
+        assert result.drained
+        assert result.leak_free, result.leak_report
+
+
+class TestChurnTelemetry:
+    def test_channels_recorded(self):
+        result = run_churn_experiment(small_spec(telemetry=True))
+        assert result.recorder is not None
+        names = set(result.recorder.telemetry.names())
+        assert "churn.active_sessions" in names
+        assert "churn.blocking_rate" in names
+        assert "churn.setup_latency_last" in names
+
+    def test_disabled_by_default(self):
+        assert run_churn_experiment(small_spec()).recorder is None
+
+
+class TestChurnSweep:
+    def test_parallel_rows_match_serial(self):
+        axes = [
+            SweepAxis("mean_interarrival_cycles", (150.0, 300.0)),
+            SweepAxis("vbr_fraction", (0.0, 0.5)),
+        ]
+        spec = small_spec(num_sessions=40)
+        serial = run_sweep(spec, axes, _runner=run_churn_experiment)
+        parallel = run_sweep(spec, axes, jobs=2, _runner=run_churn_experiment)
+        columns = ["blocking_probability", "setup_p50", "mean_delay_cycles"]
+        assert serial.rows(columns) == parallel.rows(columns)
+        assert len(serial.results) == 4
+
+
+class TestChurnCheckpoint:
+    def test_crash_and_resume_matches_straight_run(self, tmp_path):
+        spec = small_spec(num_sessions=40)
+        path = tmp_path / "churn.ckpt"
+        straight = run_churn_experiment(spec)
+        with pytest.raises(SimulatedWorkerCrash):
+            run_churn_experiment(
+                spec,
+                checkpoint_every=4000,
+                checkpoint_path=path,
+                _crash_at_cycle=8000,
+            )
+        assert path.exists()
+        resumed = run_churn_experiment(
+            spec, checkpoint_every=4000, checkpoint_path=path, resume=True
+        )
+        assert resumed.checkpoint["resumed_from_cycle"] is not None
+        assert resumed.established == straight.established
+        assert resumed.blocked == straight.blocked
+        assert resumed.flits_delivered == straight.flits_delivered
+        assert resumed.setup_p50 == straight.setup_p50
+        assert resumed.qos.mean_delay_cycles == straight.qos.mean_delay_cycles
+        assert resumed.leak_free, resumed.leak_report
+
+    def test_checkpoint_requires_path(self):
+        with pytest.raises(ValueError):
+            run_churn_experiment(small_spec(), checkpoint_every=1000)
+
+    def test_workload_snapshot_roundtrip(self, tmp_path):
+        spec = small_spec(num_sessions=30)
+        workload = ChurnWorkload(spec)
+        workload.run_to(5000)
+        path = tmp_path / "mid.ckpt"
+        workload.checkpoint(path)
+        restored = ChurnWorkload.resume(path, expect_spec=spec)
+        assert restored.now == workload.now
+        assert restored.arrivals_launched == workload.arrivals_launched
+        a = workload.result()
+        b = restored.result()
+        assert a.flits_delivered == b.flits_delivered
+        assert a.leak_free and b.leak_free
+
+
+class TestPolicerShaping:
+    def _establish(self):
+        topo = Topology(2, [(0, 1)])
+        config = RouterConfig(
+            num_ports=topo.num_ports,
+            vcs_per_port=8,
+            round_factor=2,
+            enforce_round_budgets=False,
+        )
+        sim = Simulator()
+        network = Network(
+            topo, config, BiasedPriority(), sim, SeededRng(9, "shape")
+        )
+        protocol = ProbeProtocol(network)
+        results = []
+        session = protocol.establish(
+            0,
+            1,
+            BandwidthRequest(2),
+            lambda s, ok: results.append(ok),
+            interarrival_cycles=config.rate_to_interarrival_cycles(55e6),
+        )
+        sim.run(50)
+        assert results == [True]
+        return network, sim, config, session
+
+    def test_renegotiated_down_session_is_shaped(self):
+        # A session renegotiated to half its rate keeps *generating* at
+        # the old pace, but the policer admits only the new contract —
+        # the second half of the run injects half the flits.
+        network, sim, config, session = self._establish()
+        interarrival = config.rate_to_interarrival_cycles(55e6)
+        policer = TokenBucket(1.0 / interarrival, burst=2.0)
+        source = CbrSource(
+            sim,
+            network.routers[0],
+            -session.session_id,
+            session.entry_ports[0],
+            session.vcs[0],
+            55e6,
+            config,
+            phase=1.0,
+            policer=policer,
+        )
+        source.start()
+        sim.run(10_000)
+        first_half = source.flits_injected
+        policer.set_rate(0.5 / interarrival, now=sim.now)
+        sim.run(10_000)
+        second_half = source.flits_injected - first_half
+        assert first_half > 100
+        assert second_half == pytest.approx(first_half / 2, rel=0.15)
+
+    def test_unpoliced_source_injects_at_full_rate(self):
+        network, sim, config, session = self._establish()
+        source = CbrSource(
+            sim,
+            network.routers[0],
+            -session.session_id,
+            session.entry_ports[0],
+            session.vcs[0],
+            55e6,
+            config,
+            phase=1.0,
+        )
+        source.start()
+        sim.run(10_000)
+        expected = 10_000 / config.rate_to_interarrival_cycles(55e6)
+        assert source.flits_injected == pytest.approx(expected, rel=0.05)

@@ -177,6 +177,41 @@ class TestSweep:
         assert len(rows) == 4
         assert len(rows[0]) == 4
 
+    def test_rows_numeric_order_across_digit_boundary(self):
+        # A 2-axis numeric grid spanning 9 -> 10: string ordering would
+        # put (10, ...) before (9, ...).
+        from itertools import product
+
+        from repro.harness.sweep import SweepResult
+
+        class FakeResult:
+            def __init__(self, value):
+                self.metric = value
+
+        axes = (SweepAxis("candidates", (9, 10, 2)), SweepAxis("seed", (10, 9)))
+        sweep = SweepResult(axes)
+        for key in product((9, 10, 2), (10, 9)):
+            sweep.results[key] = FakeResult(sum(key))
+        rows = sweep.rows(["metric"])
+        assert [row[:2] for row in rows] == [
+            [2, 9], [2, 10], [9, 9], [9, 10], [10, 9], [10, 10],
+        ]
+        assert all(row[2] == row[0] + row[1] for row in rows)
+
+    def test_rows_mixed_type_axes_do_not_raise(self):
+        from repro.harness.sweep import SweepResult
+
+        class FakeResult:
+            metric = 0.0
+
+        axes = (SweepAxis("scheduler", ("greedy", 2, True, "batch")),)
+        sweep = SweepResult(axes)
+        for key in (("greedy",), (2,), (True,), ("batch",)):
+            sweep.results[key] = FakeResult()
+        ordered = [row[0] for row in sweep.rows(["metric"])]
+        # Numbers first (numeric order), then flags, then text.
+        assert ordered == [2, True, "batch", "greedy"]
+
 
 class TestReport:
     def test_format_table_alignment(self):

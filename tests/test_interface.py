@@ -164,6 +164,35 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             bucket.set_rate(0.0)
 
+    def test_set_rate_up_settles_accrual_at_old_rate(self):
+        # Drain the initial burst, let 100 cycles accrue at the slow old
+        # rate, then renegotiate up.  The elapsed window was earned at
+        # 0.01 tokens/cycle (1 token), not repriced at 1.0 (100 tokens).
+        bucket = TokenBucket(rate_per_cycle=0.01, burst=10)
+        for _ in range(10):
+            assert bucket.allow(0)
+        bucket.set_rate(1.0, now=100)
+        assert bucket.tokens_at(100) == pytest.approx(1.0)
+
+    def test_set_rate_down_settles_accrual_at_old_rate(self):
+        # The mirror image: tokens the old fast contract already paid for
+        # must not be confiscated by repricing the window at the new
+        # slow rate.
+        bucket = TokenBucket(rate_per_cycle=1.0, burst=10)
+        for _ in range(10):
+            assert bucket.allow(0)
+        bucket.set_rate(0.01, now=100)
+        assert bucket.tokens_at(100) == pytest.approx(10.0)  # refilled to cap
+
+    def test_set_rate_without_now_defers_settlement(self):
+        # Legacy call sites that pass no timestamp keep the old behavior:
+        # the next refill prices the whole window at the new rate.
+        bucket = TokenBucket(rate_per_cycle=0.01, burst=10)
+        for _ in range(10):
+            assert bucket.allow(0)
+        bucket.set_rate(1.0)
+        assert bucket.tokens_at(100) == pytest.approx(10.0)
+
     def test_report(self):
         bucket = TokenBucket(0.5, 1)
         bucket.allow(0)

@@ -1,0 +1,300 @@
+"""Resource-symmetry property tests for the probe protocol.
+
+Establishment and teardown walk the same per-hop allocate/release code in
+opposite directions; renegotiation swaps contracts in place; every
+failure branch (mid-path dead end, destination-egress race, source-VC
+race) must unwind exactly what it committed.  These tests churn sessions
+through all of those paths and assert that every router's admission
+registers, VC free lists and RAU mapping stores return to their
+pre-churn snapshot — the same invariant the churn harness audits after
+a full run.
+"""
+
+import pytest
+
+from repro.core.bandwidth import BandwidthRequest
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.core.virtual_channel import ServiceClass
+from repro.network.network import Network
+from repro.network.probe_protocol import CONTROL_HOP_CYCLES, ProbeProtocol
+from repro.network.topology import Topology, mesh
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+
+def build(topo=None, vcs=8):
+    topo = topo or mesh(3, 3)
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=vcs,
+        round_factor=2,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(topo, config, BiasedPriority(), sim, SeededRng(6, "sym"))
+    return network, ProbeProtocol(network), sim, config
+
+
+def snapshot(network, topo, config):
+    """Mirror of ChurnWorkload.resource_snapshot for a bare network."""
+    state = {}
+    for node in range(topo.num_nodes):
+        router = network.routers[node]
+        for port in range(config.num_ports):
+            inp = router.admission.inputs[port]
+            out = router.admission.outputs[port]
+            state[f"r{node}.p{port}.admission"] = (
+                inp.allocated_cycles,
+                inp.peak_cycles,
+                inp.active_connections,
+                out.allocated_cycles,
+                out.peak_cycles,
+                out.active_connections,
+            )
+            state[f"r{node}.p{port}.free_vcs"] = router.input_ports[
+                port
+            ].free_vc_count()
+        state[f"r{node}.rau"] = len(router.rau.mappings)
+    return state
+
+
+class Recorder:
+    def __init__(self):
+        self.results = []
+
+    def __call__(self, session, established):
+        self.results.append((session, established))
+
+
+def teardown_and_forget(protocol, sim, sessions):
+    """Tear sessions down (staggered) and forget them once complete."""
+    for session in sessions:
+        protocol.teardown(session, protocol_forgetter(protocol))
+    longest = max((len(s.reservations) for s in sessions), default=0)
+    sim.run(CONTROL_HOP_CYCLES * (longest + 2) + 5)
+    for session in sessions:
+        assert not session.established
+
+
+def protocol_forgetter(protocol):
+    def _forget(session, _established):
+        protocol.forget(session)
+
+    return _forget
+
+
+class TestRandomizedChurnSymmetry:
+    def test_randomized_cycles_return_to_baseline(self):
+        """N rounds of mixed CBR/VBR establish/fail/teardown churn leave
+        every router register exactly at its pre-churn value."""
+        network, protocol, sim, config = build()
+        topo = network.topology
+        baseline = snapshot(network, topo, config)
+        rng = SeededRng(42, "churn-sym")
+        cap = config.round_length  # 16: requests of 17 fail at the source
+        done = Recorder()
+        alive = []
+        torn = 0
+        seen = 0
+        for _ in range(6):
+            for _ in range(6):
+                src = rng.randint(0, topo.num_nodes - 1)
+                dst = rng.randint(0, topo.num_nodes - 2)
+                if dst >= src:
+                    dst += 1
+                if rng.random() < 0.4:
+                    permanent = rng.choice((2, 4))
+                    request = BandwidthRequest(permanent, permanent * 2)
+                    service = ServiceClass.VBR
+                else:
+                    request = BandwidthRequest(rng.choice((2, 4, 9, cap + 1)))
+                    service = ServiceClass.CBR
+                protocol.establish(
+                    src, dst, request, done, service_class=service
+                )
+            sim.run(600)
+            new = done.results[seen:]
+            seen = len(done.results)
+            assert len(new) == 6  # every attempt resolved within the round
+            for session, ok in new:
+                if ok:
+                    alive.append(session)
+                else:
+                    protocol.forget(session)
+            # Tear down roughly half of the live population.
+            victims = [s for s in alive if rng.random() < 0.5]
+            alive = [s for s in alive if s not in victims]
+            if victims:
+                teardown_and_forget(protocol, sim, victims)
+                torn += len(victims)
+        if alive:
+            teardown_and_forget(protocol, sim, alive)
+            torn += len(alive)
+        sim.run(100)
+        assert torn > 0  # the property test actually exercised teardown
+        assert protocol.teardowns_completed == torn
+        assert not protocol.sessions
+        assert snapshot(network, topo, config) == baseline
+
+
+class TestAckFailureBranches:
+    def test_destination_egress_race_unwinds_fully(self):
+        """The probe wins the path but loses the destination host-egress
+        race; the ack-side failure must unwind every hop."""
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo)
+        baseline = snapshot(network, topo, config)
+        blocker = BandwidthRequest(config.round_length)
+        egress = network.routers[2].admission.outputs[topo.host_port(2)]
+        assert egress.allocate(blocker)
+        done = Recorder()
+        session = protocol.establish(0, 2, BandwidthRequest(4), done)
+        sim.run(200)
+        assert done.results == [(session, False)]
+        assert not session.established
+        assert session.backtracks >= 1  # unwound hop by hop, not zeroed
+        egress.release(blocker)
+        protocol.forget(session)
+        assert snapshot(network, topo, config) == baseline
+
+    def test_source_vc_race_releases_destination_egress(self):
+        """Both source host VCs vanish between probe launch and ack
+        arrival; the ack must give back the destination egress it had
+        just claimed, then unwind the whole path."""
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo, vcs=2)
+        baseline = snapshot(network, topo, config)
+        done = Recorder()
+        session = protocol.establish(0, 2, BandwidthRequest(2), done)
+        router0 = network.routers[0]
+        host = topo.host_port(0)
+        stolen = [
+            router0.open_packet_vc(host, 0, ServiceClass.BEST_EFFORT, 900 + i)
+            for i in range(2)
+        ]
+        assert all(idx is not None for idx in stolen)
+        sim.run(200)
+        assert done.results == [(session, False)]
+        dest_egress = network.routers[2].admission.outputs[topo.host_port(2)]
+        assert dest_egress.allocated_cycles == 0
+        assert dest_egress.active_connections == 0
+        for idx in stolen:
+            router0._release_packet_vc(router0.input_ports[host].vcs[idx])
+        protocol.forget(session)
+        assert snapshot(network, topo, config) == baseline
+
+    def test_source_input_admission_race_releases_destination_egress(self):
+        """The source host-input *bandwidth* fills while the probe is in
+        flight (a VC is still free): the ack's allocate fails and must
+        release the destination egress before backtracking."""
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo)
+        baseline = snapshot(network, topo, config)
+        done = Recorder()
+        session = protocol.establish(0, 2, BandwidthRequest(4), done)
+        blocker = BandwidthRequest(config.round_length)
+        ingress = network.routers[0].admission.inputs[topo.host_port(0)]
+        assert ingress.allocate(blocker)
+        sim.run(200)
+        assert done.results == [(session, False)]
+        dest_egress = network.routers[2].admission.outputs[topo.host_port(2)]
+        assert dest_egress.allocated_cycles == 0
+        ingress.release(blocker)
+        protocol.forget(session)
+        assert snapshot(network, topo, config) == baseline
+
+
+class TestRenegotiationSymmetry:
+    def test_refused_renegotiation_rolls_back_applied_hops(self):
+        """A raise NACKed at hop 2 must restore hop 1's old contract —
+        and the eventual teardowns still balance to baseline."""
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo)
+        baseline = snapshot(network, topo, config)
+        done = Recorder()
+        cap = config.round_length  # 16
+        contender = protocol.establish(1, 2, BandwidthRequest(6), done)
+        sim.run(100)
+        session = protocol.establish(0, 2, BandwidthRequest(8), done)
+        sim.run(200)
+        assert contender.established and session.established
+        # Link 1->2 carries 6 + 8 = 14; raising the session to 11 needs
+        # 17 there.  Hop 0 (all alone on link 0->1) accepts first, so the
+        # refusal at hop 1 exercises the rollback path.
+        out_0_to_1 = network.routers[0].admission.outputs[topo.port_of(0, 1)]
+        assert out_0_to_1.allocated_cycles == 8
+        assert not protocol.renegotiate(session, BandwidthRequest(11))
+        assert protocol.renegotiations_refused == 1
+        assert session.request.permanent_cycles == 8  # contract unchanged
+        assert out_0_to_1.allocated_cycles == 8  # hop 0 rolled back
+        out_1_to_2 = network.routers[1].admission.outputs[topo.port_of(1, 2)]
+        assert out_1_to_2.allocated_cycles == 14
+        teardown_and_forget(protocol, sim, [session, contender])
+        assert not protocol.sessions
+        assert snapshot(network, topo, config) == baseline
+
+    def test_applied_renegotiation_still_tears_down_to_baseline(self):
+        """A successful downgrade re-prices every hop; teardown releases
+        the *new* contract and the registers return to baseline."""
+        topo = Topology(3, [(0, 1), (1, 2)])
+        network, protocol, sim, config = build(topo=topo)
+        baseline = snapshot(network, topo, config)
+        done = Recorder()
+        session = protocol.establish(0, 2, BandwidthRequest(8), done)
+        sim.run(200)
+        assert session.established
+        new_pacing = 4.0
+        assert protocol.renegotiate(
+            session, BandwidthRequest(4), interarrival_cycles=new_pacing
+        )
+        assert protocol.renegotiations_applied == 1
+        assert session.request.permanent_cycles == 4
+        out_0_to_1 = network.routers[0].admission.outputs[topo.port_of(0, 1)]
+        assert out_0_to_1.allocated_cycles == 4
+        # The pacing term the biased priority consults follows the new
+        # contract on every hop.
+        for i, node in enumerate(session.path):
+            vc = network.routers[node].input_ports[session.entry_ports[i]].vcs[
+                session.vcs[i]
+            ]
+            assert vc.interarrival_cycles == pytest.approx(new_pacing)
+        teardown_and_forget(protocol, sim, [session])
+        assert snapshot(network, topo, config) == baseline
+
+    def test_renegotiate_unestablished_rejected(self):
+        network, protocol, sim, config = build()
+        done = Recorder()
+        session = protocol.establish(0, 8, BandwidthRequest(4), done)
+        with pytest.raises(RuntimeError):
+            protocol.renegotiate(session, BandwidthRequest(2))
+
+
+class TestForget:
+    def test_forget_in_flight_rejected(self):
+        network, protocol, sim, config = build()
+        session = protocol.establish(0, 8, BandwidthRequest(4), Recorder())
+        with pytest.raises(RuntimeError):
+            protocol.forget(session)
+
+    def test_forget_established_rejected(self):
+        network, protocol, sim, config = build()
+        session = protocol.establish(0, 8, BandwidthRequest(4), Recorder())
+        sim.run(200)
+        assert session.established
+        with pytest.raises(RuntimeError):
+            protocol.forget(session)
+
+    def test_forget_drops_failed_session(self):
+        topo = Topology(2, [(0, 1)])
+        network, protocol, sim, config = build(topo=topo, vcs=2)
+        done = Recorder()
+        cap = config.round_length
+        protocol.establish(0, 1, BandwidthRequest(cap), done)
+        sim.run(100)
+        failed = protocol.establish(0, 1, BandwidthRequest(cap), done)
+        sim.run(100)
+        assert not failed.established
+        assert failed.session_id in protocol.sessions
+        protocol.forget(failed)
+        assert failed.session_id not in protocol.sessions

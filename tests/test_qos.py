@@ -10,6 +10,7 @@ from repro.qos.guarantees import (
     verify_contract,
 )
 from repro.qos.metrics import (
+    UNCLASSIFIED,
     per_rate_breakdown,
     summarise,
     summarise_weighted,
@@ -84,9 +85,27 @@ class TestPerRateBreakdown:
         assert groups[64e3].mean_delay_cycles == pytest.approx(2.0)
         assert groups[120e6].mean_delay_cycles == pytest.approx(5.0)
 
-    def test_unknown_connections_skipped(self):
+    def test_unknown_connections_grouped_as_unclassified(self):
+        stats = {
+            1: stats_with_delays([1.0]),
+            2: stats_with_delays([3.0]),
+            3: stats_with_delays([7.0]),
+        }
+        groups = per_rate_breakdown(stats, {1: 64e3})
+        assert set(groups) == {64e3, UNCLASSIFIED}
+        assert groups[UNCLASSIFIED].connections == 2
+        assert groups[UNCLASSIFIED].mean_delay_cycles == pytest.approx(5.0)
+        # The classified group is untouched by the unclassified bucket.
+        assert groups[64e3].connections == 1
+
+    def test_no_unclassified_entry_when_all_classified(self):
         stats = {1: stats_with_delays([1.0])}
-        assert per_rate_breakdown(stats, {}) == {}
+        assert UNCLASSIFIED not in per_rate_breakdown(stats, {1: 64e3})
+
+    def test_strict_raises_naming_missing_ids(self):
+        stats = {7: stats_with_delays([1.0]), 3: stats_with_delays([2.0])}
+        with pytest.raises(ValueError, match=r"2 connection\(s\).*3, 7"):
+            per_rate_breakdown(stats, {}, strict=True)
 
 
 class TestContracts:

@@ -144,3 +144,19 @@ class TestConstructors:
             irregular(1, rng)
         with pytest.raises(TopologyError):
             irregular(10, rng, mean_degree=0.5)
+
+    def test_irregular_raises_on_try_exhaustion(self):
+        # mean_degree 5.0 on 6 nodes asks for the complete graph (15
+        # links); a zero try budget strands the build at the 5-link
+        # spanning tree.  That must raise, not return a silently sparser
+        # graph whose blocking/latency figures would be skewed.
+        rng = SeededRng(2, "exhaust")
+        with pytest.raises(TopologyError, match=r"exhausted.*15 requested"):
+            irregular(6, rng, mean_degree=5.0, max_tries=0)
+
+    def test_irregular_reaches_target_within_budget(self):
+        # The same density succeeds with the default budget (the error
+        # path is exhaustion, not the density itself).
+        rng = SeededRng(2, "ok")
+        topo = irregular(6, rng, mean_degree=5.0)
+        assert len(topo.edges()) == 15
