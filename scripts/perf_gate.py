@@ -22,6 +22,10 @@ every future PR has a perf trajectory to regress against:
    a recorder-on run must export a Chrome/Perfetto trace that validates
    against the trace-event schema with a complete inject/grant/deliver
    lifecycle for every delivered flit (written to ``--trace-output``).
+   Control-plane span tracing must likewise be a pure observer: the same
+   churn point with the recorder on must reproduce every workload metric
+   of the recorder-off run bit-for-bit, while leaving fully closed,
+   schema-valid span trees (one root per session attempt).
 
 A second gate covers the bit-parallel scheduling fast path, recorded to
 ``BENCH_sched.json``:
@@ -81,7 +85,8 @@ from repro.ckpt.verify import (  # noqa: E402
     run_ckpt_network_identity_check,
     run_ckpt_router_identity_check,
 )
-from repro.obs import build_manifest  # noqa: E402
+from repro.obs import build_manifest, validate_chrome_trace  # noqa: E402
+from repro.harness.churn import ChurnSpec, run_churn_experiment  # noqa: E402
 from repro.harness.network_experiment import (  # noqa: E402
     NetworkExperimentSpec,
     run_network_experiment,
@@ -149,6 +154,82 @@ def sched_multihop_identity(seed: int = 11) -> dict:
         "seed": seed,
         "reference": summaries[False],
         "fast_path": summaries[True],
+    }
+
+
+def _churn_summary(result) -> dict:
+    return {
+        "arrivals": result.arrivals,
+        "established": result.established,
+        "blocked": result.blocked,
+        "torn_down": result.torn_down,
+        "setup_p50": result.setup_p50,
+        "setup_p99": result.setup_p99,
+        "setup_mean": result.setup_mean,
+        "mean_delay_cycles": result.mean_delay_cycles,
+        "mean_jitter_cycles": result.mean_jitter_cycles,
+        "flits_delivered": result.flits_delivered,
+        "renegotiations_applied": result.renegotiations_applied,
+        "renegotiations_refused": result.renegotiations_refused,
+        "teardown_retries": result.teardown_retries,
+        "links_searched": result.links_searched,
+        "backtracks": result.backtracks,
+        "drained": result.drained,
+        "leak_free": result.leak_free,
+    }
+
+
+def churn_obs_identity(seed: int = 7) -> dict:
+    """Span tracing must be a pure observer of the churn workload.
+
+    The same churn point runs with the flight recorder off and on; every
+    workload metric must match bit-for-bit (the recorder may observe,
+    never steer).  The recorder-on run must additionally leave a
+    schema-valid Chrome trace whose control-plane span trees are all
+    closed, with one root per completed session attempt.
+    """
+    spec_kwargs = dict(
+        num_sessions=80,
+        num_nodes=8,
+        mean_interarrival_cycles=150.0,
+        mean_holding_cycles=4000.0,
+        vbr_fraction=0.4,
+        renegotiation_fraction=0.5,
+        seed=seed,
+    )
+    plain = run_churn_experiment(ChurnSpec(telemetry=False, **spec_kwargs))
+    observed = run_churn_experiment(ChurnSpec(telemetry=True, **spec_kwargs))
+    summaries = {
+        "off": _churn_summary(plain),
+        "on": _churn_summary(observed),
+    }
+    recorder = observed.recorder
+    schema_ok = True
+    try:
+        validate_chrome_trace(recorder.chrome_trace())
+    except ValueError:
+        schema_ok = False
+    roots = recorder.spans.roots()
+    spans_closed = recorder.spans.open_count == 0
+    return {
+        "identical": summaries["off"] == summaries["on"],
+        "seed": seed,
+        "summaries": summaries,
+        "spans": len(recorder.spans),
+        "span_roots": len(roots),
+        "attempts": observed.established + observed.blocked,
+        "roots_match_attempts": (
+            len(roots) == observed.established + observed.blocked
+        ),
+        "spans_closed": spans_closed,
+        "span_dropped": recorder.spans.dropped,
+        "trace_schema_ok": schema_ok,
+        "ok": (
+            summaries["off"] == summaries["on"]
+            and schema_ok
+            and spans_closed
+            and len(roots) == observed.established + observed.blocked
+        ),
     }
 
 
@@ -336,6 +417,19 @@ def main(argv=None) -> int:
     if not trace_check["ok"]:
         failures.append("trace export validation")
 
+    print("== observability: churn span-tracing identity ==")
+    churn_identity = churn_obs_identity()
+    print(
+        f"   sessions={churn_identity['summaries']['off']['arrivals']} "
+        f"spans={churn_identity['spans']} "
+        f"roots={churn_identity['span_roots']} "
+        f"identical={churn_identity['identical']} "
+        f"closed={churn_identity['spans_closed']} "
+        f"schema_ok={churn_identity['trace_schema_ok']}"
+    )
+    if not churn_identity["ok"]:
+        failures.append("churn span-tracing identity")
+
     print("== sched identity: saturated-CBR single router ==")
     sched_identity = run_sched_identity_check(args.sched_identity_cycles)
     print(
@@ -490,6 +584,7 @@ def main(argv=None) -> int:
             "overhead": obs_overhead,
             "trace_validation": trace_check,
             "trace_artifact": str(args.trace_output),
+            "churn_span_identity": churn_identity,
         },
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")

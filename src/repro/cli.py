@@ -11,6 +11,11 @@ Commands:
 * ``saturation`` — bisect a scheduler variant's saturation load.
 * ``obs`` — run a point with the flight recorder on and export the
   telemetry, kernel profile and Perfetto-loadable flit trace.
+* ``churn`` — open-loop session-churn workload over the probe protocol,
+  with optional ``--slo`` budgets (breach exits 2), health-snapshot
+  trails and a ``--report-out`` HTML dashboard.
+* ``report`` — render the run-health dashboard (or a sweep rollup page)
+  from previously exported health/export artefacts.
 * ``ckpt`` — checkpoint tooling (``ckpt inspect <file>`` dumps a
   checkpoint's header and per-component sizes without unpickling it).
 * ``info`` — print the paper configuration's derived quantities.
@@ -26,6 +31,7 @@ import argparse
 import dataclasses
 import json
 import sys
+from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from .ckpt.codec import CheckpointCodec, CheckpointError
@@ -46,6 +52,9 @@ from .harness.single_router import (
     run_single_router_experiment,
 )
 from .harness.sweep import Checkpointing, SweepAxis, run_sweep
+from .obs.health import merge_health, read_health
+from .obs.report import render_report, render_rollup
+from .obs.slo import SloBudget
 
 #: Field names an ``--axis`` may target, and where each one lives.
 _SPEC_FIELDS = {f.name for f in dataclasses.fields(ExperimentSpec)}
@@ -197,6 +206,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
         with open(args.export_out, "w", encoding="utf-8") as stream:
             json.dump(recorder.export(), stream, indent=2, sort_keys=True)
             stream.write("\n")
+    dropped = recorder.dropped_summary()
     if args.json:
         print(
             json.dumps(
@@ -206,6 +216,7 @@ def cmd_obs(args: argparse.Namespace) -> int:
                     "kernel": recorder.kernel_snapshot(),
                     "trace_events": len(recorder.events),
                     "trace_dropped": recorder.dropped,
+                    "dropped": dropped,
                 },
                 indent=2,
                 sort_keys=True,
@@ -221,6 +232,11 @@ def cmd_obs(args: argparse.Namespace) -> int:
         )
         print(f"trace: {len(recorder.events)} events "
               f"({recorder.dropped} dropped)")
+        if dropped["channels"]:
+            per_channel = ", ".join(
+                f"{name}={count}" for name, count in dropped["channels"].items()
+            )
+            print(f"telemetry rings dropped samples: {per_channel}")
         print()
         print(format_telemetry(recorder.telemetry.snapshot()))
         print()
@@ -353,6 +369,15 @@ def _parse_churn_axis(text: str) -> SweepAxis:
     return SweepAxis(name, values, "spec")
 
 
+def _parse_slo(text: str) -> str:
+    """Validate a ``metric=limit`` budget; keep it as text for ChurnSpec."""
+    try:
+        SloBudget.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
 def _churn_payload(result) -> dict:
     return {
         "arrivals": result.arrivals,
@@ -374,15 +399,23 @@ def _churn_payload(result) -> dict:
         "unclassified_connections": result.unclassified_connections,
         "drained": result.drained,
         "leak_free": result.leak_free,
+        "slo_ok": result.slo_ok,
+        "slo_state": result.slo_state,
+        "slo_violations": result.slo_violations,
+        "violating_sessions": result.violating_sessions,
     }
 
 
 def cmd_churn(args: argparse.Namespace) -> int:
     """Run the session-churn workload (single point or --axis sweep).
 
-    Exits 1 when the post-drain resource-leak invariant fails (or any
-    sweep point's does) — suitable as a CI gate.
+    Exit status: 0 healthy; 1 when the post-drain resource-leak
+    invariant fails (at any sweep point); 2 when every invariant holds
+    but a declared ``--slo`` budget tripped.  Both are CI gates.
     """
+    telemetry = args.telemetry or bool(
+        args.trace_out or args.export_out or args.report_out
+    )
     spec = ChurnSpec(
         num_sessions=args.sessions,
         mean_interarrival_cycles=args.interarrival,
@@ -392,8 +425,10 @@ def cmd_churn(args: argparse.Namespace) -> int:
         diurnal_amplitude=args.diurnal_amplitude,
         num_nodes=args.nodes,
         seed=args.seed,
-        telemetry=args.telemetry,
+        telemetry=telemetry,
         police=not args.no_police,
+        slos=tuple(args.slo),
+        exact_setup_stats=args.exact_setup_stats,
     )
     checkpointing = None
     if args.checkpoint_dir is not None:
@@ -421,10 +456,33 @@ def cmd_churn(args: argparse.Namespace) -> int:
         leaky = [
             key for key, result in sweep.results.items() if not result.leak_free
         ]
+        breached = [
+            key for key, result in sweep.results.items() if not result.slo_ok
+        ]
+
+        def _point_label(key) -> str:
+            return ",".join(
+                f"{axis.name}={value}" for axis, value in zip(args.axis, key)
+            )
+
+        points = [
+            (_point_label(key), result.health)
+            for key, result in sorted(sweep.results.items())
+            if result.health is not None
+        ]
+        rollup = merge_health(points) if points else None
+        if rollup is not None and args.health_out:
+            with open(args.health_out, "w", encoding="utf-8") as stream:
+                json.dump(rollup, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+        if rollup is not None and args.report_out:
+            with open(args.report_out, "w", encoding="utf-8") as stream:
+                stream.write(render_rollup(rollup, title="churn sweep health"))
         if args.json:
             print(json.dumps(
                 {"columns": header, "rows": rows,
-                 "leaky_points": [list(k) for k in leaky]},
+                 "leaky_points": [list(k) for k in leaky],
+                 "slo_breached_points": [list(k) for k in breached]},
                 indent=2,
             ))
         else:
@@ -443,6 +501,17 @@ def cmd_churn(args: argparse.Namespace) -> int:
             print(f"resource-leak invariant FAILED at {len(leaky)} point(s)",
                   file=sys.stderr)
             return 1
+        if breached:
+            print(f"SLO budgets tripped at {len(breached)} point(s):",
+                  file=sys.stderr)
+            for key in breached:
+                point = sweep.results[key]
+                sessions = ", ".join(str(s) for s in point.violating_sessions)
+                print(f"  {_point_label(key)}: "
+                      f"{len(point.slo_violations)} violation(s)"
+                      + (f", sessions {sessions}" if sessions else ""),
+                      file=sys.stderr)
+            return 2
         return 0
     if checkpointing is not None:
         result = run_churn_experiment(
@@ -450,15 +519,42 @@ def cmd_churn(args: argparse.Namespace) -> int:
             checkpoint_every=checkpointing.every,
             checkpoint_path=str(checkpointing.point_path(("churn",))),
             resume=True,
+            health_path=args.health_out,
+            health_every=args.health_every,
         )
     else:
-        result = run_churn_experiment(spec)
+        result = run_churn_experiment(
+            spec, health_path=args.health_out, health_every=args.health_every
+        )
     payload = _churn_payload(result)
     if result.checkpoint is not None:
         payload["checkpoint"] = result.checkpoint
     recorder = result.recorder
+    export = None
     if recorder is not None:
         payload["telemetry_channels"] = recorder.telemetry.names()
+        payload["spans"] = len(recorder.spans)
+        payload["dropped"] = recorder.dropped_summary()
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as stream:
+                write_trace_json(recorder, stream)
+        if args.export_out or args.report_out:
+            export = recorder.export()
+        if args.export_out:
+            with open(args.export_out, "w", encoding="utf-8") as stream:
+                json.dump(export, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+    if args.report_out and result.health is not None:
+        # Full heartbeat trail when one was written; else just the final
+        # snapshot (sparklines then come from the export, if any).
+        trail = (
+            read_health(args.health_out) if args.health_out
+            else [result.health]
+        )
+        with open(args.report_out, "w", encoding="utf-8") as stream:
+            stream.write(
+                render_report(trail, export=export, title="churn run health")
+            )
     if args.bench_out:
         with open(args.bench_out, "w", encoding="utf-8") as stream:
             json.dump({"churn": payload}, stream, indent=2, sort_keys=True)
@@ -466,12 +562,52 @@ def cmd_churn(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
-        _print_payload(payload)
+        printable = dict(payload)
+        slo_state = printable.pop("slo_state")
+        printable.pop("slo_violations")
+        printable.pop("violating_sessions")
+        printable.pop("dropped", None)
+        _print_payload(printable)
+        for budget in slo_state:
+            status = "BREACHED" if budget["breached"] else "ok"
+            print(f"{'slo ' + budget['metric']:>30}: {status} "
+                  f"(observed {budget['observed']:.4g}, "
+                  f"limit {budget['limit']:g}, "
+                  f"samples {budget['samples']})")
+        if recorder is not None:
+            dropped = recorder.dropped_summary()
+            if dropped["total"]:
+                print(f"WARNING: {dropped['total']} observability samples "
+                      f"dropped (trace {dropped['trace']}, "
+                      f"spans {dropped['spans']}, telemetry rings "
+                      f"{sum(dropped['channels'].values())})",
+                      file=sys.stderr)
         if not result.leak_free:
             print("resource-leak invariant FAILED:", file=sys.stderr)
             for line in result.leak_report:
                 print(f"  {line}", file=sys.stderr)
-    return 0 if result.leak_free else 1
+    if not result.leak_free:
+        return 1
+    if not result.slo_ok:
+        print("SLO budgets tripped:", file=sys.stderr)
+        for violation in result.slo_violations[:20]:
+            where = ""
+            if violation["session_id"] != -1:
+                where = f" (session {violation['session_id']}"
+                if violation["span_id"] != -1:
+                    where += f", span {violation['span_id']}"
+                where += ")"
+            print(f"  {violation['metric']}={violation['observed']:.4g} > "
+                  f"limit {violation['limit']:g} "
+                  f"at cycle {violation['time']}{where}", file=sys.stderr)
+        if len(result.slo_violations) > 20:
+            print(f"  ... and {len(result.slo_violations) - 20} more",
+                  file=sys.stderr)
+        sessions = ", ".join(str(s) for s in result.violating_sessions)
+        if sessions:
+            print(f"  violating sessions: {sessions}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_ckpt_inspect(args: argparse.Namespace) -> int:
@@ -502,6 +638,50 @@ def cmd_ckpt_inspect(args: argparse.Namespace) -> int:
               "per component):")
         for name, size in summary["sections"].items():
             print(f"{name:>16}: {size}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a run-health HTML dashboard from exported artefacts.
+
+    One ``--health`` trail renders a single-run dashboard (pair it with
+    ``--export`` for full-resolution sparklines); several trails, or a
+    pre-built ``--rollup``, render the sweep-level rollup page.
+    """
+    if args.rollup:
+        rollup = json.loads(Path(args.rollup).read_text(encoding="utf-8"))
+        html = render_rollup(rollup, title=args.title)
+    elif len(args.health) > 1:
+        points = []
+        for path in args.health:
+            snapshots = read_health(path)
+            if snapshots:
+                points.append((Path(path).stem, snapshots[-1]))
+        if not points:
+            print("no snapshots in any --health file", file=sys.stderr)
+            return 1
+        html = render_rollup(merge_health(points), title=args.title)
+    elif args.health:
+        snapshots = read_health(args.health[0])
+        if not snapshots:
+            print(f"no snapshots in {args.health[0]}", file=sys.stderr)
+            return 1
+        export = None
+        if args.export:
+            export = json.loads(
+                Path(args.export).read_text(encoding="utf-8")
+            )
+        html = render_report(snapshots, export=export, title=args.title)
+    else:
+        print("report needs --health FILE (repeatable) or --rollup FILE",
+              file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(html)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(html)
     return 0
 
 
@@ -669,6 +849,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--bench-out", default=None, metavar="PATH",
         help="write the churn metrics as a BENCH JSON artifact",
     )
+    churn_parser.add_argument(
+        "--slo", action="append", default=[], type=_parse_slo,
+        metavar="METRIC=LIMIT",
+        help="declare an SLO budget (repeatable): setup_p99=N, "
+             "blocking_probability=F, jitter_mean=F, "
+             "policer_refusal_rate=F; any trip exits 2",
+    )
+    churn_parser.add_argument(
+        "--exact-setup-stats", action="store_true",
+        help="keep the full setup-latency list (exact quantiles) instead "
+             "of the default constant-space streaming estimators",
+    )
+    churn_parser.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="append periodic health snapshots as JSON Lines (single "
+             "point) or write the sweep health rollup JSON (--axis mode)",
+    )
+    churn_parser.add_argument(
+        "--health-every", type=int, default=5000, metavar="CYCLES",
+        help="health-snapshot heartbeat period (with --health-out)",
+    )
+    churn_parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the Perfetto trace (flit events + control-plane "
+             "spans); implies --telemetry",
+    )
+    churn_parser.add_argument(
+        "--export-out", default=None, metavar="PATH",
+        help="write the full recorder export JSON; implies --telemetry",
+    )
+    churn_parser.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="write the run-health HTML dashboard (rollup page in "
+             "--axis mode); implies --telemetry",
+    )
     churn_parser.add_argument("--json", action="store_true", help="JSON output")
     churn_parser.set_defaults(func=cmd_churn)
 
@@ -680,6 +895,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     inspect_parser.add_argument("file", help="checkpoint file path")
     inspect_parser.add_argument("--json", action="store_true", help="JSON output")
     inspect_parser.set_defaults(func=cmd_ckpt_inspect)
+
+    report_parser = sub.add_parser(
+        "report", help="render a run-health HTML dashboard from artefacts"
+    )
+    report_parser.add_argument(
+        "--health", action="append", default=[], metavar="FILE",
+        help="health JSONL trail (repeatable; several files roll up)",
+    )
+    report_parser.add_argument(
+        "--export", default=None, metavar="FILE",
+        help="recorder export JSON for full-resolution sparklines",
+    )
+    report_parser.add_argument(
+        "--rollup", default=None, metavar="FILE",
+        help="pre-built health-rollup JSON (from churn --axis --health-out)",
+    )
+    report_parser.add_argument(
+        "-o", "--out", default=None, metavar="PATH",
+        help="output HTML path (default: stdout)",
+    )
+    report_parser.add_argument("--title", default="run health")
+    report_parser.set_defaults(func=cmd_report)
 
     info_parser = sub.add_parser("info", help="paper configuration summary")
     info_parser.set_defaults(func=cmd_info)

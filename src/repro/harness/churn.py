@@ -47,7 +47,16 @@ from ..network.network import Network
 from ..network.policing import TokenBucket
 from ..network.probe_protocol import ProbeProtocol, ProbeSession
 from ..network.topology import Topology, irregular
-from ..obs import FlightRecorder, build_manifest
+from ..obs import (
+    DROPPED,
+    FlightRecorder,
+    HealthWriter,
+    SloEngine,
+    StreamingQuantiles,
+    build_health_snapshot,
+    build_manifest,
+    parse_budgets,
+)
 from ..qos.metrics import UNCLASSIFIED, QosSummary, per_rate_breakdown, summarise
 from ..sim.engine import Simulator
 from ..sim.rng import SeededRng
@@ -101,6 +110,14 @@ class ChurnSpec:
     telemetry_every: int = 1000
     #: Police every session's injection with a per-session token bucket.
     police: bool = True
+    #: Declarative SLO budgets (``metric=limit`` strings — e.g.
+    #: ``setup_p99=400``, ``blocking_probability=0.05``; see
+    #: :mod:`repro.obs.slo`).  Evaluated online during the run.
+    slos: Tuple[str, ...] = ()
+    #: Keep the exact per-session setup-latency list (O(sessions) memory)
+    #: instead of the streaming quantile estimators.  For tests that need
+    #: nearest-rank-exact percentiles; production churn stays bounded.
+    exact_setup_stats: bool = False
 
     def __post_init__(self) -> None:
         if self.num_sessions < 1:
@@ -125,6 +142,7 @@ class ChurnSpec:
             raise ValueError("rates_bps must not be empty")
         if self.telemetry_every <= 0:
             raise ValueError("telemetry_every must be positive")
+        parse_budgets(self.slos)  # malformed budgets fail at spec build
 
     @property
     def max_cycles(self) -> int:
@@ -161,6 +179,8 @@ class _ActiveSession:
     source: Any  # CbrSource or VbrSource
     policer: Optional[TokenBucket]
     established_at: int
+    #: Teardown-guard retries while this session's flits drained.
+    drain_retries: int = 0
 
 
 @dataclass
@@ -190,11 +210,31 @@ class ChurnResult:
     leak_report: List[str] = field(default_factory=list)
     recorder: Optional[FlightRecorder] = None
     checkpoint: Optional[Dict[str, Any]] = None
+    #: Live budget state at run end (:meth:`SloEngine.state` shape).
+    slo_state: List[Dict[str, Any]] = field(default_factory=list)
+    #: Typed violation records (:meth:`SloViolation.to_dict` shape).
+    slo_violations: List[Dict[str, Any]] = field(default_factory=list)
+    #: Sticky: True once any declared budget ever crossed its limit.
+    slo_breached: bool = False
+    #: Distinct session ids named by violations, in breach order.
+    violating_sessions: List[int] = field(default_factory=list)
+    #: Final ``health/1`` snapshot (plain dict — survives the sweep
+    #: worker's recorder strip, so rollups need no side-channel files).
+    health: Optional[Dict[str, Any]] = None
+    #: Per-session setup latencies, populated only under
+    #: ``spec.exact_setup_stats`` (streaming runs keep memory bounded).
+    setup_latencies: List[int] = field(default_factory=list)
 
     @property
     def leak_free(self) -> bool:
         """True when the post-drain resource audit found no drift."""
         return not self.leak_report
+
+    @property
+    def slo_ok(self) -> bool:
+        """True when no declared budget ever tripped (vacuously true
+        with no budgets declared)."""
+        return not self.slo_breached
 
     @property
     def mean_delay_cycles(self) -> float:
@@ -203,6 +243,12 @@ class ChurnResult:
     @property
     def mean_jitter_cycles(self) -> float:
         return self.qos.mean_jitter_cycles
+
+
+def _span_ref(span_id: int) -> int:
+    """Span reference for an SLO violation: -1 when no span was recorded
+    (telemetry off, or the tracer dropped it)."""
+    return span_id if span_id != DROPPED else -1
 
 
 def _percentile(sorted_values: List[int], q: float) -> float:
@@ -274,7 +320,20 @@ class ChurnWorkload:
         self.teardown_retries = 0
         self.links_searched = 0
         self.backtracks = 0
+        #: Streaming setup-latency estimators (always fed — O(1) memory).
+        self.setup_stats = StreamingQuantiles((0.5, 0.99))
+        self._last_setup_cycles = 0.0
+        #: Exact per-session list, only kept when spec.exact_setup_stats.
         self.setup_latencies: List[int] = []
+        budgets = parse_budgets(spec.slos)
+        #: Online SLO evaluation (None when no budgets are declared).
+        self.slo: Optional[SloEngine] = SloEngine(budgets) if budgets else None
+        #: Cumulative policer verdicts from torn-down sessions.
+        self.policer_conforming = 0
+        self.policer_violations = 0
+        #: Periodic health-snapshot trail (see set_health_output).
+        self.health_writer: Optional[HealthWriter] = None
+        self.health_every = 0
         self._pending_meta: Dict[int, _PendingSession] = {}
         self.active: Dict[int, _ActiveSession] = {}
         #: End-to-end stats and delivered-flit counts per connection id.
@@ -362,12 +421,43 @@ class ChurnWorkload:
         meta = self._pending_meta.pop(session.session_id)
         self.links_searched += session.links_searched
         self.backtracks += session.backtracks
+        now = self.sim.now
+        slo = self.slo
         if not established:
             self.blocked += 1
+            if slo is not None:
+                slo.observe_ratio(
+                    "blocking_probability",
+                    self.blocked,
+                    self._attempts_completed,
+                    now,
+                    session_id=session.session_id,
+                    span_id=_span_ref(session.span_id),
+                )
             self.protocol.forget(session)
             return
         self.established_total += 1
-        self.setup_latencies.append(session.setup_cycles)
+        setup = session.setup_cycles
+        self._last_setup_cycles = float(setup)
+        self.setup_stats.add(float(setup))
+        if self.spec.exact_setup_stats:
+            self.setup_latencies.append(setup)
+        if slo is not None:
+            slo.observe(
+                "setup",
+                float(setup),
+                now,
+                session_id=session.session_id,
+                span_id=_span_ref(session.setup_span),
+            )
+            slo.observe_ratio(
+                "blocking_probability",
+                self.blocked,
+                self._attempts_completed,
+                now,
+                session_id=session.session_id,
+                span_id=_span_ref(session.span_id),
+            )
         connection_id = -session.session_id
         self.connection_rates[connection_id] = meta.rate_bps
         config = self.config
@@ -476,17 +566,62 @@ class ChurnWorkload:
             return
         connection_id = -session_id
         source = entry.source
+        recorder = self.recorder
         if source.backlog > 0 or self.delivered.get(connection_id, 0) < source.flits_injected:
             self.teardown_retries += 1
+            entry.drain_retries += 1
+            if recorder is not None and recorder.enabled:
+                # The drain window is a span of its own: it is wall time
+                # the session spends past its lifetime, invisible in the
+                # per-hop teardown spans.
+                if not entry.session.drain_span:
+                    entry.session.drain_span = recorder.spans.begin(
+                        "drain",
+                        "teardown",
+                        self.sim.now,
+                        parent=entry.session.span_id,
+                        session=session_id,
+                    )
             self.sim.schedule(
                 TEARDOWN_RETRY_CYCLES, self._teardown_event, session_id
             )
             return
+        if entry.session.drain_span and recorder is not None:
+            recorder.spans.end(
+                entry.session.drain_span,
+                self.sim.now,
+                retries=entry.drain_retries,
+            )
         self.protocol.teardown(entry.session, self._on_teardown)
 
     def _on_teardown(self, session: ProbeSession, _established: bool) -> None:
-        self.active.pop(session.session_id, None)
+        entry = self.active.pop(session.session_id, None)
         self.torn_down += 1
+        if entry is not None and entry.policer is not None:
+            self.policer_conforming += entry.policer.conforming
+            self.policer_violations += entry.policer.violations
+        slo = self.slo
+        if slo is not None:
+            now = self.sim.now
+            stats = self.end_to_end.get(-session.session_id)
+            if stats is not None and stats.jitter.count:
+                slo.observe(
+                    "jitter",
+                    stats.jitter.mean,
+                    now,
+                    session_id=session.session_id,
+                    span_id=_span_ref(session.span_id),
+                )
+            refusals = self.policer_violations
+            verdicts = self.policer_conforming + refusals
+            slo.observe_ratio(
+                "policer_refusal_rate",
+                refusals,
+                verdicts,
+                now,
+                session_id=session.session_id,
+                span_id=_span_ref(session.span_id),
+            )
         self.protocol.forget(session)
 
     # ----- delivery and telemetry --------------------------------------------------
@@ -515,12 +650,68 @@ class ChurnWorkload:
             now,
             self.blocked / attempts if attempts else 0.0,
         )
-        if self.setup_latencies:
+        if self.setup_stats.count:
             recorder.sample(
-                "churn.setup_latency_last", now, float(self.setup_latencies[-1])
+                "churn.setup_latency_last", now, self._last_setup_cycles
+            )
+            recorder.sample(
+                "churn.setup_latency_p99", now, self.setup_quantile(0.99)
             )
         if not self.drained:
             self.sim.schedule(self.spec.telemetry_every, self._sample_telemetry)
+
+    # ----- run health -------------------------------------------------------------
+
+    def set_health_output(self, path, every: int = 5000) -> None:
+        """Append a ``health/1`` snapshot to ``path`` every ``every`` cycles.
+
+        Safe to call on a resumed workload: the writer is swapped (e.g.
+        for a new path) without double-scheduling the heartbeat event,
+        which already rides in the checkpointed event queue.
+        """
+        if every <= 0:
+            raise ValueError(f"health interval must be positive, got {every}")
+        schedule = self.health_writer is None
+        self.health_writer = HealthWriter(path)
+        self.health_every = every
+        if schedule:
+            self.sim.schedule(every, self._health_event)
+
+    def _health_event(self) -> None:
+        writer = self.health_writer
+        if writer is None:
+            return
+        writer.write(self.health_snapshot())
+        if not self.drained:
+            self.sim.schedule(self.health_every, self._health_event)
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """One ``health/1`` record of the run's current observable state."""
+        attempts = self._attempts_completed
+        return build_health_snapshot(
+            self.sim.now,
+            recorder=self.recorder,
+            slo=self.slo,
+            extra={
+                "active_sessions": len(self.active),
+                "arrivals": self.arrivals_launched,
+                "established": self.established_total,
+                "blocked": self.blocked,
+                "torn_down": self.torn_down,
+                "blocking_probability": (
+                    self.blocked / attempts if attempts else 0.0
+                ),
+                "setup_p50": self.setup_quantile(0.50),
+                "setup_p99": self.setup_quantile(0.99),
+            },
+        )
+
+    def setup_quantile(self, q: float) -> float:
+        """Setup-latency quantile: nearest-rank exact when the spec keeps
+        the full list, streaming (P²) estimate otherwise."""
+        if self.spec.exact_setup_stats:
+            return _percentile(sorted(self.setup_latencies), q)
+        return self.setup_stats.quantile(q)
 
     # ----- resource-leak invariant ---------------------------------------------------
 
@@ -613,11 +804,15 @@ class ChurnWorkload:
         """Summarise the run; drives it to drain first if needed."""
         if not self.drained and self.sim.now < self.total_cycles:
             self.run_until_drained()
-        latencies = sorted(self.setup_latencies)
         attempts = self._attempts_completed
         per_rate = per_rate_breakdown(self.end_to_end, self.connection_rates)
         unclassified = per_rate.get(UNCLASSIFIED)
         drained = self.drained
+        slo = self.slo
+        health = self.health_snapshot()
+        if self.health_writer is not None:
+            # The trail always ends with the run's final state.
+            self.health_writer.write(health)
         return ChurnResult(
             spec=self.spec,
             arrivals=self.arrivals_launched,
@@ -627,11 +822,9 @@ class ChurnWorkload:
             teardown_retries=self.teardown_retries,
             renegotiations_applied=self.protocol.renegotiations_applied,
             renegotiations_refused=self.protocol.renegotiations_refused,
-            setup_p50=_percentile(latencies, 0.50),
-            setup_p99=_percentile(latencies, 0.99),
-            setup_mean=(
-                sum(latencies) / len(latencies) if latencies else 0.0
-            ),
+            setup_p50=self.setup_quantile(0.50),
+            setup_p99=self.setup_quantile(0.99),
+            setup_mean=self.setup_stats.mean,
             blocking_probability=self.blocked / attempts if attempts else 0.0,
             qos=summarise(self.end_to_end),
             per_rate=per_rate,
@@ -648,6 +841,14 @@ class ChurnWorkload:
                 else [f"not drained by cycle {self.sim.now}"]
             ),
             recorder=self.recorder,
+            slo_state=slo.state() if slo is not None else [],
+            slo_violations=slo.violation_dicts() if slo is not None else [],
+            slo_breached=bool(slo.breached) if slo is not None else False,
+            violating_sessions=(
+                slo.violating_sessions() if slo is not None else []
+            ),
+            health=health,
+            setup_latencies=list(self.setup_latencies),
         )
 
     # ----- checkpoint / resume ------------------------------------------------------
@@ -690,6 +891,8 @@ def run_churn_experiment(
     checkpoint_every: Optional[int] = None,
     checkpoint_path=None,
     resume: bool = False,
+    health_path=None,
+    health_every: int = 5000,
     _crash_at_cycle: Optional[int] = None,
 ) -> ChurnResult:
     """Run one churn point, optionally checkpointed.
@@ -698,11 +901,15 @@ def run_churn_experiment(
     churn sweeps go through :func:`repro.harness.sweep.run_sweep` with
     ``_runner=run_churn_experiment`` — including ``--jobs`` fan-out and
     checkpoint-resumable points with bit-identical rows either way.
+    ``health_path`` turns on the periodic health-snapshot trail.
     """
     if checkpoint_every is not None and checkpoint_every <= 0:
         raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
     if checkpoint_every is None and not resume and _crash_at_cycle is None:
-        return ChurnWorkload(spec, topology).result()
+        experiment = ChurnWorkload(spec, topology)
+        if health_path is not None:
+            experiment.set_health_output(health_path, health_every)
+        return experiment.result()
     if checkpoint_path is None:
         raise ValueError("checkpointing requires a checkpoint_path")
     path = Path(checkpoint_path)
@@ -717,6 +924,8 @@ def run_churn_experiment(
         lineage["resumed_from_cycle"] = experiment.now
     else:
         experiment = ChurnWorkload(spec, topology)
+    if health_path is not None:
+        experiment.set_health_output(health_path, health_every)
     total = experiment.total_cycles
     stride = checkpoint_every if checkpoint_every is not None else total
     while not experiment.drained and experiment.now < total:

@@ -158,6 +158,7 @@ class Network:
             )
             for node in range(topology.num_nodes)
         ]
+        self.recorder = recorder
         if recorder is not None:
             recorder.attach(sim)
         self._host_delivery: Dict[Tuple[int, int], HostDelivery] = {}

@@ -37,6 +37,14 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.bandwidth import BandwidthRequest
 from ..core.virtual_channel import ServiceClass
+from ..obs.recorder import NULL_RECORDER
+from ..obs.spans import (
+    DROPPED,
+    STATUS_BLOCKED,
+    STATUS_OK,
+    STATUS_REFUSED,
+    STATUS_ROLLED_BACK,
+)
 from ..routing.epb import profitable_ports
 from ..routing.history import HistoryStore
 from .network import Network
@@ -86,6 +94,14 @@ class ProbeSession:
     #: event closures, so in-flight protocol state is picklable).
     on_complete: Optional[Completion] = None
     on_teardown: Optional[Completion] = None
+    #: Control-plane span ids (plain ints so sessions stay picklable);
+    #: :data:`~repro.obs.spans.DROPPED` (0) means "no span".
+    span_id: int = DROPPED
+    setup_span: int = DROPPED
+    hop_span: int = DROPPED
+    ack_span: int = DROPPED
+    teardown_span: int = DROPPED
+    drain_span: int = DROPPED
 
     @property
     def setup_cycles(self) -> int:
@@ -100,6 +116,12 @@ class ProbeProtocol:
 
     def __init__(self, network: Network) -> None:
         self.network = network
+        # Span emission goes through the network's shared recorder; the
+        # NULL_RECORDER fallback keeps every call site a plain attribute
+        # read + ``enabled`` branch (the flit-trace contract).
+        self.recorder = (
+            network.recorder if network.recorder is not None else NULL_RECORDER
+        )
         self._ids = itertools.count(1)
         self.sessions: Dict[int, ProbeSession] = {}
         self.probes_sent = 0
@@ -137,6 +159,25 @@ class ProbeProtocol:
             on_complete=on_complete,
         )
         self.sessions[session.session_id] = session
+        recorder = self.recorder
+        if recorder.enabled:
+            tracer = recorder.spans
+            now = session.started_at
+            session.span_id = tracer.begin(
+                f"session {session.session_id}",
+                "session",
+                now,
+                session=session.session_id,
+                source=source,
+                destination=destination,
+            )
+            session.setup_span = tracer.begin(
+                "setup",
+                "setup",
+                now,
+                parent=session.span_id,
+                session=session.session_id,
+            )
         topology = self.network.topology
         host_port = topology.host_port(source)
         source_router = self.network.routers[source]
@@ -160,8 +201,22 @@ class ProbeProtocol:
         """Event trampoline: advance the probe of one session."""
         self._probe_step(self.sessions[session_id])
 
+    def _close_hop_span(self, session: ProbeSession, status: str = STATUS_OK) -> None:
+        """Close the session's pending per-hop span, if one is open.
+
+        Hop spans cover a control token's link traversal, so they begin
+        when the token commits to a hop and end when the next protocol
+        event fires (``CONTROL_HOP_CYCLES`` later).
+        """
+        if session.hop_span:
+            self.recorder.spans.end(
+                session.hop_span, self.network.sim.now, status
+            )
+            session.hop_span = DROPPED
+
     def _probe_step(self, session: ProbeSession) -> None:
         """The probe sits at the tail reservation; try to advance it."""
+        self._close_hop_span(session)
         topology = self.network.topology
         here = session.reservations[-1]
         node = here.node
@@ -184,6 +239,17 @@ class ProbeProtocol:
             advanced = True
             break
         if advanced:
+            if self.recorder.enabled:
+                tail = session.reservations[-1]
+                session.hop_span = self.recorder.spans.begin(
+                    "hop",
+                    "hop",
+                    self.network.sim.now,
+                    parent=session.setup_span,
+                    node=node,
+                    port=session.reservations[-2].output_port,
+                    neighbor=tail.node,
+                )
             self.network.sim.schedule(
                 CONTROL_HOP_CYCLES, self._probe_step_event, session.session_id
             )
@@ -221,11 +287,21 @@ class ProbeProtocol:
     def _backtrack(self, session: ProbeSession) -> None:
         """Release the tail hop and step the probe back (§3.5)."""
         self.backtracks_sent += 1
+        self._close_hop_span(session)
         tail = session.reservations.pop()
         if session.reservations:
             session.backtracks += 1
             previous = session.reservations[-1]
             self._release_hop(previous, tail, session)
+            if self.recorder.enabled:
+                session.hop_span = self.recorder.spans.begin(
+                    "backtrack",
+                    "hop",
+                    self.network.sim.now,
+                    parent=session.setup_span,
+                    node=tail.node,
+                    back_to=previous.node,
+                )
             self.network.sim.schedule(
                 CONTROL_HOP_CYCLES, self._probe_step_event, session.session_id
             )
@@ -283,6 +359,14 @@ class ProbeProtocol:
         # The ack walks back over the reverse mappings, configuring each
         # hop's VC state; model it as one delayed installation.
         ack_latency = CONTROL_HOP_CYCLES * (len(session.reservations) - 1) + 1
+        if self.recorder.enabled:
+            session.ack_span = self.recorder.spans.begin(
+                "ack",
+                "ack",
+                self.network.sim.now,
+                parent=session.setup_span,
+                hops=len(session.reservations),
+            )
         self.network.sim.schedule(
             ack_latency, self._install_event, session.session_id
         )
@@ -293,6 +377,9 @@ class ProbeProtocol:
 
     def _install(self, session: ProbeSession) -> None:
         """Ack reached the source: finalise per-hop VC scheduling state."""
+        if session.ack_span:
+            self.recorder.spans.end(session.ack_span, self.network.sim.now)
+            session.ack_span = DROPPED
         connection_id = -session.session_id
         downstream_vc = -1
         for i in range(len(session.reservations) - 1, -1, -1):
@@ -354,6 +441,24 @@ class ProbeProtocol:
     def _complete(self, session: ProbeSession, established: bool) -> None:
         session.finished_at = self.network.sim.now
         session.established = established
+        if session.setup_span:
+            # The ids stay on the session after closing so the harness can
+            # reference the offending span in SLO violation records.
+            tracer = self.recorder.spans
+            status = STATUS_OK if established else STATUS_BLOCKED
+            tracer.end(
+                session.setup_span,
+                session.finished_at,
+                status,
+                backtracks=session.backtracks,
+                links_searched=session.links_searched,
+            )
+            if not established:
+                # A blocked establishment is the whole session: close its
+                # root too.  Established sessions stay open until teardown.
+                tracer.end(session.span_id, session.finished_at, STATUS_BLOCKED)
+            else:
+                tracer.annotate(session.span_id, hops=len(session.path))
         callback = session.on_complete
         if callback is not None:
             callback(session, established)
@@ -376,21 +481,55 @@ class ProbeProtocol:
         """
         if not session.established:
             raise RuntimeError("cannot renegotiate an unestablished session")
+        recorder = self.recorder
+        tracer = recorder.spans
+        now = self.network.sim.now
+        reneg_span = DROPPED
+        if recorder.enabled:
+            reneg_span = tracer.begin(
+                "renegotiation",
+                "renegotiation",
+                now,
+                parent=session.span_id,
+                session=session.session_id,
+            )
         applied: List[HopReservation] = []
         for hop in session.reservations:
             router = self.network.routers[hop.node]
+            hop_span = DROPPED
+            if recorder.enabled:
+                hop_span = tracer.begin(
+                    "set_bandwidth",
+                    "renegotiation",
+                    now,
+                    parent=reneg_span,
+                    node=hop.node,
+                )
             ok = router.renegotiate_connection(
                 hop.entry_port, hop.vc_index, session.request, new_request
             )
             if not ok:
+                tracer.end(hop_span, now, STATUS_REFUSED)
                 for back in reversed(applied):
                     if not self.network.routers[back.node].renegotiate_connection(
                         back.entry_port, back.vc_index, new_request, session.request
                     ):
                         raise RuntimeError("renegotiation rollback failed")
+                    if recorder.enabled:
+                        rollback_span = tracer.begin(
+                            "rollback",
+                            "renegotiation",
+                            now,
+                            parent=reneg_span,
+                            node=back.node,
+                        )
+                        tracer.end(rollback_span, now, STATUS_ROLLED_BACK)
+                tracer.end(reneg_span, now, STATUS_ROLLED_BACK)
                 self.renegotiations_refused += 1
                 return False
+            tracer.end(hop_span, now)
             applied.append(hop)
+        tracer.end(reneg_span, now)
         session.request = new_request
         if interarrival_cycles is not None:
             session.interarrival_cycles = interarrival_cycles
@@ -410,6 +549,15 @@ class ProbeProtocol:
         if not session.established:
             raise RuntimeError("cannot tear down an unestablished session")
         session.on_teardown = on_complete
+        if self.recorder.enabled:
+            session.teardown_span = self.recorder.spans.begin(
+                "teardown",
+                "teardown",
+                self.network.sim.now,
+                parent=session.span_id,
+                session=session.session_id,
+                hops=len(session.reservations),
+            )
         self._teardown_step(session, 0)
 
     def _teardown_step_event(self, payload: Tuple[int, int]) -> None:
@@ -418,14 +566,30 @@ class ProbeProtocol:
         self._teardown_step(self.sessions[session_id], index)
 
     def _teardown_step(self, session: ProbeSession, index: int) -> None:
+        self._close_hop_span(session)
+        now = self.network.sim.now
         if index >= len(session.reservations):
             session.established = False
             self.teardowns_completed += 1
+            if session.teardown_span:
+                # ``teardown`` rejects re-teardown (established is False
+                # now), so these close exactly once; ids stay for queries.
+                tracer = self.recorder.spans
+                tracer.end(session.teardown_span, now)
+                tracer.end(session.span_id, now)
             callback = session.on_teardown
             if callback is not None:
                 callback(session, False)
             return
         hop = session.reservations[index]
+        if self.recorder.enabled:
+            session.hop_span = self.recorder.spans.begin(
+                "teardown_hop",
+                "teardown",
+                now,
+                parent=session.teardown_span,
+                node=hop.node,
+            )
         router = self.network.routers[hop.node]
         port = router.input_ports[hop.entry_port]
         vc = port.vcs[hop.vc_index]

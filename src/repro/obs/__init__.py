@@ -7,6 +7,15 @@ emission sites guard on ``recorder.enabled``; see
 :mod:`repro.obs.recorder`.
 """
 
+from .health import (
+    HEALTH_SCHEMA,
+    ROLLUP_SCHEMA,
+    HealthWriter,
+    build_health_snapshot,
+    dropped_total,
+    merge_health,
+    read_health,
+)
 from .kernel import KernelProfiler, TickerProfile
 from .manifest import MANIFEST_SCHEMA, build_manifest, config_digest, git_revision
 from .recorder import (
@@ -15,6 +24,16 @@ from .recorder import (
     FlightRecorder,
     NullFlightRecorder,
 )
+from .report import render_report, render_rollup, sparkline_svg
+from .slo import (
+    P2Quantile,
+    SloBudget,
+    SloEngine,
+    SloViolation,
+    StreamingQuantiles,
+    parse_budgets,
+)
+from .spans import DEFAULT_SPAN_CAPACITY, DROPPED, Span, SpanTracer
 from .timeseries import DEFAULT_CAPACITY, TelemetryHub, TimeSeries
 from .trace_export import (
     KIND_NAMES,
@@ -26,21 +45,41 @@ from .trace_export import (
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "DEFAULT_SPAN_CAPACITY",
     "DEFAULT_TRACE_CAPACITY",
+    "DROPPED",
     "FlightRecorder",
+    "HEALTH_SCHEMA",
+    "HealthWriter",
     "KernelProfiler",
     "KIND_NAMES",
     "MANIFEST_SCHEMA",
     "NULL_RECORDER",
     "NullFlightRecorder",
+    "P2Quantile",
+    "ROLLUP_SCHEMA",
+    "SloBudget",
+    "SloEngine",
+    "SloViolation",
+    "Span",
+    "SpanTracer",
+    "StreamingQuantiles",
     "TelemetryHub",
     "TickerProfile",
     "TimeSeries",
     "TraceEvent",
+    "build_health_snapshot",
     "build_manifest",
     "config_digest",
+    "dropped_total",
     "git_revision",
     "lifecycle_by_flit",
+    "merge_health",
+    "parse_budgets",
+    "read_health",
+    "render_report",
+    "render_rollup",
+    "sparkline_svg",
     "to_chrome_trace",
     "validate_chrome_trace",
 ]

@@ -1,0 +1,186 @@
+"""Run-health snapshots: periodic JSON state of a live run.
+
+A long churn run (or a sweep point on a preemptible worker) should leave
+a machine-readable trail of how healthy it was *while it ran* — not just
+a summary after the fact.  A **health snapshot** is one JSON-safe record
+of the observable state at a cycle:
+
+* per-channel telemetry aggregates (count / mean / min / max / last)
+  plus how many samples each ring dropped — truncated rings cannot
+  silently skew a dashboard built from these;
+* span-tracer occupancy (retained / open / dropped);
+* live SLO budget state and the violation count so far;
+* workload-specific extras (active sessions, blocked count, ...).
+
+:class:`HealthWriter` appends snapshots as JSON Lines during a run, so a
+crashed run's trail survives up to its last heartbeat.
+:func:`merge_health` rolls per-point snapshots up into one record for a
+whole sweep — a 64-point grid gets one health page.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+HEALTH_SCHEMA = "health/1"
+ROLLUP_SCHEMA = "health-rollup/1"
+
+
+def build_health_snapshot(
+    cycle: int,
+    recorder=None,
+    slo=None,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One JSON-safe health record of the current run state.
+
+    ``recorder`` is a :class:`~repro.obs.recorder.FlightRecorder` (or
+    None when telemetry is off), ``slo`` an
+    :class:`~repro.obs.slo.SloEngine` (or None when no budgets are
+    declared).  Either side being absent still yields a valid snapshot.
+    """
+    channels: Dict[str, Dict[str, Any]] = {}
+    dropped: Dict[str, Any] = {"trace": 0, "spans": 0, "telemetry": 0}
+    spans: Dict[str, int] = {"recorded": 0, "open": 0, "dropped": 0}
+    if recorder is not None:
+        telemetry_dropped = 0
+        for name, series in sorted(recorder.telemetry.snapshot().items()):
+            samples = series.get("samples") or []
+            channels[name] = {
+                "count": series.get("count", 0),
+                "mean": series.get("mean", 0.0),
+                "min": series.get("min"),
+                "max": series.get("max"),
+                "dropped": series.get("dropped", 0),
+                "last": samples[-1][1] if samples else None,
+            }
+            telemetry_dropped += int(series.get("dropped", 0))
+        dropped = {
+            "trace": recorder.dropped,
+            "spans": recorder.spans.dropped,
+            "telemetry": telemetry_dropped,
+        }
+        spans = {
+            "recorded": len(recorder.spans),
+            "open": recorder.spans.open_count,
+            "dropped": recorder.spans.dropped,
+        }
+    snapshot: Dict[str, Any] = {
+        "schema": HEALTH_SCHEMA,
+        "cycle": cycle,
+        "channels": channels,
+        "dropped": dropped,
+        "spans": spans,
+        "slo": slo.state() if slo is not None else [],
+        "slo_violations": len(slo.violations) if slo is not None else 0,
+        "slo_breached": bool(slo.breached) if slo is not None else False,
+        # The most recent typed records (bounded so the JSONL trail stays
+        # small); the run result carries the full retained list.
+        "violations": (
+            [v.to_dict() for v in slo.violations[-32:]]
+            if slo is not None
+            else []
+        ),
+    }
+    if extra:
+        snapshot["extra"] = dict(extra)
+    return snapshot
+
+
+def dropped_total(snapshot: Mapping[str, Any]) -> int:
+    """Samples lost anywhere (trace buffer, span store, telemetry rings)."""
+    dropped = snapshot.get("dropped") or {}
+    return int(
+        dropped.get("trace", 0)
+        + dropped.get("spans", 0)
+        + dropped.get("telemetry", 0)
+    )
+
+
+class HealthWriter:
+    """Appends health snapshots to a JSON Lines file during a run.
+
+    Plain data (a path string and a counter), so a checkpointed workload
+    carrying one pickles and resumes; the resumed run keeps appending to
+    the same trail.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self.written = 0
+
+    def write(self, snapshot: Mapping[str, Any]) -> None:
+        """Append one snapshot line (parent directory created lazily)."""
+        path = Path(self.path)
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as stream:
+            json.dump(snapshot, stream, sort_keys=True)
+            stream.write("\n")
+        self.written += 1
+
+
+def read_health(path) -> List[Dict[str, Any]]:
+    """Load a health trail (JSON Lines, or a single JSON object/array)."""
+    text = Path(path).read_text(encoding="utf-8").strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        payload = json.loads(text)
+        return list(payload)
+    snapshots = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            snapshots.append(json.loads(line))
+    return snapshots
+
+
+def merge_health(
+    points: Sequence[Tuple[str, Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Roll per-point snapshots up into one sweep-level health record.
+
+    ``points`` is ``[(label, snapshot), ...]`` — one (latest) snapshot
+    per sweep point.  The rollup aggregates SLO pass/fail across the
+    grid and totals every dropped-sample counter, so one record answers
+    "is the whole sweep healthy and can I trust its dashboards".
+    """
+    rollup_points: List[Dict[str, Any]] = []
+    breached_points: List[str] = []
+    dropped_points: List[str] = []
+    total_violations = 0
+    total_dropped = 0
+    for label, snapshot in points:
+        violations = int(snapshot.get("slo_violations", 0))
+        breached = bool(snapshot.get("slo_breached", False))
+        lost = dropped_total(snapshot)
+        if breached:
+            breached_points.append(label)
+        if lost:
+            dropped_points.append(label)
+        total_violations += violations
+        total_dropped += lost
+        rollup_points.append(
+            {
+                "label": label,
+                "cycle": snapshot.get("cycle"),
+                "slo_breached": breached,
+                "slo_violations": violations,
+                "dropped": lost,
+                "slo": snapshot.get("slo", []),
+                "extra": snapshot.get("extra", {}),
+            }
+        )
+    return {
+        "schema": ROLLUP_SCHEMA,
+        "points": rollup_points,
+        "point_count": len(rollup_points),
+        "breached_points": breached_points,
+        "dropped_sample_points": dropped_points,
+        "total_violations": total_violations,
+        "total_dropped": total_dropped,
+        "ok": not breached_points,
+    }

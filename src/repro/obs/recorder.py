@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Mapping, Optional
 
 from .kernel import KernelProfiler
 from .manifest import build_manifest
+from .spans import DEFAULT_SPAN_CAPACITY, SpanTracer
 from .timeseries import TelemetryHub
 from .trace_export import (
     CONN_CLOSE,
@@ -53,6 +54,7 @@ class FlightRecorder:
         capacity: int = DEFAULT_TRACE_CAPACITY,
         telemetry_capacity: int = 1024,
         manifest: Optional[Mapping[str, Any]] = None,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
     ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -61,6 +63,9 @@ class FlightRecorder:
         self.dropped = 0
         self.events: List[TraceEvent] = []
         self.telemetry = TelemetryHub(telemetry_capacity)
+        #: Control-plane span tracer (session/setup/hop/teardown trees);
+        #: emission sites guard on ``enabled`` like the flit trace.
+        self.spans = SpanTracer(span_capacity)
         self.manifest: Dict[str, Any] = (
             dict(manifest) if manifest is not None else build_manifest()
         )
@@ -89,6 +94,7 @@ class FlightRecorder:
         self.events.clear()
         self.dropped = 0
         self.telemetry.clear()
+        self.spans.clear()
         self._windows.clear()
         self._last_kernel_sample = -1
         self.profiler = KernelProfiler()
@@ -263,13 +269,32 @@ class FlightRecorder:
         return snapshot
 
     def chrome_trace(self, us_per_cycle: float = 1.0) -> Dict[str, Any]:
-        """The buffered events + telemetry as Chrome trace-event JSON."""
+        """The buffered events + telemetry + spans as Chrome trace JSON.
+
+        Control-plane spans ride on pid 2 alongside the flit lifecycle
+        tracks, so one Perfetto load shows both planes on one timeline.
+        """
         return to_chrome_trace(
             self.events,
             manifest=self.manifest,
             telemetry=self.telemetry.snapshot(),
             us_per_cycle=us_per_cycle,
+            span_events=self.spans.to_trace_events(us_per_cycle),
         )
+
+    def dropped_summary(self) -> Dict[str, Any]:
+        """Where samples were lost: trace buffer, span store, each ring.
+
+        ``channels`` only lists rings that actually dropped, so an empty
+        dict there (and zero totals) certifies nothing was truncated.
+        """
+        channels = self.telemetry.dropped_by_channel()
+        return {
+            "trace": self.dropped,
+            "spans": self.spans.dropped,
+            "channels": channels,
+            "total": self.dropped + self.spans.dropped + sum(channels.values()),
+        }
 
     def export(self) -> Dict[str, Any]:
         """One self-describing JSON-safe record of everything recorded."""
@@ -280,6 +305,11 @@ class FlightRecorder:
             "trace": self.chrome_trace(),
             "trace_events": len(self.events),
             "trace_dropped": self.dropped,
+            "spans": self.spans.to_dicts(),
+            "span_count": len(self.spans),
+            "spans_open": self.spans.open_count,
+            "spans_dropped": self.spans.dropped,
+            "dropped": self.dropped_summary(),
         }
 
 

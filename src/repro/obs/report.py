@@ -1,0 +1,526 @@
+"""Self-contained HTML run-health dashboard (no external assets).
+
+``repro report`` renders one file a browser opens offline: per-channel
+sparklines from the flight-recorder export, the SLO pass/fail table and
+violation log from the health trail, and the top-k worst sessions with
+their span trees.  A sweep-level rollup page renders one row per point
+from a ``health-rollup/1`` record.
+
+Rendering rules follow the repo's charting conventions: marks carry the
+(single) series hue, text wears text tokens, status is never color alone
+(every state ships an icon + word), gridlines are recessive hairlines,
+and dark mode is a selected palette (CSS custom properties under
+``prefers-color-scheme``), not an automatic inversion.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .health import dropped_total
+
+#: Sparkline geometry (px).
+_SPARK_W = 220
+_SPARK_H = 48
+_SPARK_PAD = 6
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb;
+  --page: #f9f9f7;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series: #2a78d6;
+  --good: #0ca30c;
+  --good-text: #006300;
+  --critical: #d03b3b;
+  --warning: #fab219;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19;
+    --page: #0d0d0d;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series: #3987e5;
+    --good: #0ca30c;
+    --good-text: #0ca30c;
+    --critical: #d03b3b;
+    --warning: #fab219;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0;
+  padding: 24px;
+  background: var(--page);
+  color: var(--ink);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px;
+  line-height: 1.45;
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; }
+.subtitle { color: var(--ink-2); margin: 0 0 20px; }
+.hero {
+  display: inline-flex;
+  align-items: baseline;
+  gap: 12px;
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  padding: 14px 20px;
+  margin: 0 0 8px;
+}
+.hero .big { font-size: 48px; font-weight: 600; }
+.hero .big.pass { color: var(--good-text); }
+.hero .big.fail { color: var(--critical); }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 12px 0 0; }
+.tile {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  padding: 10px 16px;
+  min-width: 130px;
+}
+.tile .label { color: var(--ink-2); font-size: 12px; }
+.tile .value { font-size: 24px; font-weight: 600; }
+.tile .note { color: var(--muted); font-size: 12px; }
+table {
+  border-collapse: collapse;
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  overflow: hidden;
+}
+th, td {
+  text-align: left;
+  padding: 6px 14px;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 500; font-size: 12px; }
+tr:last-child td { border-bottom: none; }
+.status-ok { color: var(--good-text); }
+.status-bad { color: var(--critical); }
+.status-warn { color: var(--ink-2); }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; }
+.card {
+  background: var(--surface);
+  border: 1px solid var(--border);
+  border-radius: 10px;
+  padding: 10px 12px;
+}
+.card .name { font-size: 12px; color: var(--ink-2); margin-bottom: 4px; }
+.card .last { font-weight: 600; }
+.card .range { color: var(--muted); font-size: 11px; }
+details { margin: 6px 0; }
+summary { cursor: pointer; color: var(--ink-2); }
+.spantree { margin: 6px 0 6px 18px; color: var(--ink-2); font-size: 13px; }
+.spantree .dur { font-variant-numeric: tabular-nums; color: var(--ink); }
+.mono { font-variant-numeric: tabular-nums; }
+footer { margin-top: 32px; color: var(--muted); font-size: 12px; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value))
+
+
+def _fmt(value: Any) -> str:
+    """Compact numeric formatting for table cells and tiles."""
+    if value is None:
+        return "–"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return _esc(value)
+
+
+def sparkline_svg(
+    samples: Sequence[Tuple[float, float]],
+    width: int = _SPARK_W,
+    height: int = _SPARK_H,
+) -> str:
+    """Inline SVG sparkline: 2px series line, ringed end-dot, baseline.
+
+    ``samples`` is ``[(time, value), ...]`` in time order.  Each point
+    carries a native tooltip (an oversized transparent hit circle with a
+    ``<title>``), so the hover layer needs no scripting.
+    """
+    if not samples:
+        return (
+            f'<svg width="{width}" height="{height}" role="img" '
+            f'aria-label="no samples"></svg>'
+        )
+    pad = _SPARK_PAD
+    xs = [float(t) for t, _ in samples]
+    ys = [float(v) for _, v in samples]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    inner_w = width - 2 * pad
+    inner_h = height - 2 * pad
+
+    def px(t: float) -> float:
+        return pad + (t - x_lo) / x_span * inner_w
+
+    def py(v: float) -> float:
+        return pad + (1.0 - (v - y_lo) / y_span) * inner_h
+
+    points = " ".join(f"{px(t):.1f},{py(v):.1f}" for t, v in zip(xs, ys))
+    hover = "".join(
+        f'<circle cx="{px(t):.1f}" cy="{py(v):.1f}" r="7" fill="transparent">'
+        f"<title>cycle {t:g}: {v:g}</title></circle>"
+        for t, v in zip(xs, ys)
+    )
+    end_x, end_y = px(xs[-1]), py(ys[-1])
+    return (
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'aria-label="sparkline, last value {ys[-1]:g}">'
+        # recessive baseline
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="var(--baseline)" stroke-width="1"/>'
+        f'<polyline points="{points}" fill="none" stroke="var(--series)" '
+        f'stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>'
+        # end-dot with a surface ring so it survives crossing the line
+        f'<circle cx="{end_x:.1f}" cy="{end_y:.1f}" r="6" '
+        f'fill="var(--surface)"/>'
+        f'<circle cx="{end_x:.1f}" cy="{end_y:.1f}" r="4" '
+        f'fill="var(--series)"/>'
+        f"{hover}</svg>"
+    )
+
+
+def _status_cell(ok: bool, ok_word: str = "pass", bad_word: str = "breached") -> str:
+    """Status is icon + word, never color alone."""
+    if ok:
+        return f'<span class="status-ok">✓ {ok_word}</span>'
+    return f'<span class="status-bad">✗ {bad_word}</span>'
+
+
+def _slo_table(slo_state: Sequence[Mapping[str, Any]]) -> str:
+    if not slo_state:
+        return '<p class="subtitle">No SLO budgets declared.</p>'
+    rows = []
+    for state in slo_state:
+        ok = not state.get("breached", False)
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(state.get('metric'))}</td>"
+            f"<td>{_fmt(state.get('limit'))}</td>"
+            f"<td>{_fmt(state.get('observed'))}</td>"
+            f"<td>{_fmt(state.get('samples'))}</td>"
+            f"<td>{_fmt(state.get('violations'))}</td>"
+            f"<td>{_status_cell(ok)}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>budget</th><th>limit</th><th>observed</th>"
+        "<th>samples</th><th>violations</th><th>status</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _violations_table(violations: Sequence[Mapping[str, Any]]) -> str:
+    if not violations:
+        return ""
+    rows = []
+    for v in violations:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(v.get('metric'))}</td>"
+            f"<td>{_fmt(v.get('observed'))}</td>"
+            f"<td>{_fmt(v.get('limit'))}</td>"
+            f"<td>{_fmt(v.get('time'))}</td>"
+            f"<td>{_fmt(v.get('session_id'))}</td>"
+            f"<td>{_fmt(v.get('span_id'))}</td>"
+            "</tr>"
+        )
+    return (
+        "<h2>SLO violations</h2>"
+        "<table><thead><tr><th>budget</th><th>observed</th><th>limit</th>"
+        "<th>cycle</th><th>session</th><th>span</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _channel_series_from_health(
+    health: Sequence[Mapping[str, Any]],
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-channel ``last``-value series across the snapshot trail."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for snapshot in health:
+        cycle = float(snapshot.get("cycle", 0))
+        for name, channel in (snapshot.get("channels") or {}).items():
+            last = channel.get("last")
+            if last is not None:
+                series.setdefault(name, []).append((cycle, float(last)))
+    return series
+
+
+def _channel_cards(
+    channels: Mapping[str, Sequence[Tuple[float, float]]],
+    channel_meta: Mapping[str, Mapping[str, Any]],
+) -> str:
+    if not channels:
+        return '<p class="subtitle">No telemetry channels recorded.</p>'
+
+    def sort_key(name: str) -> Tuple[int, str]:
+        # Workload and kernel aggregates lead; per-router lanes follow.
+        if name.startswith("churn."):
+            return (0, name)
+        if name.startswith("kernel."):
+            return (1, name)
+        return (2, name)
+
+    cards = []
+    for name in sorted(channels, key=sort_key):
+        samples = list(channels[name])
+        meta = channel_meta.get(name, {})
+        dropped = int(meta.get("dropped", 0))
+        last = samples[-1][1] if samples else None
+        lo = min((v for _, v in samples), default=0.0)
+        hi = max((v for _, v in samples), default=0.0)
+        note = (
+            f'<span class="status-bad"> ⚠ {dropped:,} dropped</span>'
+            if dropped
+            else ""
+        )
+        cards.append(
+            '<div class="card">'
+            f'<div class="name">{_esc(name)}{note}</div>'
+            f"{sparkline_svg(samples)}"
+            f'<div class="last">{_fmt(last)}</div>'
+            f'<div class="range">min {_fmt(lo)} · max {_fmt(hi)} · '
+            f"{len(samples):,} pts</div>"
+            "</div>"
+        )
+    return f'<div class="cards">{"".join(cards)}</div>'
+
+
+def _span_tree(
+    spans_by_id: Mapping[int, Mapping[str, Any]],
+    children: Mapping[int, List[int]],
+    span_id: int,
+    depth: int = 0,
+) -> str:
+    span = spans_by_id.get(span_id)
+    if span is None or depth > 6:
+        return ""
+    kids = "".join(
+        _span_tree(spans_by_id, children, child, depth + 1)
+        for child in children.get(span_id, [])
+    )
+    return (
+        '<div class="spantree">'
+        f'<span class="dur">{_fmt(span.get("duration"))} cy</span> '
+        f'{_esc(span.get("name"))} <span class="mono">#{span.get("span")}</span> '
+        f'({_esc(span.get("status"))})'
+        f"{kids}</div>"
+    )
+
+
+def _worst_sessions(spans: Sequence[Mapping[str, Any]], k: int = 10) -> str:
+    """Top-``k`` slowest setups with their full session span trees."""
+    if not spans:
+        return ""
+    spans_by_id: Dict[int, Mapping[str, Any]] = {}
+    children: Dict[int, List[int]] = {}
+    for span in spans:
+        spans_by_id[int(span["span"])] = span
+        parent = int(span.get("parent", 0))
+        if parent:
+            children.setdefault(parent, []).append(int(span["span"]))
+    setups = [
+        s
+        for s in spans
+        if s.get("category") == "setup" and int(s.get("end", -1)) >= 0
+    ]
+    if not setups:
+        return ""
+    setups.sort(key=lambda s: (-int(s.get("duration", 0)), int(s["span"])))
+    rows = []
+    for setup in setups[:k]:
+        args = setup.get("args") or {}
+        session_id = args.get("session", "?")
+        parent = int(setup.get("parent", 0))
+        tree = _span_tree(spans_by_id, children, parent or int(setup["span"]))
+        rows.append(
+            "<tr>"
+            f"<td>{_fmt(session_id)}</td>"
+            f"<td>{_fmt(setup.get('duration'))}</td>"
+            f"<td>{_fmt(args.get('backtracks'))}</td>"
+            f"<td>{_status_cell(setup.get('status') == 'ok', 'ok', _esc(setup.get('status')))}</td>"
+            f"<td><details><summary>span #{setup['span']}</summary>{tree}</details></td>"
+            "</tr>"
+        )
+    return (
+        f"<h2>Slowest setups (top {min(k, len(setups))} of {len(setups):,})</h2>"
+        "<table><thead><tr><th>session</th><th>setup cycles</th>"
+        "<th>backtracks</th><th>status</th><th>span tree</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _dropped_banner(snapshot: Mapping[str, Any]) -> str:
+    lost = dropped_total(snapshot)
+    if not lost:
+        return ""
+    dropped = snapshot.get("dropped") or {}
+    return (
+        '<p class="status-bad">⚠ '
+        f"{lost:,} samples dropped (trace {_fmt(dropped.get('trace', 0))}, "
+        f"spans {_fmt(dropped.get('spans', 0))}, telemetry "
+        f"{_fmt(dropped.get('telemetry', 0))}) — aggregates remain exact; "
+        "retained windows are truncated.</p>"
+    )
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">'
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head><body>{body}"
+        "<footer>Self-contained report — no external assets; open offline."
+        "</footer></body></html>"
+    )
+
+
+def render_report(
+    health: Sequence[Mapping[str, Any]],
+    export: Optional[Mapping[str, Any]] = None,
+    title: str = "Run health",
+) -> str:
+    """Render the single-run dashboard HTML.
+
+    ``health`` is the snapshot trail (may be a single final snapshot);
+    ``export`` the :meth:`FlightRecorder.export` payload, which upgrades
+    the sparklines to full-resolution telemetry windows and adds the
+    worst-session span trees.
+    """
+    last: Mapping[str, Any] = health[-1] if health else {}
+    slo_state = last.get("slo") or []
+    breached = bool(last.get("slo_breached", False))
+    extra = last.get("extra") or {}
+
+    # Channel series: prefer the export's full-resolution ring windows,
+    # fall back to last-value-per-heartbeat from the health trail.
+    channel_meta: Dict[str, Mapping[str, Any]] = {}
+    channels: Dict[str, List[Tuple[float, float]]] = {}
+    if export and export.get("telemetry"):
+        for name, series in export["telemetry"].items():
+            channel_meta[name] = series
+            channels[name] = [
+                (float(t), float(v)) for t, v in series.get("samples", [])
+            ]
+    else:
+        channels = _channel_series_from_health(health)
+        channel_meta = last.get("channels") or {}
+
+    if slo_state:
+        hero_class = "fail" if breached else "pass"
+        hero_word = "✗ SLO breached" if breached else "✓ SLO pass"
+    else:
+        hero_class = "pass"
+        hero_word = "run complete"
+    tiles = []
+    for label, key in (
+        ("Sessions established", "established"),
+        ("Blocked", "blocked"),
+        ("Torn down", "torn_down"),
+        ("Active at end", "active_sessions"),
+        ("Blocking probability", "blocking_probability"),
+        ("Setup p99 (cycles)", "setup_p99"),
+    ):
+        if key in extra:
+            tiles.append(
+                '<div class="tile">'
+                f'<div class="label">{label}</div>'
+                f'<div class="value">{_fmt(extra[key])}</div></div>'
+            )
+    spans_info = last.get("spans") or {}
+    if spans_info:
+        tiles.append(
+            '<div class="tile"><div class="label">Spans recorded</div>'
+            f'<div class="value">{_fmt(spans_info.get("recorded"))}</div>'
+            f'<div class="note">{_fmt(spans_info.get("open"))} open · '
+            f'{_fmt(spans_info.get("dropped"))} dropped</div></div>'
+        )
+
+    body = (
+        f"<h1>{_esc(title)}</h1>"
+        f'<p class="subtitle">cycle {_fmt(last.get("cycle"))} · '
+        f"{len(health):,} health snapshots</p>"
+        f'<div class="hero"><span class="big {hero_class}">{hero_word}</span>'
+        "</div>"
+        f"{_dropped_banner(last)}"
+        f'<div class="tiles">{"".join(tiles)}</div>'
+        "<h2>SLO budgets</h2>"
+        f"{_slo_table(slo_state)}"
+        f"{_violations_table(last.get('violations') or [])}"
+        "<h2>Telemetry channels</h2>"
+        f"{_channel_cards(channels, channel_meta)}"
+        f"{_worst_sessions((export or {}).get('spans') or [])}"
+    )
+    return _page(title, body)
+
+
+def render_rollup(rollup: Mapping[str, Any], title: str = "Sweep health") -> str:
+    """Render the sweep-level rollup page from a ``health-rollup/1`` record."""
+    ok = bool(rollup.get("ok", True))
+    rows = []
+    for point in rollup.get("points", []):
+        extra = point.get("extra") or {}
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(point.get('label'))}</td>"
+            f"<td>{_fmt(point.get('cycle'))}</td>"
+            f"<td>{_fmt(extra.get('established'))}</td>"
+            f"<td>{_fmt(extra.get('blocked'))}</td>"
+            f"<td>{_fmt(point.get('slo_violations'))}</td>"
+            f"<td>{_fmt(point.get('dropped'))}</td>"
+            f"<td>{_status_cell(not point.get('slo_breached', False))}</td>"
+            "</tr>"
+        )
+    hero_class = "pass" if ok else "fail"
+    hero_word = "✓ all points pass" if ok else "✗ SLO breached"
+    breached = rollup.get("breached_points") or []
+    breached_note = (
+        f'<p class="status-bad">Breached points: '
+        f"{_esc(', '.join(map(str, breached)))}</p>"
+        if breached
+        else ""
+    )
+    body = (
+        f"<h1>{_esc(title)}</h1>"
+        f'<p class="subtitle">{_fmt(rollup.get("point_count"))} sweep points · '
+        f"{_fmt(rollup.get('total_violations'))} violations · "
+        f"{_fmt(rollup.get('total_dropped'))} dropped samples</p>"
+        f'<div class="hero"><span class="big {hero_class}">{hero_word}</span>'
+        "</div>"
+        f"{breached_note}"
+        "<h2>Per-point health</h2>"
+        "<table><thead><tr><th>point</th><th>cycle</th><th>established</th>"
+        "<th>blocked</th><th>violations</th><th>dropped</th><th>SLO</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+    return _page(title, body)

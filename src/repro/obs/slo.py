@@ -1,0 +1,495 @@
+"""Streaming SLO engine: declarative budgets over online estimators.
+
+The Tiny Tera evaluation (McKeown et al.) judged its switch against
+explicit delay/throughput targets; this module gives the churn and sweep
+harnesses the same vocabulary, online.  A run declares **budgets** —
+
+* quantile budgets, ``<stream>_p<NN>`` (``setup_p99=60``,
+  ``jitter_p95=12.5``): the ``q``-quantile of a sample stream must stay
+  at or under the limit, tracked by a P² streaming estimator
+  (Jain & Chlamtac 1985) in O(1) memory — **no unbounded sample lists**;
+* ratio budgets (``blocking_probability=0.02``,
+  ``policer_refusal_rate=0.01``): a numerator/denominator pair must stay
+  at or under the limit once the denominator is large enough to mean
+  anything.
+
+Budgets are evaluated **at observation time**: the first sample that
+pushes an estimator over its limit produces a typed
+:class:`SloViolation` carrying the offending session and span ids, so a
+breach is attributable ("session 412's setup crossed p99 over budget at
+cycle 81,440 — here is its span tree"), not just a number at the end.
+Breach state is sticky for gating (a run that breached and recovered
+still fails) while :meth:`SloEngine.state` reports the live estimate for
+health snapshots and dashboards.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Samples (or denominator counts) an estimator needs before its budget
+#: is considered meaningful.  Below this, no breach can trigger.
+DEFAULT_MIN_SAMPLES = 16
+
+#: Violation records retained per engine; later breaches only count.
+DEFAULT_MAX_VIOLATIONS = 256
+
+_QUANTILE_METRIC = re.compile(r"^(?P<stream>[a-z][a-z0-9_]*?)_p(?P<digits>\d{1,3})$")
+
+
+def quantile_label(q: float) -> str:
+    """``0.99`` → ``"p99"``, ``0.999`` → ``"p99_9"`` (JSON-key-safe)."""
+    text = f"{q * 100:g}".replace(".", "_")
+    return f"p{text}"
+
+
+class P2Quantile:
+    """P² single-quantile streaming estimator (Jain & Chlamtac 1985).
+
+    Maintains five markers whose heights bracket the target quantile,
+    adjusted with a piecewise-parabolic fit as samples stream in: O(1)
+    memory and O(1) per sample.  Below five samples the estimate is the
+    exact nearest-rank quantile of the (tiny) buffer, so short runs and
+    unit tests see exact values.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_positions", "_desired", "_rates")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._rates: List[float] = []
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the estimator."""
+        value = float(value)
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            # Initialisation phase: keep the first five samples sorted.
+            lo, hi = 0, len(heights)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if heights[mid] < value:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            heights.insert(lo, value)
+            if self.count == 5:
+                q = self.q
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [
+                    1.0,
+                    1.0 + 2.0 * q,
+                    1.0 + 4.0 * q,
+                    3.0 + 2.0 * q,
+                    5.0,
+                ]
+                self._rates = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+        positions = self._positions
+        # Locate the marker cell the sample falls into, updating extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        for i in range(5):
+            desired[i] += self._rates[i]
+        # Adjust the three interior markers toward their desired positions.
+        for i in range(1, 4):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) or (
+                delta <= -1.0 and positions[i - 1] - positions[i] < -1.0
+            ):
+                step = 1.0 if delta > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any sample)."""
+        if self.count == 0:
+            return 0.0
+        if self.count <= 5:
+            rank = max(1, math.ceil(self.q * self.count))
+            return self._heights[rank - 1]
+        return self._heights[2]
+
+
+class StreamingQuantiles:
+    """Several P² estimators plus count/mean/min/max over one stream.
+
+    Replaces exact sample lists where memory must stay O(1) per stream
+    (the churn workload's per-session setup latencies, for instance).
+    Reported quantiles are clamped monotone non-decreasing in ``q`` —
+    independent P² markers can cross by small amounts on short streams,
+    and a p50 above p99 would be nonsense downstream.
+    """
+
+    __slots__ = ("_estimators", "count", "_total", "_min", "_max")
+
+    def __init__(self, quantiles: Sequence[float] = (0.5, 0.99)) -> None:
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self._estimators = {q: P2Quantile(q) for q in sorted(set(quantiles))}
+        self.count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def quantiles(self) -> Tuple[float, ...]:
+        return tuple(self._estimators)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        for estimator in self._estimators.values():
+            estimator.add(value)
+
+    def quantile(self, q: float) -> float:
+        """The (monotone-clamped) estimate for a tracked quantile."""
+        if q not in self._estimators:
+            raise KeyError(f"quantile {q} not tracked (have {self.quantiles})")
+        estimate = 0.0
+        for tracked, estimator in self._estimators.items():
+            estimate = max(estimate, estimator.value())
+            if tracked == q:
+                return min(estimate, self._max) if self.count else 0.0
+        raise AssertionError("unreachable")
+
+    @property
+    def mean(self) -> float:
+        return self._total / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary of the stream."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "quantiles": {
+                quantile_label(q): self.quantile(q) for q in self.quantiles
+            },
+        }
+
+
+@dataclass(frozen=True)
+class SloBudget:
+    """One declared target: ``metric`` must stay at or under ``limit``.
+
+    ``metric`` is either ``<stream>_p<NN>`` (a quantile budget over the
+    sample stream ``<stream>``) or a ratio name fed through
+    :meth:`SloEngine.observe_ratio` (``blocking_probability``, ...).
+    """
+
+    metric: str
+    limit: float
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("budget metric must be non-empty")
+        if self.limit < 0:
+            raise ValueError(f"budget limit must be >= 0, got {self.limit}")
+
+    @property
+    def stream(self) -> Optional[str]:
+        """Sample-stream name for a quantile budget, else None."""
+        match = _QUANTILE_METRIC.match(self.metric)
+        return match.group("stream") if match else None
+
+    @property
+    def quantile(self) -> Optional[float]:
+        """Target quantile for a quantile budget, else None.
+
+        ``p50`` → 0.50, ``p99`` → 0.99, ``p999`` → 0.999.
+        """
+        match = _QUANTILE_METRIC.match(self.metric)
+        if match is None:
+            return None
+        digits = match.group("digits")
+        q = int(digits) / (10 ** len(digits))
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"budget {self.metric!r}: quantile {q} out of (0,1)")
+        return q
+
+    @classmethod
+    def parse(cls, text: str) -> "SloBudget":
+        """Parse a ``metric=limit`` CLI budget declaration."""
+        metric, sep, limit_text = text.partition("=")
+        if not sep or not metric or not limit_text:
+            raise ValueError(
+                f"SLO budget must look like metric=limit (got {text!r})"
+            )
+        try:
+            limit = float(limit_text)
+        except ValueError:
+            raise ValueError(
+                f"SLO budget {text!r}: limit {limit_text!r} is not a number"
+            ) from None
+        budget = cls(metric.strip(), limit)
+        budget.quantile  # validates quantile syntax eagerly
+        return budget
+
+
+@dataclass
+class SloViolation:
+    """A budget crossed its limit: typed, attributable, JSON-safe."""
+
+    metric: str
+    limit: float
+    observed: float
+    time: int
+    session_id: int = -1
+    span_id: int = -1
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "limit": self.limit,
+            "observed": self.observed,
+            "time": self.time,
+            "session_id": self.session_id,
+            "span_id": self.span_id,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        where = f" (session {self.session_id}" if self.session_id != -1 else ""
+        if where and self.span_id != -1:
+            where += f", span {self.span_id}"
+        if where:
+            where += ")"
+        return (
+            f"SLO breach: {self.metric}={self.observed:.4g} > "
+            f"limit {self.limit:g} at cycle {self.time}{where}"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+@dataclass
+class _BudgetState:
+    """Mutable evaluation state for one budget."""
+
+    budget: SloBudget
+    observed: float = 0.0
+    samples: int = 0
+    currently_breached: bool = False
+    tripped: bool = False
+    violations: int = 0
+
+
+class SloEngine:
+    """Evaluates declared budgets online against streaming estimators."""
+
+    def __init__(
+        self,
+        budgets: Sequence[SloBudget],
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        max_violations: int = DEFAULT_MAX_VIOLATIONS,
+    ) -> None:
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if max_violations < 1:
+            raise ValueError(f"max_violations must be >= 1, got {max_violations}")
+        seen = set()
+        for budget in budgets:
+            if budget.metric in seen:
+                raise ValueError(f"duplicate SLO budget for {budget.metric!r}")
+            seen.add(budget.metric)
+        self.min_samples = min_samples
+        self.max_violations = max_violations
+        self.violations: List[SloViolation] = []
+        self.dropped_violations = 0
+        self._states: List[_BudgetState] = [_BudgetState(b) for b in budgets]
+        #: Quantile budgets grouped by stream; each stream gets ONE
+        #: multi-quantile estimator shared by its budgets.
+        self._stream_budgets: Dict[str, List[_BudgetState]] = {}
+        self._ratio_budgets: Dict[str, _BudgetState] = {}
+        for state in self._states:
+            stream = state.budget.stream
+            if stream is not None:
+                self._stream_budgets.setdefault(stream, []).append(state)
+            else:
+                self._ratio_budgets[state.budget.metric] = state
+        self._estimators: Dict[str, StreamingQuantiles] = {
+            stream: StreamingQuantiles(
+                tuple(s.budget.quantile for s in states)
+            )
+            for stream, states in self._stream_budgets.items()
+        }
+
+    @property
+    def budgets(self) -> List[SloBudget]:
+        return [state.budget for state in self._states]
+
+    @property
+    def breached(self) -> bool:
+        """True once any budget has ever crossed its limit (sticky)."""
+        return any(state.tripped for state in self._states)
+
+    # ----- observation -------------------------------------------------------
+
+    def observe(
+        self,
+        stream: str,
+        value: float,
+        time: int,
+        session_id: int = -1,
+        span_id: int = -1,
+    ) -> None:
+        """Fold one sample into ``stream`` and re-check its budgets.
+
+        A stream no budget targets is ignored (O(1) dict miss), so call
+        sites can emit unconditionally.
+        """
+        states = self._stream_budgets.get(stream)
+        if states is None:
+            return
+        estimator = self._estimators[stream]
+        estimator.add(value)
+        for state in states:
+            q = state.budget.quantile
+            assert q is not None
+            estimate = estimator.quantile(q)
+            self._check(state, estimate, estimator.count, time, session_id, span_id)
+
+    def observe_ratio(
+        self,
+        metric: str,
+        numerator: float,
+        denominator: float,
+        time: int,
+        session_id: int = -1,
+        span_id: int = -1,
+    ) -> None:
+        """Update a ratio budget with the *current* cumulative ratio."""
+        state = self._ratio_budgets.get(metric)
+        if state is None:
+            return
+        if denominator <= 0:
+            return
+        ratio = numerator / denominator
+        self._check(state, ratio, int(denominator), time, session_id, span_id)
+
+    def _check(
+        self,
+        state: _BudgetState,
+        observed: float,
+        samples: int,
+        time: int,
+        session_id: int,
+        span_id: int,
+    ) -> None:
+        state.observed = observed
+        state.samples = samples
+        if samples < self.min_samples:
+            return
+        if observed > state.budget.limit:
+            if not state.currently_breached:
+                state.currently_breached = True
+                state.tripped = True
+                state.violations += 1
+                violation = SloViolation(
+                    metric=state.budget.metric,
+                    limit=state.budget.limit,
+                    observed=observed,
+                    time=time,
+                    session_id=session_id,
+                    span_id=span_id,
+                    detail=f"crossed after {samples} samples",
+                )
+                if len(self.violations) < self.max_violations:
+                    self.violations.append(violation)
+                else:
+                    self.dropped_violations += 1
+        else:
+            state.currently_breached = False
+
+    # ----- reporting ---------------------------------------------------------
+
+    def state(self) -> List[Dict[str, Any]]:
+        """JSON-safe live state of every budget (for health snapshots)."""
+        return [
+            {
+                "metric": state.budget.metric,
+                "limit": state.budget.limit,
+                "observed": state.observed,
+                "samples": state.samples,
+                "min_samples": self.min_samples,
+                "breached": state.tripped,
+                "currently_breached": state.currently_breached,
+                "violations": state.violations,
+            }
+            for state in self._states
+        ]
+
+    def violation_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-safe records of the retained violations."""
+        return [v.to_dict() for v in self.violations]
+
+    def violating_sessions(self) -> List[int]:
+        """Distinct session ids named by violations, in breach order."""
+        seen: Dict[int, None] = {}
+        for violation in self.violations:
+            if violation.session_id != -1:
+                seen.setdefault(violation.session_id)
+        return list(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"SloEngine(budgets={len(self._states)}, "
+            f"violations={len(self.violations)}, breached={self.breached})"
+        )
+
+
+def parse_budgets(texts: Sequence[str]) -> List[SloBudget]:
+    """Parse several ``metric=limit`` declarations (CLI helper)."""
+    return [SloBudget.parse(text) for text in texts]

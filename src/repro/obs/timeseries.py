@@ -103,6 +103,18 @@ class TelemetryHub:
         """Registered channel names, sorted."""
         return sorted(self._channels)
 
+    def dropped_by_channel(self) -> Dict[str, int]:
+        """Channels whose rings dropped samples: ``{name: dropped}``.
+
+        Empty means every channel's full history is still in its ring —
+        a dashboard built from the retained windows is not truncated.
+        """
+        return {
+            name: series.dropped
+            for name, series in sorted(self._channels.items())
+            if series.dropped
+        }
+
     def __len__(self) -> int:
         return len(self._channels)
 

@@ -83,12 +83,16 @@ def to_chrome_trace(
     manifest: Optional[Mapping[str, Any]] = None,
     telemetry: Optional[Mapping[str, Mapping[str, Any]]] = None,
     us_per_cycle: float = 1.0,
+    span_events: Optional[List[Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
     """Build the Chrome trace-event JSON object for ``events``.
 
     ``telemetry`` is a :meth:`TelemetryHub.snapshot`-shaped mapping whose
-    retained samples become counter tracks.  The result is JSON-safe and
-    validates under :func:`validate_chrome_trace`.
+    retained samples become counter tracks.  ``span_events`` are
+    pre-built trace events (the control-plane span tracks from
+    :meth:`SpanTracer.to_trace_events`) appended verbatim, so session
+    trees land in the same timeline as the flit lifecycles.  The result
+    is JSON-safe and validates under :func:`validate_chrome_trace`.
     """
     trace_events: List[Dict[str, Any]] = [
         {
@@ -200,6 +204,9 @@ def to_chrome_trace(
                         "args": {"value": value},
                     }
                 )
+
+    if span_events:
+        trace_events.extend(span_events)
 
     payload: Dict[str, Any] = {
         "traceEvents": trace_events,

@@ -260,3 +260,225 @@ class TestPolicerShaping:
         sim.run(10_000)
         expected = 10_000 / config.rate_to_interarrival_cycles(55e6)
         assert source.flits_injected == pytest.approx(expected, rel=0.05)
+
+
+def _probe_build(topo, recorder, vcs=8):
+    """A Network + ProbeProtocol with a flight recorder attached."""
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=vcs,
+        round_factor=2,
+        enforce_round_budgets=False,
+    )
+    sim = Simulator()
+    network = Network(
+        topo, config, BiasedPriority(), sim, SeededRng(6, "probe"),
+        recorder=recorder,
+    )
+    return network, ProbeProtocol(network), sim, config
+
+
+def _drop(session, established):
+    pass
+
+
+class TestControlPlaneSpans:
+    """Span trees emitted by the probe protocol under a recorder."""
+
+    def test_backtracking_setup_span_tree(self):
+        from repro.obs import FlightRecorder
+        from repro.obs.spans import STATUS_OK
+
+        # A 1->4 blocker fills the 1->3 link, so a 0->3 probe dead-ends
+        # at node 1 and must backtrack via node 2 (the scenario from
+        # test_probe_protocol.py, here checked for its span tree).
+        topo = Topology(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        recorder = FlightRecorder(manifest={})  # enabled by default
+        network, protocol, sim, config = _probe_build(topo, recorder)
+        cap = config.round_length
+        blocker = protocol.establish(1, 4, BandwidthRequest(cap), _drop)
+        sim.run(200)
+        assert blocker.established
+        probe = protocol.establish(0, 3, BandwidthRequest(cap), _drop)
+        sim.run(400)
+        assert probe.established and probe.backtracks >= 1
+
+        spans = recorder.spans
+        root = spans.get(probe.span_id)
+        assert root is not None and root.name == f"session {probe.session_id}"
+        setup = spans.get(probe.setup_span)
+        assert setup.parent_id == root.span_id
+        assert setup.status == STATUS_OK
+        assert setup.args["backtracks"] == probe.backtracks
+        children = spans.children(setup.span_id)
+        names = [s.name for s in children]
+        assert "backtrack" in names
+        assert names[-1] == "ack"
+        assert names.count("hop") >= len(probe.path) - 1
+        # Setup is closed; the session root stays open until teardown.
+        assert setup.closed and not root.closed
+
+    def test_blocked_setup_closes_root_as_blocked(self):
+        from repro.obs import FlightRecorder
+        from repro.obs.spans import STATUS_BLOCKED
+
+        topo = Topology(3, [(0, 1), (1, 2)])
+        recorder = FlightRecorder(manifest={})  # enabled by default
+        network, protocol, sim, config = _probe_build(topo, recorder)
+        cap = config.round_length
+        first = protocol.establish(0, 2, BandwidthRequest(cap), _drop)
+        sim.run(200)
+        assert first.established
+        second = protocol.establish(0, 2, BandwidthRequest(1), _drop)
+        sim.run(200)
+        assert not second.established
+        root = recorder.spans.get(second.span_id)
+        setup = recorder.spans.get(second.setup_span)
+        assert root.closed and root.status == STATUS_BLOCKED
+        assert setup.closed and setup.status == STATUS_BLOCKED
+
+    def test_rolled_back_renegotiation_span_tree(self):
+        from repro.obs import FlightRecorder
+        from repro.obs.spans import STATUS_REFUSED, STATUS_ROLLED_BACK
+
+        # Session A (0->2) renegotiates up into capacity held by session
+        # B on the shared 1->2 link: the SET_BANDWIDTH word NACKs at that
+        # hop and the earlier hop rolls back.
+        topo = Topology(3, [(0, 1), (1, 2)])
+        recorder = FlightRecorder(manifest={})  # enabled by default
+        network, protocol, sim, config = _probe_build(topo, recorder)
+        cap = config.round_length
+        a = protocol.establish(0, 2, BandwidthRequest(2), _drop)
+        sim.run(200)
+        assert a.established
+        b = protocol.establish(1, 2, BandwidthRequest(cap - 2), _drop)
+        sim.run(200)
+        assert b.established
+        assert not protocol.renegotiate(a, BandwidthRequest(4))
+
+        renegs = [
+            s for s in recorder.spans.spans("renegotiation")
+            if s.name == "renegotiation"
+        ]
+        assert len(renegs) == 1
+        reneg = renegs[0]
+        assert reneg.parent_id == a.span_id
+        assert reneg.status == STATUS_ROLLED_BACK
+        children = recorder.spans.children(reneg.span_id)
+        statuses = [s.status for s in children if s.name == "set_bandwidth"]
+        assert STATUS_REFUSED in statuses
+        assert any(s.name == "rollback" for s in children)
+        assert all(
+            s.status == STATUS_ROLLED_BACK
+            for s in children if s.name == "rollback"
+        )
+
+    def test_teardown_closes_the_session_tree(self):
+        from repro.obs import FlightRecorder
+
+        topo = Topology(3, [(0, 1), (1, 2)])
+        recorder = FlightRecorder(manifest={})  # enabled by default
+        network, protocol, sim, config = _probe_build(topo, recorder)
+        session = protocol.establish(0, 2, BandwidthRequest(2), _drop)
+        sim.run(200)
+        assert session.established
+        protocol.teardown(session)
+        sim.run(200)
+        assert not session.established
+        assert recorder.spans.open_count == 0
+        teardown = recorder.spans.get(session.teardown_span)
+        assert teardown.parent_id == session.span_id
+        hops = [
+            s for s in recorder.spans.children(teardown.span_id)
+            if s.name == "teardown_hop"
+        ]
+        assert len(hops) == len(session.path)
+
+
+class TestChurnObservability:
+    """End-to-end: churn run -> spans, SLOs, health, Perfetto export."""
+
+    def test_trace_exports_complete_span_trees(self):
+        from repro.obs import validate_chrome_trace
+
+        result = run_churn_experiment(small_spec(telemetry=True))
+        recorder = result.recorder
+        spans = recorder.spans
+        assert spans.open_count == 0
+        assert spans.dropped == 0
+        roots = spans.roots()
+        assert len(roots) == result.established + result.blocked
+        # Every established session shows the full lifecycle under its root.
+        setups = spans.spans("setup")
+        assert len(setups) == result.arrivals
+        teardowns = [
+            s for s in spans.spans("teardown") if s.name == "teardown"
+        ]
+        assert len(teardowns) == result.torn_down
+        payload = recorder.chrome_trace()
+        validate_chrome_trace(payload)
+        xs = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == len(spans)
+        assert {e["pid"] for e in xs} == {2}
+
+    def test_streaming_stats_track_exact_lists(self):
+        exact = run_churn_experiment(small_spec(exact_setup_stats=True))
+        streaming = run_churn_experiment(small_spec())
+        assert exact.setup_latencies  # exact mode keeps the list
+        assert streaming.setup_latencies == []  # streaming stays bounded
+        # Workload metrics are identical; only the estimator differs.
+        assert exact.established == streaming.established
+        assert exact.setup_mean == pytest.approx(streaming.setup_mean)
+        assert streaming.setup_p99 == pytest.approx(exact.setup_p99, rel=0.25)
+        assert streaming.setup_p50 <= streaming.setup_p99
+
+    def test_slo_pass_and_breach(self):
+        passing = run_churn_experiment(
+            small_spec(slos=("setup_p99=500", "blocking_probability=0.9"))
+        )
+        assert passing.slo_ok
+        assert passing.slo_state and not passing.slo_violations
+        breached = run_churn_experiment(small_spec(slos=("setup_p99=3",)))
+        assert not breached.slo_ok
+        assert breached.slo_breached
+        (violation, *_rest) = breached.slo_violations
+        assert violation["metric"] == "setup_p99"
+        assert violation["session_id"] in breached.violating_sessions
+        assert breached.violating_sessions
+
+    def test_slo_violation_references_a_real_span(self):
+        result = run_churn_experiment(
+            small_spec(telemetry=True, slos=("setup_p99=3",))
+        )
+        (violation, *_rest) = result.slo_violations
+        span = result.recorder.spans.get(violation["span_id"])
+        assert span is not None and span.name == "setup"
+        root = result.recorder.spans.root_of(span.span_id)
+        assert root.args["session"] == violation["session_id"]
+
+    def test_malformed_slo_fails_at_spec_build(self):
+        with pytest.raises(ValueError):
+            small_spec(slos=("setup_p99",))
+
+    def test_health_snapshot_rides_on_result(self):
+        result = run_churn_experiment(
+            small_spec(telemetry=True, slos=("blocking_probability=0.95",))
+        )
+        health = result.health
+        assert health["schema"] == "health/1"
+        assert health["extra"]["arrivals"] == result.arrivals
+        assert health["extra"]["established"] == result.established
+        assert not health["slo_breached"]
+        assert health["spans"]["open"] == 0
+
+    def test_health_trail_written_during_run(self, tmp_path):
+        path = tmp_path / "health.jsonl"
+        result = run_churn_experiment(
+            small_spec(telemetry=True), health_path=path, health_every=5000
+        )
+        trail = [__import__("json").loads(line)
+                 for line in path.read_text().splitlines()]
+        assert len(trail) >= 2  # heartbeats plus the final snapshot
+        assert trail[-1]["extra"]["torn_down"] == result.torn_down
+        cycles = [s["cycle"] for s in trail]
+        assert cycles == sorted(cycles)

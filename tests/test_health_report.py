@@ -1,0 +1,168 @@
+"""Health snapshots, JSONL trails, sweep rollups and the HTML dashboard."""
+
+import json
+
+from repro.obs.health import (
+    HEALTH_SCHEMA,
+    ROLLUP_SCHEMA,
+    HealthWriter,
+    build_health_snapshot,
+    dropped_total,
+    merge_health,
+    read_health,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import render_report, render_rollup, sparkline_svg
+from repro.obs.slo import SloBudget, SloEngine
+
+
+def _recorder_with_activity() -> FlightRecorder:
+    recorder = FlightRecorder(manifest={"seed": 1})
+    recorder.telemetry.sample("churn.active_sessions", 100, 3.0)
+    recorder.telemetry.sample("churn.active_sessions", 200, 5.0)
+    span = recorder.spans.begin("session 1", "session", 0)
+    setup = recorder.spans.begin("setup", "setup", 0, parent=span)
+    recorder.spans.end(setup, 14)
+    recorder.spans.end(span, 400)
+    recorder.spans.begin("session 2", "session", 450)  # still open
+    return recorder
+
+
+def _breached_engine() -> SloEngine:
+    engine = SloEngine([SloBudget("blocking_probability", 0.1)], min_samples=1)
+    engine.observe_ratio(
+        "blocking_probability", 9, 10, time=77, session_id=4, span_id=2
+    )
+    return engine
+
+
+class TestHealthSnapshot:
+    def test_empty_snapshot_is_valid(self):
+        snapshot = build_health_snapshot(cycle=0)
+        assert snapshot["schema"] == HEALTH_SCHEMA
+        assert snapshot["channels"] == {}
+        assert snapshot["slo"] == []
+        assert not snapshot["slo_breached"]
+        assert dropped_total(snapshot) == 0
+        json.dumps(snapshot)  # JSON-safe
+
+    def test_snapshot_captures_recorder_and_slo(self):
+        snapshot = build_health_snapshot(
+            cycle=500,
+            recorder=_recorder_with_activity(),
+            slo=_breached_engine(),
+            extra={"active_sessions": 1},
+        )
+        channel = snapshot["channels"]["churn.active_sessions"]
+        assert channel["count"] == 2
+        assert channel["last"] == 5.0
+        assert snapshot["spans"] == {"recorded": 3, "open": 1, "dropped": 0}
+        assert snapshot["slo_breached"]
+        assert snapshot["slo_violations"] == 1
+        (violation,) = snapshot["violations"]
+        assert violation["session_id"] == 4
+        assert snapshot["extra"] == {"active_sessions": 1}
+        json.dumps(snapshot)
+
+    def test_dropped_total_sums_every_store(self):
+        snapshot = {"dropped": {"trace": 3, "spans": 2, "telemetry": 5}}
+        assert dropped_total(snapshot) == 10
+
+
+class TestHealthTrail:
+    def test_writer_appends_jsonl_and_read_round_trips(self, tmp_path):
+        path = tmp_path / "trail" / "health.jsonl"
+        writer = HealthWriter(path)
+        writer.write(build_health_snapshot(cycle=100))
+        writer.write(build_health_snapshot(cycle=200))
+        assert writer.written == 2
+        snapshots = read_health(path)
+        assert [s["cycle"] for s in snapshots] == [100, 200]
+
+    def test_read_accepts_a_json_array(self, tmp_path):
+        path = tmp_path / "health.json"
+        path.write_text(json.dumps([build_health_snapshot(cycle=5)]))
+        assert read_health(path)[0]["cycle"] == 5
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_health(path) == []
+
+
+class TestMergeHealth:
+    def test_rollup_aggregates_breaches_and_drops(self):
+        healthy = build_health_snapshot(cycle=100)
+        sick = build_health_snapshot(
+            cycle=200, recorder=None, slo=_breached_engine()
+        )
+        sick["dropped"]["trace"] = 7
+        rollup = merge_health([("load=0.2", healthy), ("load=0.8", sick)])
+        assert rollup["schema"] == ROLLUP_SCHEMA
+        assert rollup["point_count"] == 2
+        assert rollup["breached_points"] == ["load=0.8"]
+        assert rollup["dropped_sample_points"] == ["load=0.8"]
+        assert rollup["total_violations"] == 1
+        assert rollup["total_dropped"] == 7
+        assert not rollup["ok"]
+        json.dumps(rollup)
+
+    def test_all_healthy_rollup_is_ok(self):
+        rollup = merge_health([("a", build_health_snapshot(cycle=1))])
+        assert rollup["ok"]
+
+
+class TestSparkline:
+    def test_empty_series_renders_placeholder(self):
+        svg = sparkline_svg([])
+        assert svg.startswith("<svg")
+        assert "polyline" not in svg
+
+    def test_series_renders_line_dot_and_tooltips(self):
+        svg = sparkline_svg([(0, 1.0), (100, 3.0), (200, 2.0)])
+        assert svg.count("<circle") == 5  # ring + dot + 3 hover targets
+        assert "<polyline" in svg
+        assert "<title>cycle 200: 2</title>" in svg
+        assert "NaN" not in svg
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        svg = sparkline_svg([(0, 4.0), (10, 4.0)])
+        assert "NaN" not in svg and "polyline" in svg
+
+
+class TestRenderReport:
+    def test_single_run_dashboard(self):
+        recorder = _recorder_with_activity()
+        trail = [
+            build_health_snapshot(
+                cycle=cycle, recorder=recorder, slo=_breached_engine(),
+                extra={"active_sessions": 2},
+            )
+            for cycle in (100, 200)
+        ]
+        export = recorder.export()
+        html = render_report(trail, export=export, title="unit run")
+        assert "<!doctype html>" in html.lower()
+        assert "unit run" in html
+        assert "✗" in html  # breached hero/status carries an icon
+        assert "blocking_probability" in html
+        assert "churn.active_sessions" in html
+        assert "<svg" in html
+        # Worst-sessions section names the slow session's span tree.
+        assert "session 1" in html
+        assert "prefers-color-scheme: dark" in html
+
+    def test_dashboard_without_export_or_slo(self):
+        trail = [build_health_snapshot(cycle=100)]
+        html = render_report(trail, title="bare")
+        assert "No SLO budgets declared" in html
+        assert "run complete" in html  # neutral hero when nothing is gated
+
+    def test_rollup_page(self):
+        sick = build_health_snapshot(cycle=1, slo=_breached_engine())
+        rollup = merge_health(
+            [("load=0.2", build_health_snapshot(cycle=1)), ("load=0.8", sick)]
+        )
+        html = render_rollup(rollup, title="sweep")
+        assert "load=0.2" in html and "load=0.8" in html
+        assert "✗" in html and "✓" in html

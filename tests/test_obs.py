@@ -283,3 +283,58 @@ class TestHarnessIntegration:
         assert export["manifest"]["schema"] == MANIFEST_SCHEMA
         assert export["trace"]["traceEvents"]
         assert export["kernel"]["sim_now"] > 0
+
+
+class TestDroppedSurfacing:
+    """Per-store dropped counters must be visible, not silently absorbed."""
+
+    def test_dropped_summary_names_every_store(self):
+        recorder = FlightRecorder(capacity=2, manifest={})
+        for t in range(4):
+            recorder.flit_inject(t, 0, 0, 1, t)
+        ring = recorder.telemetry.channel("small")
+        ring.capacity = 1
+        recorder.sample("small", 0, 1.0)
+        recorder.sample("small", 1, 2.0)
+        recorder.spans.capacity = 1
+        recorder.spans.begin("a", "x", 0)
+        recorder.spans.begin("b", "x", 0)
+        summary = recorder.dropped_summary()
+        assert summary["trace"] == 2
+        assert summary["spans"] == 1
+        assert summary["channels"] == {"small": 1}
+        assert summary["total"] == 4
+
+    def test_clean_recorder_certifies_no_truncation(self):
+        recorder = FlightRecorder(manifest={})
+        recorder.flit_inject(0, 0, 0, 1, 1)
+        recorder.sample("ch", 0, 1.0)
+        summary = recorder.dropped_summary()
+        assert summary == {
+            "trace": 0, "spans": 0, "channels": {}, "total": 0,
+        }
+
+    def test_clear_resets_span_store_too(self):
+        recorder = FlightRecorder(manifest={})
+        span = recorder.spans.begin("a", "x", 0)
+        recorder.spans.end(span, 5)
+        recorder.clear()
+        assert len(recorder.spans) == 0
+        assert recorder.dropped_summary()["total"] == 0
+
+    def test_export_carries_spans_and_dropped(self):
+        recorder = FlightRecorder(manifest={"schema": "x"})
+        span = recorder.spans.begin("session 1", "session", 0)
+        recorder.spans.end(span, 10)
+        export = json.loads(json.dumps(recorder.export()))
+        assert export["span_count"] == 1
+        assert export["spans_open"] == 0
+        (record,) = export["spans"]
+        assert record["name"] == "session 1"
+        assert record["duration"] == 10
+        assert export["dropped"]["total"] == 0
+        # Spans ride in the Chrome trace on the control-plane pid.
+        span_events = [
+            e for e in export["trace"]["traceEvents"] if e["ph"] == "X"
+        ]
+        assert len(span_events) == 1 and span_events[0]["pid"] == 2

@@ -1,0 +1,195 @@
+"""Streaming SLO engine: estimators, budget parsing, online gating."""
+
+import random
+
+import pytest
+
+from repro.obs.slo import (
+    P2Quantile,
+    SloBudget,
+    SloEngine,
+    StreamingQuantiles,
+    parse_budgets,
+    quantile_label,
+)
+
+
+class TestQuantileLabel:
+    def test_labels_are_json_key_safe(self):
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.99) == "p99"
+        assert quantile_label(0.999) == "p99_9"
+
+
+class TestP2Quantile:
+    def test_quantile_range_validated(self):
+        for q in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_exact_below_five_samples(self):
+        estimator = P2Quantile(0.5)
+        assert estimator.value() == 0.0
+        for value in (30, 10, 20):
+            estimator.add(value)
+        # Nearest rank over the sorted tiny buffer: rank 2 of [10,20,30].
+        assert estimator.value() == 20
+
+    def test_converges_on_a_known_distribution(self):
+        rng = random.Random(42)
+        values = [rng.uniform(0.0, 100.0) for _ in range(5000)]
+        estimator = P2Quantile(0.9)
+        for value in values:
+            estimator.add(value)
+        exact = sorted(values)[int(0.9 * len(values)) - 1]
+        assert abs(estimator.value() - exact) < 2.0
+
+    def test_tracks_extremes_exactly_at_the_tails(self):
+        estimator = P2Quantile(0.5)
+        for value in range(100):
+            estimator.add(float(value))
+        assert 40.0 < estimator.value() < 60.0
+
+
+class TestStreamingQuantiles:
+    def test_needs_a_quantile(self):
+        with pytest.raises(ValueError):
+            StreamingQuantiles(())
+
+    def test_aggregates(self):
+        stats = StreamingQuantiles((0.5,))
+        assert (stats.mean, stats.minimum, stats.maximum) == (0.0, 0.0, 0.0)
+        for value in (4.0, 8.0):
+            stats.add(value)
+        assert stats.count == 2
+        assert stats.mean == 6.0
+        assert stats.minimum == 4.0
+        assert stats.maximum == 8.0
+
+    def test_untracked_quantile_rejected(self):
+        stats = StreamingQuantiles((0.5,))
+        with pytest.raises(KeyError):
+            stats.quantile(0.99)
+
+    def test_reported_quantiles_are_monotone(self):
+        rng = random.Random(7)
+        stats = StreamingQuantiles((0.5, 0.9, 0.99))
+        for _ in range(2000):
+            stats.add(rng.expovariate(0.1))
+        p50, p90, p99 = (stats.quantile(q) for q in (0.5, 0.9, 0.99))
+        assert p50 <= p90 <= p99 <= stats.maximum
+
+    def test_to_dict_is_json_shaped(self):
+        stats = StreamingQuantiles((0.5, 0.99))
+        stats.add(10.0)
+        record = stats.to_dict()
+        assert record["count"] == 1
+        assert set(record["quantiles"]) == {"p50", "p99"}
+
+
+class TestSloBudget:
+    def test_parse_quantile_and_ratio(self):
+        budget = SloBudget.parse("setup_p99=60")
+        assert budget.stream == "setup"
+        assert budget.quantile == 0.99
+        assert budget.limit == 60.0
+        ratio = SloBudget.parse("blocking_probability=0.05")
+        assert ratio.stream is None
+        assert ratio.quantile is None
+
+    def test_parse_p999(self):
+        assert SloBudget.parse("jitter_p999=5").quantile == 0.999
+
+    def test_parse_rejects_malformed(self):
+        for text in ("setup_p99", "=3", "setup_p99=abc", "setup_p0=1"):
+            with pytest.raises(ValueError):
+                SloBudget.parse(text)
+        with pytest.raises(ValueError):
+            SloBudget("setup_p99", -1.0)
+
+    def test_parse_budgets_helper(self):
+        budgets = parse_budgets(("setup_p99=60", "blocking_probability=0.1"))
+        assert [b.metric for b in budgets] == [
+            "setup_p99", "blocking_probability",
+        ]
+
+
+class TestSloEngine:
+    def test_duplicate_budget_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine([SloBudget("setup_p99", 1), SloBudget("setup_p99", 2)])
+
+    def test_untargeted_stream_is_ignored(self):
+        engine = SloEngine([SloBudget("setup_p99", 10)], min_samples=1)
+        engine.observe("jitter", 1e9, time=5)
+        assert not engine.breached
+
+    def test_min_samples_gates_the_first_breaches(self):
+        engine = SloEngine([SloBudget("setup_p99", 1)], min_samples=10)
+        for i in range(9):
+            engine.observe("setup", 100.0, time=i)
+        assert not engine.breached
+        engine.observe("setup", 100.0, time=9)
+        assert engine.breached
+
+    def test_violation_is_attributable(self):
+        engine = SloEngine([SloBudget("setup_p99", 5)], min_samples=1)
+        engine.observe("setup", 80.0, time=1234, session_id=7, span_id=42)
+        (violation,) = engine.violations
+        assert violation.metric == "setup_p99"
+        assert violation.observed == 80.0
+        assert violation.session_id == 7
+        assert violation.span_id == 42
+        assert "session 7" in str(violation)
+        assert violation.to_dict()["time"] == 1234
+
+    def test_breach_is_sticky_but_live_state_recovers(self):
+        engine = SloEngine(
+            [SloBudget("blocking_probability", 0.5)], min_samples=1
+        )
+        engine.observe_ratio("blocking_probability", 9, 10, time=1, session_id=1)
+        engine.observe_ratio("blocking_probability", 9, 1000, time=2)
+        (state,) = engine.state()
+        assert state["observed"] < 0.5
+        assert not state["currently_breached"]
+        assert state["breached"]  # sticky for gating
+        assert engine.breached
+
+    def test_one_violation_per_crossing_not_per_sample(self):
+        engine = SloEngine([SloBudget("setup_p99", 5)], min_samples=1)
+        for i in range(10):
+            engine.observe("setup", 100.0, time=i, session_id=i)
+        assert len(engine.violations) == 1
+
+    def test_ratio_budget(self):
+        engine = SloEngine(
+            [SloBudget("blocking_probability", 0.2)], min_samples=4
+        )
+        engine.observe_ratio("blocking_probability", 1, 2, time=1)
+        assert not engine.breached  # denominator below min_samples
+        engine.observe_ratio("blocking_probability", 3, 4, time=2, session_id=9)
+        assert engine.breached
+        assert engine.violating_sessions() == [9]
+        engine.observe_ratio("blocking_probability", 3, 100, time=3)
+        (state,) = engine.state()
+        assert not state["currently_breached"]
+
+    def test_violating_sessions_deduplicated_in_breach_order(self):
+        engine = SloEngine(
+            [SloBudget("setup_p99", 5), SloBudget("jitter_p50", 1)],
+            min_samples=1,
+        )
+        engine.observe("setup", 50.0, time=1, session_id=3)
+        engine.observe("jitter", 50.0, time=2, session_id=3)
+        assert engine.violating_sessions() == [3]
+
+    def test_violation_list_is_bounded(self):
+        engine = SloEngine(
+            [SloBudget("refusal_rate", 0.5)], min_samples=1, max_violations=2
+        )
+        for i in range(6):
+            # Alternate under/over so every crossing is a fresh violation.
+            engine.observe_ratio("refusal_rate", 0, 10, time=2 * i)
+            engine.observe_ratio("refusal_rate", 9, 10, time=2 * i + 1)
+        assert len(engine.violations) == 2
+        assert engine.dropped_violations == 4

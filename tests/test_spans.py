@@ -1,0 +1,185 @@
+"""Span tracer: emission, capacity, queries, Chrome-trace export."""
+
+import pytest
+
+from repro.obs.spans import (
+    CONTROL_PLANE_PID,
+    DROPPED,
+    STATUS_BLOCKED,
+    STATUS_OK,
+    STATUS_OPEN,
+    SpanTracer,
+)
+
+
+def _session_tree(tracer: SpanTracer) -> dict:
+    """A typical session lifecycle: root -> setup(hops, ack) -> teardown."""
+    root = tracer.begin("session 1", "session", 100, session=1)
+    setup = tracer.begin("setup", "setup", 100, parent=root)
+    hop_a = tracer.begin("hop", "hop", 100, parent=setup, node=0)
+    tracer.end(hop_a, 102)
+    hop_b = tracer.begin("hop", "hop", 102, parent=setup, node=1)
+    tracer.end(hop_b, 110)
+    ack = tracer.begin("ack", "ack", 110, parent=setup)
+    tracer.end(ack, 114)
+    tracer.end(setup, 114, hops=2)
+    teardown = tracer.begin("teardown", "teardown", 500, parent=root)
+    tracer.end(teardown, 504)
+    tracer.end(root, 504)
+    return {
+        "root": root, "setup": setup, "hop_a": hop_a,
+        "hop_b": hop_b, "ack": ack, "teardown": teardown,
+    }
+
+
+class TestEmission:
+    def test_tree_structure_and_args(self):
+        tracer = SpanTracer()
+        ids = _session_tree(tracer)
+        assert len(tracer) == 6
+        assert tracer.open_count == 0
+        root = tracer.get(ids["root"])
+        assert root.parent_id == DROPPED
+        assert root.args == {"session": 1}
+        setup_children = tracer.children(ids["setup"])
+        assert [s.name for s in setup_children] == ["hop", "hop", "ack"]
+        assert tracer.get(ids["setup"]).args["hops"] == 2
+
+    def test_duration_and_status(self):
+        tracer = SpanTracer()
+        span = tracer.begin("setup", "setup", 10)
+        live = tracer.get(span)
+        assert live.status == STATUS_OPEN
+        assert not live.closed
+        assert live.duration == 0
+        tracer.end(span, 25, STATUS_BLOCKED)
+        assert live.closed
+        assert live.duration == 15
+        assert live.status == STATUS_BLOCKED
+
+    def test_double_close_raises(self):
+        tracer = SpanTracer()
+        span = tracer.begin("setup", "setup", 0)
+        tracer.end(span, 5)
+        with pytest.raises(ValueError, match="already closed"):
+            tracer.end(span, 9)
+
+    def test_capacity_drops_and_sentinel_is_inert(self):
+        tracer = SpanTracer(capacity=2)
+        keep = tracer.begin("a", "x", 0)
+        tracer.begin("b", "x", 0)
+        overflow = tracer.begin("c", "x", 0)
+        assert overflow == DROPPED
+        assert tracer.dropped == 1
+        # The sentinel is safe to end/annotate without guards.
+        tracer.end(DROPPED, 10)
+        tracer.annotate(DROPPED, note="ignored")
+        assert len(tracer) == 2
+        assert tracer.get(keep).args == {}
+
+    def test_child_of_unrecorded_parent_becomes_root(self):
+        tracer = SpanTracer()
+        # Parent id that was never stored (e.g. dropped under pressure):
+        # the child is kept as a root so partial trees survive.
+        orphan = tracer.begin("child", "x", 5, parent=991)
+        assert tracer.get(orphan).parent_id == DROPPED
+        assert [s.span_id for s in tracer.roots()] == [orphan]
+        sentinel_child = tracer.begin("child2", "x", 6, parent=DROPPED)
+        assert tracer.get(sentinel_child).parent_id == DROPPED
+
+    def test_clear_resets_ids_and_counters(self):
+        tracer = SpanTracer(capacity=1)
+        tracer.begin("a", "x", 0)
+        tracer.begin("b", "x", 0)
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.begin("fresh", "x", 0) == 1
+
+
+class TestQueries:
+    def test_critical_path_follows_longest_closed_child(self):
+        tracer = SpanTracer()
+        ids = _session_tree(tracer)
+        path = [(s.name, s.duration) for s in tracer.critical_path(ids["root"])]
+        # setup (14) beats teardown (4); hop_b (8) dominates the setup.
+        assert path == [
+            ("session 1", 404), ("setup", 14), ("hop", 8),
+        ]
+
+    def test_critical_path_ignores_open_children(self):
+        tracer = SpanTracer()
+        root = tracer.begin("session", "session", 0)
+        open_child = tracer.begin("setup", "setup", 0, parent=root)
+        closed = tracer.begin("teardown", "teardown", 0, parent=root)
+        tracer.end(closed, 3)
+        tracer.end(root, 10)
+        assert open_child != DROPPED
+        names = [s.name for s in tracer.critical_path(root)]
+        assert names == ["session", "teardown"]
+
+    def test_slowest_orders_by_duration_then_id(self):
+        tracer = SpanTracer()
+        a = tracer.begin("s", "setup", 0)
+        tracer.end(a, 5)
+        b = tracer.begin("s", "setup", 0)
+        tracer.end(b, 9)
+        c = tracer.begin("s", "setup", 0)
+        tracer.end(c, 5)
+        assert [s.span_id for s in tracer.slowest("setup")] == [b, a, c]
+        assert [s.span_id for s in tracer.slowest("setup", k=1)] == [b]
+
+    def test_quantile_span_nearest_rank(self):
+        tracer = SpanTracer()
+        spans = []
+        for duration in (10, 20, 30, 40):
+            span = tracer.begin("s", "setup", 0)
+            tracer.end(span, duration)
+            spans.append(span)
+        assert tracer.quantile_span("setup", 0.5).span_id == spans[1]
+        assert tracer.quantile_span("setup", 0.99).span_id == spans[3]
+        assert tracer.quantile_span("setup", 0.0).span_id == spans[0]
+        assert tracer.quantile_span("other", 0.5) is None
+        with pytest.raises(ValueError):
+            tracer.quantile_span("setup", 1.5)
+
+    def test_root_of_walks_to_session(self):
+        tracer = SpanTracer()
+        ids = _session_tree(tracer)
+        assert tracer.root_of(ids["hop_b"]).span_id == ids["root"]
+        assert tracer.root_of(ids["root"]).span_id == ids["root"]
+        assert tracer.root_of(987654) is None
+
+
+class TestTraceExport:
+    def test_closed_spans_become_complete_events_on_pid2(self):
+        tracer = SpanTracer()
+        ids = _session_tree(tracer)
+        events = tracer.to_trace_events()
+        xs = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(xs) == 6
+        assert all(e["pid"] == CONTROL_PLANE_PID for e in xs)
+        # All spans of one session share the root's lane.
+        assert {e["tid"] for e in xs} == {ids["root"]}
+        lane_names = [e for e in metas if e["name"] == "thread_name"]
+        assert lane_names[0]["args"]["name"] == "session 1"
+        by_name = {e["name"]: e for e in xs}
+        assert by_name["setup"]["dur"] == 14
+        assert by_name["setup"]["args"]["status"] == STATUS_OK
+        assert by_name["setup"]["args"]["parent"] == ids["root"]
+
+    def test_open_spans_are_skipped(self):
+        tracer = SpanTracer()
+        tracer.begin("session", "session", 0)
+        events = tracer.to_trace_events()
+        assert [e for e in events if e["ph"] == "X"] == []
+
+    def test_us_per_cycle_scales_timestamps(self):
+        tracer = SpanTracer()
+        span = tracer.begin("s", "setup", 10)
+        tracer.end(span, 30)
+        (event,) = [e for e in tracer.to_trace_events(0.5) if e["ph"] == "X"]
+        assert event["ts"] == 5.0
+        assert event["dur"] == 10.0
