@@ -52,6 +52,23 @@ A third gate covers the checkpoint/restore subsystem, recorded to
    checkpoint-at-midpoint / restore-from-disk / resume, and must produce
    bit-identical delivered-flit streams and statistics.
 
+A fourth gate covers the columnar (NumPy) state engine, recorded to
+``BENCH_columnar.json`` (schema ``bench-columnar/1``):
+
+8. **Columnar identity** — ``columnar_state=True`` must deliver
+   bit-identical flit streams and stats against both the reference walk
+   and the fused scalar fast path on the 729-connection 90%-load single
+   router and the 12-node multihop network, and must survive a
+   checkpoint/restore round-trip including mid-run flag flips (columnar
+   checkpoint resumed scalar, scalar checkpoint resumed columnar).
+9. **Columnar throughput** — on the high-VC scenario (512 VCs per link,
+   ~446 connections per input port of 2.5 Mbps CBR) the columnar engine
+   must be at least ``--min-columnar-speedup`` times faster than the
+   *current scalar fast path* (not the reference walk); the paper-default
+   256-VC point is measured and recorded gate-free.  When NumPy is not
+   installed the section records ``"numpy": false``, verifies the typed
+   ``ColumnarUnavailableError``, and skips the gates without failing.
+
 Run from the repo root::
 
     PYTHONPATH=src python scripts/perf_gate.py
@@ -73,17 +90,26 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.harness.kernel_bench import (  # noqa: E402
+    HIGH_VC_COUNT,
+    build_saturated_scenario,
+    measure_columnar_cycles_per_second,
     measure_cycles_per_second,
     measure_obs_overhead,
     measure_sched_cycles_per_second,
     measure_sweep_speedup,
+    run_columnar_identity_check,
     run_identity_check,
     run_sched_identity_check,
     run_trace_validation,
 )
 from repro.ckpt.verify import (  # noqa: E402
+    run_ckpt_columnar_identity_check,
     run_ckpt_network_identity_check,
     run_ckpt_router_identity_check,
+)
+from repro.core.columnar import (  # noqa: E402
+    ColumnarUnavailableError,
+    numpy_available,
 )
 from repro.obs import build_manifest, validate_chrome_trace  # noqa: E402
 from repro.harness.churn import ChurnSpec, run_churn_experiment  # noqa: E402
@@ -155,6 +181,41 @@ def sched_multihop_identity(seed: int = 11) -> dict:
         "reference": summaries[False],
         "fast_path": summaries[True],
     }
+
+
+def columnar_multihop_identity(seed: int = 11) -> dict:
+    """Compare end-to-end QoS across state engines on a network run.
+
+    Same 12-node workload as :func:`sched_multihop_identity` (including
+    best-effort background traffic), toggling ``columnar_state`` with
+    the scheduler fast path on in both legs.
+    """
+    summaries = {}
+    for columnar in (False, True):
+        spec = NetworkExperimentSpec(
+            target_link_load=0.3,
+            best_effort_rate=0.5,
+            warmup_cycles=2000,
+            measure_cycles=8000,
+            seed=seed,
+            columnar_state=columnar,
+        )
+        summaries[columnar] = _network_summary(run_network_experiment(spec))
+    return {
+        "identical": summaries[False] == summaries[True],
+        "seed": seed,
+        "scalar": summaries[False],
+        "columnar": summaries[True],
+    }
+
+
+def columnar_unavailable_check() -> dict:
+    """Without NumPy the typed error must name the extra; nothing else breaks."""
+    try:
+        build_saturated_scenario(True, columnar_state=True)
+    except ColumnarUnavailableError as exc:
+        return {"typed_error_ok": True, "message": str(exc)}
+    return {"typed_error_ok": False, "message": "no error raised"}
 
 
 def _churn_summary(result) -> dict:
@@ -233,6 +294,153 @@ def churn_obs_identity(seed: int = 7) -> dict:
     }
 
 
+def run_columnar_gates(args, failures) -> dict:
+    """Gates 8 & 9: columnar identity + throughput (BENCH_columnar.json).
+
+    Self-contained so ``--columnar-only`` (the CI columnar-smoke job,
+    run under both NumPy and NumPy-free environments) can execute just
+    this section.  Appends failure strings to ``failures`` and writes
+    the ``bench-columnar/1`` report to ``args.columnar_output``.
+    """
+    columnar_available = numpy_available()
+    columnar_identity = None
+    columnar_network_identity = None
+    columnar_ckpt = None
+    columnar_throughput = None
+    columnar_unavailable = None
+    columnar_gate_passed = None
+    if not columnar_available:
+        print("== columnar: NumPy not installed ==")
+        columnar_unavailable = columnar_unavailable_check()
+        print(
+            f"   typed_error_ok={columnar_unavailable['typed_error_ok']} "
+            "(identity and speedup gates skipped)"
+        )
+        if not columnar_unavailable["typed_error_ok"]:
+            failures.append(
+                "columnar_state=True without NumPy did not raise "
+                "ColumnarUnavailableError"
+            )
+    else:
+        print("== columnar identity: saturated-CBR single router (3-way) ==")
+        columnar_identity = run_columnar_identity_check(
+            args.columnar_identity_cycles
+        )
+        print(
+            f"   flits={columnar_identity['flits_delivered']} "
+            f"identical={columnar_identity['identical']}"
+        )
+        if not columnar_identity["identical"]:
+            failures.append("columnar identity (single router)")
+
+        if not args.skip_multihop:
+            print("== columnar identity: 12-node multihop network ==")
+            columnar_network_identity = columnar_multihop_identity()
+            print(
+                f"   streams={columnar_network_identity['scalar']['streams']} "
+                f"delay_count="
+                f"{columnar_network_identity['scalar']['delay_count']} "
+                f"identical={columnar_network_identity['identical']}"
+            )
+            if not columnar_network_identity["identical"]:
+                failures.append("columnar identity (multihop)")
+
+        print("== columnar identity: checkpoint round-trip + flag flips ==")
+        columnar_ckpt = run_ckpt_columnar_identity_check(
+            args.ckpt_identity_cycles
+        )
+        print(
+            f"   connections={columnar_ckpt['connections']} "
+            f"flits={columnar_ckpt['flits_delivered']} "
+            f"resumed={columnar_ckpt['columnar_resumed_identical']} "
+            f"flip_off={columnar_ckpt['flip_off_identical']} "
+            f"flip_on={columnar_ckpt['flip_on_identical']} "
+            f"identical={columnar_ckpt['identical']}"
+        )
+        if not columnar_ckpt["identical"]:
+            failures.append("columnar checkpoint identity")
+
+        print(f"== columnar throughput: {HIGH_VC_COUNT}-VC high-VC scenario ==")
+        columnar_scalar = measure_columnar_cycles_per_second(
+            False, args.columnar_bench_cycles, args.repeats
+        )
+        columnar_fast = measure_columnar_cycles_per_second(
+            True, args.columnar_bench_cycles, args.repeats
+        )
+        columnar_speedup = (
+            columnar_fast["cycles_per_sec"] / columnar_scalar["cycles_per_sec"]
+        )
+        columnar_gate_passed = columnar_speedup >= args.min_columnar_speedup
+        print(
+            f"   scalar_fast={columnar_scalar['cycles_per_sec']:,.0f} cyc/s  "
+            f"columnar={columnar_fast['cycles_per_sec']:,.0f} cyc/s  "
+            f"speedup={columnar_speedup:.2f}x"
+        )
+        if not columnar_gate_passed:
+            failures.append(
+                f"columnar speedup {columnar_speedup:.2f}x below "
+                f"threshold {args.min_columnar_speedup}x"
+            )
+
+        print("== columnar throughput: 256-VC paper point (recorded only) ==")
+        base_scalar = measure_columnar_cycles_per_second(
+            False, args.columnar_bench_cycles, 3, vcs_per_port=256
+        )
+        base_columnar = measure_columnar_cycles_per_second(
+            True, args.columnar_bench_cycles, 3, vcs_per_port=256
+        )
+        base_speedup = (
+            base_columnar["cycles_per_sec"] / base_scalar["cycles_per_sec"]
+        )
+        print(
+            f"   scalar_fast={base_scalar['cycles_per_sec']:,.0f} cyc/s  "
+            f"columnar={base_columnar['cycles_per_sec']:,.0f} cyc/s  "
+            f"speedup={base_speedup:.2f}x"
+        )
+        columnar_throughput = {
+            "high_vc": {
+                "vcs_per_port": HIGH_VC_COUNT,
+                "scalar_fast": columnar_scalar,
+                "columnar": columnar_fast,
+                "speedup": columnar_speedup,
+            },
+            "paper_256vc": {
+                "vcs_per_port": 256,
+                "scalar_fast": base_scalar,
+                "columnar": base_columnar,
+                "speedup": base_speedup,
+            },
+        }
+
+    columnar_report = {
+        "schema": "bench-columnar/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "manifest": build_manifest(command="scripts/perf_gate.py"),
+        "numpy": columnar_available,
+        "unavailable": columnar_unavailable,
+        "identity": {
+            "single_router": columnar_identity,
+            "multihop": columnar_network_identity,
+            "checkpoint": columnar_ckpt,
+        },
+        "gate": {
+            "scenario": f"cbr_high_vc_{HIGH_VC_COUNT}",
+            "min_speedup": args.min_columnar_speedup,
+            "speedup": (
+                round(columnar_throughput["high_vc"]["speedup"], 3)
+                if columnar_throughput
+                else None
+            ),
+            "passed": columnar_gate_passed,
+        },
+        "throughput": columnar_throughput,
+    }
+    args.columnar_output.write_text(json.dumps(columnar_report, indent=2) + "\n")
+    print(f"wrote {args.columnar_output}")
+    return columnar_report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -309,11 +517,52 @@ def main(argv=None) -> int:
         "--ckpt-output", type=Path, default=REPO_ROOT / "BENCH_ckpt.json",
         help="where to write the checkpoint-gate JSON report",
     )
+    parser.add_argument(
+        "--columnar-identity-cycles", type=int, default=8_000,
+        help="cycles for the columnar identity runs (default 8000)",
+    )
+    parser.add_argument(
+        "--columnar-bench-cycles", type=int, default=8_000,
+        help="simulated cycles per columnar timing run (default 8000; "
+             "short windows under-read the speedup because the "
+             "connection ramp-up, where few VCs are eligible, is shared "
+             "by both engines)",
+    )
+    parser.add_argument(
+        "--min-columnar-speedup", type=float, default=2.0,
+        help="gate threshold on the 512-VC high-VC point (default 2.0)",
+    )
+    parser.add_argument(
+        "--columnar-output", type=Path,
+        default=REPO_ROOT / "BENCH_columnar.json",
+        help="where to write the columnar-gate JSON report",
+    )
+    parser.add_argument(
+        "--columnar-only", action="store_true",
+        help="run only the columnar gates (identity + throughput, or the "
+             "typed-error check when NumPy is absent); used by the CI "
+             "columnar-smoke job's NumPy / no-NumPy matrix",
+    )
     args = parser.parse_args(argv)
     if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
         parser.error("--cycles, --identity-cycles and --repeats must be positive")
 
     failures = []
+
+    if args.columnar_only:
+        columnar_report = run_columnar_gates(args, failures)
+        if failures:
+            print("FAIL: " + "; ".join(failures))
+            return 1
+        gate = columnar_report["gate"]
+        note = (
+            f"identity holds, columnar {gate['speedup']:.2f}x >= "
+            f"{gate['min_speedup']}x"
+            if gate["speedup"] is not None
+            else "typed-error path verified (no NumPy)"
+        )
+        print(f"PASS: columnar {note}")
+        return 0
 
     print("== identity: 8-stream single router ==")
     router_identity = run_identity_check(8, args.identity_cycles)
@@ -521,6 +770,8 @@ def main(argv=None) -> int:
         if not ckpt_network["identical"]:
             failures.append("checkpoint identity (multihop)")
 
+    columnar_report = run_columnar_gates(args, failures)
+
     ckpt_report = {
         "schema": "bench-ckpt/1",
         "python": platform.python_version(),
@@ -593,10 +844,17 @@ def main(argv=None) -> int:
     if failures:
         print("FAIL: " + "; ".join(failures))
         return 1
+    columnar_speedup = columnar_report["gate"]["speedup"]
+    columnar_note = (
+        f"columnar {columnar_speedup:.2f}x >= {args.min_columnar_speedup}x"
+        if columnar_speedup is not None
+        else "columnar skipped (no NumPy)"
+    )
     print(
-        f"PASS: identity holds (kernel, scheduler, checkpoint), "
+        f"PASS: identity holds (kernel, scheduler, checkpoint, columnar), "
         f"kernel {gate_speedup:.2f}x >= {args.min_speedup}x, "
-        f"scheduler {sched_speedup:.2f}x >= {args.min_sched_speedup}x"
+        f"scheduler {sched_speedup:.2f}x >= {args.min_sched_speedup}x, "
+        f"{columnar_note}"
     )
     return 0
 

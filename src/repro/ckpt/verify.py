@@ -88,6 +88,96 @@ def run_ckpt_router_identity_check(
     }
 
 
+def run_ckpt_columnar_identity_check(
+    cycles: int,
+    target_load: float = 0.9,
+    seed: int = 7,
+    checkpoint_dir: Optional[str] = None,
+) -> dict:
+    """Columnar engine through a checkpoint, including mid-run flag flips.
+
+    Four runs of the saturated single-router scenario, all required to
+    deliver the same flit stream and statistics as the straight scalar
+    fast-path run:
+
+    ``columnar_straight``
+        ``columnar_state=True`` end to end (the plain engine-identity
+        leg, here to localise failures to the checkpoint).
+    ``columnar_resumed``
+        Columnar run checkpointed at the midpoint, reloaded from disk,
+        resumed columnar.  Arrays are never pickled — the codec stores
+        only object state and the bank is rebuilt on first use — so this
+        proves the object graph stayed authoritative.
+    ``flip_off`` / ``flip_on``
+        The same checkpoint resumed with the flag flipped to the scalar
+        engine, and a scalar-run checkpoint resumed with the flag
+        flipped to columnar.  Both directions must splice bit-exactly.
+    """
+    straight_delivered: List[DeliveryRecord] = []
+    sim, router = build_saturated_scenario(
+        True, target_load, seed, delivered=straight_delivered
+    )
+    connections = len(router.connection_stats)
+    sim.run(cycles)
+    router.check_invariants()
+    straight_stats = dict(router.stats.scalars)
+    reference = (straight_delivered, straight_stats)
+
+    def _finish(components, flip: Optional[bool]):
+        sim, router = components["sim"], components["router"]
+        delivered = components["delivered"]
+        if flip is not None:
+            router.set_columnar_state(flip)
+        sim.run(cycles - cycles // 2)
+        router.check_invariants()
+        return delivered, dict(router.stats.scalars)
+
+    def _checkpointed(columnar: bool, flip: Optional[bool]):
+        delivered: List[DeliveryRecord] = []
+        sim, router = build_saturated_scenario(
+            True, target_load, seed,
+            delivered=delivered, columnar_state=columnar,
+        )
+        sim.run(cycles // 2)
+        with tempfile.TemporaryDirectory(dir=checkpoint_dir) as tmp:
+            path = os.path.join(tmp, "columnar.ckpt")
+            CheckpointCodec.save(
+                path,
+                {"sim": sim, "router": router, "delivered": delivered},
+                kind="simulator",
+                cycle=sim.now,
+                seed=seed,
+                config=router.config,
+            )
+            del sim, router, delivered
+            _, components = CheckpointCodec.load(path, expect_kind="simulator")
+        return _finish(components, flip)
+
+    legs = {}
+    columnar_delivered: List[DeliveryRecord] = []
+    sim, router = build_saturated_scenario(
+        True, target_load, seed,
+        delivered=columnar_delivered, columnar_state=True,
+    )
+    sim.run(cycles)
+    router.check_invariants()
+    legs["columnar_straight"] = (columnar_delivered, dict(router.stats.scalars))
+    legs["columnar_resumed"] = _checkpointed(columnar=True, flip=None)
+    legs["flip_off"] = _checkpointed(columnar=True, flip=False)
+    legs["flip_on"] = _checkpointed(columnar=False, flip=True)
+
+    comparisons = {name: leg == reference for name, leg in legs.items()}
+    return {
+        "identical": all(comparisons.values()),
+        **{f"{name}_identical": ok for name, ok in comparisons.items()},
+        "flits_delivered": len(straight_delivered),
+        "connections": connections,
+        "cycles": cycles,
+        "checkpoint_cycle": cycles // 2,
+        "target_load": target_load,
+    }
+
+
 def _network_summary(result: NetworkExperimentResult) -> dict:
     """The comparable fingerprint of a network run (mirrors perf_gate)."""
     return {

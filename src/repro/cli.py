@@ -84,6 +84,10 @@ def _add_spec_arguments(
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--warmup", type=int, default=20000, help="warm-up cycles")
     parser.add_argument("--cycles", type=int, default=100000, help="measured cycles")
+    parser.add_argument(
+        "--columnar", action="store_true",
+        help="columnar (NumPy) scheduling state; needs the repro[fast] extra",
+    )
 
 
 def _spec_from_args(
@@ -100,6 +104,7 @@ def _spec_from_args(
         warmup_cycles=args.warmup,
         measure_cycles=args.cycles,
         telemetry=telemetry or getattr(args, "telemetry", False),
+        columnar_state=getattr(args, "columnar", False),
     )
 
 
@@ -429,6 +434,7 @@ def cmd_churn(args: argparse.Namespace) -> int:
         police=not args.no_police,
         slos=tuple(args.slo),
         exact_setup_stats=args.exact_setup_stats,
+        columnar_state=args.columnar,
     )
     checkpointing = None
     if args.checkpoint_dir is not None:
@@ -883,6 +889,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--report-out", default=None, metavar="PATH",
         help="write the run-health HTML dashboard (rollup page in "
              "--axis mode); implies --telemetry",
+    )
+    churn_parser.add_argument(
+        "--columnar", action="store_true",
+        help="columnar (NumPy) scheduling state; needs the repro[fast] extra",
     )
     churn_parser.add_argument("--json", action="store_true", help="JSON output")
     churn_parser.set_defaults(func=cmd_churn)

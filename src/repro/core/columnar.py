@@ -1,0 +1,463 @@
+"""Columnar (structure-of-arrays) per-VC scheduling state.
+
+The object graph keeps every per-VC quantity the link scheduler consults
+— cached priority terms, head-flit ages, round-budget offsets, routed
+output ports — as attributes scattered across ``VirtualChannel``
+instances.  At 256+ VCs per link the per-cycle candidate scan therefore
+walks hundreds of Python objects even after the fused-mask fast path
+removed the per-vector bit tests.  This module keeps the same state as
+flat NumPy columns, one row per VC and one column per field (the shape
+of the Tiny Tera scheduling banks: wide, flat state updated with
+bitwise/array operations), so the scan becomes a handful of vectorized
+gathers plus one ``lexsort``.
+
+Design rules (see DESIGN.md §7e):
+
+* The object graph stays authoritative.  Columns are a mirror: every
+  write path that mutates scheduling inputs also updates the columns (or
+  marks the row dirty for lazy resync), and the columnar round fold
+  writes its results back into the ``VirtualChannel`` fields.  Because
+  of this, ``columnar_state`` can be flipped either way mid-run — even
+  across a checkpoint/restore — without any state migration.
+* Arrays are never pickled.  ``LinkScheduler`` drops the bank on
+  ``__getstate__`` and rebuilds it from the objects after restore, so
+  checkpoints written under ``columnar_state=True`` stay loadable (and
+  bit-identically resumable) on hosts without NumPy.
+* All float expressions replicate the reference evaluation order
+  (``(base + time_term) + round_offset``) so priorities are bit-identical
+  to the scalar path, and selection breaks ties exactly like the
+  ascending-index object scan (lowest VC index wins equal priorities).
+
+NumPy itself is an *optional* extra: ``pip install repro[fast]``.
+Importing this module without NumPy is fine; constructing a
+:class:`ColumnarState` raises :class:`ColumnarUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from .virtual_channel import ServiceClass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .virtual_channel import VirtualChannel
+
+#: Priority tier added to VBR connections that exhausted their permanent
+#: bandwidth and compete for excess (peak) cycles.  Canonical home of the
+#: constant; ``link_scheduler`` re-exports it.
+VBR_EXCESS_OFFSET = -1e9
+
+#: The optional-dependency extra that pulls in NumPy.
+FAST_EXTRA = "repro[fast]"
+
+_np = None
+_np_checked = False
+
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+_SIGN_BIT = 0x8000000000000000
+_PACK_D = struct.Struct("<d").pack
+_UNPACK_Q = struct.Struct("<Q").unpack
+
+
+def _sort_key_desc(value: float) -> int:
+    """Map a float to a uint64 whose ascending order is descending float.
+
+    The usual IEEE-754 total-order trick (flip all bits of negatives, set
+    the sign bit of non-negatives) gives ascending order; complementing
+    gives descending.  ``value + 0.0`` first collapses ``-0.0`` onto
+    ``+0.0`` so the key order treats them as equal — exactly how the
+    scalar scan's ``>`` comparison does.
+    """
+    bits = _UNPACK_Q(_PACK_D(value + 0.0))[0]
+    asc = (bits ^ _U64_MASK) if bits & _SIGN_BIT else (bits | _SIGN_BIT)
+    return asc ^ _U64_MASK
+
+
+class ColumnarUnavailableError(RuntimeError):
+    """``columnar_state=True`` was requested but NumPy is not installed.
+
+    Everything outside the columnar engine runs NumPy-free; install the
+    optional extra (``pip install repro[fast]``) to enable the vectorized
+    path.
+    """
+
+
+def load_numpy():
+    """Return the ``numpy`` module, or ``None`` when not installed.
+
+    The import is deferred and probed exactly once so that plain
+    (object-graph) runs never pay for — or require — NumPy.
+    """
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _np = numpy
+    return _np
+
+
+def numpy_available() -> bool:
+    """True when the optional NumPy dependency is importable."""
+    return load_numpy() is not None
+
+
+def require_numpy():
+    """Return numpy or raise the typed error naming the extra."""
+    np = load_numpy()
+    if np is None:
+        raise ColumnarUnavailableError(
+            "columnar_state=True requires NumPy, which is an optional "
+            f"dependency; install it with `pip install {FAST_EXTRA}` "
+            "or run with columnar_state=False"
+        )
+    return np
+
+
+class ColumnarState:
+    """Flat per-VC state bank for one input link.
+
+    One row per VC, one column per field:
+
+    ``prio_base``/``prio_div``/``prio_key``
+        The scheme's cached priority terms (``PriorityScheme.cache_terms``)
+        for the current head flit.  ``prio_key`` is stored mod 2**64; the
+        hashed-priority recurrence is evaluated in uint64 wraparound
+        arithmetic, whose low 32 bits match Python's arbitrary-precision
+        result exactly.
+    ``head_created``
+        Creation cycle of the head flit (ages the aging schemes).
+    ``round_offset``
+        The round-budget priority offset, mirrored from
+        ``VirtualChannel.round_offset`` on every scalar update and
+        rewritten by the vectorized round fold.
+    ``output_port``
+        Routed output port, ``-1`` while unrouted.
+    ``excess_offset``
+        Precomputed offset a VBR-with-zero-permanent-bandwidth VC drops
+        to at a round boundary (``VBR_EXCESS_OFFSET`` plus the static
+        tie-break under the priority discipline); ``0.0`` for every other
+        VC.  Refreshed whenever the binding or contract changes.
+
+    Rows are resynced lazily: the owning scheduler keeps a dirty bitmask
+    of VCs whose head flit or binding changed and replays
+    ``cache_terms`` for dirty rows only when they become eligible.
+    """
+
+    __slots__ = (
+        "width",
+        "_nbytes",
+        "_priority_discipline",
+        "prio_base",
+        "prio_div",
+        "prio_key",
+        "head_created",
+        "round_offset",
+        "output_port",
+        "excess_offset",
+        "sort_desc",
+        "_key_buf",
+        "_first",
+        "_arange",
+        "num_outputs",
+        "_out_rows",
+        "_groups_dirty",
+        "_arange_out",
+        "_float_buf",
+        "_elig_buf",
+    )
+
+    def __init__(
+        self, width: int, priority_discipline: bool, num_outputs: int = 0
+    ) -> None:
+        np = require_numpy()
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self._nbytes = (width + 7) // 8
+        self._priority_discipline = priority_discipline
+        self.prio_base = np.zeros(width, dtype=np.float64)
+        self.prio_div = np.ones(width, dtype=np.float64)
+        self.prio_key = np.zeros(width, dtype=np.uint64)
+        self.head_created = np.zeros(width, dtype=np.int64)
+        self.round_offset = np.zeros(width, dtype=np.float64)
+        self.output_port = np.full(width, -1, dtype=np.int64)
+        self.excess_offset = np.zeros(width, dtype=np.float64)
+        # Static-scheme selection state: ``sort_desc[i]`` is the sortable
+        # descending-order key of ``prio_base[i]`` (see
+        # :func:`_sort_key_desc`), maintained by :meth:`set_terms`; the
+        # rest are reusable scratch buffers for :meth:`select_static_*`.
+        # ``_key_buf`` has one extra slot, permanently ``UINT64_MAX``,
+        # that the output-group table's padding rows point at.
+        self.sort_desc = np.full(width, _U64_MASK, dtype=np.uint64)
+        self._key_buf = np.empty(width + 1, dtype=np.uint64)
+        self._first = np.empty(max(num_outputs, 1), dtype=np.int64)
+        self._arange = np.arange(width, dtype=np.int64)
+        self.num_outputs = num_outputs
+        self._out_rows = None
+        self._groups_dirty = True
+        self._arange_out = np.arange(max(num_outputs, 1), dtype=np.int64)
+        self._float_buf = np.empty(width + 1, dtype=np.float64)
+        self._elig_buf = np.zeros(width + 1, dtype=np.bool_)
+
+    # ----- mask plumbing --------------------------------------------------
+
+    def indices_of(self, mask: int):
+        """Ascending row indices of the set bits of ``mask``.
+
+        The mask is the same arbitrary-precision integer the
+        ``BitVector`` fast path walks bit by bit; here it is widened to a
+        byte string once and unpacked in bulk.
+        """
+        packed = _np.frombuffer(
+            mask.to_bytes(self._nbytes, "little"), dtype=_np.uint8
+        )
+        bits = _np.unpackbits(packed, bitorder="little", count=self.width)
+        return _np.nonzero(bits)[0]
+
+    # ----- object -> column sync ------------------------------------------
+
+    def sync_cold(self, vc: "VirtualChannel") -> None:
+        """Refresh the binding-derived columns of one row.
+
+        Called whenever a VC is bound, released, routed, or has its
+        contract renegotiated — the same sites that invalidate the cached
+        priority terms.
+        """
+        i = vc.index
+        output_port = vc.output_port
+        self.output_port[i] = -1 if output_port is None else output_port
+        self._groups_dirty = True
+        if vc.service_class is ServiceClass.VBR and vc.permanent_cycles == 0:
+            if self._priority_discipline:
+                excess = VBR_EXCESS_OFFSET + vc.static_priority * 1e6
+            else:
+                excess = VBR_EXCESS_OFFSET
+        else:
+            excess = 0.0
+        self.excess_offset[i] = excess
+        self.round_offset[i] = vc.round_offset
+
+    def set_terms(
+        self, i: int, base: float, div: float, key: int, created: int
+    ) -> None:
+        """Install the cached priority terms for one (dirty) row."""
+        self.prio_base[i] = base
+        self.prio_div[i] = div
+        self.prio_key[i] = key & _U64_MASK
+        self.head_created[i] = created
+        self.sort_desc[i] = _sort_key_desc(base)
+
+    # ----- vectorized kernels ---------------------------------------------
+
+    def priorities(self, idx, now: int, dep: int, with_offset: bool = True):
+        """Priorities for rows ``idx`` under time-dependence code ``dep``.
+
+        Mirrors the scalar fast path bit for bit, including evaluation
+        order: ``(base + time_term) + round_offset``.  With round budgets
+        unenforced every ``round_offset`` is identically ``+0.0`` (and no
+        priority term evaluates to ``-0.0``), so ``with_offset=False``
+        skips the gather and add without changing a single bit.
+        """
+        np = _np
+        base = self.prio_base[idx]
+        if dep == 0:  # static
+            result = base
+        elif dep == 1:  # aging
+            waited = now - self.head_created[idx]
+            result = base + waited / self.prio_div[idx]
+        else:
+            # hashed: uint64 wraparound keeps the low 32 bits identical
+            # to Python's unbounded-int evaluation.
+            mixed = (
+                (self.prio_key[idx] * np.uint64(31) + np.uint64(now))
+                * np.uint64(2654435761)
+            ) & np.uint64(0xFFFFFFFF)
+            result = base + mixed / np.float64(4294967296.0)
+        if with_offset:
+            return result + self.round_offset[idx]
+        return result
+
+    def priorities_full(self, now: int, dep: int, with_offset: bool = True):
+        """Priorities for *every* row (same float recipe as above).
+
+        Whole-column arithmetic beats per-row gathers once a meaningful
+        fraction of the bank is eligible: three vector ops over ``width``
+        rows cost less than one fancy-index gather.  Rows without a
+        synced head flit produce garbage values — callers mask them out
+        before selection, so they never influence a result.
+        """
+        np = _np
+        base = self.prio_base
+        if dep == 0:  # static
+            result = base
+        elif dep == 1:  # aging
+            waited = now - self.head_created
+            result = base + waited / self.prio_div
+        else:
+            mixed = (
+                (self.prio_key * np.uint64(31) + np.uint64(now))
+                * np.uint64(2654435761)
+            ) & np.uint64(0xFFFFFFFF)
+            result = base + mixed / np.float64(4294967296.0)
+        if with_offset:
+            return result + self.round_offset
+        return result
+
+    def select_priority(self, idx, priorities, limit: Optional[int]):
+        """Top-``limit`` rows by ``(-priority, vc_index)``.
+
+        Equivalent to ``heapq.nsmallest(limit, pool, key=sort_key)`` on
+        the scalar candidate pool (the input-port component of the key is
+        constant within one scheduler).
+        """
+        np = _np
+        order = np.lexsort((idx, -priorities))
+        if limit is not None and order.size > limit:
+            order = order[:limit]
+        return order
+
+    def _eligible(self, mask: int):
+        """Bool view of the eligibility ``mask``, width rows.
+
+        Backed by the persistent ``_elig_buf`` whose extra padding slot
+        (index ``width``) is permanently False, so sentinel rows of the
+        output-group table always read as ineligible.
+        """
+        np = _np
+        packed = np.frombuffer(
+            mask.to_bytes(self._nbytes, "little"), dtype=np.uint8
+        )
+        buf = self._elig_buf
+        buf[: self.width] = np.unpackbits(
+            packed, bitorder="little", count=self.width
+        ).view(np.bool_)
+        return buf[: self.width]
+
+    def _masked_keys(self, mask: int):
+        """Scratch key buffer with ineligible rows forced to the sentinel.
+
+        Rows outside ``mask`` (and the extra padding slot at index
+        ``width``) read as ``UINT64_MAX``, which sorts above every real
+        key — no real key can equal it (that would require a negative-NaN
+        bit pattern as the priority base).
+        """
+        np = _np
+        buf = self._key_buf
+        buf[:] = _U64_MASK
+        np.copyto(buf[: self.width], self.sort_desc, where=self._eligible(mask))
+        return buf
+
+    def _output_groups(self):
+        """Row indices grouped by routed output, as a padded 2D table.
+
+        ``table[o]`` lists the rows routed to output ``o`` in ascending
+        row order, padded with ``width`` (the sentinel slot of
+        ``_key_buf``).  Rebuilt lazily after any routing change
+        (``sync_cold`` marks it dirty); scan-time cost is therefore one
+        2D gather plus a row-wise ``argmin``.
+        """
+        table = self._out_rows
+        if table is None or self._groups_dirty:
+            groups: list = [[] for _ in range(self.num_outputs)]
+            for row, out in enumerate(self.output_port.tolist()):
+                if out >= 0:
+                    groups[out].append(row)
+            depth = max((len(rows) for rows in groups), default=0) or 1
+            table = _np.full(
+                (self.num_outputs, depth), self.width, dtype=_np.int64
+            )
+            for out, rows in enumerate(groups):
+                table[out, : len(rows)] = rows
+            self._out_rows = table
+            self._groups_dirty = False
+        return table
+
+    def select_static_per_output(self, mask: int, limit: Optional[int]):
+        """Best eligible row per output under a static priority scheme.
+
+        Valid only when priorities are scan-invariant — ``dep == 0`` (the
+        terms carry no time dependence) and every ``round_offset`` is
+        ``+0.0`` (budgets unenforced) — so the precomputed key order *is*
+        the priority order.  Returns row indices ordered by
+        ``(-priority, index)`` and truncated to ``limit``, exactly like
+        :meth:`select_per_output`.  Each output's winner is the row-wise
+        ``argmin`` over its group's masked keys; ``argmin`` returns the
+        *first* minimum and groups are in ascending row order, so ties on
+        equal priority keep the lowest VC index.
+        """
+        np = _np
+        keys = self._masked_keys(mask)
+        table = self._output_groups()
+        group_keys = keys[table]
+        best = np.argmin(group_keys, axis=1)
+        arange_out = self._arange_out
+        winner_keys = group_keys[arange_out, best]
+        winner_rows = table[arange_out, best]
+        present = winner_keys != np.uint64(_U64_MASK)
+        winner_keys = winner_keys[present]
+        winner_rows = winner_rows[present]
+        winners = winner_rows[np.lexsort((winner_rows, winner_keys))]
+        if limit is not None and winners.size > limit:
+            winners = winners[:limit]
+        return winners
+
+    def select_dynamic_per_output(self, priorities, mask: int):
+        """Best eligible row per output for time-varying priorities.
+
+        ``priorities`` is the full-width vector from
+        :meth:`priorities_full`.  Ineligible rows are masked to ``-inf``
+        (assumes no real priority is ``-inf``; the schemes produce finite
+        floats) and each output's winner is the row-wise ``argmax`` over
+        its group — the *first* maximum, so ties on equal priority keep
+        the lowest VC index, exactly like the scalar scan's strict-``>``
+        replacement.  Returns ``(winner_rows, winner_priorities,
+        present)``, one slot per output: ``present[o]`` is False when
+        output ``o`` has no eligible row (its argmax landed on a masked
+        or sentinel slot).  The final ``(-priority, index)`` ordering and
+        limit truncation happen caller-side in plain Python — the winner
+        set is at most ``num_outputs`` wide, where a list sort beats a
+        ``lexsort`` plus the fancy-index compaction it would need.
+        """
+        np = _np
+        eligible = self._eligible(mask)
+        buf = self._float_buf
+        buf[:] = -np.inf
+        np.copyto(buf[: self.width], priorities, where=eligible)
+        table = self._output_groups()
+        group_pr = buf[table]
+        best = np.argmax(group_pr, axis=1)
+        arange_out = self._arange_out
+        winner_pr = group_pr[arange_out, best]
+        winner_rows = table[arange_out, best]
+        return winner_rows, winner_pr, self._elig_buf[winner_rows]
+
+    def select_static_priority(self, mask: int, n: int, limit: Optional[int]):
+        """Top-``limit`` eligible rows under a static priority scheme.
+
+        Same validity conditions as :meth:`select_static_per_output`:
+        one stable ``argsort`` over the masked keys yields descending
+        priority with ascending-index tie-breaks; the first ``n``
+        (``mask.bit_count()``) positions are exactly the eligible rows.
+        """
+        order = _np.argsort(self._masked_keys(mask)[: self.width], kind="stable")
+        order = order[: n if limit is None else min(n, limit)]
+        return order
+
+    def fold_round(self, idx, enforce: bool):
+        """Round-boundary offsets for rows ``idx`` once budgets reset.
+
+        With every ``serviced_this_round`` zeroed, no VC is exhausted and
+        the only surviving offset is the precomputed excess tier of
+        zero-permanent VBR VCs.  Writes the column and returns the
+        offsets for the caller to mirror into the objects.
+        """
+        if enforce:
+            offsets = self.excess_offset[idx]
+        else:
+            offsets = _np.zeros(idx.size, dtype=_np.float64)
+        self.round_offset[idx] = offsets
+        return offsets

@@ -92,9 +92,14 @@ class LinkFlowControl:
             )
         was_blocked = self._credits[vc] == 0
         self._credits[vc] += 1
-        self.credits_available.set(vc)
-        if was_blocked and self.availability_listener is not None:
-            self.availability_listener(vc, True)
+        if was_blocked:
+            # The availability bit only changes on the 0 -> 1 transition;
+            # skipping the redundant set keeps this per-flit path off the
+            # wide bit vector (one big-int allocation per call at high VC
+            # counts).
+            self.credits_available.set(vc)
+            if self.availability_listener is not None:
+                self.availability_listener(vc, True)
 
     def note_stall(self) -> None:
         """Record that scheduling skipped a flit for lack of credit."""

@@ -24,6 +24,7 @@ import heapq
 from typing import Callable, List, NamedTuple, Optional, Sequence
 
 from ..sim.rng import SeededRng
+from .columnar import ColumnarState
 from .config import RouterConfig
 from .priority import PriorityScheme
 from .status_vectors import StatusBank
@@ -31,8 +32,9 @@ from .virtual_channel import ServiceClass, VirtualChannel
 
 # Priority offset pushing VBR excess-bandwidth service below every
 # in-contract data stream but far above best-effort traffic (whose class
-# offset is -1e12).
-VBR_EXCESS_OFFSET = -1e9
+# offset is -1e12).  Canonically defined next to the columnar mirror that
+# precomputes it per VC; re-exported here for its historical importers.
+from .columnar import VBR_EXCESS_OFFSET  # noqa: E402  (re-export)
 
 
 def _winner_sort_key(winner):
@@ -68,6 +70,7 @@ class LinkScheduler:
         selection: str = "priority",
         rng: Optional[SeededRng] = None,
         fast_path: bool = True,
+        columnar: bool = False,
     ) -> None:
         """``credit_check(output_port, output_vc)`` must report downstream
         credit.
@@ -139,6 +142,83 @@ class LinkScheduler:
         # (tracking the best flit per output while walking the mask)
         # instead of building the full pool and reducing it afterwards.
         self._per_output_fast = selection == "per_output"
+        # Columnar (structure-of-arrays) engine: the per-VC hot state is
+        # mirrored into NumPy columns and the candidate scan and round
+        # fold run vectorized (see columnar.py / DESIGN.md §7e).  The
+        # object graph stays authoritative, so the flag can be flipped
+        # mid-run.  ``_terms_dirty`` is the lazy-resync bitmask of VCs
+        # whose head flit or binding changed since their row was synced;
+        # it is maintained unconditionally (a single int OR) so enabling
+        # columnar mid-run needs no scan.
+        self._columnar_enabled = columnar
+        self._columnar: Optional[ColumnarState] = None
+        self._terms_dirty = 0
+        if columnar:
+            # Eager build: fail fast with the typed error when NumPy is
+            # missing instead of at the first busy cycle.
+            self._ensure_columnar()
+
+    # ----- columnar mirror ---------------------------------------------------
+
+    def _ensure_columnar(self) -> ColumnarState:
+        """Build (or return) the columnar bank, synced from the objects.
+
+        Also the post-restore rebuild path: checkpoints never contain the
+        arrays (see ``__getstate__``), so the first use after a restore
+        lands here and reconstructs every column from the authoritative
+        object graph, with all priority-term rows marked dirty.
+        """
+        cols = self._columnar
+        if cols is None:
+            cols = ColumnarState(
+                self.config.vcs_per_port,
+                self.config.vbr_excess_discipline == "priority",
+                num_outputs=self.config.num_ports,
+            )
+            for vc in self.vcs:
+                cols.sync_cold(vc)
+            self._terms_dirty = (1 << self.config.vcs_per_port) - 1
+            self._columnar = cols
+        return cols
+
+    def set_columnar(self, enabled: bool) -> None:
+        """Enable/disable the columnar engine mid-run.
+
+        Both directions are free: the object graph is always current, so
+        enabling just (re)builds the mirror and disabling drops it.
+        """
+        self._columnar_enabled = enabled
+        if enabled:
+            self._ensure_columnar()
+        else:
+            self._columnar = None
+
+    def invalidate_vc(self, vc: VirtualChannel) -> None:
+        """Drop the VC's cached priority terms and resync its columns.
+
+        The cache is keyed on (head-flit identity, connection id); this
+        resets both components so a torn-down-and-readmitted connection
+        on the same VC — or a renegotiated contract under the same head
+        flit — never inherits stale terms.  Call after any mutation of a
+        priority input (binding, route, interarrival, static priority,
+        service contract).
+        """
+        vc.prio_flit = None
+        vc.prio_conn = None
+        self._terms_dirty |= 1 << vc.index
+        if self._columnar is not None:
+            self._columnar.sync_cold(vc)
+
+    def __getstate__(self):
+        """Pickle without the NumPy bank (rebuilt lazily from objects).
+
+        Keeps checkpoints written under ``columnar_state=True`` loadable
+        on hosts without NumPy and guarantees restore re-derives every
+        column from the canonical object graph.
+        """
+        state = self.__dict__.copy()
+        state["_columnar"] = None
+        return state
 
     # ----- round accounting --------------------------------------------------
 
@@ -155,6 +235,23 @@ class LinkScheduler:
             | self._vbr_serviced._bits
             | self._connection_active._bits
         )
+        if self._columnar_enabled and bits:
+            # Vectorized fold: with serviced counters about to reset, no
+            # touched VC stays exhausted and the only surviving offset is
+            # the precomputed excess tier — computed for all touched rows
+            # at once, then mirrored back into the objects (which remain
+            # authoritative for invariants, telemetry and flag flips).
+            cols = self._ensure_columnar()
+            idx = cols.indices_of(bits)
+            offsets = cols.fold_round(idx, self._enforce)
+            for vc_index, offset in zip(idx.tolist(), offsets.tolist()):
+                vc = vcs[vc_index]
+                vc.serviced_this_round = 0
+                vc.round_offset = offset
+            self._exhausted._bits &= ~bits
+            self._cbr_serviced.clear_all()
+            self._vbr_serviced.clear_all()
+            return
         while bits:
             low = bits & -bits
             bits ^= low
@@ -208,6 +305,9 @@ class LinkScheduler:
                     offset = VBR_EXCESS_OFFSET
         self._exhausted.assign(vc.index, exhausted)
         vc.round_offset = offset
+        cols = self._columnar
+        if cols is not None:
+            cols.round_offset[vc.index] = offset
 
     # ----- candidate selection -----------------------------------------------
 
@@ -253,8 +353,16 @@ class LinkScheduler:
 
     def candidates(self, now: int, limit: Optional[int] = None) -> List[Candidate]:
         """The candidate set offered to the switch scheduler this cycle."""
+        if self._columnar_enabled:
+            return self._candidates_columnar(now, limit)
         if not self.fast_path:
             return self._candidates_reference(now, limit)
+        return self._candidates_fused(now, limit)
+
+    def _candidates_fused(
+        self, now: int, limit: Optional[int] = None
+    ) -> List[Candidate]:
+        """The fused bit-parallel scalar scan (the object-graph fast path)."""
         if limit is None:
             limit = self._candidate_limit
         mask = (
@@ -289,11 +397,12 @@ class LinkScheduler:
                         "flagged available but empty"
                     )
                 flit = buffer[0]
-                if vc.prio_flit is not flit:
+                if vc.prio_flit is not flit or vc.prio_conn != vc.connection_id:
                     vc.prio_base, vc.prio_div, vc.prio_key = scheme.cache_terms(
                         vc, flit
                     )
                     vc.prio_flit = flit
+                    vc.prio_conn = vc.connection_id
                 if dep == 1:
                     priority = vc.prio_base + (now - flit.created) / vc.prio_div
                 elif dep == 0:
@@ -336,13 +445,15 @@ class LinkScheduler:
                 )
             flit = buffer[0]
             # Priority-term cache: valid while the same flit heads the VC
-            # (identity check doubles as the dirty bit — bind, release and
-            # route changes reset prio_flit to None).
-            if vc.prio_flit is not flit:
+            # *under the same connection* (bind, release and route changes
+            # reset prio_flit/prio_conn to None; the connection-id leg
+            # catches contract mutations that keep the head flit parked).
+            if vc.prio_flit is not flit or vc.prio_conn != vc.connection_id:
                 vc.prio_base, vc.prio_div, vc.prio_key = scheme.cache_terms(
                     vc, flit
                 )
                 vc.prio_flit = flit
+                vc.prio_conn = vc.connection_id
             if dep == 0:
                 priority = vc.prio_base
             elif dep == 1:
@@ -359,6 +470,159 @@ class LinkScheduler:
                 )
             )
         return self._select(pool, limit)
+
+    def _candidates_columnar(
+        self, now: int, limit: Optional[int] = None
+    ) -> List[Candidate]:
+        """Vectorized candidate scan over the columnar state bank.
+
+        Bit-identical to the fused scalar scan: same eligibility mask,
+        same float evaluation order for the priorities, same deterministic
+        tie-breaking (lowest VC index on equal priority), same counter
+        updates.  Per-cycle schemes (``time_dependence == 'percycle'``)
+        have no cacheable term structure, so they fall back to the scalar
+        walk; the rotating and random selections reuse ``_select`` on a
+        pool built from the arrays so the scan pointer and RNG draw
+        stream advance exactly as in the scalar path.
+        """
+        if self._scheme_dep == 3:
+            return (
+                self._candidates_fused(now, limit)
+                if self.fast_path
+                else self._candidates_reference(now, limit)
+            )
+        if limit is None:
+            limit = self._candidate_limit
+        mask = (
+            self._flits_available._bits
+            & self._credits_available._bits
+            & self._routed._bits
+            & ~self._exhausted._bits
+        )
+        if not mask:
+            return []
+        cols = self._ensure_columnar()
+        dirty = self._terms_dirty & mask
+        if dirty:
+            self._sync_terms(cols, dirty)
+            self._terms_dirty &= ~dirty
+        port = self.port
+        if self._per_output_fast:
+            # Selection runs on the output-group table: one row-wise
+            # argmin/argmax finds every output's winner without sorting
+            # the eligible set.  Static schemes with budgets unenforced
+            # compare precomputed sortable keys (priorities cannot change
+            # between term syncs); time-varying schemes evaluate the
+            # whole priority column — three vector ops beat per-row
+            # gathers once a meaningful slice of the bank is eligible.
+            self.eligible_vcs_total += mask.bit_count()
+            if self._scheme_dep == 0 and not self._enforce:
+                order = cols.select_static_per_output(mask, limit)
+                chosen = [
+                    Candidate(priority, port, vc_index, output_port)
+                    for priority, vc_index, output_port in zip(
+                        cols.prio_base[order].tolist(),
+                        order.tolist(),
+                        cols.output_port[order].tolist(),
+                    )
+                ]
+            else:
+                full = cols.priorities_full(
+                    now, self._scheme_dep, with_offset=self._enforce
+                )
+                rows, prs, present = cols.select_dynamic_per_output(full, mask)
+                # An output's winner row already identifies its port (the
+                # table row index *is* the output), so ordering and limit
+                # truncation run on a plain list of at most num_ports
+                # tuples — same key as the fused scan's winner sort.
+                winners = [
+                    (pr, row, out)
+                    for out, (pr, row, ok) in enumerate(
+                        zip(prs.tolist(), rows.tolist(), present.tolist())
+                    )
+                    if ok
+                ]
+                winners.sort(key=_winner_sort_key)
+                if len(winners) > limit:
+                    winners = winners[:limit]
+                chosen = [
+                    Candidate(pr, port, row, out) for pr, row, out in winners
+                ]
+            self.candidates_offered += len(chosen)
+            self.cycles_with_candidates += 1
+            return chosen
+        if self._scheme_dep == 0 and not self._enforce:
+            if self.selection == "priority":
+                n = mask.bit_count()
+                order = cols.select_static_priority(mask, n, limit)
+                self.eligible_vcs_total += n
+                chosen = [
+                    Candidate(priority, port, vc_index, output_port)
+                    for priority, vc_index, output_port in zip(
+                        cols.prio_base[order].tolist(),
+                        order.tolist(),
+                        cols.output_port[order].tolist(),
+                    )
+                ]
+                self.candidates_offered += len(chosen)
+                self.cycles_with_candidates += 1
+                return chosen
+        idx = cols.indices_of(mask)
+        priorities = cols.priorities(
+            idx, now, self._scheme_dep, with_offset=self._enforce
+        )
+        out = cols.output_port[idx]
+        if self.selection == "priority":
+            self.eligible_vcs_total += idx.size
+            order = cols.select_priority(idx, priorities, limit)
+            chosen = [
+                Candidate(priority, port, vc_index, output_port)
+                for priority, vc_index, output_port in zip(
+                    priorities[order].tolist(),
+                    idx[order].tolist(),
+                    out[order].tolist(),
+                )
+            ]
+            self.candidates_offered += len(chosen)
+            self.cycles_with_candidates += 1
+            return chosen
+        # Rotating / random: the selection itself is stateful (scan
+        # pointer, RNG stream), so materialize the ascending-index pool
+        # and reuse the scalar selector verbatim.
+        pool = [
+            Candidate(priority, port, vc_index, output_port)
+            for priority, vc_index, output_port in zip(
+                priorities.tolist(), idx.tolist(), out.tolist()
+            )
+        ]
+        return self._select(pool, limit)
+
+    def _sync_terms(self, cols: ColumnarState, bits: int) -> None:
+        """Replay ``cache_terms`` for the dirty rows in ``bits``.
+
+        Amortized exactly like the scalar cache: one scheme call per head
+        flit change, not per cycle.  Updates the object-side cache too so
+        the scalar and columnar engines stay interchangeable mid-run.
+        """
+        vcs = self.vcs
+        scheme = self.scheme
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            vc_index = low.bit_length() - 1
+            vc = vcs[vc_index]
+            buffer = vc.buffer
+            if not buffer:
+                raise RuntimeError(
+                    f"status vector out of sync: vc {self.port}.{vc_index} "
+                    "flagged available but empty"
+                )
+            flit = buffer[0]
+            base, div, key = scheme.cache_terms(vc, flit)
+            vc.prio_base, vc.prio_div, vc.prio_key = base, div, key
+            vc.prio_flit = flit
+            vc.prio_conn = vc.connection_id
+            cols.set_terms(vc_index, base, div, key, flit.created)
 
     def _candidates_reference(
         self, now: int, limit: Optional[int] = None

@@ -121,11 +121,18 @@ class Router:
         delay_histogram_bins: int = 0,
         recorder=None,
         scheduler_fast_path: bool = True,
+        columnar_state: bool = False,
     ) -> None:
         """``sink_outputs=True`` models the single-router evaluation: output
         links drain into ideal sinks with unlimited downstream credit.  A
         network embeds the router with ``sink_outputs=False`` and wires
-        output handlers and real credit state per link."""
+        output handlers and real credit state per link.
+
+        ``columnar_state=True`` switches the link schedulers to the
+        vectorized columnar engine (requires the NumPy ``[fast]`` extra;
+        raises :class:`~repro.core.columnar.ColumnarUnavailableError`
+        otherwise).  Bit-identical to the object-graph paths and
+        flippable mid-run via :meth:`set_columnar_state`."""
         self.config = config
         self.scheme = scheme
         self.switch_scheduler = switch_scheduler
@@ -162,9 +169,11 @@ class Router:
                 selection=selection,
                 rng=rng.spawn(f"link{port}") if rng is not None else None,
                 fast_path=scheduler_fast_path,
+                columnar=columnar_state,
             )
             for port in range(config.num_ports)
         ]
+        self.columnar_state = columnar_state
         # Fast-path credit mirroring: each (output_port, output_vc) in use
         # maps to the single input VC bound to it; the output links'
         # availability listeners push downstream 0<->1 credit transitions
@@ -230,6 +239,7 @@ class Router:
             activity=self.activity,
             on_skip=self.account_idle_cycles,
             name=name,
+            on_restore=self.rebuild_derived_state,
         )
 
     # ----- wiring ------------------------------------------------------------
@@ -252,6 +262,47 @@ class Router:
         return _CreditListener(
             self._downstream_users, self._credits_vectors, output_port
         )
+
+    # ----- columnar engine ---------------------------------------------------
+
+    def set_columnar_state(self, enabled: bool) -> None:
+        """Flip the columnar scheduling engine on or off mid-run.
+
+        Free in both directions: the object graph stays authoritative
+        while columnar is on, so enabling rebuilds the array mirror from
+        it and disabling simply drops the arrays.  Raises
+        ``ColumnarUnavailableError`` when enabling without NumPy.
+        """
+        for scheduler in self.link_schedulers:
+            scheduler.set_columnar(enabled)
+        self.columnar_state = enabled
+
+    def rebuild_derived_state(self) -> None:
+        """Rebuild non-pickled derived state after a checkpoint restore.
+
+        Invoked by ``Simulator.restore`` through the ticker's
+        ``on_restore`` hook.  The columnar array banks are deliberately
+        dropped from checkpoints (see ``LinkScheduler.__getstate__``);
+        rebuilding them eagerly here keeps the first post-restore cycle
+        off the allocation path and surfaces a missing-NumPy error at
+        restore time instead of mid-run.
+        """
+        if self.columnar_state:
+            for scheduler in self.link_schedulers:
+                scheduler._ensure_columnar()
+
+    def invalidate_priority_cache(self, input_port: int, vc_index: int) -> None:
+        """Drop one VC's cached priority terms (object and columnar).
+
+        Must be called after mutating any input of the priority
+        computation outside the router's own APIs — e.g. the connection
+        manager rewriting ``static_priority`` or a bandwidth
+        renegotiation rewriting ``interarrival_cycles`` while a head
+        flit sits parked on the VC.  Without it the scheduling fast
+        paths keep serving the stale terms until the head flit drains.
+        """
+        vc = self.input_ports[input_port].vcs[vc_index]
+        self.link_schedulers[input_port].invalidate_vc(vc)
 
     # ----- route state (fast-path vector maintenance) -----------------------
 
@@ -299,11 +350,13 @@ class Router:
         silently mask the next connection until a round boundary.
         """
         port = self.input_ports[input_port]
-        self._release_route_state(port.vcs[vc_index])
+        vc = port.vcs[vc_index]
+        self._release_route_state(vc)
         status = port.status
         status.vector("cbr_bandwidth_serviced").clear(vc_index)
         status.vector("vbr_bandwidth_serviced").clear(vc_index)
         status.vector("round_budget_exhausted").clear(vc_index)
+        self.link_schedulers[input_port].invalidate_vc(vc)
 
     def assign_route(
         self, input_port: int, vc_index: int, output_port: int, output_vc: int = -1
@@ -326,10 +379,11 @@ class Router:
             self._release_route_state(vc)
         vc.output_port = output_port
         vc.output_vc = output_vc
-        # Route context feeds the cached priority terms (class offsets,
-        # interarrival) — invalidate so the next scan recomputes.
-        vc.prio_flit = None
         self._register_route_state(input_port, vc_index, output_port, output_vc)
+        # Route context feeds the cached priority terms (class offsets,
+        # interarrival) and the columnar output column — invalidate so
+        # the next scan recomputes and resyncs.
+        self.link_schedulers[input_port].invalidate_vc(vc)
 
     # ----- connection management ------------------------------------------------
 
@@ -373,7 +427,9 @@ class Router:
         port.status.vector("connection_active").set(vc_index)
         port.mark_bound(vc_index)
         self._register_route_state(input_port, vc_index, output_port, output_vc)
-        self.link_schedulers[input_port].refresh_round_state(vc)
+        scheduler = self.link_schedulers[input_port]
+        scheduler.refresh_round_state(vc)
+        scheduler.invalidate_vc(vc)
         if output_vc >= 0:
             # A real downstream VC exists: record the direct/reverse channel
             # mappings.  Sink outputs (single-router mode) have no channel
@@ -427,7 +483,9 @@ class Router:
         port.status.vector("connection_active").set(vc_index)
         port.mark_bound(vc_index)
         self._register_route_state(input_port, vc_index, output_port, output_vc)
-        self.link_schedulers[input_port].refresh_round_state(vc)
+        scheduler = self.link_schedulers[input_port]
+        scheduler.refresh_round_state(vc)
+        scheduler.invalidate_vc(vc)
         if connection_id not in self.connection_stats:
             self.connection_stats[connection_id] = ConnectionStats()
         self.stats.counter("packet_vcs_opened")
@@ -498,8 +556,11 @@ class Router:
             vc.permanent_cycles = new.permanent_cycles
             vc.peak_cycles = new.effective_peak
         # The new contract may change which round tier the VC sits in
-        # right now (e.g. a raised allocation un-exhausts it mid-round).
-        self.link_schedulers[input_port].refresh_round_state(vc)
+        # right now (e.g. a raised allocation un-exhausts it mid-round)
+        # and feeds the cached priority terms and columnar columns.
+        scheduler = self.link_schedulers[input_port]
+        scheduler.refresh_round_state(vc)
+        scheduler.invalidate_vc(vc)
         self.stats.counter("renegotiations")
         return True
 
@@ -539,6 +600,11 @@ class Router:
             )
         self._flits_available[input_port].set(vc_index)
         self.activity.set(input_port)
+        if len(vc.buffer) == 1:
+            # The flit became head: its priority terms need (re)caching.
+            # Maintained unconditionally (one int OR) so the columnar
+            # engine's dirty mask is current even before it is enabled.
+            self.link_schedulers[input_port]._terms_dirty |= 1 << vc_index
         if vc.is_full:
             self._input_buffer_full[input_port].set(vc_index)
         return True
@@ -719,7 +785,12 @@ class Router:
         vc = self.input_ports[input_port].vcs[vc_index]
         self.crossbar.transmit(input_port)
         flit = vc.dequeue(cycle + 1)
-        if not vc.buffer:
+        scheduler = self.link_schedulers[input_port]
+        if vc.buffer:
+            # The successor became head: mark its terms dirty for the
+            # columnar engine (the object path re-checks head identity).
+            scheduler._terms_dirty |= 1 << vc_index
+        else:
             flits_available = self._flits_available[input_port]
             flits_available.clear(vc_index)
             if not flits_available.any():
@@ -730,7 +801,7 @@ class Router:
             recorder.flit_grant(
                 cycle, input_port, vc_index, flit.connection_id, flit.flit_id
             )
-        self.link_schedulers[input_port].on_flit_serviced(vc)
+        scheduler.on_flit_serviced(vc)
         handler = self.credit_return_handlers[input_port]
         if handler is not None:
             handler(vc_index)

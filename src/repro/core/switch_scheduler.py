@@ -92,10 +92,13 @@ class GreedyPriorityScheduler(SwitchScheduler):
         merged: List[Candidate] = []
         for candidates in contributing:
             merged.extend(candidates)
+        # Each per-input list is already in sort_key order, so Timsort's
+        # run detection makes this close to a k-way merge.
         merged.sort(key=Candidate.sort_key)
         grants: List[Grant] = []
         inputs_used = set()
         outputs_used = set()
+        unmatched = len(contributing)
         for candidate in merged:
             if candidate.input_port in inputs_used:
                 continue
@@ -106,6 +109,11 @@ class GreedyPriorityScheduler(SwitchScheduler):
             grants.append(
                 Grant(candidate.input_port, candidate.vc_index, candidate.output_port)
             )
+            unmatched -= 1
+            if not unmatched:
+                # Every contributing input holds a grant; the remaining
+                # tail cannot add one (input constraint), so stop walking.
+                break
         return grants
 
 

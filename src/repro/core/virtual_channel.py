@@ -50,6 +50,7 @@ class VirtualChannel:
         "serviced_this_round",
         "round_offset",
         "prio_flit",
+        "prio_conn",
         "prio_base",
         "prio_div",
         "prio_key",
@@ -81,9 +82,12 @@ class VirtualChannel:
         # LinkScheduler.refresh_round_state.
         self.round_offset: float = 0.0
         # Priority-term cache for the scheduling fast path: valid while
-        # ``prio_flit`` is the current head flit (identity check); the
-        # scheme's cache_terms() fills base/div/key.
+        # ``prio_flit`` is the current head flit (identity check) *and*
+        # ``prio_conn`` matches the bound connection, so terms never
+        # survive a rebind or contract change; the scheme's cache_terms()
+        # fills base/div/key.
         self.prio_flit: Optional[Flit] = None
+        self.prio_conn: Optional[int] = None
         self.prio_base: float = 0.0
         self.prio_div: float = 1.0
         self.prio_key: int = 0
@@ -115,6 +119,7 @@ class VirtualChannel:
         self.output_port = output_port
         self.output_vc = output_vc
         self.prio_flit = None
+        self.prio_conn = None
 
     def release(self) -> None:
         """Free the VC (connection torn down or packet fully sent)."""
@@ -135,6 +140,7 @@ class VirtualChannel:
         self.serviced_this_round = 0
         self.round_offset = 0.0
         self.prio_flit = None
+        self.prio_conn = None
         self.history.clear()
 
     # ----- buffer operations -----------------------------------------------

@@ -105,6 +105,8 @@ class ChurnSpec:
     seed: int = 1
     allow_fast_forward: bool = True
     scheduler_fast_path: bool = True
+    #: Columnar state engine knob (see ExperimentSpec.columnar_state).
+    columnar_state: bool = False
     telemetry: bool = False
     #: Telemetry sampling period (cycles), when ``telemetry`` is on.
     telemetry_every: int = 1000
@@ -301,6 +303,7 @@ class ChurnWorkload:
             rng.spawn("network"),
             recorder=recorder,
             scheduler_fast_path=spec.scheduler_fast_path,
+            columnar_state=spec.columnar_state,
         )
         self.spec = spec
         self.topology = topology

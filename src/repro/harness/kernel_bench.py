@@ -298,25 +298,50 @@ def measure_obs_overhead(
 #: connections than there are VCs to reach 90% load.
 SCHED_BENCH_RATE_SET = (5 * MBPS, 10 * MBPS, 20 * MBPS)
 
+#: The columnar-engine stress mix: 2.5 Mbps streams only.  At 90% load
+#: with :data:`HIGH_VC_COUNT` VCs per port the planner packs ~446
+#: connections per input port — past the 256 VCs the paper's baseline MMR
+#: provisions per link — and the phase-aligned bursts keep hundreds of
+#: VCs simultaneously eligible.  This is the regime the columnar gates
+#: time: per-scan work is large enough that a handful of whole-column
+#: vector ops beat hundreds of per-object priority evaluations.
+HIGH_VC_RATE_SET = (2.5 * MBPS,)
+
+#: VCs per input port for the high-VC columnar gate scenario ("256+ VCs
+#: per link"): double the paper's per-link provisioning, the design point
+#: §6 sizes the wide status banks for.
+HIGH_VC_COUNT = 512
+
 
 def build_saturated_scenario(
     scheduler_fast_path: bool,
     target_load: float = 0.9,
     seed: int = 7,
     delivered: Optional[List[DeliveryRecord]] = None,
+    rate_set: Tuple[float, ...] = SCHED_BENCH_RATE_SET,
+    columnar_state: bool = False,
+    vcs_per_port: Optional[int] = None,
 ) -> Tuple[Simulator, Router]:
     """An 8x8 router loaded to ``target_load`` with many small CBR streams.
 
     This is the link scheduler's worst case and the fast path's target
     operating point: LoadPlanner packs hundreds of randomly-placed
-    connections from :data:`SCHED_BENCH_RATE_SET`, all phase-aligned
-    (like :func:`build_cbr_scenario`), so every busy cycle scans a large
+    connections from ``rate_set`` (default
+    :data:`SCHED_BENCH_RATE_SET`), all phase-aligned (like
+    :func:`build_cbr_scenario`), so every busy cycle scans a large
     eligible set and ``candidates()`` dominates the run.  The connection
     plan and static priorities derive from ``seed``, so two builds
-    differing only in ``scheduler_fast_path`` execute the same workload
-    and must deliver bit-identical flit streams.
+    differing only in ``scheduler_fast_path`` / ``columnar_state``
+    execute the same workload and must deliver bit-identical flit
+    streams.  Pass :data:`HIGH_VC_RATE_SET` with ``vcs_per_port=512`` to
+    pack ~446 connections per port, the columnar engine's target regime.
     """
-    config = RouterConfig(enforce_round_budgets=False)
+    if vcs_per_port is None:
+        config = RouterConfig(enforce_round_budgets=False)
+    else:
+        config = RouterConfig(
+            enforce_round_budgets=False, vcs_per_port=vcs_per_port
+        )
     rng = SeededRng(seed, "sched-bench")
     sim = Simulator(allow_fast_forward=True)
     router = Router(
@@ -327,13 +352,14 @@ def build_saturated_scenario(
         selection="per_output",
         rng=rng.spawn("router"),
         scheduler_fast_path=scheduler_fast_path,
+        columnar_state=columnar_state,
     )
     if delivered is not None:
         handler = DeliveryLog(delivered)
         for port in range(config.num_ports):
             router.set_output_handler(port, handler)
     plan = LoadPlanner(
-        config, rng.spawn("plan"), rate_set=SCHED_BENCH_RATE_SET
+        config, rng.spawn("plan"), rate_set=rate_set
     ).plan(target_load)
     priority_rng = rng.spawn("static-priority")
     for item in plan.specs:
@@ -432,6 +458,108 @@ def measure_sched_cycles_per_second(
         "cycles": cycles,
         "repeats": repeats,
         "target_load": target_load,
+        "seconds": best,
+        "cycles_per_sec": cycles / best,
+    }
+
+
+def run_columnar_identity_check(
+    cycles: int,
+    target_load: float = 0.9,
+    seed: int = 7,
+    rate_set: Tuple[float, ...] = SCHED_BENCH_RATE_SET,
+    vcs_per_port: Optional[int] = None,
+) -> dict:
+    """Run the saturated scenario under all three engines and compare.
+
+    The columnar (NumPy array) engine must reproduce the reference per-VC
+    walk *and* the fused bit-vector fast path exactly: delivered flit
+    streams, scalar statistics, and the end-of-run invariant audit.  The
+    three-way comparison localises any divergence — columnar-vs-fast
+    isolates the array kernels, fast-vs-reference the bit vectors.
+    """
+    engines = {
+        "reference": dict(scheduler_fast_path=False),
+        "fast": dict(scheduler_fast_path=True),
+        "columnar": dict(scheduler_fast_path=True, columnar_state=True),
+    }
+    results = {}
+    for name, kwargs in engines.items():
+        delivered: List[DeliveryRecord] = []
+        sim, router = build_saturated_scenario(
+            target_load=target_load,
+            seed=seed,
+            delivered=delivered,
+            rate_set=rate_set,
+            vcs_per_port=vcs_per_port,
+            **kwargs,
+        )
+        sim.run(cycles)
+        router.check_invariants()
+        results[name] = (delivered, dict(router.stats.scalars))
+    reference = results["reference"]
+    comparisons = {
+        f"{name}_{what}_identical": results[name][i] == reference[i]
+        for name in ("fast", "columnar")
+        for i, what in enumerate(("flits", "stats"))
+    }
+    return {
+        "identical": all(comparisons.values()),
+        **comparisons,
+        "flits_delivered": len(reference[0]),
+        "target_load": target_load,
+        "rates_mbps": [rate / MBPS for rate in rate_set],
+    }
+
+
+def measure_columnar_cycles_per_second(
+    columnar_state: bool,
+    cycles: int,
+    repeats: int = 5,
+    target_load: float = 0.9,
+    seed: int = 7,
+    rate_set: Tuple[float, ...] = HIGH_VC_RATE_SET,
+    vcs_per_port: int = HIGH_VC_COUNT,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Best-of-``repeats`` throughput of the high-VC scenario.
+
+    Same protocol as :func:`measure_sched_cycles_per_second` but on the
+    ~446-connections-per-port, 512-VC workload (:data:`HIGH_VC_RATE_SET`
+    at :data:`HIGH_VC_COUNT`) and with the scheduler fast path always on
+    — the speedup gated in ``BENCH_columnar.json`` is columnar over the
+    *current best* scalar path, not over the reference walk.
+    """
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    best = None
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            sim, router = build_saturated_scenario(
+                True,
+                target_load,
+                seed,
+                rate_set=rate_set,
+                columnar_state=columnar_state,
+                vcs_per_port=vcs_per_port,
+            )
+            start = clock()
+            sim.run(cycles)
+            elapsed = clock() - start
+            if best is None or elapsed < best:
+                best = elapsed
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "cycles": cycles,
+        "repeats": repeats,
+        "target_load": target_load,
+        "rates_mbps": [rate / MBPS for rate in rate_set],
         "seconds": best,
         "cycles_per_sec": cycles / best,
     }

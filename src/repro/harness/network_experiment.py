@@ -51,6 +51,8 @@ class NetworkExperimentSpec:
     allow_fast_forward: bool = True
     # Link-scheduler mode knob (see ExperimentSpec.scheduler_fast_path).
     scheduler_fast_path: bool = True
+    # Columnar state engine knob (see ExperimentSpec.columnar_state).
+    columnar_state: bool = False
     # Attach a shared flight recorder across all routers (see
     # ExperimentSpec.telemetry).
     telemetry: bool = False
@@ -151,6 +153,7 @@ class NetworkExperiment:
             rng.spawn("network"),
             recorder=recorder,
             scheduler_fast_path=spec.scheduler_fast_path,
+            columnar_state=spec.columnar_state,
         )
         manager = ConnectionManager(network)
         interfaces = [

@@ -82,6 +82,11 @@ class ExperimentSpec:
     # walk instead of the fused status-vector mask.  Candidate streams are
     # bit-identical either way (the perf gate checks this too).
     scheduler_fast_path: bool = True
+    # Columnar (NumPy) scheduling state: mirrors the hot per-VC fields
+    # into flat arrays and vectorizes the candidate scan.  Bit-identical
+    # to the object-graph engines (the perf gate checks all three ways);
+    # requires the optional `repro[fast]` extra.
+    columnar_state: bool = False
     # Attach a flight recorder (flit trace, telemetry rings, kernel
     # profile); warm-up samples are discarded with the statistics.
     telemetry: bool = False
@@ -202,6 +207,7 @@ class SingleRouterExperiment:
             delay_histogram_bins=spec.delay_histogram_bins,
             recorder=recorder,
             scheduler_fast_path=spec.scheduler_fast_path,
+            columnar_state=spec.columnar_state,
         )
         if recorder is not None:
             recorder.attach(sim)

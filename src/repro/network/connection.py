@@ -301,7 +301,12 @@ class ConnectionManager:
     def set_priority(self, connection: NetworkConnection, priority: float) -> None:
         """Apply a SET_PRIORITY control word along the whole path."""
         for i, node in enumerate(connection.path):
-            vc = self.network.routers[node].input_ports[
-                connection.entry_ports[i]
-            ].vcs[connection.vcs[i]]
-            vc.static_priority = priority
+            router = self.network.routers[node]
+            entry_port = connection.entry_ports[i]
+            vc_index = connection.vcs[i]
+            router.input_ports[entry_port].vcs[
+                vc_index
+            ].static_priority = priority
+            # Without this a parked head flit keeps its pre-change
+            # priority terms until it drains (stale-cache bug).
+            router.invalidate_priority_cache(entry_port, vc_index)

@@ -186,12 +186,18 @@ class NetworkInterface:
             source.rate_bps = new_rate_bps
         if stream.policer is not None:
             stream.policer.set_rate(1.0 / interarrival, now=self.network.sim.now)
-        # Update the per-hop VC state the biased priority consults.
+        # Update the per-hop VC state the biased priority consults, and
+        # drop the cached priority terms: a head flit parked on the VC
+        # would otherwise keep competing under the old rate's bias until
+        # it drains.
         for i, node in enumerate(stream.connection.path):
-            vc = self.network.routers[node].input_ports[
-                stream.connection.entry_ports[i]
-            ].vcs[stream.connection.vcs[i]]
-            vc.interarrival_cycles = interarrival
+            router = self.network.routers[node]
+            entry_port = stream.connection.entry_ports[i]
+            vc_index = stream.connection.vcs[i]
+            router.input_ports[entry_port].vcs[
+                vc_index
+            ].interarrival_cycles = interarrival
+            router.invalidate_priority_cache(entry_port, vc_index)
         return True
 
     def set_priority(self, stream: OpenStream, priority: float) -> None:

@@ -123,6 +123,7 @@ class Network:
         selection: str = "per_output",
         recorder=None,
         scheduler_fast_path: bool = True,
+        columnar_state: bool = False,
     ) -> None:
         """``recorder`` (a :class:`repro.obs.FlightRecorder`) is shared by
         every router; its telemetry channels are namespaced by router name
@@ -155,6 +156,7 @@ class Network:
                 sink_outputs=False,
                 recorder=recorder,
                 scheduler_fast_path=scheduler_fast_path,
+                columnar_state=columnar_state,
             )
             for node in range(topology.num_nodes)
         ]

@@ -534,11 +534,13 @@ class ProbeProtocol:
         if interarrival_cycles is not None:
             session.interarrival_cycles = interarrival_cycles
             for hop in session.reservations:
-                vc = self.network.routers[hop.node].input_ports[
-                    hop.entry_port
-                ].vcs[hop.vc_index]
-                vc.interarrival_cycles = interarrival_cycles
-                vc.prio_flit = None  # cached priority terms are stale
+                router = self.network.routers[hop.node]
+                router.input_ports[hop.entry_port].vcs[
+                    hop.vc_index
+                ].interarrival_cycles = interarrival_cycles
+                # Centralised invalidation: drops the cached terms on
+                # both the object and columnar engines.
+                router.invalidate_priority_cache(hop.entry_port, hop.vc_index)
         self.renegotiations_applied += 1
         return True
 

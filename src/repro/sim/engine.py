@@ -49,7 +49,7 @@ SkipHook = Callable[[int, int], None]
 class _Ticker:
     """One registered per-cycle callback and its activity wiring."""
 
-    __slots__ = ("tick", "active", "on_skip", "name")
+    __slots__ = ("tick", "active", "on_skip", "name", "on_restore")
 
     def __init__(
         self,
@@ -57,11 +57,13 @@ class _Ticker:
         active: Optional[ActivityPredicate],
         on_skip: Optional[SkipHook],
         name: Optional[str] = None,
+        on_restore: Optional[Callable[[], None]] = None,
     ) -> None:
         self.tick = tick
         self.active = active
         self.on_skip = on_skip
         self.name = name
+        self.on_restore = on_restore
 
 
 class Simulator:
@@ -98,6 +100,7 @@ class Simulator:
         activity: Any = None,
         on_skip: Optional[SkipHook] = None,
         name: Optional[str] = None,
+        on_restore: Optional[Callable[[], None]] = None,
     ) -> None:
         """Register a per-cycle callback ``tick(cycle)``.
 
@@ -118,6 +121,12 @@ class Simulator:
 
         The legacy kernel (``allow_fast_forward=False``) ignores both
         ``activity`` and ``on_skip`` and ticks every ticker every cycle.
+
+        ``on_restore``, if given, is invoked (in registration order) by
+        :meth:`restore` after a snapshot is unpickled.  Components that
+        keep derived state deliberately excluded from checkpoints — e.g.
+        the columnar scheduling arrays, rebuilt from the object graph —
+        use it to reconstruct that state before the first resumed cycle.
         """
         predicate: Optional[ActivityPredicate]
         if activity is None:
@@ -130,7 +139,7 @@ class Simulator:
             raise TypeError(
                 f"activity must be callable or have .active(), got {activity!r}"
             )
-        self._tickers.append(_Ticker(tick, predicate, on_skip, name))
+        self._tickers.append(_Ticker(tick, predicate, on_skip, name, on_restore))
         if predicate is None:
             self._all_gated = False
         else:
@@ -386,4 +395,12 @@ class Simulator:
         sim = pickle.loads(blob)
         if not isinstance(sim, cls):
             raise TypeError(f"snapshot does not contain a {cls.__name__}")
+        # Let components rebuild derived state that snapshots exclude by
+        # design (e.g. columnar NumPy banks, reconstructed from the
+        # authoritative object graph).  ``getattr`` keeps snapshots taken
+        # before the hook existed loadable.
+        for ticker in sim._tickers:
+            hook = getattr(ticker, "on_restore", None)
+            if hook is not None:
+                hook()
         return sim

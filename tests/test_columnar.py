@@ -1,0 +1,385 @@
+"""Columnar (NumPy) state engine: kernels, identity, and degradation.
+
+Three layers of defence:
+
+* kernel unit/property tests — the sortable-key map, the unpacked
+  eligibility mask, and the per-output argmin/argmax selections against
+  brute-force oracles, including equal-priority tie-breaking;
+* engine identity — randomized small configs (ports, VCs, CBR/VBR/BE
+  mix, seeds) stepped under both engines must produce identical
+  delivered-flit streams, stats, and telemetry samples, plus mid-run
+  flag flips and a checkpoint round-trip;
+* NumPy-free degradation — everything imports and runs without NumPy,
+  and ``columnar_state=True`` raises the typed error naming the extra.
+"""
+
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import columnar
+from repro.core.columnar import (
+    ColumnarUnavailableError,
+    FAST_EXTRA,
+    _sort_key_desc,
+)
+from repro.core.config import RouterConfig
+from repro.core.priority import BiasedPriority
+from repro.harness.kernel_bench import (
+    HIGH_VC_COUNT,
+    HIGH_VC_RATE_SET,
+    build_saturated_scenario,
+    run_columnar_identity_check,
+)
+from repro.harness.single_router import (
+    ExperimentSpec,
+    run_single_router_experiment,
+)
+from repro.network.connection import ConnectionManager
+from repro.network.interface import NetworkInterface
+from repro.network.network import Network
+from repro.network.topology import mesh
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.traffic.vbr import MpegProfile
+
+np = columnar.load_numpy()
+needs_numpy = pytest.mark.skipif(
+    np is None, reason="NumPy (the repro[fast] extra) not installed"
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestSortKeyDesc:
+    """The float -> uint64 descending-order map (NumPy-free)."""
+
+    @given(finite_floats, finite_floats)
+    def test_key_order_is_descending_float_order(self, a, b):
+        ka, kb = _sort_key_desc(a), _sort_key_desc(b)
+        if a > b:
+            assert ka < kb
+        elif a < b:
+            assert ka > kb
+        else:
+            assert ka == kb
+
+    def test_negative_zero_collapses(self):
+        assert _sort_key_desc(-0.0) == _sort_key_desc(0.0)
+
+    def test_keys_fit_in_uint64(self):
+        for value in (0.0, -0.0, 1e308, -1e308, 5e-324, -5e-324):
+            assert 0 <= _sort_key_desc(value) < 2**64
+
+
+def brute_force_per_output(bases, outs, mask, num_outputs):
+    """Ascending-index scan with strict-``>`` replacement per output."""
+    best = {}
+    for i, (base, out) in enumerate(zip(bases, outs)):
+        if out < 0 or not (mask >> i) & 1:
+            continue
+        if out not in best or base > bases[best[out]]:
+            best[out] = i
+    return best
+
+
+def make_state(bases, outs, num_outputs=4):
+    state = columnar.ColumnarState(
+        len(bases), priority_discipline=False, num_outputs=num_outputs
+    )
+    for i, (base, out) in enumerate(zip(bases, outs)):
+        state.set_terms(i, base, 1.0, 0, 0)
+        state.output_port[i] = out
+    state._groups_dirty = True
+    return state
+
+
+bank_cases = st.integers(1, 48).flatmap(
+    lambda width: st.tuples(
+        st.lists(
+            # A narrow value range on purpose: collisions force the
+            # lowest-index tie-break to actually matter.
+            st.sampled_from([0.0, -0.0, 0.5, 1.0, 1.5, -2.0]),
+            min_size=width,
+            max_size=width,
+        ),
+        st.lists(
+            st.integers(-1, 3), min_size=width, max_size=width
+        ),
+        st.integers(0, 2**width - 1),
+    )
+)
+
+
+@needs_numpy
+class TestSelectionKernels:
+    @given(bank_cases)
+    @settings(max_examples=60, deadline=None)
+    def test_static_per_output_matches_brute_force(self, case):
+        bases, outs, mask = case
+        state = make_state(bases, outs)
+        best = brute_force_per_output(bases, outs, mask, 4)
+        rows = state.select_static_per_output(mask, None).tolist()
+        expected = sorted(best.values(), key=lambda i: (-bases[i], i))
+        assert rows == expected
+
+    @given(bank_cases)
+    @settings(max_examples=60, deadline=None)
+    def test_dynamic_per_output_matches_brute_force(self, case):
+        bases, outs, mask = case
+        state = make_state(bases, outs)
+        best = brute_force_per_output(bases, outs, mask, 4)
+        priorities = state.priorities_full(0, 0, with_offset=False)
+        rows, prios, present = state.select_dynamic_per_output(
+            priorities, mask
+        )
+        for out in range(4):
+            if out in best:
+                assert bool(present[out]), out
+                assert int(rows[out]) == best[out]
+                assert float(prios[out]) == bases[best[out]]
+            else:
+                assert not bool(present[out]), out
+
+    @given(st.integers(1, 200).flatmap(
+        lambda w: st.tuples(st.just(w), st.integers(0, 2**w - 1))
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_indices_of_matches_set_bits(self, case):
+        width, mask = case
+        state = columnar.ColumnarState(width, False, num_outputs=1)
+        expected = [i for i in range(width) if (mask >> i) & 1]
+        assert state.indices_of(mask).tolist() == expected
+
+    def test_priority_recipes_are_bit_identical(self):
+        state = columnar.ColumnarState(3, False, num_outputs=1)
+        terms = [(0.75, 7.0, 1234567, 11), (1e6, 3.0, 2**63 + 9, 0),
+                 (-2.5, 1.0, 41, 199)]
+        for i, (base, div, key, created) in enumerate(terms):
+            state.set_terms(i, base, div, key, created)
+        idx = state.indices_of(0b111)
+        now = 240
+        aging = state.priorities(idx, now, 1, with_offset=False).tolist()
+        hashed = state.priorities(idx, now, 2, with_offset=False).tolist()
+        for i, (base, div, key, created) in enumerate(terms):
+            assert aging[i] == base + (now - created) / div
+            mixed = ((key % 2**64) * 31 + now) * 2654435761 & 0xFFFFFFFF
+            assert hashed[i] == base + mixed / 2**32
+        full = state.priorities_full(now, 1, with_offset=False)
+        assert full[idx].tolist() == aging
+
+
+SMALL_CONFIG = RouterConfig(
+    num_ports=4, vcs_per_port=16, enforce_round_budgets=False
+)
+TINY_CONFIG = RouterConfig(
+    num_ports=8, vcs_per_port=8, enforce_round_budgets=False
+)
+
+
+def run_spec(config, seed, columnar_state):
+    spec = ExperimentSpec(
+        target_load=0.7,
+        config=config,
+        warmup_cycles=400,
+        measure_cycles=1200,
+        seed=seed,
+        telemetry=True,
+        columnar_state=columnar_state,
+    )
+    result = run_single_router_experiment(spec)
+    hub = result.recorder.telemetry
+    telemetry = {name: hub.channel(name).samples() for name in hub.names()}
+    scalars = {
+        field: getattr(result, field)
+        for field in (
+            "offered_load", "connections", "utilisation",
+            "mean_delay_cycles", "mean_jitter_cycles",
+        )
+    }
+    return scalars, telemetry
+
+
+@needs_numpy
+class TestEngineIdentity:
+    def test_saturated_router_three_way_identity(self):
+        report = run_columnar_identity_check(800)
+        assert report["identical"], report
+
+    def test_high_vc_identity(self):
+        report = run_columnar_identity_check(
+            250, rate_set=HIGH_VC_RATE_SET, vcs_per_port=HIGH_VC_COUNT
+        )
+        assert report["identical"], report
+
+    @pytest.mark.parametrize("config", [SMALL_CONFIG, TINY_CONFIG])
+    @pytest.mark.parametrize("seed", [3, 19])
+    def test_random_small_configs_identical(self, config, seed):
+        """Same spec under both engines: stats and telemetry samples."""
+        scalar = run_spec(config, seed, columnar_state=False)
+        columnar_run = run_spec(config, seed, columnar_state=True)
+        assert scalar[0] == columnar_run[0]
+        assert scalar[1] == columnar_run[1]
+
+    def test_mid_run_flag_flips_splice_bit_exactly(self):
+        reference_delivered = []
+        sim, router = build_saturated_scenario(
+            True, delivered=reference_delivered
+        )
+        sim.run(1200)
+        reference_stats = dict(router.stats.scalars)
+
+        delivered = []
+        sim, router = build_saturated_scenario(
+            True, delivered=delivered, columnar_state=True
+        )
+        sim.run(400)
+        router.set_columnar_state(False)
+        sim.run(400)
+        router.set_columnar_state(True)
+        sim.run(400)
+        router.check_invariants()
+        assert delivered == reference_delivered
+        assert dict(router.stats.scalars) == reference_stats
+
+
+NODES = 4
+CBR_RATES = (10e6, 20e6, 40e6)
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["cbr", "vbr", "be", "run"]),
+        st.integers(0, NODES - 1),
+        st.integers(0, NODES - 1),
+        st.integers(1, 250),
+    ),
+    min_size=4,
+    max_size=20,
+)
+
+
+def run_network_ops(ops, columnar_state, enforce):
+    topo = mesh(2, 2)
+    config = RouterConfig(
+        num_ports=topo.num_ports,
+        vcs_per_port=8,
+        vc_buffer_flits=2,
+        enforce_round_budgets=enforce,
+        round_factor=4,
+    )
+    sim = Simulator()
+    rng = SeededRng(29, "columnar-prop")
+    network = Network(
+        topo, config, BiasedPriority(), sim, rng, link_latency=2,
+        columnar_state=columnar_state,
+    )
+    manager = ConnectionManager(network)
+    interfaces = [
+        NetworkInterface(network, manager, n, rng=rng.spawn(f"ni{n}"))
+        for n in range(NODES)
+    ]
+    for kind, src, dst, magnitude in ops:
+        destination = dst if dst != src else (src + 1) % NODES
+        if kind == "cbr":
+            interfaces[src].open_cbr(
+                destination, CBR_RATES[magnitude % len(CBR_RATES)]
+            )
+        elif kind == "vbr":
+            interfaces[src].open_vbr(
+                destination, MpegProfile(mean_rate_bps=15e6)
+            )
+        elif kind == "be":
+            interfaces[src].send_best_effort(destination)
+        else:
+            sim.run(magnitude)
+    sim.run(250)
+    for router in network.routers:
+        router.check_invariants()
+    fingerprint = {
+        "now": sim.now,
+        "scalars": [dict(r.stats.scalars) for r in network.routers],
+        "received": [
+            (ni.flits_received, ni.packets_received) for ni in interfaces
+        ],
+        "end_to_end": [
+            {
+                cid: (s.flits, s.delay.mean, s.delay.count, s.jitter.mean)
+                for cid, s in sorted(ni.end_to_end.items())
+            }
+            for ni in interfaces
+        ],
+    }
+    return fingerprint
+
+
+@needs_numpy
+class TestNetworkProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(operations, st.booleans())
+    def test_mixed_workload_engines_identical(self, ops, enforce):
+        scalar = run_network_ops(ops, columnar_state=False, enforce=enforce)
+        columnar_run = run_network_ops(
+            ops, columnar_state=True, enforce=enforce
+        )
+        assert scalar == columnar_run
+
+
+class TestNumpyFreeDegradation:
+    def test_typed_error_names_the_extra(self, monkeypatch):
+        monkeypatch.setattr(columnar, "_np", None)
+        monkeypatch.setattr(columnar, "_np_checked", True)
+        with pytest.raises(ColumnarUnavailableError) as excinfo:
+            columnar.ColumnarState(8, False, num_outputs=4)
+        assert FAST_EXTRA in str(excinfo.value)
+        assert not columnar.numpy_available()
+
+    def test_scenario_construction_raises_typed_error(self, monkeypatch):
+        monkeypatch.setattr(columnar, "_np", None)
+        monkeypatch.setattr(columnar, "_np_checked", True)
+        with pytest.raises(ColumnarUnavailableError):
+            build_saturated_scenario(True, columnar_state=True)
+
+    def test_everything_else_runs_without_numpy(self, tmp_path):
+        """Subprocess with NumPy stubbed to an ImportError: the scalar
+        engines run a workload end to end; columnar raises the typed
+        error naming the extra."""
+        (tmp_path / "numpy.py").write_text(
+            "raise ImportError('numpy stubbed out for this test')\n"
+        )
+        script = textwrap.dedent(
+            """
+            from repro.core import columnar
+            assert not columnar.numpy_available()
+
+            from repro.harness.kernel_bench import build_saturated_scenario
+            delivered = []
+            sim, router = build_saturated_scenario(True, delivered=delivered)
+            sim.run(300)
+            router.check_invariants()
+            assert delivered, "scalar engine delivered no flits"
+
+            try:
+                build_saturated_scenario(True, columnar_state=True)
+            except columnar.ColumnarUnavailableError as exc:
+                assert "repro[fast]" in str(exc)
+            else:
+                raise AssertionError("ColumnarUnavailableError not raised")
+            print("NO-NUMPY-OK")
+            """
+        )
+        import os
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(tmp_path), os.path.abspath(src)]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "NO-NUMPY-OK" in proc.stdout

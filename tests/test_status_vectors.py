@@ -67,6 +67,22 @@ class TestBitVector:
         assert v.count() == len(indices)
         assert v.any() == bool(indices)
 
+    @given(
+        st.integers(1, 300).flatmap(
+            lambda width: st.tuples(
+                st.just(width), st.sets(st.integers(0, width - 1))
+            )
+        )
+    )
+    def test_indices_match_naive_scan(self, width_and_indices):
+        # The lowest-set-bit walk (bits & -bits) must agree with the
+        # naive test-every-position scan on arbitrary widths, including
+        # widths that are not multiples of the word size.
+        width, indices = width_and_indices
+        v = vector_from(indices, width=width)
+        naive = [i for i in range(v.width) if v.as_int() >> i & 1]
+        assert list(v.indices()) == naive
+
     @given(index_sets, index_sets)
     def test_and_is_intersection(self, a, b):
         result = vector_from(a) & vector_from(b)
