@@ -103,6 +103,7 @@ from repro.harness.kernel_bench import (  # noqa: E402
     run_trace_validation,
 )
 from repro.ckpt.verify import (  # noqa: E402
+    run_ckpt_arena_identity_check,
     run_ckpt_columnar_identity_check,
     run_ckpt_network_identity_check,
     run_ckpt_router_identity_check,
@@ -114,7 +115,9 @@ from repro.core.columnar import (  # noqa: E402
 from repro.obs import build_manifest, validate_chrome_trace  # noqa: E402
 from repro.harness.churn import ChurnSpec, run_churn_experiment  # noqa: E402
 from repro.harness.network_experiment import (  # noqa: E402
+    NetworkExperiment,
     NetworkExperimentSpec,
+    attach_delivery_log,
     run_network_experiment,
 )
 
@@ -441,6 +444,372 @@ def run_columnar_gates(args, failures) -> dict:
     return columnar_report
 
 
+def arena_network_identity(
+    topology: str,
+    routing: str,
+    seed: int = 11,
+    warmup: int = 1000,
+    measure: int = 4000,
+    best_effort: float = 0.5,
+) -> dict:
+    """Delivered-flit-stream + stats identity: arena vs object graph.
+
+    Stronger than the summary-only multihop checks: every delivered flit
+    is fingerprinted ``(cycle, node, port, connection, sequence,
+    created)`` in delivery order, so a single reordered or retimed flit
+    fails the gate even if the aggregate statistics happen to agree.
+    """
+    logs = {}
+    summaries = {}
+    for arena in (False, True):
+        spec = NetworkExperimentSpec(
+            target_link_load=0.3,
+            best_effort_rate=best_effort,
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            seed=seed,
+            topology=topology,
+            routing=routing,
+            network_arena=arena,
+        )
+        experiment = NetworkExperiment(spec)
+        logs[arena] = attach_delivery_log(experiment)
+        summaries[arena] = _network_summary(experiment.result())
+    flits_identical = logs[False] == logs[True]
+    stats_identical = summaries[False] == summaries[True]
+    return {
+        "identical": flits_identical and stats_identical,
+        "flits_identical": flits_identical,
+        "stats_identical": stats_identical,
+        "flits_delivered": len(logs[False]),
+        "topology": topology,
+        "routing": routing,
+        "seed": seed,
+        "baseline": summaries[False],
+        "arena": summaries[True],
+    }
+
+
+def measure_network_cycles_per_second(
+    spec: NetworkExperimentSpec, cycles: int, repeats: int
+) -> dict:
+    """Best-of-repeats steady-state simulation rate of one network point.
+
+    The cluster is built and warmed once; each repeat times a fresh
+    window of ``cycles`` on the same live simulation (steady-state CBR,
+    so cycles/sec is a rate and windows are comparable).
+    """
+    import gc
+    import time
+
+    experiment = NetworkExperiment(spec)
+    experiment.run_to(min(spec.warmup_cycles, experiment.total_cycles))
+    best = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            start = experiment.sim.now
+            begin = time.perf_counter()
+            experiment.sim.run(cycles)
+            elapsed = time.perf_counter() - begin
+            best = max(best, (experiment.sim.now - start) / elapsed)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "cycles_per_sec": best,
+        "cycles": cycles,
+        "repeats": repeats,
+        "num_nodes": experiment.topology.num_nodes,
+        "streams": len(experiment.streams),
+    }
+
+
+def _topo_point_spec(
+    topology: str,
+    arena: bool,
+    load: float = 0.002,
+    seed: int = 5,
+    warmup: int = 500,
+) -> NetworkExperimentSpec:
+    return NetworkExperimentSpec(
+        target_link_load=load,
+        warmup_cycles=warmup,
+        measure_cycles=warmup,
+        seed=seed,
+        topology=topology,
+        routing="dimension_order",
+        network_arena=arena,
+    )
+
+
+def arena_unavailable_check() -> dict:
+    """Without NumPy the arena must raise the typed error at build time."""
+    try:
+        NetworkExperiment(
+            NetworkExperimentSpec(
+                target_link_load=0.2,
+                topology="mesh3x3",
+                warmup_cycles=50,
+                measure_cycles=50,
+                network_arena=True,
+            )
+        )
+    except ColumnarUnavailableError as exc:
+        return {"typed_error_ok": True, "message": str(exc)}
+    return {"typed_error_ok": False, "message": "no error raised"}
+
+
+def run_topo_gates(args, failures) -> dict:
+    """Topology-scaling gates: arena identity + throughput (BENCH_topo.json).
+
+    Self-contained so ``--topo-only`` (the CI topo-smoke job, run under
+    both NumPy and NumPy-free environments) can execute just this
+    section.  Gates:
+
+    * delivered-flit-stream identity, arena on vs off, on the 12-node
+      irregular network (adaptive routing) and an 8x8 mesh (dimension
+      order + best effort);
+    * the arena checkpoint round-trip with mid-run flag flips;
+    * arena >= ``--min-topo-speedup`` at a 16x16 torus point;
+    * a cycles/sec-vs-node-count scaling curve (mesh and torus at 64 /
+      256 / 1024 nodes) with the 32x32 saturation point recorded;
+    * disabled-recorder overhead < ``--max-obs-overhead`` %% on an
+      arena run (the telemetry early-out satellite).
+    """
+    available = numpy_available()
+    identity = None
+    arena_ckpt = None
+    throughput = None
+    scaling = None
+    obs = None
+    unavailable = None
+    gate_passed = None
+    obs_ok = None
+    if not available:
+        print("== topo: NumPy not installed ==")
+        unavailable = arena_unavailable_check()
+        print(
+            f"   typed_error_ok={unavailable['typed_error_ok']} "
+            "(identity and speedup gates skipped)"
+        )
+        if not unavailable["typed_error_ok"]:
+            failures.append(
+                "network_arena=True without NumPy did not raise "
+                "ColumnarUnavailableError"
+            )
+    else:
+        identity = {}
+        for label, topology, routing in (
+            ("irregular_12", "irregular", "adaptive"),
+            ("mesh8x8", "mesh8x8", "dimension_order"),
+        ):
+            print(f"== topo identity: {label} arena vs object graph ==")
+            check = arena_network_identity(
+                topology, routing, measure=args.topo_identity_cycles
+            )
+            identity[label] = check
+            print(
+                f"   flits={check['flits_delivered']} "
+                f"streams={check['baseline']['streams']} "
+                f"identical={check['identical']}"
+            )
+            if not check["identical"]:
+                failures.append(f"arena identity ({label})")
+
+        print("== topo identity: arena checkpoint round-trip + flag flips ==")
+        arena_ckpt = run_ckpt_arena_identity_check(
+            measure=args.topo_identity_cycles
+        )
+        print(
+            f"   streams={arena_ckpt['streams']} "
+            f"resumed={arena_ckpt['arena_resumed_identical']} "
+            f"flip_off={arena_ckpt['flip_off_identical']} "
+            f"flip_on={arena_ckpt['flip_on_identical']} "
+            f"identical={arena_ckpt['identical']}"
+        )
+        if not arena_ckpt["identical"]:
+            failures.append("arena checkpoint identity")
+
+        # The gate point is the arena's home turf: sparse steady traffic
+        # crossing a 256-node fabric, where the event-driven graph still
+        # dispatches every router every cycle but the wake mask steps
+        # only the handful on active paths.  (At saturation the busy
+        # routers' own work dominates both engines and the arena
+        # converges to ~1.2x — the scaling section records that too.)
+        print("== topo throughput: 16x16 torus (256 nodes), sparse ==")
+        baseline = measure_network_cycles_per_second(
+            _topo_point_spec("torus16x16", False, load=0.001),
+            args.topo_bench_cycles,
+            args.repeats,
+        )
+        arena = measure_network_cycles_per_second(
+            _topo_point_spec("torus16x16", True, load=0.001),
+            args.topo_bench_cycles,
+            args.repeats,
+        )
+        speedup = arena["cycles_per_sec"] / baseline["cycles_per_sec"]
+        gate_passed = speedup >= args.min_topo_speedup
+        print(
+            f"   baseline={baseline['cycles_per_sec']:,.0f} cyc/s  "
+            f"arena={arena['cycles_per_sec']:,.0f} cyc/s  "
+            f"speedup={speedup:.2f}x"
+        )
+        if not gate_passed:
+            failures.append(
+                f"arena speedup {speedup:.2f}x below threshold "
+                f"{args.min_topo_speedup}x at torus16x16"
+            )
+        throughput = {
+            "scenario": "torus16x16_dor_sparse",
+            "target_link_load": 0.001,
+            "baseline": baseline,
+            "arena": arena,
+            "speedup": speedup,
+        }
+
+        print("== topo scaling: cycles/sec vs node count (arena) ==")
+        scaling = {"points": []}
+        for kind in ("mesh", "torus"):
+            for side in (8, 16, 32):
+                name = f"{kind}{side}x{side}"
+                point = measure_network_cycles_per_second(
+                    _topo_point_spec(name, True),
+                    args.topo_scaling_cycles,
+                    max(2, args.repeats - 2),
+                )
+                entry = {
+                    "topology": name,
+                    "num_nodes": side * side,
+                    "streams": point["streams"],
+                    "cycles_per_sec": point["cycles_per_sec"],
+                }
+                print(
+                    f"   {name:<10} nodes={entry['num_nodes']:<5} "
+                    f"streams={entry['streams']:<5} "
+                    f"{entry['cycles_per_sec']:,.0f} cyc/s"
+                )
+                scaling["points"].append(entry)
+        # The 1024-node saturation point: load the 32x32 torus until
+        # admission saturates and record what the cluster sustains.
+        print("== topo scaling: 32x32 torus saturation point ==")
+        sat_spec = NetworkExperimentSpec(
+            target_link_load=0.9,
+            warmup_cycles=300,
+            measure_cycles=args.topo_scaling_cycles,
+            seed=5,
+            topology="torus32x32",
+            routing="dimension_order",
+            network_arena=True,
+        )
+        sat_experiment = NetworkExperiment(sat_spec)
+        sat_rate = measure_network_cycles_per_second(
+            sat_spec, args.topo_scaling_cycles, 2
+        )
+        sat_result = sat_experiment.result()
+        scaling["saturation_32x32"] = {
+            "topology": "torus32x32",
+            "num_nodes": 1024,
+            "streams": sat_result.streams,
+            "attempts": sat_result.attempts,
+            "acceptance_ratio": sat_result.acceptance_ratio,
+            "mean_hops": sat_result.mean_hops,
+            "mean_delay_cycles": sat_result.delay_cycles.mean,
+            "mean_jitter_cycles": sat_result.jitter_cycles.mean,
+            "cycles_per_sec": sat_rate["cycles_per_sec"],
+        }
+        print(
+            f"   streams={sat_result.streams} "
+            f"acceptance={sat_result.acceptance_ratio:.2f} "
+            f"delay={sat_result.delay_cycles.mean:.1f}cyc "
+            f"{sat_rate['cycles_per_sec']:,.0f} cyc/s"
+        )
+
+        print("== topo observability: disabled recorder on an arena run ==")
+        plain_spec = _topo_point_spec("mesh8x8", True, load=0.3)
+        disabled_spec = NetworkExperimentSpec(
+            target_link_load=plain_spec.target_link_load,
+            warmup_cycles=plain_spec.warmup_cycles,
+            measure_cycles=plain_spec.measure_cycles,
+            seed=plain_spec.seed,
+            topology=plain_spec.topology,
+            routing=plain_spec.routing,
+            network_arena=True,
+            telemetry=True,
+        )
+        import gc
+        import time
+
+        def timed(spec, disable_recorder):
+            experiment = NetworkExperiment(spec)
+            if disable_recorder:
+                experiment.recorder.set_enabled(False)
+            experiment.run_to(spec.warmup_cycles)
+            best = 0.0
+            gc.disable()
+            try:
+                for _ in range(max(args.repeats, 9)):
+                    start = experiment.sim.now
+                    begin = time.perf_counter()
+                    experiment.sim.run(args.topo_bench_cycles)
+                    elapsed = time.perf_counter() - begin
+                    best = max(best, (experiment.sim.now - start) / elapsed)
+            finally:
+                gc.enable()
+            return best
+
+        base_rate = timed(plain_spec, False)
+        disabled_rate = timed(disabled_spec, True)
+        overhead_pct = (base_rate - disabled_rate) / base_rate * 100.0
+        obs_ok = overhead_pct <= args.max_obs_overhead
+        obs = {
+            "scenario": "mesh8x8_arena",
+            "baseline_cycles_per_sec": base_rate,
+            "disabled_cycles_per_sec": disabled_rate,
+            "overhead_pct": overhead_pct,
+            "max_obs_overhead_pct": args.max_obs_overhead,
+            "passed": obs_ok,
+        }
+        print(
+            f"   baseline={base_rate:,.0f} cyc/s  "
+            f"disabled={disabled_rate:,.0f} cyc/s  "
+            f"overhead={overhead_pct:+.2f}%"
+        )
+        if not obs_ok:
+            failures.append(
+                f"disabled-recorder overhead {overhead_pct:.2f}% on the "
+                f"arena run above {args.max_obs_overhead}%"
+            )
+
+    topo_report = {
+        "schema": "bench-topo/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "manifest": build_manifest(command="scripts/perf_gate.py"),
+        "numpy": available,
+        "unavailable": unavailable,
+        "identity": {
+            "networks": identity,
+            "checkpoint": arena_ckpt,
+        },
+        "gate": {
+            "scenario": "torus16x16_dor_sparse",
+            "min_speedup": args.min_topo_speedup,
+            "speedup": (
+                round(throughput["speedup"], 3) if throughput else None
+            ),
+            "passed": gate_passed,
+        },
+        "throughput": throughput,
+        "scaling": scaling,
+        "observability": obs,
+    }
+    args.topo_output.write_text(json.dumps(topo_report, indent=2) + "\n")
+    print(f"wrote {args.topo_output}")
+    return topo_report
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -543,6 +912,34 @@ def main(argv=None) -> int:
              "typed-error check when NumPy is absent); used by the CI "
              "columnar-smoke job's NumPy / no-NumPy matrix",
     )
+    parser.add_argument(
+        "--topo-identity-cycles", type=int, default=4_000,
+        help="measure cycles for the arena identity runs (default 4000)",
+    )
+    parser.add_argument(
+        "--topo-bench-cycles", type=int, default=2_000,
+        help="simulated cycles per arena timing window (default 2000)",
+    )
+    parser.add_argument(
+        "--min-topo-speedup", type=float, default=3.0,
+        help="gate threshold on the 16x16 torus point (default 3.0)",
+    )
+    parser.add_argument(
+        "--topo-scaling-cycles", type=int, default=1_000,
+        help="cycles per point of the node-count scaling curve "
+             "(default 1000; the 32x32 points step 1024 routers each)",
+    )
+    parser.add_argument(
+        "--topo-output", type=Path,
+        default=REPO_ROOT / "BENCH_topo.json",
+        help="where to write the topology-scaling JSON report",
+    )
+    parser.add_argument(
+        "--topo-only", action="store_true",
+        help="run only the topology-scaling gates (arena identity + "
+             "throughput + scaling curve, or the typed-error check when "
+             "NumPy is absent); used by the CI topo-smoke job",
+    )
     args = parser.parse_args(argv)
     if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
         parser.error("--cycles, --identity-cycles and --repeats must be positive")
@@ -562,6 +959,21 @@ def main(argv=None) -> int:
             else "typed-error path verified (no NumPy)"
         )
         print(f"PASS: columnar {note}")
+        return 0
+
+    if args.topo_only:
+        topo_report = run_topo_gates(args, failures)
+        if failures:
+            print("FAIL: " + "; ".join(failures))
+            return 1
+        gate = topo_report["gate"]
+        note = (
+            f"identity holds, arena {gate['speedup']:.2f}x >= "
+            f"{gate['min_speedup']}x at torus16x16"
+            if gate["speedup"] is not None
+            else "typed-error path verified (no NumPy)"
+        )
+        print(f"PASS: topo {note}")
         return 0
 
     print("== identity: 8-stream single router ==")
@@ -771,6 +1183,7 @@ def main(argv=None) -> int:
             failures.append("checkpoint identity (multihop)")
 
     columnar_report = run_columnar_gates(args, failures)
+    topo_report = run_topo_gates(args, failures)
 
     ckpt_report = {
         "schema": "bench-ckpt/1",
@@ -850,11 +1263,18 @@ def main(argv=None) -> int:
         if columnar_speedup is not None
         else "columnar skipped (no NumPy)"
     )
+    topo_speedup = topo_report["gate"]["speedup"]
+    topo_note = (
+        f"arena {topo_speedup:.2f}x >= {args.min_topo_speedup}x"
+        if topo_speedup is not None
+        else "arena skipped (no NumPy)"
+    )
     print(
-        f"PASS: identity holds (kernel, scheduler, checkpoint, columnar), "
+        f"PASS: identity holds (kernel, scheduler, checkpoint, columnar, "
+        f"arena), "
         f"kernel {gate_speedup:.2f}x >= {args.min_speedup}x, "
         f"scheduler {sched_speedup:.2f}x >= {args.min_sched_speedup}x, "
-        f"{columnar_note}"
+        f"{columnar_note}, {topo_note}"
     )
     return 0
 

@@ -249,3 +249,79 @@ def run_network_experiment_straight(
     """One uninterrupted reference run (kept separate for clarity)."""
     experiment = NetworkExperiment(spec)
     return experiment.result()
+
+
+def run_ckpt_arena_identity_check(
+    warmup: int = 1000,
+    measure: int = 4000,
+    topology: str = "mesh8x8",
+    routing: str = "dimension_order",
+    seed: int = 11,
+    checkpoint_dir: Optional[str] = None,
+) -> dict:
+    """Network arena through a checkpoint, including mid-run flag flips.
+
+    Same four-leg pattern as the columnar check, at the network level.
+    The reference is the event-driven (arena-off) straight run; all four
+    arena legs must reproduce its summary exactly:
+
+    ``arena_straight``
+        ``network_arena=True`` end to end.
+    ``arena_resumed``
+        Arena run checkpointed at the midpoint (with link rings holding
+        in-flight flits), reloaded from disk, resumed with the arena on.
+        NumPy chunks are never pickled — the pool reallocates lazily at
+        its persisted layout — so this proves the rings plus object
+        graph carry the complete link plane.
+    ``flip_off`` / ``flip_on``
+        The arena checkpoint resumed with the arena disabled (rings
+        migrate back to heap events), and an event-driven checkpoint
+        resumed with the arena enabled mid-run.  Both splices must be
+        bit-exact.
+    """
+    def make_spec(arena: bool) -> NetworkExperimentSpec:
+        return NetworkExperimentSpec(
+            target_link_load=0.3,
+            best_effort_rate=0.5,
+            warmup_cycles=warmup,
+            measure_cycles=measure,
+            seed=seed,
+            topology=topology,
+            routing=routing,
+            network_arena=arena,
+        )
+
+    reference = _network_summary(run_network_experiment_straight(make_spec(False)))
+
+    def _checkpointed(arena: bool, flip: Optional[bool]) -> dict:
+        spec = make_spec(arena)
+        experiment = NetworkExperiment(spec)
+        experiment.run_to((experiment.total_cycles + experiment.now) // 2)
+        with tempfile.TemporaryDirectory(dir=checkpoint_dir) as tmp:
+            path = os.path.join(tmp, "arena.ckpt")
+            experiment.checkpoint(path)
+            del experiment
+            resumed = NetworkExperiment.resume(path, expect_spec=spec)
+        if flip is not None:
+            resumed.network.set_network_arena(flip)
+        return _network_summary(resumed.result())
+
+    legs = {
+        "arena_straight": _network_summary(
+            run_network_experiment_straight(make_spec(True))
+        ),
+        "arena_resumed": _checkpointed(arena=True, flip=None),
+        "flip_off": _checkpointed(arena=True, flip=False),
+        "flip_on": _checkpointed(arena=False, flip=True),
+    }
+    comparisons = {name: leg == reference for name, leg in legs.items()}
+    return {
+        "identical": all(comparisons.values()),
+        **{f"{name}_identical": ok for name, ok in comparisons.items()},
+        "topology": topology,
+        "routing": routing,
+        "warmup_cycles": warmup,
+        "measure_cycles": measure,
+        "streams": reference["streams"],
+        "delay_count": reference["delay_count"],
+    }

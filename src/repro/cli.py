@@ -60,6 +60,7 @@ from .obs.slo import SloBudget
 _SPEC_FIELDS = {f.name for f in dataclasses.fields(ExperimentSpec)}
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(RouterConfig)}
 _CHURN_FIELDS = {f.name for f in dataclasses.fields(ChurnSpec)}
+_NETWORK_FIELDS = {f.name for f in dataclasses.fields(NetworkExperimentSpec)}
 
 
 def _add_spec_arguments(
@@ -87,6 +88,36 @@ def _add_spec_arguments(
     parser.add_argument(
         "--columnar", action="store_true",
         help="columnar (NumPy) scheduling state; needs the repro[fast] extra",
+    )
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    """Cluster-shape options shared by ``network`` and ``sweep --network``."""
+    parser.add_argument(
+        "--link-load", type=float, default=0.4,
+        help="target mean router-to-router link utilisation",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=12,
+        help="node count (irregular topology only)",
+    )
+    parser.add_argument(
+        "--best-effort", type=float, default=0.0,
+        help="best-effort packets per node per 100 cycles",
+    )
+    parser.add_argument(
+        "--topology", default="irregular", metavar="NAME",
+        help="irregular (default), mesh<W>x<H> or torus<W>x<H>",
+    )
+    parser.add_argument(
+        "--routing", choices=("adaptive", "dimension_order"),
+        default="adaptive",
+        help="probe + best-effort routing (dimension_order needs a grid)",
+    )
+    parser.add_argument(
+        "--arena", action="store_true",
+        help="network-wide columnar arena: ring-buffered links and "
+             "wake-masked router stepping; needs the repro[fast] extra",
     )
 
 
@@ -290,12 +321,87 @@ def _parse_axis(text: str) -> SweepAxis:
     return SweepAxis(name, values, target)
 
 
+def _parse_network_axis(text: str) -> SweepAxis:
+    """Parse ``name=v1,v2,...`` against :class:`NetworkExperimentSpec`."""
+    name, sep, values_text = text.partition("=")
+    values = tuple(
+        _parse_axis_value(v) for v in values_text.split(",") if v != ""
+    )
+    if not sep or not values:
+        raise argparse.ArgumentTypeError(
+            f"axis must look like name=v1,v2,... (got {text!r})"
+        )
+    if name not in _NETWORK_FIELDS:
+        raise argparse.ArgumentTypeError(
+            f"unknown axis {name!r}: not a NetworkExperimentSpec field"
+        )
+    return SweepAxis(name, values, "spec")
+
+
+def _network_spec_from_args(
+    args: argparse.Namespace, **overrides: Any
+) -> NetworkExperimentSpec:
+    kwargs = dict(
+        target_link_load=args.link_load,
+        num_nodes=args.nodes,
+        best_effort_rate=args.best_effort,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.cycles,
+        seed=args.seed,
+        columnar_state=getattr(args, "columnar", False),
+        network_arena=args.arena,
+        topology=args.topology,
+        routing=args.routing,
+    )
+    kwargs.update(overrides)
+    return NetworkExperimentSpec(**kwargs)
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a design-space sweep and print its metric table."""
-    sweep = run_sweep(_spec_from_args(args), args.axis, jobs=args.jobs)
-    metrics = args.metrics.split(",")
+    """Run a design-space sweep and print its metric table.
+
+    ``--network`` sweeps :class:`NetworkExperimentSpec` axes (topology,
+    routing, target_link_load, ...) over the multi-router cluster
+    instead of the single-router grid; points are checkpoint-resumable
+    with ``--checkpoint-dir``.
+    """
+    parse_axis = _parse_network_axis if args.network else _parse_axis
+    try:
+        axes = [parse_axis(text) for text in args.axis]
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.network:
+        checkpointing = None
+        if args.checkpoint_dir is not None:
+            checkpointing = Checkpointing(
+                directory=args.checkpoint_dir,
+                every=args.checkpoint_every,
+                resume=True,
+            )
+        # A swept field overrides every point, so seed the base spec
+        # from the axis's first value — otherwise e.g. a topology sweep
+        # under dimension_order routing would fail base-spec validation
+        # against the irregular default.
+        base_overrides = {
+            axis.name: axis.values[0]
+            for axis in axes
+            if axis.name in ("topology", "routing")
+        }
+        sweep = run_sweep(
+            _network_spec_from_args(args, **base_overrides),
+            axes,
+            jobs=args.jobs,
+            checkpointing=checkpointing,
+            _runner=run_network_experiment,
+        )
+        default_metrics = "mean_delay_cycles,mean_jitter_cycles,acceptance_ratio"
+    else:
+        sweep = run_sweep(_spec_from_args(args), axes, jobs=args.jobs)
+        default_metrics = "mean_delay_us,mean_jitter_cycles,utilisation"
+    metrics = (args.metrics or default_metrics).split(",")
     rows = sweep.rows(metrics)
-    header = [axis.name for axis in args.axis] + metrics
+    header = [axis.name for axis in axes] + metrics
     if args.json:
         print(json.dumps({"columns": header, "rows": rows}, indent=2))
         return 0
@@ -328,14 +434,7 @@ def cmd_saturation(args: argparse.Namespace) -> int:
 
 def cmd_network(args: argparse.Namespace) -> int:
     """Run the network-level (multi-router) experiment."""
-    spec = NetworkExperimentSpec(
-        target_link_load=args.link_load,
-        num_nodes=args.nodes,
-        best_effort_rate=args.best_effort,
-        warmup_cycles=args.warmup,
-        measure_cycles=args.cycles,
-        seed=args.seed,
-    )
+    spec = _network_spec_from_args(args)
     result = run_network_experiment(spec)
     payload = {
         "streams": result.streams,
@@ -435,6 +534,7 @@ def cmd_churn(args: argparse.Namespace) -> int:
         slos=tuple(args.slo),
         exact_setup_stats=args.exact_setup_stats,
         columnar_state=args.columnar,
+        network_arena=args.arena,
     )
     checkpointing = None
     if args.checkpoint_dir is not None:
@@ -766,18 +866,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_spec_arguments(sweep_parser)
     sweep_parser.add_argument(
-        "--axis", action="append", required=True, type=_parse_axis,
+        "--axis", action="append", required=True,
         metavar="NAME=V1,V2,...",
         help="swept parameter (repeatable); ExperimentSpec or RouterConfig "
-             "field name followed by comma-separated values",
+             "field name followed by comma-separated values "
+             "(NetworkExperimentSpec fields with --network)",
     )
     sweep_parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes for sweep points"
     )
     sweep_parser.add_argument(
-        "--metrics",
-        default="mean_delay_us,mean_jitter_cycles,utilisation",
-        help="comma-separated ExperimentResult attributes to tabulate",
+        "--metrics", default=None,
+        help="comma-separated result attributes to tabulate (default: "
+             "mean_delay_us,mean_jitter_cycles,utilisation; with --network: "
+             "mean_delay_cycles,mean_jitter_cycles,acceptance_ratio)",
+    )
+    sweep_parser.add_argument(
+        "--network", action="store_true",
+        help="sweep the multi-router cluster (NetworkExperimentSpec axes: "
+             "topology=mesh8x8,torus16x16,..., routing, target_link_load, ...)",
+    )
+    _add_network_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="with --network: periodic per-point checkpoints under DIR; "
+             "rerunning the sweep resumes from them",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-every", type=int, default=10000, metavar="CYCLES",
     )
     sweep_parser.add_argument("--json", action="store_true", help="JSON output")
     sweep_parser.set_defaults(func=cmd_sweep)
@@ -808,13 +924,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     network_parser = sub.add_parser(
         "network", help="multi-router cluster experiment"
     )
-    network_parser.add_argument("--link-load", type=float, default=0.4)
-    network_parser.add_argument("--nodes", type=int, default=12)
-    network_parser.add_argument("--best-effort", type=float, default=0.0,
-                                help="best-effort packets per node per 100 cycles")
+    _add_network_arguments(network_parser)
     network_parser.add_argument("--warmup", type=int, default=5000)
     network_parser.add_argument("--cycles", type=int, default=20000)
     network_parser.add_argument("--seed", type=int, default=1)
+    network_parser.add_argument(
+        "--columnar", action="store_true",
+        help="columnar (NumPy) scheduling state; needs the repro[fast] extra",
+    )
     network_parser.add_argument("--json", action="store_true")
     network_parser.set_defaults(func=cmd_network)
 
@@ -893,6 +1010,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     churn_parser.add_argument(
         "--columnar", action="store_true",
         help="columnar (NumPy) scheduling state; needs the repro[fast] extra",
+    )
+    churn_parser.add_argument(
+        "--arena", action="store_true",
+        help="network-wide columnar arena: ring-buffered links and "
+             "wake-masked router stepping; needs the repro[fast] extra",
     )
     churn_parser.add_argument("--json", action="store_true", help="JSON output")
     churn_parser.set_defaults(func=cmd_churn)

@@ -1,0 +1,240 @@
+"""Network-wide columnar arena: batched multi-router stepping.
+
+At 256+ routers the network layer, not the scheduler, is the hot path:
+every flit crossing a link costs two heap events (arrive + credit) with
+fresh ``Event`` objects, and the kernel polls every router's activity
+predicate every cycle even when most of the grid is idle.  The arena
+replaces both mechanisms behind the established identity-oracle
+playbook (DESIGN.md §7f):
+
+Ring-buffer link plane
+    ``_LinkOutput``/``_CreditReturn`` stop scheduling per-flit events
+    and append ``(kind, node, port, vc[, flit])`` records to a ring
+    keyed by due cycle.  The arena drains the current cycle's ring in
+    one sweep at the start of its tick — credits via
+    ``LinkFlowControl.replenish``, arrivals via ``Network._arrive`` —
+    in append order, which reproduces the event heap's (time, seq)
+    order exactly (no ``schedule`` call in the tree passes a priority,
+    and emission order *is* push order).
+
+Per-router wake mask
+    Every router ticker is suspended
+    (:meth:`repro.sim.engine.Simulator.suspend_tickers`); the arena
+    keeps a sorted awake list and steps only those routers, in router-id
+    order (the original ticker order).  A sleeping router costs zero
+    Python dispatch — not even a predicate poll.  Waking is push, not
+    poll: :class:`~repro.core.status_vectors.ActivitySet.on_wake` fires
+    on the idle→busy transition and enqueues the router; its skipped
+    idle span is replayed through ``account_idle_cycles`` at wake (the
+    hook is span-pure, so deferred replay is bit-identical).
+
+Pooled columnar plane
+    When the columnar engine is on, every router's per-link
+    :class:`~repro.core.columnar.ColumnarState` is re-homed into one
+    :class:`~repro.core.columnar.ColumnarPool` — contiguous
+    network-global arrays with a router-id axis — so round folds and
+    priority updates run over shared storage and the whole network's
+    columns live in a handful of allocations.
+
+The object graph stays authoritative throughout: the arena can be
+flipped on or off mid-run (rings migrate back to heap events on
+disable), checkpoints pickle the rings (in-flight flits are real state)
+but never the NumPy chunks, and the perf gate proves bit-identical
+delivered-flit streams and stats against the event-driven baseline.
+
+The arena requires NumPy (the pooled plane is its point); constructing
+one without it raises the typed
+:class:`~repro.core.columnar.ColumnarUnavailableError`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from .columnar import ColumnarPool, ColumnarState, require_numpy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..network.network import Network
+
+#: Ring record kinds (first tuple element).
+_CREDIT = 0
+_ARRIVE = 1
+
+
+class _WakeHook:
+    """Per-router ``ActivitySet.on_wake`` callback (picklable)."""
+
+    __slots__ = ("arena", "node")
+
+    def __init__(self, arena: "NetworkArena", node: int) -> None:
+        self.arena = arena
+        self.node = node
+
+    def __call__(self) -> None:
+        self.arena._woken.append(self.node)
+
+
+class NetworkArena:
+    """Batched stepping engine for one :class:`Network`.
+
+    Construct via :meth:`Network.set_network_arena`, which owns the
+    ticker suspension handshake with the simulator.
+    """
+
+    def __init__(self, network: "Network") -> None:
+        require_numpy()
+        self.network = network
+        # Link plane: due cycle -> mixed list of credit/arrive records,
+        # drained in append order.  Authoritative state (in-flight
+        # flits live here), so it is pickled as-is.
+        self._rings: Dict[int, list] = {}
+        # Wake mask: sorted ids of routers being stepped, their set for
+        # O(1) membership, ids woken since the last merge, and the cycle
+        # each sleeping router stopped being stepped (for exact idle
+        # accounting replay at wake).
+        num_nodes = network.topology.num_nodes
+        self._awake: List[int] = list(range(num_nodes))
+        self._awake_set = set(self._awake)
+        self._woken: List[int] = []
+        self._asleep_since: Dict[int, int] = {}
+        # Pooled columnar plane (shared by every scheduler bank).
+        self.pool = ColumnarPool()
+
+    # ----- install / uninstall --------------------------------------------
+
+    def install(self) -> None:
+        """Attach wake hooks and re-home columnar banks into the pool."""
+        config = self.network.config
+        requirements = ColumnarState.pool_requirements(
+            config.vcs_per_port, config.num_ports
+        )
+        for node, router in enumerate(self.network.routers):
+            router.activity.on_wake = _WakeHook(self, node)
+            for port, scheduler in enumerate(router.link_schedulers):
+                self.pool.reserve(requirements)
+                scheduler.adopt_columnar_pool(self.pool, (node, port))
+
+    def uninstall(self) -> None:
+        """Detach wake hooks and migrate pending rings to heap events.
+
+        Ring records are rescheduled at their due cycle in ring order;
+        they land behind any events already pending for that cycle,
+        which matches the baseline (those events were pushed earlier and
+        hold smaller sequence numbers).  Bank pooling is left in place —
+        pool views are plain arrays and a later re-enable reuses the
+        same rows.
+        """
+        network = self.network
+        for router in network.routers:
+            router.activity.on_wake = None
+        sim = network.sim
+        for due in sorted(self._rings):
+            for record in self._rings[due]:
+                if record[0] == _ARRIVE:
+                    _, node, port, vc_index, flit = record
+                    sim.schedule_at(
+                        due, network._arrive_event, (node, port, vc_index, flit)
+                    )
+                else:
+                    _, node, port, vc_index = record
+                    sim.schedule_at(
+                        due, network._replenish_event, (node, port, vc_index)
+                    )
+        self._rings.clear()
+
+    # ----- link plane -------------------------------------------------------
+
+    def push_arrival(
+        self, due: int, node: int, port: int, vc_index: int, flit
+    ) -> None:
+        """Record a flit that finishes crossing a link at ``due``."""
+        ring = self._rings.get(due)
+        if ring is None:
+            ring = self._rings[due] = []
+        ring.append((_ARRIVE, node, port, vc_index, flit))
+
+    def push_credit(self, due: int, node: int, port: int, vc_index: int) -> None:
+        """Record a credit that finishes crossing a link at ``due``."""
+        ring = self._rings.get(due)
+        if ring is None:
+            ring = self._rings[due] = []
+        ring.append((_CREDIT, node, port, vc_index))
+
+    # ----- kernel hooks -----------------------------------------------------
+
+    def active(self) -> bool:
+        """Arena activity predicate: any ring, stepped or woken router."""
+        return bool(self._rings) or bool(self._awake) or bool(self._woken)
+
+    def tick(self, cycle: int) -> None:
+        """One arena cycle: drain the due ring, then step awake routers."""
+        records = self._rings.pop(cycle, None)
+        network = self.network
+        routers = network.routers
+        if records is not None:
+            arrive = network._arrive
+            for record in records:
+                if record[0] == _ARRIVE:
+                    _, node, port, vc_index, flit = record
+                    arrive(routers[node], node, port, vc_index, flit)
+                else:
+                    _, node, port, vc_index = record
+                    routers[node].output_flow[port].replenish(vc_index)
+        if not network.sim.allow_fast_forward:
+            # Legacy kernel contract: every router ticks every cycle.
+            for router in routers:
+                router.tick(cycle)
+            return
+        if self._woken:
+            self._merge_woken(cycle)
+        awake = self._awake
+        if not awake:
+            return
+        asleep_since = self._asleep_since
+        still_awake: List[int] = []
+        for node in awake:
+            router = routers[node]
+            if router.activity.active():
+                router.tick(cycle)
+                still_awake.append(node)
+            else:
+                # Stop stepping it; idle cycles from here accrue lazily
+                # and are replayed in one span at wake (or flush).
+                self._awake_set.discard(node)
+                asleep_since[node] = cycle
+        if len(still_awake) != len(awake):
+            self._awake = still_awake
+
+    def _merge_woken(self, cycle: int) -> None:
+        """Fold woken routers into the awake list (ascending id order)."""
+        woken = self._woken
+        self._woken = []
+        awake_set = self._awake_set
+        merged = False
+        for node in woken:
+            if node in awake_set:
+                continue  # woke while still being stepped: nothing to do
+            since = self._asleep_since.pop(node, None)
+            if since is not None and cycle > since:
+                self.network.routers[node].account_idle_cycles(
+                    since, cycle - since
+                )
+            awake_set.add(node)
+            merged = True
+        if merged:
+            self._awake = sorted(awake_set)
+
+    def flush(self, now: int) -> None:
+        """Bring every sleeping router's idle accounting up to ``now``.
+
+        Idle spans are accounted lazily at wake; anything that reads
+        cycle counters or round statistics mid-sleep (results, stats
+        comparisons, the arena being disabled) must flush first.
+        Span-splitting is exact, so flushing never changes totals.
+        """
+        routers = self.network.routers
+        asleep_since = self._asleep_since
+        for node, since in asleep_since.items():
+            if now > since:
+                routers[node].account_idle_cycles(since, now - since)
+                asleep_since[node] = now

@@ -171,7 +171,12 @@ class ColumnarState:
     )
 
     def __init__(
-        self, width: int, priority_discipline: bool, num_outputs: int = 0
+        self,
+        width: int,
+        priority_discipline: bool,
+        num_outputs: int = 0,
+        pool: Optional["ColumnarPool"] = None,
+        pool_key: object = None,
     ) -> None:
         np = require_numpy()
         if width <= 0:
@@ -179,29 +184,65 @@ class ColumnarState:
         self.width = width
         self._nbytes = (width + 7) // 8
         self._priority_discipline = priority_discipline
-        self.prio_base = np.zeros(width, dtype=np.float64)
-        self.prio_div = np.ones(width, dtype=np.float64)
-        self.prio_key = np.zeros(width, dtype=np.uint64)
-        self.head_created = np.zeros(width, dtype=np.int64)
-        self.round_offset = np.zeros(width, dtype=np.float64)
-        self.output_port = np.full(width, -1, dtype=np.int64)
-        self.excess_offset = np.zeros(width, dtype=np.float64)
+        if pool is None:
+            def take(name: str, rows: int, dtype):
+                return np.empty(rows, dtype=dtype)
+        else:
+            # Pooled mode (network arena): every column is a slice view
+            # of the pool's network-global per-dtype chunk, keyed by
+            # (bank key, field) so rebuilds land on the same rows.
+            def take(name: str, rows: int, dtype):
+                return pool.take((pool_key, name), rows, dtype)
+        self.prio_base = take("prio_base", width, np.float64)
+        self.prio_base[:] = 0.0
+        self.prio_div = take("prio_div", width, np.float64)
+        self.prio_div[:] = 1.0
+        self.prio_key = take("prio_key", width, np.uint64)
+        self.prio_key[:] = 0
+        self.head_created = take("head_created", width, np.int64)
+        self.head_created[:] = 0
+        self.round_offset = take("round_offset", width, np.float64)
+        self.round_offset[:] = 0.0
+        self.output_port = take("output_port", width, np.int64)
+        self.output_port[:] = -1
+        self.excess_offset = take("excess_offset", width, np.float64)
+        self.excess_offset[:] = 0.0
         # Static-scheme selection state: ``sort_desc[i]`` is the sortable
         # descending-order key of ``prio_base[i]`` (see
         # :func:`_sort_key_desc`), maintained by :meth:`set_terms`; the
         # rest are reusable scratch buffers for :meth:`select_static_*`.
         # ``_key_buf`` has one extra slot, permanently ``UINT64_MAX``,
         # that the output-group table's padding rows point at.
-        self.sort_desc = np.full(width, _U64_MASK, dtype=np.uint64)
-        self._key_buf = np.empty(width + 1, dtype=np.uint64)
-        self._first = np.empty(max(num_outputs, 1), dtype=np.int64)
-        self._arange = np.arange(width, dtype=np.int64)
+        self.sort_desc = take("sort_desc", width, np.uint64)
+        self.sort_desc[:] = _U64_MASK
+        self._key_buf = take("_key_buf", width + 1, np.uint64)
+        self._first = take("_first", max(num_outputs, 1), np.int64)
+        self._arange = take("_arange", width, np.int64)
+        self._arange[:] = np.arange(width, dtype=np.int64)
         self.num_outputs = num_outputs
         self._out_rows = None
         self._groups_dirty = True
-        self._arange_out = np.arange(max(num_outputs, 1), dtype=np.int64)
-        self._float_buf = np.empty(width + 1, dtype=np.float64)
-        self._elig_buf = np.zeros(width + 1, dtype=np.bool_)
+        self._arange_out = take("_arange_out", max(num_outputs, 1), np.int64)
+        self._arange_out[:] = np.arange(max(num_outputs, 1), dtype=np.int64)
+        self._float_buf = take("_float_buf", width + 1, np.float64)
+        self._elig_buf = take("_elig_buf", width + 1, np.bool_)
+        self._elig_buf[:] = False
+
+    @staticmethod
+    def pool_requirements(width: int, num_outputs: int = 0) -> dict:
+        """Rows one bank takes from a pool, per dtype name.
+
+        Must mirror the ``take`` calls of ``__init__`` exactly; the
+        network arena sums this over every bank to pre-reserve the
+        pool's chunks so no take ever reallocates a live chunk.
+        """
+        outs = max(num_outputs, 1)
+        return {
+            "float64": 4 * width + (width + 1),
+            "uint64": 2 * width + (width + 1),
+            "int64": 3 * width + 2 * outs,
+            "bool": width + 1,
+        }
 
     # ----- mask plumbing --------------------------------------------------
 
@@ -461,3 +502,89 @@ class ColumnarState:
             offsets = _np.zeros(idx.size, dtype=_np.float64)
         self.round_offset[idx] = offsets
         return offsets
+
+
+class ColumnarPool:
+    """Network-global backing store for many banks' columns.
+
+    The network arena pools every router's per-link
+    :class:`ColumnarState` into one contiguous chunk per dtype, laid out
+    bank-major in adoption order — (router id, input port) ascending —
+    which gives the columns a router-id axis: all of router *n*'s rows
+    for a field are adjacent, and whole-network slices are single
+    strided views.  Elementwise NumPy operations on slice views are
+    bit-identical to operations on standalone arrays, so pooling changes
+    memory layout only, never results.
+
+    Follows the columnar pickling rule: ``__getstate__`` drops the
+    chunks and keeps only the layout (key → offset map) and capacities,
+    so checkpoints stay NumPy-free; after a restore the first ``take``
+    lazily reallocates each chunk and every bank rebuild lands on its
+    original offsets.  Repeated flag flips or restores therefore reuse
+    rows instead of leaking them.
+    """
+
+    def __init__(self) -> None:
+        # key -> (dtype name, offset, rows); authoritative, pickled.
+        self._layout: dict = {}
+        # dtype name -> next free row / reserved capacity.
+        self._cursors: dict = {}
+        self._capacity: dict = {}
+        # dtype name -> ndarray; derived, never pickled.
+        self._chunks: dict = {}
+
+    def reserve(self, requirements: dict) -> None:
+        """Pre-size chunks by ``{dtype name: rows}`` (additive).
+
+        Call once per future bank *before* any ``take`` so chunks are
+        allocated at final capacity — a chunk that grew after handing
+        out views would detach those views from the pool.
+        """
+        for name, rows in requirements.items():
+            self._capacity[name] = self._capacity.get(name, 0) + rows
+
+    def take(self, key, rows: int, dtype):
+        """A ``rows``-long view for ``key``, allocating on first use.
+
+        The caller owns initialisation: contents are undefined until
+        written (banks fully initialise every view they take).
+        """
+        np = require_numpy()
+        name = np.dtype(dtype).name
+        entry = self._layout.get(key)
+        if entry is None:
+            offset = self._cursors.get(name, 0)
+            self._layout[key] = (name, offset, rows)
+            self._cursors[name] = offset + rows
+            if self._cursors[name] > self._capacity.get(name, 0):
+                self._capacity[name] = self._cursors[name]
+        else:
+            stored_name, offset, stored_rows = entry
+            if stored_name != name or stored_rows != rows:
+                raise ValueError(
+                    f"pool key {key!r} reused with ({name}, {rows}), "
+                    f"was ({stored_name}, {stored_rows})"
+                )
+        chunk = self._chunks.get(name)
+        if chunk is None:
+            chunk = np.empty(self._capacity[name], dtype=name)
+            self._chunks[name] = chunk
+        elif chunk.size < self._capacity[name]:
+            # Growing would reallocate and silently detach every view
+            # already handed out of this chunk; the caller must reserve
+            # all banks up front instead.
+            raise RuntimeError(
+                f"pool chunk {name!r} already allocated at {chunk.size} "
+                f"rows; cannot grow to {self._capacity[name]} without "
+                "detaching live views (reserve before the first take)"
+            )
+        return chunk[offset : offset + rows]
+
+    def rows_allocated(self, dtype_name: str) -> int:
+        """Rows handed out so far for ``dtype_name`` (reporting)."""
+        return self._cursors.get(dtype_name, 0)
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_chunks"] = {}
+        return state

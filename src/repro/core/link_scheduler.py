@@ -153,6 +153,11 @@ class LinkScheduler:
         self._columnar_enabled = columnar
         self._columnar: Optional[ColumnarState] = None
         self._terms_dirty = 0
+        # Network-arena pooling: when adopted into a ColumnarPool the
+        # bank's columns become slice views of the network-global
+        # chunks (same values, shared storage).  None = standalone.
+        self._columnar_pool = None
+        self._columnar_pool_key = None
         if columnar:
             # Eager build: fail fast with the typed error when NumPy is
             # missing instead of at the first busy cycle.
@@ -174,6 +179,10 @@ class LinkScheduler:
                 self.config.vcs_per_port,
                 self.config.vbr_excess_discipline == "priority",
                 num_outputs=self.config.num_ports,
+                # getattr: schedulers unpickled from checkpoints that
+                # predate pooling have no pool attributes.
+                pool=getattr(self, "_columnar_pool", None),
+                pool_key=getattr(self, "_columnar_pool_key", None),
             )
             for vc in self.vcs:
                 cols.sync_cold(vc)
@@ -192,6 +201,21 @@ class LinkScheduler:
             self._ensure_columnar()
         else:
             self._columnar = None
+
+    def adopt_columnar_pool(self, pool, key) -> None:
+        """Re-home this scheduler's bank into a :class:`ColumnarPool`.
+
+        Installed by the network arena (key = (router id, input port)).
+        Adoption is permanent and value-preserving: an existing bank is
+        rebuilt from the authoritative object graph into pool views, and
+        every later (re)build — including post-restore — lands on the
+        same pool rows.
+        """
+        self._columnar_pool = pool
+        self._columnar_pool_key = key
+        if self._columnar is not None:
+            self._columnar = None
+            self._ensure_columnar()
 
     def invalidate_vc(self, vc: VirtualChannel) -> None:
         """Drop the VC's cached priority terms and resync its columns.

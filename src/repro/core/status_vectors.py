@@ -12,7 +12,7 @@ hardware exploits.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
 
 class BitVector:
@@ -151,16 +151,32 @@ class ActivitySet:
 
     Pass the set (or its bound ``active`` method) as the ``activity``
     argument of :meth:`repro.sim.engine.Simulator.add_ticker`.
+
+    ``on_wake``, when set, is invoked on every idle-to-busy transition
+    (the whole set going from zero to nonzero).  The network arena uses
+    it as its per-router wake mask: a sleeping router's first new
+    activity bit re-enters it into the arena's stepped set without the
+    arena polling every router every cycle.
     """
 
-    __slots__ = ("_bits",)
+    __slots__ = ("_bits", "on_wake")
 
     def __init__(self, width: int) -> None:
         self._bits = BitVector(width)
+        self.on_wake: Optional[Callable[[], None]] = None
 
     def set(self, index: int) -> None:
         """Mark activity source ``index`` busy."""
-        self._bits.set(index)
+        vec = self._bits
+        if vec._bits == 0:
+            vec.set(index)
+            # ``getattr`` with a default: instances unpickled from
+            # snapshots that predate the hook have no ``on_wake`` slot.
+            hook = getattr(self, "on_wake", None)
+            if hook is not None:
+                hook()
+        else:
+            vec.set(index)
 
     def clear(self, index: int) -> None:
         """Mark activity source ``index`` idle."""
@@ -168,7 +184,10 @@ class ActivitySet:
 
     def assign(self, index: int, busy: bool) -> None:
         """Set activity source ``index`` to ``busy``."""
-        self._bits.assign(index, busy)
+        if busy:
+            self.set(index)
+        else:
+            self._bits.clear(index)
 
     def test(self, index: int) -> bool:
         """Read activity source ``index``."""

@@ -107,6 +107,8 @@ class ChurnSpec:
     scheduler_fast_path: bool = True
     #: Columnar state engine knob (see ExperimentSpec.columnar_state).
     columnar_state: bool = False
+    #: Network-wide arena knob (DESIGN.md §7f).  Requires NumPy.
+    network_arena: bool = False
     telemetry: bool = False
     #: Telemetry sampling period (cycles), when ``telemetry`` is on.
     telemetry_every: int = 1000
@@ -304,6 +306,7 @@ class ChurnWorkload:
             recorder=recorder,
             scheduler_fast_path=spec.scheduler_fast_path,
             columnar_state=spec.columnar_state,
+            network_arena=spec.network_arena,
         )
         self.spec = spec
         self.topology = topology
@@ -807,6 +810,9 @@ class ChurnWorkload:
         """Summarise the run; drives it to drain first if needed."""
         if not self.drained and self.sim.now < self.total_cycles:
             self.run_until_drained()
+        # Sleeping routers accrue idle cycles lazily under the arena;
+        # replay the outstanding spans before reading any counters.
+        self.network.flush_arena_accounting()
         attempts = self._attempts_completed
         per_rate = per_rate_breakdown(self.end_to_end, self.connection_rates)
         unclassified = per_rate.get(UNCLASSIFIED)

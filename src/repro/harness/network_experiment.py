@@ -11,7 +11,8 @@ traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..ckpt.codec import (
     CheckpointCodec,
@@ -24,11 +25,47 @@ from ..core.priority import make_priority_scheme
 from ..network.connection import ConnectionManager
 from ..network.interface import NetworkInterface, OpenStream
 from ..network.network import Network
-from ..network.topology import Topology, irregular
+from ..network.topology import Topology, irregular, mesh, torus
 from ..obs import FlightRecorder, build_manifest
+from ..routing.dimension_order import dimension_order_search
 from ..sim.engine import Simulator
 from ..sim.rng import SeededRng
 from ..sim.stats import RunningStats
+from .single_router import SimulatedWorkerCrash
+
+#: Grid topology constructors selectable by spec string.
+_GRID_TOPOLOGIES = {"mesh": mesh, "torus": torus}
+
+
+def parse_topology(name: str) -> Tuple[str, Optional[Tuple[int, int]]]:
+    """Parse a spec topology string into ``(kind, dims)``.
+
+    ``"irregular"`` -> ``("irregular", None)``; ``"mesh8x8"`` ->
+    ``("mesh", (8, 8))``; ``"torus16x16"`` -> ``("torus", (16, 16))``.
+    """
+    if name == "irregular":
+        return "irregular", None
+    for kind in _GRID_TOPOLOGIES:
+        if name.startswith(kind):
+            parts = name[len(kind):].split("x")
+            if len(parts) == 2 and all(p.isdigit() for p in parts):
+                return kind, (int(parts[0]), int(parts[1]))
+    raise ValueError(
+        f"unknown topology {name!r}: expected 'irregular', "
+        "'mesh<W>x<H>' or 'torus<W>x<H>'"
+    )
+
+
+def build_spec_topology(spec: "NetworkExperimentSpec", rng: SeededRng) -> Topology:
+    """Construct the topology a spec names.
+
+    Grid topologies define their own node count; ``num_nodes`` and
+    ``mean_degree`` only shape the irregular default.
+    """
+    kind, dims = parse_topology(spec.topology)
+    if kind == "irregular":
+        return irregular(spec.num_nodes, rng, mean_degree=spec.mean_degree)
+    return _GRID_TOPOLOGIES[kind](*dims)
 
 
 @dataclass(frozen=True)
@@ -56,6 +93,16 @@ class NetworkExperimentSpec:
     # Attach a shared flight recorder across all routers (see
     # ExperimentSpec.telemetry).
     telemetry: bool = False
+    # Network-wide arena knob (DESIGN.md §7f): ring-buffered links and
+    # wake-masked router stepping.  Requires NumPy.
+    network_arena: bool = False
+    #: ``"irregular"`` (default), ``"mesh<W>x<H>"`` or ``"torus<W>x<H>"``.
+    #: Grid topologies fix their own node count; ``num_nodes`` and
+    #: ``mean_degree`` apply to the irregular default only.
+    topology: str = "irregular"
+    #: ``"adaptive"`` (EPB probe + minimal-adaptive best-effort) or
+    #: ``"dimension_order"`` (deterministic XY; grid topologies only).
+    routing: str = "adaptive"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_link_load <= 1.0:
@@ -67,6 +114,15 @@ class NetworkExperimentSpec:
         if self.best_effort_rate < 0:
             raise ValueError(
                 f"best_effort_rate must be >= 0, got {self.best_effort_rate}"
+            )
+        if self.routing not in ("adaptive", "dimension_order"):
+            raise ValueError(
+                f"routing must be 'adaptive' or 'dimension_order', got {self.routing!r}"
+            )
+        kind, _ = parse_topology(self.topology)
+        if self.routing == "dimension_order" and kind == "irregular":
+            raise ValueError(
+                "dimension_order routing needs a mesh/torus grid topology"
             )
 
 
@@ -88,11 +144,25 @@ class NetworkExperimentResult:
     backtracks: int = 0
     #: The shared flight recorder, when ``spec.telemetry`` asked for one.
     recorder: Optional[FlightRecorder] = None
+    #: Checkpoint lineage, when the run was checkpointed or resumed:
+    #: path, resumed_from_cycle (None for a straight run), and how many
+    #: checkpoints were written.  Merged into sweep manifests.
+    checkpoint: Optional[Dict[str, Any]] = None
 
     @property
     def acceptance_ratio(self) -> float:
         """Established streams over establishment attempts."""
         return self.streams / self.attempts if self.attempts else 0.0
+
+    @property
+    def mean_delay_cycles(self) -> float:
+        """Flit-weighted mean end-to-end delay, in cycles."""
+        return self.delay_cycles.mean
+
+    @property
+    def mean_jitter_cycles(self) -> float:
+        """Flit-weighted mean end-to-end jitter, in cycles."""
+        return self.jitter_cycles.mean
 
     @property
     def delay_per_hop(self) -> float:
@@ -120,9 +190,7 @@ class NetworkExperiment:
     ) -> None:
         rng = SeededRng(spec.seed, "network-experiment")
         if topology is None:
-            topology = irregular(
-                spec.num_nodes, rng.spawn("topology"), mean_degree=spec.mean_degree
-            )
+            topology = build_spec_topology(spec, rng.spawn("topology"))
         config = RouterConfig(
             num_ports=topology.num_ports,
             vcs_per_port=spec.vcs_per_port,
@@ -154,8 +222,17 @@ class NetworkExperiment:
             recorder=recorder,
             scheduler_fast_path=spec.scheduler_fast_path,
             columnar_state=spec.columnar_state,
+            network_arena=spec.network_arena,
+            routing=spec.routing,
         )
-        manager = ConnectionManager(network)
+        manager = ConnectionManager(
+            network,
+            path_search=(
+                dimension_order_search
+                if spec.routing == "dimension_order"
+                else None
+            ),
+        )
         interfaces = [
             NetworkInterface(network, manager, node, rng=rng.spawn(f"ni{node}"))
             for node in range(topology.num_nodes)
@@ -253,6 +330,9 @@ class NetworkExperiment:
         """Summarise the (completed) run; runs any remaining cycles."""
         if self.sim.now < self.total_cycles:
             self.run_to(self.total_cycles)
+        # Sleeping routers accrue idle cycles lazily under the arena;
+        # replay the outstanding spans before reading any counters.
+        self.network.flush_arena_accounting()
         interfaces = self.interfaces
         delay = RunningStats()
         jitter = RunningStats()
@@ -325,11 +405,94 @@ class NetworkExperiment:
 def run_network_experiment(
     spec: NetworkExperimentSpec,
     topology: Optional[Topology] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path=None,
+    resume: bool = False,
+    _crash_at_cycle: Optional[int] = None,
 ) -> NetworkExperimentResult:
     """Build the cluster, load it with CBR streams to the target link
-    utilisation, run, and summarise end-to-end QoS."""
-    experiment = NetworkExperiment(spec, topology)
-    return experiment.result()
+    utilisation, run, and summarise end-to-end QoS.
+
+    ``checkpoint_every=N`` writes a checkpoint to ``checkpoint_path``
+    every N cycles (atomically, latest wins); ``resume=True`` continues
+    from an existing checkpoint at that path instead of rebuilding from
+    cycle 0 — bit-identical results either way.  ``_crash_at_cycle`` is
+    a test hook that raises :class:`SimulatedWorkerCrash` once the
+    (first, non-resumed) run passes that cycle.
+    """
+    if checkpoint_every is not None and checkpoint_every <= 0:
+        raise ValueError(f"checkpoint_every must be positive, got {checkpoint_every}")
+    if checkpoint_every is None and not resume and _crash_at_cycle is None:
+        experiment = NetworkExperiment(spec, topology)
+        return experiment.result()
+    if checkpoint_path is None:
+        raise ValueError("checkpointing requires a checkpoint_path")
+    path = Path(checkpoint_path)
+    lineage: Dict[str, Any] = {
+        "schema": CheckpointCodec.schema,
+        "path": str(path),
+        "resumed_from_cycle": None,
+        "checkpoints_written": 0,
+    }
+    if resume and path.exists():
+        experiment = NetworkExperiment.resume(path, expect_spec=spec)
+        lineage["resumed_from_cycle"] = experiment.now
+    else:
+        experiment = NetworkExperiment(spec, topology)
+    total = experiment.total_cycles
+    stride = checkpoint_every if checkpoint_every is not None else total
+    while experiment.now < total:
+        experiment.run_to(min(experiment.now + stride, total))
+        if checkpoint_every is not None and experiment.now < total:
+            header = experiment.checkpoint(path)
+            lineage["checkpoints_written"] += 1
+            lineage["last_checkpoint_cycle"] = header.cycle
+        if (
+            _crash_at_cycle is not None
+            and lineage["resumed_from_cycle"] is None
+            and _crash_at_cycle <= experiment.now < total
+        ):
+            raise SimulatedWorkerCrash(
+                f"worker killed at cycle {experiment.now} (test hook)"
+            )
+    result = experiment.result()
+    result.checkpoint = lineage
+    return result
+
+
+class _LoggedDelivery:
+    """Host-delivery wrapper that fingerprints flits into a shared list
+    (a bound class, not a closure, so wrapped handlers checkpoint)."""
+
+    __slots__ = ("sim", "log", "inner")
+
+    def __init__(self, sim: Simulator, log: List[tuple], inner) -> None:
+        self.sim = sim
+        self.log = log
+        self.inner = inner
+
+    def __call__(self, node: int, port: int, flit) -> None:
+        self.log.append(
+            (self.sim.now, node, port, flit.connection_id, flit.sequence,
+             flit.created)
+        )
+        self.inner(node, port, flit)
+
+
+def attach_delivery_log(experiment: NetworkExperiment) -> List[tuple]:
+    """Record every host-delivered flit, in delivery order.
+
+    Returns a live list of ``(cycle, node, port, connection_id,
+    sequence, created)`` tuples — the delivered-flit stream the arena
+    identity gates compare bit-for-bit against the event-driven
+    baseline.  (Flit ids are process-global and differ between runs, so
+    the fingerprint uses per-connection sequence numbers instead.)
+    """
+    log: List[tuple] = []
+    network = experiment.network
+    for key, handler in list(network._host_delivery.items()):
+        network._host_delivery[key] = _LoggedDelivery(network.sim, log, handler)
+    return log
 
 
 def _mean_link_utilisation(network: Network, topology: Topology) -> float:

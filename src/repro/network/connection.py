@@ -90,8 +90,14 @@ class ConnectionManager:
     #: Cycles the returning acknowledgment spends per hop.
     ACK_CYCLES_PER_HOP = 1
 
-    def __init__(self, network: Network) -> None:
+    def __init__(self, network: Network, path_search=None) -> None:
+        """``path_search`` selects the probe algorithm: any callable with
+        the :func:`~repro.routing.epb.epb_search` signature
+        ``(topology, source, destination, admissible) -> ProbeResult``,
+        e.g. :func:`~repro.routing.dimension_order.dimension_order_search`
+        for grid topologies.  Defaults to the EPB backtracking probe."""
         self.network = network
+        self.path_search = epb_search if path_search is None else path_search
         self.stats = EstablishmentStats()
         self.connections: Dict[int, NetworkConnection] = {}
         self._ids = itertools.count(1)
@@ -117,7 +123,10 @@ class ConnectionManager:
             self.stats.failed += 1
             return None
         connection_id = next(self._ids)
-        probe = epb_search(
+        # getattr: managers unpickled from checkpoints that predate the
+        # pluggable probe fall back to the EPB default.
+        search = getattr(self, "path_search", epb_search)
+        probe = search(
             self.network.topology,
             source,
             destination,

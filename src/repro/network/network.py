@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..core.arena import NetworkArena
 from ..core.config import RouterConfig
 from ..core.flit import Flit, FlitType
 from ..core.priority import PriorityScheme
@@ -27,6 +28,7 @@ from ..core.router import Router
 from ..core.switch_scheduler import GreedyPriorityScheduler, SwitchScheduler
 from ..core.virtual_channel import ServiceClass
 from ..routing.adaptive import AdaptiveRouter
+from ..routing.dimension_order import DimensionOrderRouter
 from ..sim.engine import Simulator
 from ..sim.rng import SeededRng
 from ..sim.stats import StatsRegistry
@@ -63,6 +65,19 @@ class _LinkOutput:
             )
         network = self.network
         network.stats.counter("link_flits")
+        arena = network.arena
+        if arena is not None:
+            # Arena link plane: one ring-buffer append instead of a heap
+            # push + Event allocation; drained in one sweep at the due
+            # cycle in the same relative order the heap would fire.
+            arena.push_arrival(
+                network.sim.now + network.link_latency,
+                self.neighbor,
+                self.remote_port,
+                output_vc,
+                flit,
+            )
+            return
         network.sim.schedule(
             network.link_latency,
             network._arrive_event,
@@ -82,6 +97,15 @@ class _CreditReturn:
 
     def __call__(self, vc_index: int) -> None:
         network = self.network
+        arena = network.arena
+        if arena is not None:
+            arena.push_credit(
+                network.sim.now + network.link_latency,
+                self.neighbor,
+                self.upstream_port,
+                vc_index,
+            )
+            return
         network.sim.schedule(
             network.link_latency,
             network._replenish_event,
@@ -111,6 +135,13 @@ class _HostOutput:
 class Network:
     """A cluster of MMR routers over a :class:`Topology`."""
 
+    # Class-level fallbacks so networks unpickled from checkpoints that
+    # predate the arena / routing-mode features read as "feature off"
+    # instead of raising AttributeError on the hot paths.
+    arena: Optional[NetworkArena] = None
+    dimension_order: Optional[DimensionOrderRouter] = None
+    routing: str = "adaptive"
+
     def __init__(
         self,
         topology: Topology,
@@ -124,10 +155,18 @@ class Network:
         recorder=None,
         scheduler_fast_path: bool = True,
         columnar_state: bool = False,
+        network_arena: bool = False,
+        routing: str = "adaptive",
     ) -> None:
         """``recorder`` (a :class:`repro.obs.FlightRecorder`) is shared by
         every router; its telemetry channels are namespaced by router name
-        (``router3.link_utilisation``) so per-node series stay separate."""
+        (``router3.link_utilisation``) so per-node series stay separate.
+
+        ``network_arena=True`` enables the batched arena engine (see
+        :mod:`repro.core.arena`); ``routing`` selects the best-effort and
+        connection routing discipline: ``"adaptive"`` (minimal adaptive +
+        up*/down* escape, the default) or ``"dimension_order"`` (XY, grid
+        topologies only)."""
         if link_latency < 1:
             raise ValueError(f"link_latency must be >= 1, got {link_latency}")
         if config.num_ports < topology.num_ports:
@@ -142,6 +181,21 @@ class Network:
         self.link_latency = link_latency
         self.stats = StatsRegistry()
         self.adaptive = AdaptiveRouter(topology)
+        if routing not in ("adaptive", "dimension_order"):
+            raise ValueError(f"unknown routing discipline {routing!r}")
+        self.routing = routing
+        self.dimension_order = (
+            DimensionOrderRouter(topology) if routing == "dimension_order" else None
+        )
+        # The arena ticker is registered *before* the routers so that,
+        # with the arena on, the ring drain plus router stepping happen
+        # in the slot ahead of where the (suspended) router tickers
+        # would run — the cycle-internal order matches the baseline.
+        # It is a permanent no-op while ``self.arena`` is None.
+        self.arena: Optional[NetworkArena] = None
+        sim.add_ticker(
+            self._arena_tick, activity=self._arena_activity, name="network-arena"
+        )
         if scheduler_factory is None:
             scheduler_factory = lambda node: GreedyPriorityScheduler()  # noqa: E731
         self.routers: List[Router] = [
@@ -167,6 +221,59 @@ class Network:
         # Pending unrouted best-effort packets per router: (port, vc_index).
         self._unrouted: Dict[int, List[Tuple[int, int]]] = {}
         self._wire()
+        if network_arena:
+            self.set_network_arena(True)
+
+    # ----- arena ------------------------------------------------------------
+
+    @property
+    def network_arena(self) -> bool:
+        """True while the batched arena engine is stepping this network."""
+        return self.arena is not None
+
+    def set_network_arena(self, enabled: bool) -> None:
+        """Flip the arena engine on or off mid-run.
+
+        Both directions splice bit-exactly: the object graph is always
+        authoritative, pending ring records migrate back to heap events
+        on disable, and lazily-deferred idle accounting is flushed
+        before router tickers resume.  Raises
+        :class:`~repro.core.columnar.ColumnarUnavailableError` when
+        enabling without NumPy.
+        """
+        if enabled == (self.arena is not None):
+            return
+        router_ticks = [router.tick for router in self.routers]
+        if enabled:
+            arena = NetworkArena(self)
+            arena.install()
+            self.sim.suspend_tickers(router_ticks)
+            self.arena = arena
+        else:
+            arena = self.arena
+            arena.flush(self.sim.now)
+            arena.uninstall()
+            self.sim.resume_tickers(router_ticks)
+            self.arena = None
+
+    def flush_arena_accounting(self) -> None:
+        """Flush lazily-deferred idle accounting (no-op without arena).
+
+        Call before reading router cycle counters or round statistics
+        while the arena is enabled.
+        """
+        arena = self.arena
+        if arena is not None:
+            arena.flush(self.sim.now)
+
+    def _arena_tick(self, cycle: int) -> None:
+        arena = self.arena
+        if arena is not None:
+            arena.tick(cycle)
+
+    def _arena_activity(self) -> bool:
+        arena = self.arena
+        return arena is not None and arena.active()
 
     # ----- wiring -----------------------------------------------------------
 
@@ -272,7 +379,8 @@ class Network:
         neighbor = self.topology.neighbor_on_port(node, port)
         if neighbor is not None:
             arrived_up = self.adaptive.updown.is_up(neighbor, node)
-        for choice in self.adaptive.choices(node, destination, arrived_up):
+        chooser = self.dimension_order or self.adaptive
+        for choice in chooser.choices(node, destination, arrived_up):
             next_router = self.routers[choice.next_node]
             entry_port = self.topology.port_of(choice.next_node, node)
             reserved = next_router.open_packet_vc(

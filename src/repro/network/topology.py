@@ -220,20 +220,44 @@ def mesh(width: int, height: int, num_ports: Optional[int] = None) -> Topology:
                 edges.append((node, node + 1))
             if y + 1 < height:
                 edges.append((node, node + width))
-    return Topology(width * height, edges, num_ports, name=f"mesh{width}x{height}")
+    topo = Topology(width * height, edges, num_ports, name=f"mesh{width}x{height}")
+    # Grid metadata for dimension-order routing (node = y * width + x).
+    # Plain attributes, so topologies pickled before they existed restore
+    # fine; consumers read them with getattr(topology, "grid", None).
+    topo.grid = (width, height)
+    topo.wrap = False
+    return topo
 
 
 def torus(width: int, height: int, num_ports: Optional[int] = None) -> Topology:
-    """A width x height 2D torus (wraparound mesh)."""
-    if width < 3 or height < 3:
-        raise TopologyError("torus dimensions must be at least 3 (no double edges)")
-    edges = []
+    """A width x height 2D torus (wraparound mesh).
+
+    In a dimension of size 2 the wrap-around link connects the same
+    router pair as the mesh link, so the edge set is deduplicated there:
+    those routers get one physical link (and one port) per such
+    neighbor, not a double link with a misleading port count.  Size-1
+    dimensions would require self-loops and raise.
+    """
+    if width < 2 or height < 2:
+        raise TopologyError(
+            "torus dimensions must be at least 2 (a size-1 dimension "
+            "would wrap a node onto itself)"
+        )
+    edges = set()
     for y in range(height):
         for x in range(width):
             node = y * width + x
-            edges.append((node, y * width + (x + 1) % width))
-            edges.append((node, ((y + 1) % height) * width + x))
-    return Topology(width * height, edges, num_ports, name=f"torus{width}x{height}")
+            for other in (
+                y * width + (x + 1) % width,
+                ((y + 1) % height) * width + x,
+            ):
+                edges.add((min(node, other), max(node, other)))
+    topo = Topology(
+        width * height, sorted(edges), num_ports, name=f"torus{width}x{height}"
+    )
+    topo.grid = (width, height)
+    topo.wrap = True
+    return topo
 
 
 def hypercube(dimension: int, num_ports: Optional[int] = None) -> Topology:

@@ -171,6 +171,11 @@ class FlightRecorder:
         whose counters went backwards re-baselines instead of sampling.
         """
         self._append((ROUND, cycle, 0, 0, -1, -1))
+        # Single-flag early-out: with channel sampling off, a round
+        # boundary costs one boolean test instead of walking every link
+        # scheduler's window counters.
+        if not self.telemetry.enabled:
+            return
         scalars = router.stats.scalars
         cycles = scalars.get("cycles", 0.0)
         flits = scalars.get("flits_switched", 0.0)

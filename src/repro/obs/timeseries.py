@@ -80,13 +80,26 @@ class TelemetryHub:
     not need set-up code — but unlike the old ``StatsRegistry.get_series``
     bug, the returned series is always the *registered* one, never a
     detached accumulator whose samples would be lost.
+
+    ``enabled`` is the single flag hot paths (round-boundary sampling)
+    check before computing any window deltas; disabling it turns the
+    whole telemetry plane into one boolean test per round.
     """
+
+    #: Class-level fallback so hubs unpickled from old checkpoints
+    #: (which predate the flag) come back enabled.
+    enabled = True
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.enabled = True
         self._channels: Dict[str, TimeSeries] = {}
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Switch channel sampling on or off (registered data is kept)."""
+        self.enabled = enabled
 
     def channel(self, name: str) -> TimeSeries:
         """The channel called ``name``, created on first access."""
@@ -96,7 +109,9 @@ class TelemetryHub:
         return series
 
     def sample(self, name: str, time: float, value: float) -> None:
-        """Append one sample to channel ``name``."""
+        """Append one sample to channel ``name`` (no-op while disabled)."""
+        if not self.enabled:
+            return
         self.channel(name).append(time, value)
 
     def names(self) -> List[str]:

@@ -1,0 +1,156 @@
+"""Dimension-order (XY) routing for mesh and torus grids (paper §1).
+
+The topology-scaling studies run the MMR over regular 2D grids, where
+the classical wormhole discipline is dimension-order routing: correct
+the X coordinate fully, then the Y coordinate.  On a mesh the induced
+channel-dependency graph is acyclic (no X channel ever depends on a Y
+channel's release, and within a dimension all dependencies point the
+same way), so the relation is deadlock-free without an escape layer —
+``tests/test_dimension_order.py`` checks this through
+:func:`repro.routing.deadlock.verify_deadlock_free`.  On a torus the
+wrap links close dependency rings within a dimension; plain XY there is
+*not* deadlock-free in general and relies on the finite simulated
+workloads draining (the classical fix — dateline VC classes — is out of
+scope and called out in DESIGN.md).
+
+Three facades over the same next-hop function, matching the consumers:
+
+* :func:`dimension_order_search` — a ``path_search`` for
+  :class:`~repro.network.connection.ConnectionManager` (same signature
+  as :func:`~repro.routing.epb.epb_search`, but deterministic and
+  backtrack-free: if the single XY path is inadmissible, the probe
+  fails).
+* :class:`DimensionOrderRouter` — hop-by-hop ``choices()`` provider for
+  best-effort routing in :class:`~repro.network.network.Network`.
+* :func:`dimension_order_relation` — a
+  :data:`~repro.routing.deadlock.RoutingRelation` for the
+  channel-dependency analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from ..network.topology import Topology, TopologyError
+from .adaptive import RouteChoice
+from .epb import Admissible, ProbeResult
+
+
+def require_grid(topology: Topology) -> Tuple[int, int]:
+    """The (width, height) of a grid topology.
+
+    Raises :class:`TopologyError` for topologies without grid metadata
+    (only :func:`~repro.network.topology.mesh` and ``torus`` set it).
+    """
+    grid = getattr(topology, "grid", None)
+    if grid is None:
+        raise TopologyError(
+            f"dimension-order routing needs a mesh/torus grid topology; "
+            f"{topology.name!r} has no grid metadata"
+        )
+    return grid
+
+
+def _toward(a: int, b: int, size: int, wrap: bool) -> int:
+    """Next coordinate moving from ``a`` toward ``b`` along one dimension.
+
+    On wrapped dimensions the shorter way around wins; ties (exactly
+    half way, even ``size``) break toward increasing coordinate so the
+    choice is deterministic everywhere.
+    """
+    if not wrap:
+        return a + 1 if b > a else a - 1
+    forward = (b - a) % size
+    backward = (a - b) % size
+    if forward <= backward:
+        return (a + 1) % size
+    return (a - 1) % size
+
+
+def next_hop(topology: Topology, node: int, destination: int) -> Optional[int]:
+    """The unique XY next hop from ``node`` toward ``destination``.
+
+    None when already at the destination.
+    """
+    width, height = require_grid(topology)
+    wrap = bool(getattr(topology, "wrap", False))
+    x, y = node % width, node // width
+    dest_x, dest_y = destination % width, destination // width
+    if x != dest_x:
+        return y * width + _toward(x, dest_x, width, wrap)
+    if y != dest_y:
+        return _toward(y, dest_y, height, wrap) * width + x
+    return None
+
+
+def dimension_order_search(
+    topology: Topology,
+    source: int,
+    destination: int,
+    admissible: Admissible,
+    max_steps: int = 100000,
+) -> ProbeResult:
+    """Probe the single XY path (ConnectionManager ``path_search``).
+
+    Deterministic and backtrack-free: dimension-order admits exactly one
+    path, so an inadmissible link on it fails the probe outright (the
+    partial path is returned for diagnostics, like an abandoned EPB
+    probe).
+    """
+    if source == destination:
+        return ProbeResult(True, [source])
+    path: List[int] = [source]
+    ports: List[int] = []
+    links_searched = 0
+    node = source
+    while node != destination:
+        if links_searched >= max_steps:
+            return ProbeResult(False, path, ports, links_searched)
+        nxt = next_hop(topology, node, destination)
+        out_port = topology.port_of(node, nxt)
+        links_searched += 1
+        if not admissible(node, out_port, nxt):
+            return ProbeResult(False, path, ports, links_searched)
+        path.append(nxt)
+        ports.append(out_port)
+        node = nxt
+    return ProbeResult(True, path, ports, links_searched)
+
+
+class DimensionOrderRouter:
+    """Hop-by-hop XY choice provider for best-effort routing.
+
+    Drop-in for :class:`~repro.routing.adaptive.AdaptiveRouter.choices`:
+    returns the one legal hop (never an escape hop — XY needs no escape
+    layer on a mesh).  ``arrived_up`` is accepted and ignored so the
+    network's call site stays uniform.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        require_grid(topology)  # fail at construction, not first packet
+
+    def choices(
+        self,
+        node: int,
+        destination: int,
+        arrived_up: Optional[bool] = None,
+    ) -> List[RouteChoice]:
+        nxt = next_hop(self.topology, node, destination)
+        if nxt is None:
+            return []
+        port = self.topology.port_of(node, nxt)
+        return [RouteChoice(port, nxt, escape=False, minimal=True)]
+
+
+def dimension_order_relation(topology: Topology):
+    """The XY routing relation as a dependency-graph input."""
+
+    def relation(
+        channel_in: Optional[Tuple[int, int]], node: int, destination: int
+    ) -> Iterator[Tuple[int, int]]:
+        nxt = next_hop(topology, node, destination)
+        if nxt is not None:
+            yield (node, nxt)
+
+    return relation

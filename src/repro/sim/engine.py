@@ -49,7 +49,7 @@ SkipHook = Callable[[int, int], None]
 class _Ticker:
     """One registered per-cycle callback and its activity wiring."""
 
-    __slots__ = ("tick", "active", "on_skip", "name", "on_restore")
+    __slots__ = ("tick", "active", "on_skip", "name", "on_restore", "suspended")
 
     def __init__(
         self,
@@ -64,6 +64,11 @@ class _Ticker:
         self.on_skip = on_skip
         self.name = name
         self.on_restore = on_restore
+        # A suspended ticker stays registered (identity, restore hooks)
+        # but is removed from the per-cycle dispatch views: the network
+        # arena suspends every router ticker and steps the routers
+        # itself, so idle routers cost zero kernel dispatch.
+        self.suspended = False
 
 
 class Simulator:
@@ -88,9 +93,11 @@ class Simulator:
         self._stopped = False
         self._in_tick_phase = False
         self._profiler = None
-        # Flat views over self._tickers, maintained by add_ticker: the
-        # idle test and the fast-forward accounting run between every
-        # stepped cycle, so they should not re-filter the ticker list.
+        # Flat views over the *runnable* (non-suspended) tickers,
+        # maintained by add_ticker and suspend/resume: the idle test and
+        # the fast-forward accounting run between every stepped cycle,
+        # so they should not re-filter the ticker list.
+        self._run_tickers: List[_Ticker] = []
         self._activity_predicates: List[ActivityPredicate] = []
         self._skip_hooks: List[SkipHook] = []
 
@@ -140,14 +147,56 @@ class Simulator:
                 f"activity must be callable or have .active(), got {activity!r}"
             )
         self._tickers.append(_Ticker(tick, predicate, on_skip, name, on_restore))
-        if predicate is None:
-            self._all_gated = False
-        else:
-            self._activity_predicates.append(predicate)
-        if on_skip is not None:
-            self._skip_hooks.append(on_skip)
+        self._rebuild_ticker_views()
         if self._profiler is not None:
             self._profiler.register(len(self._tickers) - 1, name)
+
+    def _rebuild_ticker_views(self) -> None:
+        """Recompute the runnable-ticker list and its flat views.
+
+        Registration order is preserved, so suspending and later
+        resuming a ticker restores the exact original dispatch order.
+        """
+        self._run_tickers = [
+            t for t in self._tickers if not getattr(t, "suspended", False)
+        ]
+        self._all_gated = all(t.active is not None for t in self._run_tickers)
+        self._activity_predicates = [
+            t.active for t in self._run_tickers if t.active is not None
+        ]
+        self._skip_hooks = [
+            t.on_skip for t in self._run_tickers if t.on_skip is not None
+        ]
+
+    def suspend_tickers(self, ticks: List[Callable[[int], None]]) -> None:
+        """Remove the tickers with the given ``tick`` callbacks from
+        per-cycle dispatch (batched: one view rebuild).
+
+        Suspended tickers keep their registration slot, identity and
+        ``on_restore`` hook; :meth:`resume_tickers` reinstates them in
+        the original order.  The caller takes over their per-cycle
+        semantics (ticking, idle accounting) while they are suspended —
+        this is the network arena's contract.
+        """
+        self._retarget_tickers(ticks, suspended=True)
+
+    def resume_tickers(self, ticks: List[Callable[[int], None]]) -> None:
+        """Reinstate tickers removed by :meth:`suspend_tickers`."""
+        self._retarget_tickers(ticks, suspended=False)
+
+    def _retarget_tickers(
+        self, ticks: List[Callable[[int], None]], suspended: bool
+    ) -> None:
+        wanted = list(ticks)
+        for ticker in self._tickers:
+            for index, tick in enumerate(wanted):
+                if ticker.tick == tick:
+                    ticker.suspended = suspended
+                    del wanted[index]
+                    break
+        if wanted:
+            raise ValueError(f"no registered ticker for {wanted[0]!r}")
+        self._rebuild_ticker_views()
 
     def set_profiler(self, profiler: Any) -> None:
         """Attach (or detach, with None) a kernel profiler.
@@ -241,14 +290,14 @@ class Simulator:
         self._in_tick_phase = True
         try:
             if self.allow_fast_forward:
-                for ticker in self._tickers:
+                for ticker in self._run_tickers:
                     active = ticker.active
                     if active is None or active():
                         ticker.tick(now)
                     elif ticker.on_skip is not None:
                         ticker.on_skip(now, 1)
             else:
-                for ticker in self._tickers:
+                for ticker in self._run_tickers:
                     ticker.tick(now)
         finally:
             self._in_tick_phase = False
@@ -277,6 +326,8 @@ class Simulator:
         try:
             if self.allow_fast_forward:
                 for index, ticker in enumerate(self._tickers):
+                    if ticker.suspended:
+                        continue
                     active = ticker.active
                     if active is None or active():
                         start = perf_counter()
@@ -288,6 +339,8 @@ class Simulator:
                         profiler.on_skip(index, 1)
             else:
                 for index, ticker in enumerate(self._tickers):
+                    if ticker.suspended:
+                        continue
                     start = perf_counter()
                     ticker.tick(now)
                     profiler.on_tick(index, perf_counter() - start)
@@ -349,6 +402,19 @@ class Simulator:
         return self.run(time - self.now)
 
     # ----- checkpoint / restore ---------------------------------------------
+
+    def __setstate__(self, state: dict) -> None:
+        """Unpickle migration: snapshots written before ticker suspension
+        existed lack the ``suspended`` slots and the runnable-ticker
+        views; normalise them (every ticker runnable) so any unpickle
+        path — ``restore`` or the checkpoint codec — yields a steppable
+        simulator."""
+        self.__dict__.update(state)
+        if "_run_tickers" not in state:
+            for ticker in self._tickers:
+                if not hasattr(ticker, "suspended"):
+                    ticker.suspended = False
+            self._rebuild_ticker_views()
 
     def snapshot(self) -> bytes:
         """Serialise the simulator *and everything reachable from it*.

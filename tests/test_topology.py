@@ -106,8 +106,30 @@ class TestConstructors:
         assert topo.distance(0, 2) == 1  # wraparound
 
     def test_torus_minimum(self):
+        # Size-1 dimensions would wrap a node onto itself.
         with pytest.raises(TopologyError):
-            torus(2, 3)
+            torus(1, 3)
+        with pytest.raises(TopologyError):
+            torus(3, 1)
+
+    def test_torus_size_two_dimension_dedupes_wrap_links(self):
+        # Regression: the wrap-around edge in a size-2 dimension connects
+        # the same router pair as the mesh edge.  Pre-fix this either
+        # raised or (if the guard were simply removed) produced duplicate
+        # links and a misleading port count.
+        topo = torus(2, 3)
+        assert topo.num_nodes == 6
+        # Width-2 dimension: 3 deduped horizontal links; height-3 wraps
+        # are distinct: 6 vertical links.
+        assert len(topo.edges()) == 9
+        assert all(topo.degree(n) == 3 for n in range(6))
+        # One port per neighbor plus at least one host port.
+        assert topo.num_ports == 4
+        assert topo.is_connected()
+        # The degenerate 2x2 torus collapses to the 2x2 mesh's link set.
+        tiny = torus(2, 2)
+        assert len(tiny.edges()) == 4
+        assert all(tiny.degree(n) == 2 for n in range(4))
 
     def test_hypercube(self):
         topo = hypercube(3)
