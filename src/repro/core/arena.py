@@ -103,15 +103,27 @@ class NetworkArena:
     # ----- install / uninstall --------------------------------------------
 
     def install(self) -> None:
-        """Attach wake hooks and re-home columnar banks into the pool."""
+        """Attach wake hooks and re-home columnar banks into the pool.
+
+        Reservation must cover *every* bank before the first adoption:
+        with the columnar engine already enabled, ``adopt_columnar_pool``
+        rebuilds the bank immediately, and the first ``take`` freezes
+        each dtype chunk at whatever capacity has been reserved so far —
+        a later bank would then need the chunk to grow, which the pool
+        refuses (it would detach live views).
+        """
         config = self.network.config
         requirements = ColumnarState.pool_requirements(
             config.vcs_per_port, config.num_ports
         )
-        for node, router in enumerate(self.network.routers):
+        routers = self.network.routers
+        num_banks = sum(len(router.link_schedulers) for router in routers)
+        self.pool.reserve(
+            {name: rows * num_banks for name, rows in requirements.items()}
+        )
+        for node, router in enumerate(routers):
             router.activity.on_wake = _WakeHook(self, node)
             for port, scheduler in enumerate(router.link_schedulers):
-                self.pool.reserve(requirements)
                 scheduler.adopt_columnar_pool(self.pool, (node, port))
 
     def uninstall(self) -> None:
@@ -182,6 +194,12 @@ class NetworkArena:
                     routers[node].output_flow[port].replenish(vc_index)
         if not network.sim.allow_fast_forward:
             # Legacy kernel contract: every router ticks every cycle.
+            # The wake hooks still fire on every idle->busy transition;
+            # drop their queue so it cannot grow (and get pickled into
+            # checkpoints) unboundedly — nothing here sleeps, so there
+            # is never deferred idle accounting to replay.
+            if self._woken:
+                self._woken.clear()
             for router in routers:
                 router.tick(cycle)
             return

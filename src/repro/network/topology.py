@@ -237,13 +237,19 @@ def torus(width: int, height: int, num_ports: Optional[int] = None) -> Topology:
     those routers get one physical link (and one port) per such
     neighbor, not a double link with a misleading port count.  Size-1
     dimensions would require self-loops and raise.
+
+    Edges are emitted in the historical per-node order (dedup only
+    removes the size-2 wrap duplicates), so pre-existing tori build
+    identically to prior releases.  Port numbering is derived from the
+    sorted adjacency sets and is order-independent anyway.
     """
     if width < 2 or height < 2:
         raise TopologyError(
             "torus dimensions must be at least 2 (a size-1 dimension "
             "would wrap a node onto itself)"
         )
-    edges = set()
+    edges = []
+    seen = set()
     for y in range(height):
         for x in range(width):
             node = y * width + x
@@ -251,9 +257,13 @@ def torus(width: int, height: int, num_ports: Optional[int] = None) -> Topology:
                 y * width + (x + 1) % width,
                 ((y + 1) % height) * width + x,
             ):
-                edges.add((min(node, other), max(node, other)))
+                key = (min(node, other), max(node, other))
+                if key in seen:
+                    continue  # size-2 dimension: wrap == mesh edge
+                seen.add(key)
+                edges.append((node, other))
     topo = Topology(
-        width * height, sorted(edges), num_ports, name=f"torus{width}x{height}"
+        width * height, edges, num_ports, name=f"torus{width}x{height}"
     )
     topo.grid = (width, height)
     topo.wrap = True

@@ -49,6 +49,10 @@ DEFAULT_TRACE_CAPACITY = 200_000
 class FlightRecorder:
     """Router-wide observability: typed trace + windowed telemetry."""
 
+    #: Class-level fallback so recorders unpickled from checkpoints that
+    #: predate window-staleness tracking restore with a valid epoch.
+    _stale_epoch = 0
+
     def __init__(
         self,
         capacity: int = DEFAULT_TRACE_CAPACITY,
@@ -71,8 +75,12 @@ class FlightRecorder:
         )
         self.profiler = KernelProfiler()
         self._sim = None
-        # Per-router previous counter values for windowed deltas.
+        # Per-router previous counter values for windowed deltas, plus
+        # the staleness epoch: bumped while telemetry sampling is off so
+        # windows whose stored epoch lags are re-baselined (not sampled)
+        # at their first boundary after re-enable.
         self._windows: Dict[str, Dict[str, float]] = {}
+        self._stale_epoch = 0
         self._last_kernel_sample = -1
 
     # ----- lifecycle ---------------------------------------------------------
@@ -172,9 +180,13 @@ class FlightRecorder:
         """
         self._append((ROUND, cycle, 0, 0, -1, -1))
         # Single-flag early-out: with channel sampling off, a round
-        # boundary costs one boolean test instead of walking every link
-        # scheduler's window counters.
+        # boundary costs one boolean test (plus an int bump) instead of
+        # walking every link scheduler's window counters.  The bump
+        # invalidates every router's window baseline so a later
+        # ``TelemetryHub.set_enabled(True)`` re-baselines per router
+        # instead of lumping the whole disabled span into one delta.
         if not self.telemetry.enabled:
+            self._stale_epoch += 1
             return
         scalars = router.stats.scalars
         cycles = scalars.get("cycles", 0.0)
@@ -195,9 +207,13 @@ class FlightRecorder:
         window = self._windows.get(router.name)
         if window is None:
             window = self._windows[router.name] = {}
+        # This router's first boundary after a disabled span: refresh the
+        # window baselines (the unconditional stores below) but emit
+        # nothing, so the next sample's deltas cover exactly one round.
+        stale = window.get("epoch", 0) != self._stale_epoch
         prev_cycles = window.get("cycles", 0.0)
         delta_cycles = cycles - prev_cycles
-        if delta_cycles > 0:
+        if delta_cycles > 0 and not stale:
             prefix = router.name
             hub = self.telemetry
             num_ports = router.config.num_ports
@@ -245,6 +261,7 @@ class FlightRecorder:
                     reserved += vc.allocated_cycles
             hub.sample(f"{prefix}.cbr_cycles_consumed", cycle, consumed)
             hub.sample(f"{prefix}.cbr_cycles_reserved", cycle, reserved)
+        window["epoch"] = self._stale_epoch
         window["cycles"] = cycles
         window["flits"] = flits
         window["candidates"] = candidates

@@ -52,7 +52,7 @@ def _summary(result):
     )
 
 
-def _run_point(arena: bool, topo: str, seed: int):
+def _run_point(arena: bool, topo: str, seed: int, columnar: bool = False):
     """One small mixed-traffic run: admitted CBR load, a deterministic
     set of VBR cross-streams, and best-effort chatter."""
     kind, _ = parse_topology(topo)
@@ -65,6 +65,7 @@ def _run_point(arena: bool, topo: str, seed: int):
         measure_cycles=1200,
         seed=seed,
         network_arena=arena,
+        columnar_state=columnar,
     )
     experiment = NetworkExperiment(spec)
     num_nodes = experiment.topology.num_nodes
@@ -115,6 +116,41 @@ class TestArenaIdentity:
         flipped.network.set_network_arena(False)  # rings migrate back
         assert _summary(flipped.result()) == ref
         assert flip_log == ref_log
+
+    def test_pooled_columnar_arena_matches_object_graph(self):
+        # Regression: with columnar_state=True the banks are built
+        # eagerly, so NetworkArena.install() must reserve every bank's
+        # pool rows before the first adoption rebuilds into the pool —
+        # interleaving reserve/adopt froze the chunks at one bank's
+        # capacity and the second bank's take() raised RuntimeError at
+        # construction (the CLI's --columnar --arena combination).
+        base_log, base = _run_point(False, "mesh3x3", 7)
+        pooled_log, pooled = _run_point(True, "mesh3x3", 7, columnar=True)
+        assert base == pooled
+        assert base_log == pooled_log
+        assert base_log, "scenario delivered no flits — vacuous identity"
+
+    def test_legacy_kernel_does_not_accumulate_wake_records(self):
+        # Regression: with allow_fast_forward=False the arena ticks every
+        # router every cycle, but the ActivitySet wake hooks still fire
+        # on each idle->busy transition; the queue must be dropped per
+        # tick, not left to grow (and get pickled) for the whole run.
+        spec = NetworkExperimentSpec(
+            target_link_load=0.25,
+            topology="mesh3x3",
+            routing="dimension_order",
+            best_effort_rate=0.4,
+            warmup_cycles=100,
+            measure_cycles=400,
+            seed=2,
+            network_arena=True,
+            allow_fast_forward=False,
+        )
+        experiment = NetworkExperiment(spec)
+        experiment.run_to(experiment.total_cycles)
+        arena = experiment.network.arena
+        # At most one pending entry per router (the final tick's wakes).
+        assert len(arena._woken) <= experiment.topology.num_nodes
 
     def test_arena_flag_is_idempotent(self):
         spec = NetworkExperimentSpec(

@@ -6,7 +6,11 @@ import pytest
 
 from repro.core.config import RouterConfig
 from repro.harness.kernel_bench import build_cbr_scenario
-from repro.harness.single_router import ExperimentSpec, run_single_router_experiment
+from repro.harness.single_router import (
+    ExperimentSpec,
+    SingleRouterExperiment,
+    run_single_router_experiment,
+)
 from repro.obs import (
     MANIFEST_SCHEMA,
     NULL_RECORDER,
@@ -274,6 +278,40 @@ class TestHarnessIntegration:
         )
         assert all(kinds in allowed for kinds in delivered)
         assert ["inject", "grant", "deliver"] in delivered
+
+    def test_reenabled_telemetry_resumes_with_one_round_windows(self):
+        # Regression: the disabled early-out in sample_round skipped the
+        # per-router window baselines too, so the first sample after
+        # TelemetryHub.set_enabled(True) lumped the whole disabled span
+        # into one delta.  Post-fix the first boundary re-baselines
+        # silently and every emitted sample matches a never-disabled run.
+        spec = ExperimentSpec(telemetry=True, **self.SPEC)
+        ref = SingleRouterExperiment(spec)
+        ref.run_to(ref.total_cycles)
+
+        toggled = SingleRouterExperiment(spec)
+        toggled.run_to(900)
+        toggled.recorder.telemetry.set_enabled(False)
+        toggled.run_to(1500)
+        toggled.recorder.telemetry.set_enabled(True)
+        toggled.run_to(toggled.total_cycles)
+
+        hub = toggled.recorder.telemetry
+        ref_hub = ref.recorder.telemetry
+        checked = 0
+        for name in hub.names():
+            if not (
+                name.endswith("switch_grants")
+                or name.endswith("link_utilisation")
+            ):
+                continue
+            ref_points = dict(ref_hub.channel(name).samples())
+            for time, value in hub.channel(name).samples():
+                if time < 900:
+                    continue  # identical prefix by construction
+                assert ref_points[time] == value, (name, time)
+                checked += 1
+        assert checked, "no post-enable samples — vacuous regression test"
 
     def test_export_is_json_safe_and_carries_manifest(self):
         result = run_single_router_experiment(
