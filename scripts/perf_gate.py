@@ -810,6 +810,298 @@ def run_topo_gates(args, failures) -> dict:
     return topo_report
 
 
+def run_fabric_gates(args, failures) -> dict:
+    """Distributed-fabric gates: cache + crash requeue (BENCH_fabric.json).
+
+    Self-contained so ``--fabric-only`` (the CI fabric-smoke job, run
+    under both NumPy and NumPy-free environments — the fabric is pure
+    Python) can execute just this section.  Four legs over one small
+    single-router grid, all compared row-for-row against a serial
+    ``run_sweep`` baseline with exact float equality:
+
+    * **cold** — ``run_sweep(fabric=...)`` into an empty store computes
+      every point and must reproduce the serial rows bit-identically;
+    * **warm** — a fresh queue against the same store must recompute
+      **zero** points (every marker ``cached``, every lookup a hit);
+    * **corruption** — one store entry is truncated; the rerun must
+      recompute exactly that point (typed corruption drop, never a
+      silent reuse) and still match the serial rows;
+    * **kill** — a subprocess worker SIGKILLs itself mid-point after its
+      first checkpoint; a second worker must break the dead lease,
+      resume the point from its checkpoint (``resumed_from_cycle > 0``),
+      and the finished grid must again be bit-identical to serial.
+
+    Hit/miss counts come straight from the workers' store accounting and
+    the queue's result markers — no derived or assumed numbers.
+    """
+    import shutil
+    import subprocess
+    import tempfile
+
+    from repro.core.config import RouterConfig
+    from repro.fabric import (
+        Fabric,
+        FabricQueue,
+        FabricWorker,
+        ResultStore,
+        collect_sweep,
+        submit_sweep,
+    )
+    from repro.harness.single_router import (
+        ExperimentSpec,
+        run_single_router_experiment,
+    )
+    from repro.harness.sweep import SweepAxis, run_sweep, sweep_points
+
+    metrics = ("mean_delay_cycles", "mean_jitter_cycles", "utilisation")
+    config = RouterConfig(num_ports=4, vcs_per_port=32, enforce_round_budgets=False)
+    base = ExperimentSpec(
+        config=config,
+        target_load=0.4,
+        candidates=4,
+        seed=3,
+        warmup_cycles=args.fabric_warmup,
+        measure_cycles=args.fabric_cycles,
+    )
+    axes = [SweepAxis("seed", tuple(range(3, 3 + args.fabric_points)))]
+    points = sweep_points(base, axes)
+
+    print(f"== fabric baseline: serial run_sweep ({len(points)} points) ==")
+    serial_rows = run_sweep(base, axes).rows(metrics)
+
+    workdir = Path(tempfile.mkdtemp(prefix="fabric-gate-"))
+    try:
+        # --- cold: run_sweep(fabric=...) into an empty store ---------------
+        print("== fabric cold: run_sweep(fabric=...) into an empty store ==")
+        cold_fabric = Fabric(
+            directory=workdir / "cold",
+            lease_ttl=30.0,
+            checkpoint_every=args.fabric_checkpoint_every,
+        )
+        cold_rows = run_sweep(base, axes, fabric=cold_fabric).rows(metrics)
+        cold_queue = FabricQueue(cold_fabric.directory)
+        cold_markers = [
+            cold_queue.read_result(pid) for pid in cold_queue.point_ids()
+        ]
+        cold_cached = sum(1 for m in cold_markers if m["cached"])
+        cold_identical = cold_rows == serial_rows
+        cold_store = ResultStore(cold_fabric.store_root)
+        print(
+            f"   computed={len(cold_markers) - cold_cached} "
+            f"cached={cold_cached} entries={cold_store.entries()} "
+            f"rows_identical={cold_identical}"
+        )
+        if not cold_identical:
+            failures.append("fabric cold rows differ from serial rows")
+        if cold_cached != 0:
+            failures.append(
+                f"fabric cold run reported {cold_cached} cache hits "
+                "from an empty store"
+            )
+
+        # --- warm: fresh queue, same store → zero recomputes ---------------
+        print("== fabric warm: fresh queue against the populated store ==")
+        warm_fabric = Fabric(
+            directory=workdir / "warm",
+            lease_ttl=30.0,
+            checkpoint_every=args.fabric_checkpoint_every,
+            store_dir=cold_fabric.store_root,
+        )
+        submit_sweep(warm_fabric, points, run_single_router_experiment, axes=tuple(axes))
+        warm_worker = FabricWorker(warm_fabric)
+        warm_worker.drain_until_complete(timeout=300)
+        warm_rows = collect_sweep(warm_fabric, tuple(axes)).rows(metrics)
+        warm_stats = warm_worker.store.stats()
+        warm_identical = warm_rows == serial_rows
+        print(
+            f"   recomputed={warm_worker.points_computed} "
+            f"cached={warm_worker.points_cached} "
+            f"hits={warm_stats['hits']} misses={warm_stats['misses']} "
+            f"rows_identical={warm_identical}"
+        )
+        if warm_worker.points_computed != 0:
+            failures.append(
+                f"warm-cache rerun recomputed {warm_worker.points_computed} "
+                "points (expected 0)"
+            )
+        if warm_worker.points_cached != len(points):
+            failures.append(
+                f"warm-cache rerun cached {warm_worker.points_cached} of "
+                f"{len(points)} points"
+            )
+        if not warm_identical:
+            failures.append("fabric warm rows differ from serial rows")
+
+        # --- corruption: truncate one entry → recompute exactly it ---------
+        print("== fabric corruption: truncated entry must recompute ==")
+        victim_key = warm_worker.store.key_for(points[0][1], repr(points[0][0]))
+        victim_path = warm_worker.store.path_for(victim_key)
+        victim_path.write_bytes(victim_path.read_bytes()[: len(MAGIC_PROBE)])
+        corrupt_fabric = Fabric(
+            directory=workdir / "corrupt",
+            lease_ttl=30.0,
+            checkpoint_every=args.fabric_checkpoint_every,
+            store_dir=cold_fabric.store_root,
+        )
+        submit_sweep(
+            corrupt_fabric, points, run_single_router_experiment, axes=tuple(axes)
+        )
+        corrupt_worker = FabricWorker(corrupt_fabric)
+        corrupt_worker.drain_until_complete(timeout=300)
+        corrupt_rows = collect_sweep(corrupt_fabric, tuple(axes)).rows(metrics)
+        corrupt_stats = corrupt_worker.store.stats()
+        corrupt_identical = corrupt_rows == serial_rows
+        print(
+            f"   corrupt_dropped={corrupt_stats['corrupt_dropped']} "
+            f"recomputed={corrupt_worker.points_computed} "
+            f"cached={corrupt_worker.points_cached} "
+            f"rows_identical={corrupt_identical}"
+        )
+        if corrupt_stats["corrupt_dropped"] != 1:
+            failures.append(
+                f"corruption drill dropped {corrupt_stats['corrupt_dropped']} "
+                "entries (expected 1)"
+            )
+        if corrupt_worker.points_computed != 1:
+            failures.append(
+                f"corruption drill recomputed {corrupt_worker.points_computed} "
+                "points (expected exactly the truncated one)"
+            )
+        if not corrupt_identical:
+            failures.append("fabric corruption-drill rows differ from serial rows")
+
+        # --- kill: SIGKILLed worker → lease requeue → checkpoint resume ----
+        print("== fabric kill: SIGKILL a worker mid-point, requeue + resume ==")
+        kill_fabric = Fabric(
+            directory=workdir / "kill",
+            lease_ttl=2.0,
+            heartbeat_every=0.5,
+            checkpoint_every=args.fabric_checkpoint_every,
+        )
+        submit_sweep(kill_fabric, points, run_single_router_experiment, axes=tuple(axes))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        doomed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "fabric", "work",
+                str(kill_fabric.directory),
+                "--ttl", "2", "--heartbeat-every", "0.5",
+                "--kill-after-checkpoints", "1",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        rescue_worker = FabricWorker(kill_fabric)
+        rescue_worker.drain_until_complete(timeout=300)
+        kill_rows = collect_sweep(kill_fabric, tuple(axes)).rows(metrics)
+        kill_queue = FabricQueue(kill_fabric.directory, lease_ttl=2.0)
+        kill_status = kill_queue.status()
+        resumed_cycles = [
+            (kill_queue.read_result(pid).get("checkpoint") or {}).get(
+                "resumed_from_cycle"
+            )
+            for pid in kill_queue.point_ids()
+        ]
+        resumed_points = sum(1 for c in resumed_cycles if c is not None)
+        kill_identical = kill_rows == serial_rows
+        print(
+            f"   killed_rc={doomed.returncode} "
+            f"lease_expiries={kill_status['lease_expiries_logged']} "
+            f"resumed_points={resumed_points} "
+            f"resume_cycles={[c for c in resumed_cycles if c is not None]} "
+            f"rows_identical={kill_identical}"
+        )
+        if doomed.returncode != -9:
+            failures.append(
+                f"crash-drill worker exited {doomed.returncode}, expected "
+                f"SIGKILL (-9); stderr: {doomed.stderr[-300:]}"
+            )
+        if kill_status["lease_expiries_logged"] < 1:
+            failures.append("killed worker's lease was never broken/requeued")
+        if resumed_points < 1:
+            failures.append(
+                "no point resumed from a checkpoint after the worker kill"
+            )
+        if not any(c and c > 0 for c in resumed_cycles):
+            failures.append(
+                "requeued point restarted from cycle 0 instead of its checkpoint"
+            )
+        if not kill_identical:
+            failures.append("fabric killed-worker rows differ from serial rows")
+
+        fabric_report = {
+            "schema": "bench-fabric/1",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "manifest": build_manifest(command="scripts/perf_gate.py"),
+            "numpy": numpy_available(),
+            "grid": {
+                "points": len(points),
+                "axes": [{"name": a.name, "values": list(a.values)} for a in axes],
+                "metrics": list(metrics),
+                "warmup_cycles": args.fabric_warmup,
+                "measure_cycles": args.fabric_cycles,
+                "checkpoint_every": args.fabric_checkpoint_every,
+            },
+            "cold": {
+                "rows_identical": cold_identical,
+                "computed": len(cold_markers) - cold_cached,
+                "cached": cold_cached,
+                "store_entries": cold_store.entries(),
+            },
+            "warm": {
+                "rows_identical": warm_identical,
+                "recomputed": warm_worker.points_computed,
+                "cached": warm_worker.points_cached,
+                "store": warm_stats,
+            },
+            "corruption": {
+                "rows_identical": corrupt_identical,
+                "recomputed": corrupt_worker.points_computed,
+                "cached": corrupt_worker.points_cached,
+                "store": corrupt_stats,
+            },
+            "kill": {
+                "rows_identical": kill_identical,
+                "killed_worker_returncode": doomed.returncode,
+                "lease_expiries": kill_status["lease_expiries_logged"],
+                "resumed_points": resumed_points,
+                "resumed_from_cycles": [c for c in resumed_cycles if c is not None],
+                "rescue_worker": {
+                    "computed": rescue_worker.points_computed,
+                    "cached": rescue_worker.points_cached,
+                    "resumed": rescue_worker.points_resumed,
+                },
+            },
+            "gate": {
+                "warm_recomputed": warm_worker.points_computed,
+                "kill_rows_identical": kill_identical,
+                "passed": (
+                    cold_identical
+                    and warm_identical
+                    and corrupt_identical
+                    and kill_identical
+                    and warm_worker.points_computed == 0
+                    and resumed_points >= 1
+                ),
+            },
+        }
+        args.fabric_output.write_text(json.dumps(fabric_report, indent=2) + "\n")
+        print(f"wrote {args.fabric_output}")
+        return fabric_report
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+#: Length of the result-store magic line; the corruption drill truncates
+#: an entry to exactly this prefix (valid magic, nothing else).
+MAGIC_PROBE = b"MMR-RESULT\n"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -940,6 +1232,36 @@ def main(argv=None) -> int:
              "throughput + scaling curve, or the typed-error check when "
              "NumPy is absent); used by the CI topo-smoke job",
     )
+    parser.add_argument(
+        "--fabric-points", type=int, default=4,
+        help="grid size for the fabric gates (default 4 points)",
+    )
+    parser.add_argument(
+        "--fabric-warmup", type=int, default=300,
+        help="warm-up cycles per fabric gate point (default 300)",
+    )
+    parser.add_argument(
+        "--fabric-cycles", type=int, default=12_000,
+        help="measured cycles per fabric gate point (default 12000; long "
+             "enough that the crash-drill SIGKILL lands mid-point, after "
+             "the first checkpoint but before completion)",
+    )
+    parser.add_argument(
+        "--fabric-checkpoint-every", type=int, default=2_000,
+        help="per-point checkpoint period for the fabric gates (default 2000)",
+    )
+    parser.add_argument(
+        "--fabric-output", type=Path,
+        default=REPO_ROOT / "BENCH_fabric.json",
+        help="where to write the fabric-gate JSON report",
+    )
+    parser.add_argument(
+        "--fabric-only", action="store_true",
+        help="run only the distributed-fabric gates (warm-cache zero "
+             "recompute, corruption recompute, killed-worker requeue + "
+             "checkpoint-resume identity); used by the CI fabric-smoke "
+             "job's NumPy / no-NumPy matrix (the fabric is pure Python)",
+    )
     args = parser.parse_args(argv)
     if args.cycles <= 0 or args.identity_cycles <= 0 or args.repeats <= 0:
         parser.error("--cycles, --identity-cycles and --repeats must be positive")
@@ -974,6 +1296,19 @@ def main(argv=None) -> int:
             else "typed-error path verified (no NumPy)"
         )
         print(f"PASS: topo {note}")
+        return 0
+
+    if args.fabric_only:
+        fabric_report = run_fabric_gates(args, failures)
+        if failures:
+            print("FAIL: " + "; ".join(failures))
+            return 1
+        kill = fabric_report["kill"]
+        print(
+            "PASS: fabric warm rerun recomputed 0 points, killed-worker "
+            f"grid identical to serial (resumed {kill['resumed_points']} "
+            f"point(s) from cycle {max(kill['resumed_from_cycles'])})"
+        )
         return 0
 
     print("== identity: 8-stream single router ==")
@@ -1184,6 +1519,7 @@ def main(argv=None) -> int:
 
     columnar_report = run_columnar_gates(args, failures)
     topo_report = run_topo_gates(args, failures)
+    run_fabric_gates(args, failures)
 
     ckpt_report = {
         "schema": "bench-ckpt/1",

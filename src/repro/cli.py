@@ -419,6 +419,128 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fabric_from_args(args: argparse.Namespace):
+    from .fabric import Fabric
+
+    return Fabric(
+        directory=args.directory,
+        lease_ttl=args.ttl,
+        heartbeat_every=args.heartbeat_every,
+        checkpoint_every=getattr(args, "checkpoint_every", 10000),
+        store_dir=getattr(args, "store_dir", None),
+    )
+
+
+def _fabric_grid_from_args(args: argparse.Namespace):
+    """Build the (points, runner, axes) triple a fabric submission needs.
+
+    Mirrors :func:`cmd_sweep`'s spec construction so ``repro fabric
+    submit`` accepts the same ``--axis`` grammar (and ``--network``) as
+    ``repro sweep``.
+    """
+    from .harness.sweep import sweep_points
+
+    parse_axis = _parse_network_axis if args.network else _parse_axis
+    axes = [parse_axis(text) for text in args.axis]
+    if args.network:
+        base_overrides = {
+            axis.name: axis.values[0]
+            for axis in axes
+            if axis.name in ("topology", "routing")
+        }
+        base = _network_spec_from_args(args, **base_overrides)
+        runner = run_network_experiment
+    else:
+        base = _spec_from_args(args)
+        runner = run_single_router_experiment
+    return sweep_points(base, axes), runner, axes
+
+
+def cmd_fabric_submit(args: argparse.Namespace) -> int:
+    """Explode a sweep onto a fabric directory's work queue."""
+    from .fabric import submit_sweep
+
+    fabric = _fabric_from_args(args)
+    try:
+        points, runner, axes = _fabric_grid_from_args(args)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifest = submit_sweep(fabric, points, runner, axes=tuple(axes))
+    print(
+        f"submitted grid {manifest['grid_digest']} "
+        f"({manifest['points']} points, kind {manifest['kind']}) "
+        f"to {fabric.directory}"
+    )
+    print("start workers with: repro fabric work", str(fabric.directory))
+    return 0
+
+
+def cmd_fabric_work(args: argparse.Namespace) -> int:
+    """Drain a fabric queue as one worker (any host sharing the dir)."""
+    from .fabric import FabricWorker
+
+    fabric = _fabric_from_args(args)
+    worker = FabricWorker(
+        fabric,
+        kill_after_checkpoints=args.kill_after_checkpoints,
+    )
+    if args.until_complete:
+        done = worker.drain_until_complete(timeout=args.timeout)
+    else:
+        done = worker.drain(max_points=args.max_points)
+    stats = worker.store.stats()
+    print(
+        f"worker {worker.worker_id}: {done} points finished "
+        f"({worker.points_computed} computed, {worker.points_cached} cached, "
+        f"{worker.points_resumed} resumed from checkpoint); "
+        f"store hits {stats['hits']}, misses {stats['misses']}"
+    )
+    return 0
+
+
+def cmd_fabric_status(args: argparse.Namespace) -> int:
+    """Queue depth, lease health and cache accounting for a fabric dir."""
+    from .fabric import FabricQueue, ResultStore
+
+    fabric = _fabric_from_args(args)
+    queue = FabricQueue(fabric.directory, lease_ttl=fabric.lease_ttl)
+    status = queue.status()
+    store = ResultStore(fabric.store_root)
+    status["store"] = {**store.stats(), "entries": store.entries()}
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"fabric {status['directory']} [grid {status['grid_digest']}]")
+    print(
+        f"  points: {status['completed']}/{status['points']} complete "
+        f"({status['cached']} cached, {status['resumed']} resumed), "
+        f"queue depth {status['queue_depth']}"
+    )
+    print(
+        f"  leases: {len(status['leases_live'])} live, "
+        f"{len(status['leases_expired'])} expired, "
+        f"{status['lease_expiries_logged']} expiries logged"
+    )
+    print(f"  store: {status['store']['entries']} entries at {status['store']['root']}")
+    return 0 if status["complete"] else 1
+
+
+def cmd_fabric_gc(args: argparse.Namespace) -> int:
+    """Clear expired leases, staging files, and stale store entries."""
+    from .fabric import FabricQueue, ResultStore
+    from .obs.manifest import git_revision
+
+    fabric = _fabric_from_args(args)
+    queue = FabricQueue(fabric.directory, lease_ttl=fabric.lease_ttl)
+    report = queue.gc()
+    store = ResultStore(fabric.store_root)
+    keep = git_revision() or "unknown" if args.prune_old_revisions else None
+    report["store"] = store.gc(keep_revision=keep)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_saturation(args: argparse.Namespace) -> int:
     """Bisect the saturation load of the selected variant."""
     base = _spec_from_args(args)
@@ -906,13 +1028,109 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--jobs", type=int, default=1,
         help="worker processes for the figure grid points",
     )
+    figures_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent content-addressed figure cache: reruns with the "
+             "same specs on the same commit recompute nothing",
+    )
     figures_parser.set_defaults(
         func=lambda args: figures_main(
             [args.which]
             + (["--full"] if args.full else [])
             + ([f"--jobs={args.jobs}"] if args.jobs != 1 else [])
+            + ([f"--cache-dir={args.cache_dir}"] if args.cache_dir else [])
         )
     )
+
+    fabric_parser = sub.add_parser(
+        "fabric",
+        help="distributed sweep fabric: shared-directory work queue with "
+             "leases, crash requeue and a content-addressed result cache",
+    )
+    fabric_sub = fabric_parser.add_subparsers(dest="fabric_command", required=True)
+
+    def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "directory",
+            help="fabric coordination directory (shared filesystem for "
+                 "multi-host operation)",
+        )
+        parser.add_argument(
+            "--ttl", type=float, default=60.0, metavar="SECONDS",
+            help="lease time-to-live: a worker silent this long is presumed "
+                 "dead and its point is requeued (default 60)",
+        )
+        parser.add_argument(
+            "--heartbeat-every", type=float, default=5.0, metavar="SECONDS",
+            help="worker heartbeat period (default 5)",
+        )
+        parser.add_argument(
+            "--store-dir", default=None, metavar="DIR",
+            help="result store root (default: DIRECTORY/store); point "
+                 "several fabrics at one store to share their cache",
+        )
+
+    submit_parser = fabric_sub.add_parser(
+        "submit", help="explode a sweep grid onto the fabric work queue"
+    )
+    _add_fabric_arguments(submit_parser)
+    _add_spec_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--axis", action="append", required=True, metavar="NAME=V1,V2,...",
+        help="swept parameter (repeatable), same grammar as `repro sweep`",
+    )
+    submit_parser.add_argument(
+        "--network", action="store_true",
+        help="sweep NetworkExperimentSpec axes over the multi-router cluster",
+    )
+    _add_network_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--checkpoint-every", type=int, default=10000, metavar="CYCLES",
+        help="per-point checkpoint period workers use (default 10000)",
+    )
+    submit_parser.set_defaults(func=cmd_fabric_submit)
+
+    work_parser = fabric_sub.add_parser(
+        "work", help="drain the queue as one worker (run on any sharing host)"
+    )
+    _add_fabric_arguments(work_parser)
+    work_parser.add_argument(
+        "--until-complete", action="store_true",
+        help="keep polling until every point has a result (waits out other "
+             "workers' live leases; requeues expired ones)",
+    )
+    work_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="with --until-complete: give up after this long",
+    )
+    work_parser.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="stop after finishing N points",
+    )
+    work_parser.add_argument(
+        "--kill-after-checkpoints", type=int, default=None,
+        help=argparse.SUPPRESS,  # crash drill: SIGKILL self after N checkpoints
+    )
+    work_parser.set_defaults(func=cmd_fabric_work)
+
+    status_parser = fabric_sub.add_parser(
+        "status", help="queue depth, lease health, cache accounting "
+                       "(exit 0 when complete, 1 otherwise)"
+    )
+    _add_fabric_arguments(status_parser)
+    status_parser.add_argument("--json", action="store_true")
+    status_parser.set_defaults(func=cmd_fabric_status)
+
+    gc_parser = fabric_sub.add_parser(
+        "gc", help="clear expired leases, staging files and stale cache entries"
+    )
+    _add_fabric_arguments(gc_parser)
+    gc_parser.add_argument(
+        "--prune-old-revisions", action="store_true",
+        help="also delete store entries from other code revisions (they "
+             "can never hit again)",
+    )
+    gc_parser.set_defaults(func=cmd_fabric_gc)
 
     saturation_parser = sub.add_parser(
         "saturation", help="bisect a variant's saturation load"

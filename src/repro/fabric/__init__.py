@@ -1,0 +1,61 @@
+"""Distributed content-addressed sweep fabric.
+
+Three cooperating parts, all coordinated through a shared directory (a
+local path or a cluster filesystem) with atomic file primitives — no
+broker, no daemon:
+
+* :mod:`repro.fabric.store` — content-addressed result cache keyed on
+  ``(config digest, code revision, point key)``; an unchanged grid
+  recomputes zero points, and staleness is structurally impossible.
+* :mod:`repro.fabric.queue` — filesystem work queue with atomic lease
+  files, heartbeats, and crash requeue: a dead worker's point is taken
+  over and resumed from its latest checkpoint.
+* :mod:`repro.fabric.worker` — the execution loop tying both to the
+  existing sweep harness, plus fabric telemetry and health trails.
+
+Entry points: ``run_sweep(fabric=Fabric(dir))`` from
+:mod:`repro.harness.sweep`, or the ``repro fabric submit / work /
+status / gc`` CLI verbs for multi-terminal and multi-host operation.
+"""
+
+from .queue import (
+    Fabric,
+    FabricError,
+    FabricQueue,
+    FabricSubmissionError,
+    point_id,
+    resolve_runner,
+    runner_kind,
+)
+from .store import (
+    ResultKey,
+    ResultStore,
+    StoreCorruptionError,
+    StoreError,
+    spec_key,
+)
+from .worker import (
+    FabricWorker,
+    collect_sweep,
+    run_sweep_on_fabric,
+    submit_sweep,
+)
+
+__all__ = [
+    "Fabric",
+    "FabricError",
+    "FabricQueue",
+    "FabricSubmissionError",
+    "FabricWorker",
+    "ResultKey",
+    "ResultStore",
+    "StoreCorruptionError",
+    "StoreError",
+    "collect_sweep",
+    "point_id",
+    "resolve_runner",
+    "run_sweep_on_fabric",
+    "runner_kind",
+    "spec_key",
+    "submit_sweep",
+]

@@ -37,12 +37,66 @@ FULL_CYCLES = {"warmup_cycles": 20000, "measure_cycles": 100000}
 
 _cache: Dict[ExperimentSpec, ExperimentResult] = {}
 
+#: Optional persistent layer behind the memo: a content-addressed
+#: :class:`repro.fabric.store.ResultStore`.  Off by default — figure
+#: results only persist across invocations when the caller opts in via
+#: :func:`enable_figure_cache` (CLI: ``--cache-dir=PATH``).
+_store = None
+
+#: Store point-key namespace for figure points (the spec's config digest
+#: carries every parameter, so one constant key suffices).
+_STORE_POINT_KEY = "figures"
+
+
+def enable_figure_cache(directory, revision: Optional[str] = None):
+    """Back the figure memo with a persistent content-addressed store.
+
+    Results are keyed on ``(config digest, code revision)`` — rerunning
+    ``repro figures`` with the same specs on the same commit is warm
+    across invocations, while any spec or code change misses (the fabric
+    store makes stale hits structurally impossible).  Returns the store
+    so callers can read ``store.stats()``.
+    """
+    global _store
+    from ..fabric.store import ResultStore
+
+    _store = ResultStore(directory, revision=revision)
+    return _store
+
+
+def disable_figure_cache() -> None:
+    """Detach the persistent layer (memo keeps working)."""
+    global _store
+    _store = None
+
+
+def _store_fetch(spec: ExperimentSpec) -> Optional[ExperimentResult]:
+    if _store is None:
+        return None
+    entry = _store.get(_store.key_for(spec, _STORE_POINT_KEY))
+    return entry[0] if entry is not None else None
+
+
+def _store_put(spec: ExperimentSpec, result: ExperimentResult) -> None:
+    # Telemetry-enabled results hold a live recorder (closures over the
+    # simulator) that must not be pickled; those stay memo-only.
+    if _store is not None and result.recorder is None:
+        _store.put(_store.key_for(spec, _STORE_POINT_KEY), result)
+
 
 def run_point(spec: ExperimentSpec) -> ExperimentResult:
-    """Run one experiment point, memoised on the full spec."""
+    """Run one experiment point, memoised on the full spec.
+
+    With :func:`enable_figure_cache` active, the persistent store sits
+    behind the memo: store hits skip the simulation entirely and fresh
+    results are written through for the next invocation.
+    """
     result = _cache.get(spec)
     if result is None:
-        result = run_single_router_experiment(spec)
+        result = _store_fetch(spec)
+        if result is None:
+            result = run_single_router_experiment(spec)
+            _store_put(spec, result)
         _cache[spec] = result
     return result
 
@@ -58,19 +112,33 @@ def prime_cache(specs: Iterable[ExperimentSpec], jobs: int = 1) -> None:
     Figure points are independent simulations, so ``jobs=N`` fans them
     out with :class:`ProcessPoolExecutor`; results land in the same memo
     cache :func:`run_point` reads, making the benchmark figures embarrass-
-    ingly parallel without touching the figure-assembly code.
+    ingly parallel without touching the figure-assembly code.  When the
+    persistent figure cache is enabled, store hits are resolved first
+    and only the remainder is computed (then written through).
     """
     pending = [spec for spec in dict.fromkeys(specs) if spec not in _cache]
+    if _store is not None:
+        remaining = []
+        for spec in pending:
+            result = _store_fetch(spec)
+            if result is not None:
+                _cache[spec] = result
+            else:
+                remaining.append(spec)
+        pending = remaining
     if not pending:
         return
     if jobs <= 1 or len(pending) == 1:
         for spec in pending:
-            _cache[spec] = run_single_router_experiment(spec)
+            result = run_single_router_experiment(spec)
+            _store_put(spec, result)
+            _cache[spec] = result
         return
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
         for spec, result in zip(
             pending, pool.map(run_single_router_experiment, pending)
         ):
+            _store_put(spec, result)
             _cache[spec] = result
 
 
@@ -245,16 +313,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     full = "--full" in args
     jobs = 1
+    cache_dir = None
     for arg in args:
         if arg.startswith("--jobs="):
             jobs = int(arg.split("=", 1)[1])
+        elif arg.startswith("--cache-dir="):
+            cache_dir = arg.split("=", 1)[1]
     args = [a for a in args if not a.startswith("--")]
     which = args[0] if args else "all"
     if which not in ("fig3", "fig4", "fig5", "all"):
         print(
-            f"unknown figure {which!r}; use fig3|fig4|fig5|all [--full] [--jobs=N]"
+            f"unknown figure {which!r}; use fig3|fig4|fig5|all "
+            "[--full] [--jobs=N] [--cache-dir=PATH]"
         )
         return 2
+    store = enable_figure_cache(cache_dir) if cache_dir else None
     if which in ("fig3", "all"):
         print(figure3(full=full, jobs=jobs).table())
         print()
@@ -266,6 +339,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(delay.table())
         print()
         print(jitter.table())
+    if store is not None:
+        stats = store.stats()
+        print(
+            f"figure cache [{stats['root']}]: {stats['hits']} hits, "
+            f"{stats['misses']} misses, {stats['writes']} written "
+            f"(hit ratio {stats['hit_ratio']:.2f})"
+        )
     return 0
 
 

@@ -53,6 +53,13 @@ class SweepPointError(RuntimeError):
     the cause travel as plain strings rather than as the live exception
     chain (a worker-side traceback can reference unpicklable frames and
     would poison the future's result channel).
+
+    ``completed`` carries the :class:`SweepResult` holding every point
+    that finished before the failure (possibly empty) — hours of
+    finished grid rows survive the crash instead of being discarded with
+    the exception.  It is a plain attribute, deliberately outside
+    ``__reduce__``: live results need not be picklable, and the error's
+    cross-process contract stays ``(point, cause_repr)``.
     """
 
     def __init__(self, point: str, cause) -> None:
@@ -60,6 +67,7 @@ class SweepPointError(RuntimeError):
         super().__init__(f"sweep point [{point}] failed: {cause_repr}")
         self.point = point
         self.cause_repr = cause_repr
+        self.completed: Optional["SweepResult"] = None
 
     def __reduce__(self):
         return (SweepPointError, (self.point, self.cause_repr))
@@ -220,6 +228,7 @@ def run_sweep(
     axes: Sequence[SweepAxis],
     jobs: int = 1,
     checkpointing: Optional[Checkpointing] = None,
+    fabric=None,
     _runner: Callable[..., ExperimentResult] = run_single_router_experiment,
 ) -> SweepResult:
     """Run the full cartesian product of the axes over the base spec.
@@ -227,7 +236,8 @@ def run_sweep(
     ``jobs`` > 1 distributes points over that many worker processes.
     Rows are identical to a serial run (each point is an independent,
     self-seeded simulation); only wall-clock time changes.  A crashing
-    point raises :class:`SweepPointError` naming its axis assignment.
+    point raises :class:`SweepPointError` naming its axis assignment,
+    with every already-finished row attached as ``error.completed``.
 
     ``checkpointing`` makes every point write periodic checkpoints and —
     with ``resume=True`` — continue from its latest checkpoint when the
@@ -237,6 +247,14 @@ def run_sweep(
     ``"checkpoint"``.  Results are bit-identical with or without
     checkpointing (the checkpoint identity gate proves this).
 
+    ``fabric`` — a :class:`repro.fabric.Fabric` — runs the sweep on the
+    distributed fabric instead: points are submitted to the fabric
+    directory's work queue, a local worker drains it alongside any other
+    workers sharing the directory (other terminals, other hosts), and
+    every result lands in the content-addressed store so an unchanged
+    rerun recomputes zero points.  Mutually exclusive with ``jobs`` and
+    ``checkpointing`` (the fabric checkpoints per point on its own).
+
     ``_runner`` is the per-point experiment function — overridable for
     tests (it must be a module-level callable so workers can unpickle it;
     with ``checkpointing`` it must accept the checkpoint keyword
@@ -244,6 +262,15 @@ def run_sweep(
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if fabric is not None:
+        if jobs != 1 or checkpointing is not None:
+            raise ValueError(
+                "fabric= is mutually exclusive with jobs>1 and checkpointing "
+                "(the fabric manages its own fan-out and per-point checkpoints)"
+            )
+        from ..fabric.worker import run_sweep_on_fabric
+
+        return run_sweep_on_fabric(base, axes, fabric, _runner)
     points = sweep_points(base, axes)
     sweep = SweepResult(tuple(axes))
     if checkpointing is not None:
@@ -273,9 +300,13 @@ def run_sweep(
             try:
                 record(key, _run_point(spec, _runner, **point_kwargs(key)))
             except Exception as exc:
-                raise SweepPointError(_describe_point(axes, key), exc) from exc
+                error = SweepPointError(_describe_point(axes, key), exc)
+                error.completed = sweep
+                raise error from exc
         return sweep
 
+    failed_key: Optional[Tuple[Any, ...]] = None
+    cause: Optional[BaseException] = None
     with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
         futures = {
             key: pool.submit(_run_point, spec, _runner, **point_kwargs(key))
@@ -285,5 +316,21 @@ def run_sweep(
             try:
                 record(key, future.result())
             except Exception as exc:
-                raise SweepPointError(_describe_point(axes, key), exc) from exc
-    return sweep
+                # First failure: stop burning CPU on points that cannot
+                # matter any more.  Queued futures cancel; already-running
+                # stragglers finish when the pool exits and are harvested
+                # below so their rows are not discarded.
+                failed_key, cause = key, exc
+                for pending in futures.values():
+                    pending.cancel()
+                break
+    if failed_key is None:
+        return sweep
+    for key, future in futures.items():
+        if key in sweep.results or future.cancelled():
+            continue
+        if future.done() and future.exception() is None:
+            record(key, future.result())
+    error = SweepPointError(_describe_point(axes, failed_key), cause)
+    error.completed = sweep
+    raise error from cause

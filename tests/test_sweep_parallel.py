@@ -93,3 +93,47 @@ class TestParallelSweep:
         # The cause travels as plain data (picklability), not a live chain.
         assert "ValueError" in excinfo.value.cause_repr
         assert "boom" in excinfo.value.cause_repr
+
+    def test_serial_crash_attaches_completed_rows(self):
+        # Serial order is the cartesian product: (4,0.4), (4,0.6) finish
+        # before (5,0.4) fails — both must survive on the error.
+        axes = [
+            SweepAxis("seed", (4, 5)),
+            SweepAxis("target_load", (0.4, 0.6)),
+        ]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(tiny_spec(), axes, jobs=1, _runner=_crashing_runner)
+        completed = excinfo.value.completed
+        assert completed is not None
+        assert set(completed.results) == {(4, 0.4), (4, 0.6)}
+        assert completed.results[(4, 0.4)].seed == 4
+
+    def test_parallel_crash_attaches_completed_rows(self):
+        axes = [
+            SweepAxis("seed", (4, 5)),
+            SweepAxis("target_load", (0.4, 0.6)),
+        ]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(tiny_spec(), axes, jobs=2, _runner=_crashing_runner)
+        completed = excinfo.value.completed
+        assert completed is not None
+        # Which non-failing points finished before the failure was
+        # noticed is timing-dependent, but every attached row must be a
+        # real success and the failing point must never be among them.
+        assert (5, 0.4) not in completed.results
+        for key, result in completed.results.items():
+            assert result.seed == key[0]
+
+    def test_crash_error_stays_picklable_with_completed_rows(self):
+        axes = [
+            SweepAxis("seed", (4, 5)),
+            SweepAxis("target_load", (0.4, 0.6)),
+        ]
+        with pytest.raises(SweepPointError) as excinfo:
+            run_sweep(tiny_spec(), axes, jobs=2, _runner=_crashing_runner)
+        # The cross-process contract is unchanged: completed rows are a
+        # live attribute, not part of the pickled reduction.
+        assert excinfo.value.__reduce__() == (
+            SweepPointError,
+            ("seed=5, target_load=0.4", "ValueError('boom')"),
+        )
